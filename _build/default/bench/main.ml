@@ -1,0 +1,316 @@
+(* Benchmark harness: one Bechamel benchmark per figure/table of the
+   paper (regenerating exactly the artifact the figure shows), plus the
+   scalability sweeps the paper lacks in DESIGN.md section 4, the scale rows.
+
+   Before timing anything the harness prints the reproduction report —
+   paper claim vs. measured outcome for every figure — so one run of
+   `dune exec bench/main.exe` documents both correctness and cost. *)
+
+open Bechamel
+open Toolkit
+module C = Chorev
+module P = C.Scenario.Procurement
+
+let gen = C.Public_gen.public
+
+(* Pre-built inputs shared by the benchmark closures (building them is
+   itself benchmarked where relevant). *)
+let pub_buyer = gen P.buyer_process
+let pub_acc = gen P.accounting_process
+let pub_log = gen P.logistics_process
+let pub_cancel = gen P.accounting_cancel
+let pub_once = gen P.accounting_once
+let view_cancel = C.View.tau ~observer:"B" pub_cancel
+let view_once = C.View.tau ~observer:"B" pub_once
+let procurement = C.Choreography.Model.of_processes (List.map snd P.parties)
+
+let t name f = Test.make ~name (Staged.stage f)
+
+(* ------------------------ per-figure benchmarks -------------------- *)
+
+let figure_tests =
+  [
+    t "fig01_overview" (fun () ->
+        ignore (C.Choreography.Model.of_processes (List.map snd P.parties)));
+    t "fig02_accounting_private" (fun () ->
+        ignore (C.Bpel.Validate.check P.accounting_process));
+    t "fig03_buyer_private" (fun () ->
+        ignore (C.Bpel.Validate.check P.buyer_process));
+    t "fig04_pipeline" (fun () ->
+        ignore
+          (C.Choreography.Evolution.evolve procurement ~owner:"A"
+             ~changed:P.accounting_cancel));
+    t "fig05_intersection" (fun () ->
+        ignore (C.Emptiness.is_empty (C.Scenario.Fig5.intersection ())));
+    t "fig06_buyer_public" (fun () ->
+        ignore (C.Public_gen.generate P.buyer_process));
+    t "fig07_accounting_public" (fun () ->
+        ignore (C.Public_gen.generate P.accounting_process));
+    t "fig08_views" (fun () ->
+        ignore (C.View.tau ~observer:"B" pub_acc);
+        ignore (C.View.tau ~observer:"L" pub_acc));
+    t "fig09_invariant_change" (fun () -> ignore (gen P.accounting_order2));
+    t "fig10_invariant_check" (fun () ->
+        ignore
+          (C.Consistency.consistent
+             (C.View.tau ~observer:"B" (gen P.accounting_order2))
+             pub_buyer));
+    t "fig11_variant_additive" (fun () -> ignore (gen P.accounting_cancel));
+    t "fig12_variant_check" (fun () ->
+        ignore (C.Emptiness.is_empty (C.Ops.intersect view_cancel pub_buyer)));
+    t "fig13_propagation_delta" (fun () ->
+        let delta = C.Ops.difference view_cancel pub_buyer in
+        ignore (C.Ops.union delta pub_buyer));
+    t "fig14_private_adaptation" (fun () ->
+        ignore
+          (C.Propagate.Engine.propagate ~direction:C.Propagate.Engine.Additive
+             ~a':pub_cancel ~partner_private:P.buyer_process ()));
+    t "fig15_variant_subtractive" (fun () -> ignore (gen P.accounting_once));
+    t "fig16_subtractive_check" (fun () ->
+        ignore (C.Emptiness.is_empty (C.Ops.intersect view_once pub_buyer)));
+    t "fig17_subtractive_delta" (fun () ->
+        let removed = C.Ops.difference pub_buyer view_once in
+        ignore (C.Ops.difference pub_buyer removed));
+    t "fig18_subtractive_adaptation" (fun () ->
+        ignore
+          (C.Propagate.Engine.propagate
+             ~direction:C.Propagate.Engine.Subtractive ~a':pub_once
+             ~partner_private:P.buyer_process ()));
+  ]
+
+(* -------------------------- scale sweeps --------------------------- *)
+
+(* Process size: the ladder family, Θ(n) public states. *)
+let ladder_tests =
+  List.concat_map
+    (fun n ->
+      let pa, pb = C.Workload.Scale.ladder n in
+      let a = gen pa and b = gen pb in
+      [
+        t (Printf.sprintf "scale_generate_ladder_%03d" n) (fun () ->
+            ignore (C.Public_gen.generate pa));
+        t (Printf.sprintf "scale_intersect_ladder_%03d" n) (fun () ->
+            ignore (C.Ops.intersect a b));
+        t (Printf.sprintf "scale_consistency_ladder_%03d" n) (fun () ->
+            ignore (C.Consistency.consistent a b));
+        t (Printf.sprintf "scale_difference_ladder_%03d" n) (fun () ->
+            ignore (C.Ops.difference a b));
+        t (Printf.sprintf "scale_minimize_ladder_%03d" n) (fun () ->
+            ignore (C.Minimize.minimize a));
+      ])
+    [ 10; 50; 100; 200 ]
+
+(* Annotation width: the menu family, conjunctions of n variables. *)
+let menu_tests =
+  List.concat_map
+    (fun n ->
+      let pa, pb = C.Workload.Scale.menu n in
+      let a = gen pa and b = gen pb in
+      [
+        t (Printf.sprintf "scale_consistency_menu_%02d" n) (fun () ->
+            ignore (C.Consistency.consistent a b));
+      ])
+    [ 4; 8; 16; 32 ]
+
+(* Loopy protocols: the service-loop family (views + emptiness on
+   cyclic automata). *)
+let service_tests =
+  List.concat_map
+    (fun n ->
+      let pa, pb = C.Workload.Scale.service_loop n in
+      let a = gen pa and b = gen pb in
+      [
+        t (Printf.sprintf "scale_view_service_%02d" n) (fun () ->
+            ignore (C.View.tau ~observer:"B" a));
+        t (Printf.sprintf "scale_consistency_service_%02d" n) (fun () ->
+            ignore (C.Consistency.consistent a b));
+      ])
+    [ 2; 4; 8; 16 ]
+
+(* End-to-end propagation cost vs. process size: the originator appends
+   one message to a ladder conversation; the partner must adapt. *)
+let propagation_tests =
+  List.map
+    (fun n ->
+      let pa, pb = C.Workload.Scale.ladder n in
+      let pa' =
+        C.Change.Ops.apply_exn
+          (C.Change.Ops.Insert_activity
+             {
+               path = [];
+               pos = 2 * n;
+               act = C.Bpel.Activity.invoke ~partner:"B" ~op:"extraOp";
+             })
+          pa
+      in
+      let a' = gen pa' in
+      t (Printf.sprintf "scale_propagate_ladder_%03d" n) (fun () ->
+          ignore
+            (C.Propagate.Engine.propagate
+               ~direction:C.Propagate.Engine.Additive ~a'
+               ~partner_private:pb ())))
+    [ 10; 25; 50; 100 ]
+
+(* Party count: decentralized protocol over a k-spoke hub. *)
+let protocol_tests =
+  List.map
+    (fun k ->
+      let hub, spokes = C.Workload.Scale.hub k in
+      let tchor = C.Choreography.Model.of_processes (hub :: spokes) in
+      let changed =
+        C.Change.Ops.apply_exn
+          (C.Change.Ops.Insert_activity
+             {
+               path = [];
+               pos = 0;
+               act = C.Bpel.Activity.invoke ~partner:"P0" ~op:"noticeOp";
+             })
+          hub
+      in
+      t (Printf.sprintf "scale_protocol_hub_%02d" k) (fun () ->
+          ignore (C.Choreography.Protocol.run tchor ~owner:"HUB" ~changed)))
+    [ 2; 4; 8 ]
+
+(* Runtime exploration of the joint state space. *)
+let runtime_tests =
+  [
+    t "scale_runtime_procurement" (fun () ->
+        ignore
+          (C.Runtime.Exec.explore
+             (C.Runtime.Exec.make
+                [ ("B", pub_buyer); ("A", pub_acc); ("L", pub_log) ])));
+    t "scale_runtime_service_08" (fun () ->
+        let pa, pb = C.Workload.Scale.service_loop 8 in
+        ignore
+          (C.Runtime.Exec.explore
+             (C.Runtime.Exec.make [ ("A", gen pa); ("B", gen pb) ])));
+  ]
+
+(* Extension benchmarks: service discovery (Sec. 6 building block) and
+   instance migration (Sec. 8 outlook). *)
+let discovery_tests =
+  List.map
+    (fun n ->
+      let reg = C.Discovery.create () in
+      for i = 0 to n - 1 do
+        let a =
+          C.Workload.Gen_afsa.random_protocol ~party_a:"A" ~party_b:"B"
+            ~seed:i ~states:10 ()
+        in
+        C.Discovery.advertise reg
+          ~name:(Printf.sprintf "svc%d" i)
+          ~party:"A" a
+      done;
+      C.Discovery.advertise reg ~name:"the-accounting" ~party:"A"
+        (C.View.tau ~observer:"B" pub_acc);
+      t (Printf.sprintf "ext_discovery_query_%03d" n) (fun () ->
+          ignore (C.Discovery.query reg ~party:"B" ~requester:pub_buyer)))
+    [ 10; 50; 100 ]
+
+let migration_tests =
+  List.map
+    (fun n ->
+      let instances =
+        List.init n (fun i ->
+            C.Migration.Instance.sample pub_buyer
+              ~id:(string_of_int i) ~seed:i ~max_len:8)
+      in
+      let new_pub = gen P.buyer_once in
+      t (Printf.sprintf "ext_migration_check_%03d" n) (fun () ->
+          ignore (C.Migration.Compliance.partition new_pub instances)))
+    [ 10; 100; 1000 ]
+
+let global_tests =
+  [
+    t "ext_global_diagnose_procurement" (fun () ->
+        ignore (C.Choreography.Global.diagnose procurement));
+    t "ext_global_conversation_automaton" (fun () ->
+        ignore (C.Choreography.Global.conversation_automaton procurement));
+    t "ext_skeleton_accounting" (fun () ->
+        ignore (C.Skeleton.synthesize ~party:"A" pub_acc));
+    t "ext_skeleton_buyer_stub" (fun () ->
+        ignore
+          (C.Skeleton.synthesize ~party:"B"
+             (C.View.tau ~observer:"B" pub_acc)));
+  ]
+
+(* Ablations: cost (not just correctness) of the semantic decisions. *)
+let ablation_tests =
+  let i_big =
+    let pa, pb = C.Workload.Scale.service_loop 8 in
+    C.Ops.intersect (gen pa) (gen pb)
+  in
+  let delta = C.Ops.difference view_cancel pub_buyer in
+  [
+    t "abl_emptiness_gfp" (fun () -> ignore (C.Emptiness.is_empty i_big));
+    t "abl_emptiness_lfp" (fun () ->
+        ignore (C.Ablation.is_empty_least_fixpoint i_big));
+    t "abl_union_direct" (fun () -> ignore (C.Ops.union delta pub_buyer));
+    t "abl_union_de_morgan" (fun () ->
+        ignore (C.Ops.union_de_morgan delta pub_buyer));
+    t "abl_minimize_annotated" (fun () ->
+        ignore (C.Minimize.minimize pub_buyer));
+    t "abl_minimize_oblivious" (fun () ->
+        ignore (C.Ablation.minimize_ignoring_annotations pub_buyer));
+  ]
+
+(* ------------------------------ driver ----------------------------- *)
+
+let run_and_report tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw =
+    List.map
+      (fun test ->
+        let results = Benchmark.all cfg instances test in
+        (test, results))
+      tests
+  in
+  Fmt.pr "@.%-34s %14s %10s %8s@." "benchmark" "time/run" "unit" "r²";
+  Fmt.pr "%s@." (String.make 70 '-');
+  List.iter
+    (fun (_, results) ->
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let est =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> r
+            | None -> nan
+          in
+          let time, unit =
+            if est > 1e9 then (est /. 1e9, "s")
+            else if est > 1e6 then (est /. 1e6, "ms")
+            else if est > 1e3 then (est /. 1e3, "us")
+            else (est, "ns")
+          in
+          Fmt.pr "%-34s %14.2f %10s %8.4f@." name time unit r2)
+        analyzed)
+    raw
+
+let () =
+  Fmt.pr "==========================================================@.";
+  Fmt.pr " chorev benchmark harness — paper artifact reproduction@.";
+  Fmt.pr "==========================================================@.@.";
+  let all_ok = C.Scenario.Report.print_all () in
+  Fmt.pr "@.==========================================================@.";
+  Fmt.pr " timings (Bechamel, OLS estimate per run)@.";
+  Fmt.pr "==========================================================@.";
+  run_and_report
+    (figure_tests @ ladder_tests @ menu_tests @ service_tests
+   @ propagation_tests @ protocol_tests @ runtime_tests @ discovery_tests
+   @ migration_tests @ global_tests @ ablation_tests);
+  Fmt.pr "@.reproduction status: %s@."
+    (if all_ok then "ALL ARTIFACTS REPRODUCED" else "MISMATCHES PRESENT — see report above");
+  exit (if all_ok then 0 else 1)

@@ -1,0 +1,353 @@
+(* The chorev command-line tool.
+
+     chorev demo          — walk the paper's scenarios (§5.1–5.3)
+     chorev check         — bilateral/choreography consistency of the
+                            procurement example (or a scale family)
+     chorev experiments   — print the per-figure reproduction report
+     chorev dot           — export the paper's automata as Graphviz
+     chorev xml           — emit the scenario processes as BPEL XML
+     chorev run           — execute the choreography operationally *)
+
+module C = Chorev
+module P = C.Scenario.Procurement
+open Cmdliner
+
+let gen = C.Public_gen.public
+
+(* ------------------------------- demo ------------------------------ *)
+
+let demo scenario =
+  let t = C.Choreography.Model.of_processes (List.map snd P.parties) in
+  let evolve changed =
+    let rep = C.Choreography.Evolution.evolve t ~owner:"A" ~changed in
+    Fmt.pr "%a@." C.Choreography.Evolution.pp_report rep
+  in
+  (match scenario with
+  | `Invariant ->
+      Fmt.pr "=== §5.1 Invariant additive change: order_2 format ===@.";
+      evolve P.accounting_order2
+  | `Cancel ->
+      Fmt.pr "=== §5.2 Variant additive change: cancellation ===@.";
+      evolve P.accounting_cancel
+  | `Tracking ->
+      Fmt.pr "=== §5.3 Variant subtractive change: tracking limit ===@.";
+      evolve P.accounting_once
+  | `All ->
+      Fmt.pr "=== §5.1 Invariant additive change: order_2 format ===@.";
+      evolve P.accounting_order2;
+      Fmt.pr "@.=== §5.2 Variant additive change: cancellation ===@.";
+      evolve P.accounting_cancel;
+      Fmt.pr "@.=== §5.3 Variant subtractive change: tracking limit ===@.";
+      evolve P.accounting_once);
+  0
+
+let scenario_arg =
+  let scenario_conv =
+    Arg.enum
+      [ ("all", `All); ("invariant", `Invariant); ("cancel", `Cancel);
+        ("tracking", `Tracking) ]
+  in
+  Arg.(value & pos 0 scenario_conv `All & info [] ~docv:"SCENARIO")
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Walk the paper's evolution scenarios (Sec. 5)")
+    Term.(const demo $ scenario_arg)
+
+(* ------------------------------- check ----------------------------- *)
+
+let check () =
+  let t = C.Choreography.Model.of_processes (List.map snd P.parties) in
+  List.iter
+    (fun v ->
+      Fmt.pr "%a@." C.Choreography.Consistency.pp_verdict v;
+      match v.C.Choreography.Consistency.witness with
+      | Some w ->
+          Fmt.pr "  conversation: %a@."
+            (Fmt.list ~sep:(Fmt.any " → ") (fun ppf l ->
+                 Fmt.string ppf (C.Label.to_string l)))
+            w
+      | None -> ())
+    (C.Choreography.Consistency.check_all t);
+  if C.Choreography.Consistency.consistent t then 0 else 1
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check all bilateral consistencies of the procurement example")
+    Term.(const check $ const ())
+
+(* ---------------------------- experiments --------------------------- *)
+
+let experiments () = if C.Scenario.Report.print_all () then 0 else 1
+
+let experiments_cmd =
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Reproduce every figure/table of the paper and report the outcome")
+    Term.(const experiments $ const ())
+
+(* -------------------------------- dot ------------------------------ *)
+
+let dot dir =
+  let automata =
+    [
+      ("fig5_party_a", C.Scenario.Fig5.party_a);
+      ("fig5_party_b", C.Scenario.Fig5.party_b);
+      ("fig5_intersection", C.Scenario.Fig5.intersection ());
+      ("fig6_buyer_public", gen P.buyer_process);
+      ("fig7_accounting_public", gen P.accounting_process);
+      ("fig8a_buyer_view", C.View.tau ~observer:"B" (gen P.accounting_process));
+      ("fig8b_logistics_view", C.View.tau ~observer:"L" (gen P.accounting_process));
+      ("fig10a_order2_view", C.View.tau ~observer:"B" (gen P.accounting_order2));
+      ("fig12a_cancel_view", C.View.tau ~observer:"B" (gen P.accounting_cancel));
+      ( "fig13a_difference",
+        C.Minimize.minimize
+          (C.Ops.difference
+             (C.View.tau ~observer:"B" (gen P.accounting_cancel))
+             (gen P.buyer_process)) );
+      ( "fig13b_new_buyer_public",
+        C.Minimize.minimize
+          (C.Ops.union
+             (C.Ops.difference
+                (C.View.tau ~observer:"B" (gen P.accounting_cancel))
+                (gen P.buyer_process))
+             (gen P.buyer_process)) );
+      ("fig14_buyer_public", gen P.buyer_with_cancel);
+      ("fig16a_once_view", C.View.tau ~observer:"B" (gen P.accounting_once));
+      ("fig18_buyer_once_public", gen P.buyer_once);
+    ]
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun (name, a) ->
+      let path = Filename.concat dir (name ^ ".dot") in
+      C.Dot.to_file ~name ~path a;
+      Fmt.pr "wrote %s@." path)
+    automata;
+  0
+
+let dir_arg =
+  Arg.(value & opt string "dot" & info [ "o"; "out" ] ~docv:"DIR"
+       ~doc:"Output directory for .dot files")
+
+let dot_cmd =
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export the paper's automata as Graphviz files")
+    Term.(const dot $ dir_arg)
+
+(* -------------------------------- xml ------------------------------ *)
+
+let xml () =
+  List.iter
+    (fun p ->
+      Fmt.pr "<!-- %s -->@.%s@." (C.Bpel.Process.name p) (C.Bpel.Pp.to_xml p))
+    [ P.buyer_process; P.accounting_process; P.logistics_process ];
+  0
+
+let xml_cmd =
+  Cmd.v
+    (Cmd.info "xml" ~doc:"Emit the scenario private processes as BPEL XML")
+    Term.(const xml $ const ())
+
+(* -------------------------------- run ------------------------------ *)
+
+let run seed =
+  let sys =
+    C.Runtime.Exec.make
+      (List.map (fun (p, proc) -> (p, gen proc)) P.parties)
+  in
+  let r = C.Runtime.Exec.random_run ~seed sys in
+  List.iter (fun l -> Fmt.pr "%s@." (C.Label.to_string l)) r.C.Runtime.Exec.trace;
+  Fmt.pr "outcome: %s@."
+    (match r.C.Runtime.Exec.outcome with
+    | C.Runtime.Exec.Completed -> "completed"
+    | C.Runtime.Exec.Deadlock -> "deadlock"
+    | C.Runtime.Exec.Running -> "step budget exhausted");
+  let e = C.Runtime.Exec.explore sys in
+  Fmt.pr "state space: %d configurations, %d deadlocks, completions %d@."
+    e.C.Runtime.Exec.configurations
+    (List.length e.C.Runtime.Exec.deadlocks)
+    e.C.Runtime.Exec.completions;
+  0
+
+let seed_arg =
+  Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute the procurement choreography operationally")
+    Term.(const run $ seed_arg)
+
+(* ------------------------------- global ---------------------------- *)
+
+let global () =
+  let t = C.Choreography.Model.of_processes (List.map snd P.parties) in
+  Fmt.pr "=== original choreography ===@.%a@.@."
+    C.Choreography.Global.pp_diagnosis
+    (C.Choreography.Global.diagnose t);
+  let rep =
+    C.Choreography.Evolution.evolve t ~owner:"A" ~changed:P.accounting_cancel
+  in
+  Fmt.pr
+    "=== after the §5.2 cancel change (propagated, all pairs consistent) \
+     ===@.%a@."
+    C.Choreography.Global.pp_diagnosis
+    (C.Choreography.Global.diagnose rep.C.Choreography.Evolution.choreography);
+  0
+
+let global_cmd =
+  Cmd.v
+    (Cmd.info "global"
+       ~doc:
+         "Global (multi-lateral) diagnosis: conversation automaton, global \
+          consistency, deadlock traces")
+    Term.(const global $ const ())
+
+(* ----------------------------- synthesize -------------------------- *)
+
+let synth party =
+  let pub = gen P.accounting_process in
+  let view = C.View.tau ~observer:party pub in
+  match C.Skeleton.synthesize ~name:(party ^ "-stub") ~party view with
+  | Ok p ->
+      Fmt.pr "%s@." (C.Bpel.Pp.to_string p);
+      Fmt.pr
+        "(consistent with the accounting public process: %b)@."
+        (C.Consistency.consistent (gen p) view);
+      0
+  | Error e ->
+      Fmt.epr "synthesis failed: %s@." e;
+      1
+
+let party_arg =
+  Arg.(value & pos 0 string "B" & info [] ~docv:"PARTY"
+       ~doc:"Party to synthesize a stub for (its view of the accounting \
+             process is used)")
+
+let synth_cmd =
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Synthesize a private-process template from a public process")
+    Term.(const synth $ party_arg)
+
+(* ------------------------- file-based commands --------------------- *)
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let load_process path =
+  match C.Bpel.Sexp.process_of_string (read_file path) with
+  | Ok p -> Ok p
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+(* chorev public FILE — derive and print the public process + table *)
+let public_cmd_run path dot_out =
+  match load_process path with
+  | Error e ->
+      Fmt.epr "%s@." e;
+      1
+  | Ok p ->
+      let pub, table = C.Public_gen.generate p in
+      Fmt.pr "%s@." (C.Afsa.Pp.to_string ~abbrev:true pub);
+      Fmt.pr "mapping table:@.%s@." (C.Table.to_string table);
+      (match dot_out with
+      | Some out ->
+          C.Dot.to_file ~name:(C.Bpel.Process.name p) ~path:out pub;
+          Fmt.pr "wrote %s@." out
+      | None -> ());
+      0
+
+let file_arg n doc = Arg.(required & pos n (some file) None & info [] ~docv:"FILE" ~doc)
+
+let dot_out_arg =
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"OUT"
+       ~doc:"Also write the automaton as Graphviz")
+
+let public_cmd =
+  Cmd.v
+    (Cmd.info "public"
+       ~doc:
+         "Derive the public process (and mapping table) of a private \
+          process stored as an s-expression")
+    Term.(const public_cmd_run $ file_arg 0 "private process (.sexp)" $ dot_out_arg)
+
+(* chorev consistent FILE1 FILE2 — bilateral consistency of two private
+   processes *)
+let consistent_cmd_run p1 p2 =
+  match (load_process p1, load_process p2) with
+  | Error e, _ | _, Error e ->
+      Fmt.epr "%s@." e;
+      2
+  | Ok a, Ok b ->
+      let pa = C.Public_gen.public a and pb = C.Public_gen.public b in
+      let va = C.View.tau ~observer:(C.Bpel.Process.party b) pa in
+      let vb = C.View.tau ~observer:(C.Bpel.Process.party a) pb in
+      let r = C.Consistency.check va vb in
+      Fmt.pr "%s ↔ %s: %s@." (C.Bpel.Process.name a) (C.Bpel.Process.name b)
+        (if r.C.Consistency.consistent then "consistent" else "INCONSISTENT");
+      (match r.C.Consistency.witness with
+      | Some w ->
+          Fmt.pr "conversation: %a@."
+            (Fmt.list ~sep:(Fmt.any " → ") (fun ppf l ->
+                 Fmt.string ppf (C.Label.to_string l)))
+            w
+      | None -> ());
+      if r.C.Consistency.consistent then 0 else 1
+
+let consistent_cmd =
+  Cmd.v
+    (Cmd.info "consistent"
+       ~doc:
+         "Check bilateral consistency of two private processes stored as \
+          s-expressions (exit code 1 when inconsistent)")
+    Term.(
+      const consistent_cmd_run
+      $ file_arg 0 "first private process (.sexp)"
+      $ Arg.(
+          required
+          & pos 1 (some file) None
+          & info [] ~docv:"FILE2" ~doc:"second private process (.sexp)"))
+
+(* chorev save — write the scenario processes as .sexp files, so the
+   file-based commands have inputs to start from *)
+let save_cmd_run dir =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun p ->
+      let path = Filename.concat dir (C.Bpel.Process.name p ^ ".sexp") in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (C.Bpel.Sexp.process_to_string p));
+      Fmt.pr "wrote %s@." path)
+    [
+      P.buyer_process; P.accounting_process; P.logistics_process;
+      P.accounting_cancel; P.accounting_once; P.buyer_with_cancel;
+      P.buyer_once;
+    ];
+  0
+
+let save_cmd =
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Write the paper's scenario processes as .sexp files")
+    Term.(
+      const save_cmd_run
+      $ Arg.(
+          value & opt string "processes"
+          & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory"))
+
+(* ------------------------------- main ------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "chorev" ~version:"1.0.0"
+      ~doc:
+        "Controlled evolution of process choreographies (Rinderle, \
+         Wombacher & Reichert, ICDE 2006)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            demo_cmd; check_cmd; experiments_cmd; dot_cmd; xml_cmd; run_cmd;
+            global_cmd; synth_cmd; public_cmd; consistent_cmd; save_cmd;
+          ]))

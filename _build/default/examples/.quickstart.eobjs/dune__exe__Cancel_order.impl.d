@@ -1,0 +1,1 @@
+examples/cancel_order.ml: Chorev Fmt List

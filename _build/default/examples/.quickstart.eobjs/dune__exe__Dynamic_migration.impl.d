@@ -1,0 +1,1 @@
+examples/dynamic_migration.ml: Chorev Fmt List

@@ -1,0 +1,1 @@
+examples/invariant_change.ml: Chorev Fmt List

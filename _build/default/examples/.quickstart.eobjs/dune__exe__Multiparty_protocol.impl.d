@@ -1,0 +1,1 @@
+examples/multiparty_protocol.ml: Chorev Fmt List

@@ -1,0 +1,1 @@
+examples/parcel_tracking_limit.mli:

@@ -1,0 +1,1 @@
+examples/service_discovery.ml: Chorev Fmt List

@@ -1,0 +1,60 @@
+(* The paper's Sec. 5.3 scenario end-to-end: the accounting department
+   limits parcel tracking to at most one request (a *variant
+   subtractive* change); the buyer's tracking loop must be unrolled.
+
+     dune exec examples/parcel_tracking_limit.exe *)
+
+module C = Chorev
+open C.Scenario.Procurement
+
+let () =
+  let new_public = C.Public_gen.public accounting_once in
+
+  (* The buyer view (Fig. 16a) and why the intersection is empty. *)
+  let view = C.View.tau ~observer:buyer new_public in
+  Fmt.pr "=== Buyer view after the change (Fig. 16a) ===@.%s@."
+    (C.Afsa.Pp.to_string ~abbrev:true view);
+  let buyer_public = C.Public_gen.public buyer_process in
+  let inter = C.Ops.intersect view buyer_public in
+  Fmt.pr
+    "plain languages still overlap (%b) but the annotated intersection is \
+     empty (%b): the buyer's mandatory get_statusOp is unavailable after one \
+     round — a variant change.@.@."
+    (not (C.Emptiness.is_empty_plain (C.Afsa.trim inter)))
+    (C.Emptiness.is_empty inter);
+
+  (* Full subtractive propagation. *)
+  let outcome =
+    C.Propagate.Engine.propagate ~direction:C.Propagate.Engine.Subtractive
+      ~a':new_public ~partner_private:buyer_process ()
+  in
+  Fmt.pr "=== Removed sequences (Fig. 17a) ===@.%s@."
+    (C.Afsa.Pp.to_string ~abbrev:true
+       (C.Minimize.minimize outcome.C.Propagate.Engine.delta));
+  Fmt.pr "=== New buyer public (Fig. 17b) ===@.%s@."
+    (C.Afsa.Pp.to_string ~abbrev:true
+       (C.Minimize.minimize outcome.C.Propagate.Engine.target_public));
+
+  List.iter
+    (fun d -> Fmt.pr "localized: %a@." C.Propagate.Localize.pp_divergence d)
+    outcome.C.Propagate.Engine.divergences;
+  List.iter
+    (fun s -> Fmt.pr "suggestion: %a@." C.Propagate.Suggest.pp s)
+    outcome.C.Propagate.Engine.suggestions;
+
+  (match outcome.C.Propagate.Engine.adapted with
+  | Some adapted ->
+      Fmt.pr "@.=== Adapted buyer private process (Fig. 18) ===@.%s@."
+        (C.Bpel.Pp.to_string adapted)
+  | None -> Fmt.pr "@.no automatic adaptation possible@.");
+  Fmt.pr "consistent after propagation: %b@."
+    outcome.C.Propagate.Engine.consistent_after;
+
+  (* Logistics is NOT affected: the change is invariant for it. *)
+  let v_log =
+    C.Change.Classify.classify ~owner:accounting ~partner:logistics
+      ~old_public:(C.Public_gen.public accounting_process)
+      ~new_public
+      ~partner_public:(C.Public_gen.public logistics_process)
+  in
+  Fmt.pr "logistics: %a@." C.Change.Classify.pp_verdict v_log

@@ -1,0 +1,1 @@
+lib/afsa/ablation.pp.ml: Afsa Chorev_formula Epsilon Label List Minimize String Sym

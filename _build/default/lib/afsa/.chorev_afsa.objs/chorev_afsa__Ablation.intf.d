@@ -1,0 +1,1 @@
+lib/afsa/ablation.pp.mli: Afsa

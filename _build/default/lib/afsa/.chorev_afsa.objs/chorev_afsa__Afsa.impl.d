@@ -1,0 +1,1 @@
+lib/afsa/afsa.pp.ml: Chorev_formula Int Label List Map Option Set String Sym

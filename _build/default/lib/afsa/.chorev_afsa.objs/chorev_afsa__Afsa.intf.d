@@ -1,0 +1,1 @@
+lib/afsa/afsa.pp.mli: Chorev_formula Label Map Set Sym

@@ -1,0 +1,1 @@
+lib/afsa/complete.pp.ml: Afsa Label List Sym

@@ -1,0 +1,1 @@
+lib/afsa/complete.pp.mli: Afsa Label

@@ -1,0 +1,1 @@
+lib/afsa/consistency.pp.ml: Afsa Emptiness Label Ops

@@ -1,0 +1,1 @@
+lib/afsa/consistency.pp.mli: Afsa Label

@@ -1,0 +1,1 @@
+lib/afsa/determinize.pp.ml: Afsa Chorev_formula Epsilon List Map Option Sym

@@ -1,0 +1,1 @@
+lib/afsa/determinize.pp.mli: Afsa

@@ -1,0 +1,1 @@
+lib/afsa/dot.pp.ml: Afsa Buffer Chorev_formula Fmt Fun Label List Printf String Sym

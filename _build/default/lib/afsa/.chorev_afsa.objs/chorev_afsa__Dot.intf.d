@@ -1,0 +1,1 @@
+lib/afsa/dot.pp.mli: Afsa

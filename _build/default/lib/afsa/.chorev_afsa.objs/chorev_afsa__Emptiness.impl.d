@@ -1,0 +1,1 @@
+lib/afsa/emptiness.pp.ml: Afsa Chorev_formula Hashtbl Label List Option Queue String Sym

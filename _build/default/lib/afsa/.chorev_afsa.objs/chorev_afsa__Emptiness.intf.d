@@ -1,0 +1,1 @@
+lib/afsa/emptiness.pp.mli: Afsa Label

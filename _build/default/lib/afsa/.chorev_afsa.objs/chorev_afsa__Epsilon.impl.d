@@ -1,0 +1,1 @@
+lib/afsa/epsilon.pp.ml: Afsa Chorev_formula List Sym

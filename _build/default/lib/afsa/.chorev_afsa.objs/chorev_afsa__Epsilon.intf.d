@@ -1,0 +1,1 @@
+lib/afsa/epsilon.pp.mli: Afsa

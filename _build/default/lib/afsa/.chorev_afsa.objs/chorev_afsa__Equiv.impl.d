@@ -1,0 +1,1 @@
+lib/afsa/equiv.pp.ml: Afsa Emptiness Minimize Ops

@@ -1,0 +1,1 @@
+lib/afsa/equiv.pp.mli: Afsa

@@ -1,0 +1,1 @@
+lib/afsa/label.pp.ml: Fmt Map Ppx_deriving_runtime Printf Set String

@@ -1,0 +1,1 @@
+lib/afsa/label.pp.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/afsa/minimize.pp.ml: Afsa Array Chorev_formula Complete Determinize Hashtbl List Option Queue Sym

@@ -1,0 +1,1 @@
+lib/afsa/minimize.pp.mli: Afsa

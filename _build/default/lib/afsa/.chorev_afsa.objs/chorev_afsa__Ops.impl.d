@@ -1,0 +1,1 @@
+lib/afsa/ops.pp.ml: Afsa Chorev_formula Complete Determinize Label List Product

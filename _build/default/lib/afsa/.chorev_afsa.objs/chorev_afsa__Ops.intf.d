@@ -1,0 +1,1 @@
+lib/afsa/ops.pp.mli: Afsa Label

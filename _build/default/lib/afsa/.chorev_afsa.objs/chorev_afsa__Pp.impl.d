@@ -1,0 +1,1 @@
+lib/afsa/pp.pp.ml: Afsa Chorev_formula Fmt Label List Sym

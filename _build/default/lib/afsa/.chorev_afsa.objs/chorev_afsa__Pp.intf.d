@@ -1,0 +1,1 @@
+lib/afsa/pp.pp.mli: Afsa Format

@@ -1,0 +1,1 @@
+lib/afsa/product.pp.ml: Afsa Chorev_formula Label Map Sym

@@ -1,0 +1,1 @@
+lib/afsa/product.pp.mli: Afsa Chorev_formula Label Map

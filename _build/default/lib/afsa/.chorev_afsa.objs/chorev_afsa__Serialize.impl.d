@@ -1,0 +1,1 @@
+lib/afsa/serialize.pp.ml: Afsa Buffer Chorev_formula Fun In_channel Label List Printf Result String Sym

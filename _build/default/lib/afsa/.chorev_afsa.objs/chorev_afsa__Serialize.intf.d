@@ -1,0 +1,1 @@
+lib/afsa/serialize.pp.mli: Afsa

@@ -1,0 +1,1 @@
+lib/afsa/sym.pp.ml: Fmt Label Map Ppx_deriving_runtime Set

@@ -1,0 +1,1 @@
+lib/afsa/sym.pp.mli: Format Label Map Set

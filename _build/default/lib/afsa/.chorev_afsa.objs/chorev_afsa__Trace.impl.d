@@ -1,0 +1,1 @@
+lib/afsa/trace.pp.ml: Afsa Emptiness Epsilon Hashtbl List Queue Sym

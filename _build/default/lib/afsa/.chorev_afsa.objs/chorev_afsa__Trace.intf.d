@@ -1,0 +1,1 @@
+lib/afsa/trace.pp.mli: Afsa Label

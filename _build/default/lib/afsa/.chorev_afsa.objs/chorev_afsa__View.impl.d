@@ -1,0 +1,1 @@
+lib/afsa/view.pp.ml: Afsa Chorev_formula Epsilon Hashtbl Label List Minimize String Sym

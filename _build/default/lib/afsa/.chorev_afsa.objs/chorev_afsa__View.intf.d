@@ -1,0 +1,1 @@
+lib/afsa/view.pp.mli: Afsa

@@ -1,0 +1,81 @@
+(** Ablation variants of the semantic decisions documented in
+    DESIGN.md. Each function here is a *deliberately naive* alternative
+    kept so tests and benchmarks can demonstrate why the main
+    implementation makes the choice it makes. None of these are part of
+    the recommended API. *)
+
+module F = Chorev_formula.Syntax
+module ISet = Afsa.ISet
+
+(** Least-fixpoint annotated emptiness: [sat] grows from ∅ instead of
+    shrinking from Q. Sound for acyclic protocols but wrongly rejects
+    loops whose annotations support each other mutually (the buyer's
+    tracking loop of Fig. 6): with this semantics, buyer ↔ accounting
+    of the paper's scenario comes out INCONSISTENT. *)
+let analyze_least_fixpoint a =
+  let holds sat q =
+    let assign v =
+      List.exists
+        (fun (sym, t) ->
+          match sym with
+          | Sym.Eps -> false
+          | Sym.L l -> String.equal (Label.to_string l) v && ISet.mem t sat)
+        (Afsa.out_edges a q)
+    in
+    let ann_ok = Chorev_formula.Eval.eval ~assign (Afsa.annotation a q) in
+    let continues =
+      Afsa.is_final a q
+      || List.exists (fun (_, t) -> ISet.mem t sat) (Afsa.out_edges a q)
+    in
+    ann_ok && continues
+  in
+  let rec fix sat =
+    let sat' =
+      List.fold_left
+        (fun acc q -> if holds sat q then ISet.add q acc else acc)
+        ISet.empty (Afsa.states a)
+    in
+    if ISet.equal sat' sat then sat else fix sat'
+  in
+  let sat = fix ISet.empty in
+  ISet.mem (Afsa.start a) sat
+
+let is_empty_least_fixpoint a = not (analyze_least_fixpoint a)
+
+(** Minimization that ignores annotations in the initial partition.
+    Merges states with different mandatory obligations, silently
+    weakening or strengthening the protocol: with this variant the
+    minimized buyer public process of Fig. 6 can lose the distinction
+    that makes Fig. 16's subtractive verdict come out empty. *)
+let minimize_ignoring_annotations a =
+  Minimize.minimize (Afsa.clear_annotations a)
+
+(** Views that substitute hidden message variables with [false] instead
+    of [true]: hidden obligations would then be unsatisfiable from the
+    observer's standpoint, and every view containing a multi-party
+    obligation would be empty. *)
+let tau_hidden_false ~observer a =
+  let keep l = Label.involves observer l in
+  let edges =
+    List.map
+      (fun (s, sym, t) ->
+        match sym with
+        | Sym.Eps -> (s, Sym.Eps, t)
+        | Sym.L l -> if keep l then (s, sym, t) else (s, Sym.Eps, t))
+      (Afsa.edges a)
+  in
+  let visible v =
+    match Label.of_string v with Ok l -> keep l | Error _ -> false
+  in
+  let ann =
+    List.map
+      (fun (q, f) ->
+        ( q,
+          Chorev_formula.Simplify.simplify
+            (Chorev_formula.Eval.restrict_to ~keep:visible ~default:false f) ))
+      (Afsa.annotations a)
+  in
+  Afsa.make
+    ~alphabet:(List.filter keep (Afsa.alphabet a))
+    ~start:(Afsa.start a) ~finals:(Afsa.finals a) ~edges ~ann ()
+  |> Epsilon.eliminate

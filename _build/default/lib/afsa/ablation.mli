@@ -1,0 +1,17 @@
+(** Deliberately naive alternatives to DESIGN.md's semantic decisions,
+    kept so tests and benches can demonstrate the decisions are
+    load-bearing. Not part of the recommended API. *)
+
+val analyze_least_fixpoint : Afsa.t -> bool
+(** Least-fixpoint emptiness: wrongly rejects mutually-supporting
+    loops (the Fig. 6 tracking loop). Returns non-emptiness. *)
+
+val is_empty_least_fixpoint : Afsa.t -> bool
+
+val minimize_ignoring_annotations : Afsa.t -> Afsa.t
+(** Merges states with different obligations — breaks the Fig. 16
+    verdict. *)
+
+val tau_hidden_false : observer:string -> Afsa.t -> Afsa.t
+(** Views substituting hidden variables with [false] — kills every
+    protocol with multi-party obligations. *)

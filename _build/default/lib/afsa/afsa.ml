@@ -1,0 +1,307 @@
+(** Annotated Finite State Automata (aFSA), Definition 2 of the paper.
+
+    An aFSA is a tuple [(Q, Σ, Δ, q0, F, QA)]: states, message alphabet,
+    labeled transitions (possibly ε), a start state, final states, and a
+    relation of states to logical formulas. A state's annotation
+    expresses which outgoing messages are mandatory: a variable [v]
+    evaluates to true iff a [v]-labeled transition leads to a state from
+    which acceptance is possible (see {!Emptiness}). States without an
+    entry in [QA] carry the default annotation [true]. *)
+
+module F = Chorev_formula.Syntax
+module ISet = Set.Make (Int)
+module IMap = Map.Make (Int)
+
+type t = {
+  states : ISet.t;
+  alphabet : Label.Set.t;
+  delta : ISet.t Sym.Map.t IMap.t; (* state -> symbol -> target set *)
+  start : int;
+  finals : ISet.t;
+  ann : F.t IMap.t; (* absent entry = True *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let empty_delta = IMap.empty
+
+let add_edge_delta delta (s, sym, t) =
+  let row = Option.value ~default:Sym.Map.empty (IMap.find_opt s delta) in
+  let tgts = Option.value ~default:ISet.empty (Sym.Map.find_opt sym row) in
+  IMap.add s (Sym.Map.add sym (ISet.add t tgts) row) delta
+
+(** [make ~start ~finals ~edges ~ann ()] builds an aFSA. States are
+    inferred from [start], [finals], [edges] and [ann]; the alphabet from
+    the edge labels (ε excluded) unless [alphabet] is given explicitly
+    (it is then unioned with the inferred one). Annotations equal to
+    [True] are dropped. *)
+let make ?(alphabet = []) ~start ~finals ~edges ?(ann = []) () =
+  let states =
+    List.fold_left
+      (fun acc (s, _, t) -> ISet.add s (ISet.add t acc))
+      (ISet.add start (ISet.of_list finals))
+      edges
+  in
+  let states =
+    List.fold_left (fun acc (q, _) -> ISet.add q acc) states ann
+  in
+  let alpha =
+    List.fold_left
+      (fun acc (_, sym, _) ->
+        match sym with Sym.Eps -> acc | Sym.L l -> Label.Set.add l acc)
+      (Label.Set.of_list alphabet) edges
+  in
+  let delta = List.fold_left add_edge_delta empty_delta edges in
+  let ann =
+    List.fold_left
+      (fun acc (q, f) ->
+        let f = Chorev_formula.Simplify.simplify f in
+        if F.equal f F.True then acc else IMap.add q f acc)
+      IMap.empty ann
+  in
+  {
+    states;
+    alphabet = alpha;
+    delta;
+    start;
+    finals = ISet.of_list finals;
+    ann;
+  }
+
+(** Convenience: edges given as [(s, "A#B#msg", t)] with ["" ] for ε. *)
+let of_strings ?alphabet ~start ~finals ~edges ?(ann = []) () =
+  let edges =
+    List.map
+      (fun (s, l, t) ->
+        if String.equal l "" then (s, Sym.Eps, t)
+        else (s, Sym.L (Label.of_string_exn l), t))
+      edges
+  in
+  let alphabet = Option.map (List.map Label.of_string_exn) alphabet in
+  make ?alphabet ~start ~finals ~edges ~ann ()
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let states a = ISet.elements a.states
+let num_states a = ISet.cardinal a.states
+let alphabet a = Label.Set.elements a.alphabet
+let start a = a.start
+let finals a = ISet.elements a.finals
+let is_final a q = ISet.mem q a.finals
+
+(** Annotation of a state ([True] when absent). *)
+let annotation a q = Option.value ~default:F.True (IMap.find_opt q a.ann)
+
+let annotations a = IMap.bindings a.ann
+let has_annotations a = not (IMap.is_empty a.ann)
+
+(** Successors of [q] on symbol [sym]. *)
+let step a q sym =
+  match IMap.find_opt q a.delta with
+  | None -> ISet.empty
+  | Some row -> Option.value ~default:ISet.empty (Sym.Map.find_opt sym row)
+
+(** All outgoing edges of [q] as [(symbol, target)] pairs. *)
+let out_edges a q =
+  match IMap.find_opt q a.delta with
+  | None -> []
+  | Some row ->
+      Sym.Map.fold
+        (fun sym tgts acc ->
+          ISet.fold (fun t acc -> (sym, t) :: acc) tgts acc)
+        row []
+      |> List.rev
+
+(** Outgoing proper (non-ε) symbols of [q]. *)
+let out_symbols a q =
+  match IMap.find_opt q a.delta with
+  | None -> Label.Set.empty
+  | Some row ->
+      Sym.Map.fold
+        (fun sym _ acc ->
+          match sym with Sym.Eps -> acc | Sym.L l -> Label.Set.add l acc)
+        row Label.Set.empty
+
+(** Every transition as a list [(source, symbol, target)]. *)
+let edges a =
+  IMap.fold
+    (fun s row acc ->
+      Sym.Map.fold
+        (fun sym tgts acc ->
+          ISet.fold (fun t acc -> (s, sym, t) :: acc) tgts acc)
+        row acc)
+    a.delta []
+  |> List.rev
+
+let num_edges a = List.length (edges a)
+
+let has_eps a =
+  IMap.exists (fun _ row -> Sym.Map.mem Sym.Eps row) a.delta
+
+(** A deterministic aFSA has no ε-transition and at most one target per
+    (state, symbol). *)
+let is_deterministic a =
+  IMap.for_all
+    (fun _ row ->
+      Sym.Map.for_all
+        (fun sym tgts ->
+          (not (Sym.equal sym Sym.Eps)) && ISet.cardinal tgts <= 1)
+        row)
+    a.delta
+
+(* ------------------------------------------------------------------ *)
+(* Reachability and trimming                                           *)
+(* ------------------------------------------------------------------ *)
+
+let reachable_from a q0 =
+  let rec go seen = function
+    | [] -> seen
+    | q :: rest ->
+        if ISet.mem q seen then go seen rest
+        else
+          let succs =
+            match IMap.find_opt q a.delta with
+            | None -> []
+            | Some row ->
+                Sym.Map.fold
+                  (fun _ tgts acc -> ISet.elements tgts @ acc)
+                  row []
+          in
+          go (ISet.add q seen) (succs @ rest)
+  in
+  go ISet.empty [ q0 ]
+
+(** States from which some final state is reachable (co-reachable). *)
+let coreachable a =
+  (* reverse edges once *)
+  let rev =
+    List.fold_left
+      (fun acc (s, _, t) ->
+        let preds = Option.value ~default:ISet.empty (IMap.find_opt t acc) in
+        IMap.add t (ISet.add s preds) acc)
+      IMap.empty (edges a)
+  in
+  let rec go seen = function
+    | [] -> seen
+    | q :: rest ->
+        if ISet.mem q seen then go seen rest
+        else
+          let preds =
+            Option.value ~default:ISet.empty (IMap.find_opt q rev)
+          in
+          go (ISet.add q seen) (ISet.elements preds @ rest)
+  in
+  go ISet.empty (ISet.elements a.finals)
+
+let restrict_states a keep =
+  let keep = ISet.add a.start keep in
+  let delta =
+    IMap.filter_map
+      (fun s row ->
+        if not (ISet.mem s keep) then None
+        else
+          let row =
+            Sym.Map.filter_map
+              (fun _ tgts ->
+                let tgts = ISet.inter tgts keep in
+                if ISet.is_empty tgts then None else Some tgts)
+              row
+          in
+          if Sym.Map.is_empty row then None else Some row)
+      a.delta
+  in
+  {
+    a with
+    states = ISet.inter a.states keep;
+    delta;
+    finals = ISet.inter a.finals keep;
+    ann = IMap.filter (fun q _ -> ISet.mem q keep) a.ann;
+  }
+
+(** Remove unreachable states. *)
+let trim_unreachable a = restrict_states a (reachable_from a a.start)
+
+(** Remove states that are unreachable or cannot reach a final state
+    (the start state is always kept). Preserves the (plain) language. *)
+let trim a =
+  let live = ISet.inter (reachable_from a a.start) (coreachable a) in
+  restrict_states a live
+
+(** Renumber states densely as [0..n-1] (start becomes [0] when
+    [start_zero], default true), preserving structure. Returns the
+    renamed automaton and the old→new map. *)
+let renumber ?(start_zero = true) a =
+  let order =
+    if start_zero then
+      a.start :: List.filter (fun q -> q <> a.start) (ISet.elements a.states)
+    else ISet.elements a.states
+  in
+  let map =
+    List.fold_left
+      (fun (i, m) q -> (i + 1, IMap.add q i m))
+      (0, IMap.empty) order
+    |> snd
+  in
+  let f q = IMap.find q map in
+  let edges' = List.map (fun (s, sym, t) -> (f s, sym, f t)) (edges a) in
+  ( make
+      ~alphabet:(Label.Set.elements a.alphabet)
+      ~start:(f a.start)
+      ~finals:(List.map f (ISet.elements a.finals))
+      ~edges:edges'
+      ~ann:(List.map (fun (q, e) -> (f q, e)) (IMap.bindings a.ann))
+      (),
+    map )
+
+(* ------------------------------------------------------------------ *)
+(* Modification                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let add_edge a (s, sym, t) =
+  let alphabet =
+    match sym with
+    | Sym.Eps -> a.alphabet
+    | Sym.L l -> Label.Set.add l a.alphabet
+  in
+  {
+    a with
+    states = ISet.add s (ISet.add t a.states);
+    alphabet;
+    delta = add_edge_delta a.delta (s, sym, t);
+  }
+
+let set_annotation a q f =
+  let f = Chorev_formula.Simplify.simplify f in
+  let ann =
+    if F.equal f F.True then IMap.remove q a.ann else IMap.add q f a.ann
+  in
+  { a with ann; states = ISet.add q a.states }
+
+let clear_annotations a = { a with ann = IMap.empty }
+
+let set_finals a finals = { a with finals = ISet.of_list finals }
+
+let widen_alphabet a labels =
+  { a with alphabet = Label.Set.union a.alphabet (Label.Set.of_list labels) }
+
+(* ------------------------------------------------------------------ *)
+(* Structural equality (same states/edges/finals/annotations)          *)
+(* ------------------------------------------------------------------ *)
+
+let structurally_equal a b =
+  ISet.equal a.states b.states
+  && Label.Set.equal a.alphabet b.alphabet
+  && a.start = b.start
+  && ISet.equal a.finals b.finals
+  && IMap.equal ISet.equal
+       (IMap.map (fun row -> Sym.Map.fold (fun _ t acc -> ISet.union t acc) row ISet.empty) a.delta)
+       (IMap.map (fun row -> Sym.Map.fold (fun _ t acc -> ISet.union t acc) row ISet.empty) b.delta)
+  && List.equal
+       (fun (s1, y1, t1) (s2, y2, t2) -> s1 = s2 && Sym.equal y1 y2 && t1 = t2)
+       (List.sort compare (edges a))
+       (List.sort compare (edges b))
+  && IMap.equal F.equal a.ann b.ann

@@ -1,0 +1,96 @@
+(** Annotated Finite State Automata — Definition 2 of the paper:
+    [(Q, Σ, Δ, q0, F, QA)]. A state's annotation constrains which
+    outgoing messages are mandatory; states without an entry carry
+    [true]. The representation is exposed for the algebra modules; use
+    the constructors and accessors below rather than building records
+    by hand. *)
+
+module F = Chorev_formula.Syntax
+module ISet : Set.S with type elt = int
+module IMap : Map.S with type key = int
+
+type t = {
+  states : ISet.t;
+  alphabet : Label.Set.t;
+  delta : ISet.t Sym.Map.t IMap.t;  (** state → symbol → targets *)
+  start : int;
+  finals : ISet.t;
+  ann : F.t IMap.t;  (** absent entry = [True] *)
+}
+
+(** {1 Construction} *)
+
+val make :
+  ?alphabet:Label.t list ->
+  start:int ->
+  finals:int list ->
+  edges:(int * Sym.t * int) list ->
+  ?ann:(int * F.t) list ->
+  unit ->
+  t
+(** States are inferred from the arguments; the alphabet from the edge
+    labels unioned with [alphabet]; annotations are simplified and
+    [True] entries dropped. *)
+
+val of_strings :
+  ?alphabet:string list ->
+  start:int ->
+  finals:int list ->
+  edges:(int * string * int) list ->
+  ?ann:(int * F.t) list ->
+  unit ->
+  t
+(** Edges as [(s, "A#B#msg", t)], with [""] for ε. *)
+
+(** {1 Queries} *)
+
+val states : t -> int list
+val num_states : t -> int
+val alphabet : t -> Label.t list
+val start : t -> int
+val finals : t -> int list
+val is_final : t -> int -> bool
+
+val annotation : t -> int -> F.t
+(** [True] when the state has no entry. *)
+
+val annotations : t -> (int * F.t) list
+val has_annotations : t -> bool
+
+val step : t -> int -> Sym.t -> ISet.t
+(** Successors on one symbol. *)
+
+val out_edges : t -> int -> (Sym.t * int) list
+val out_symbols : t -> int -> Label.Set.t
+val edges : t -> (int * Sym.t * int) list
+val num_edges : t -> int
+val has_eps : t -> bool
+
+val is_deterministic : t -> bool
+(** No ε-transition and at most one target per (state, symbol). *)
+
+(** {1 Reachability and trimming} *)
+
+val reachable_from : t -> int -> ISet.t
+val coreachable : t -> ISet.t
+
+val trim_unreachable : t -> t
+(** Drop states unreachable from the start. *)
+
+val trim : t -> t
+(** Drop unreachable and dead states (start always kept); preserves the
+    plain language. *)
+
+val renumber : ?start_zero:bool -> t -> t * int IMap.t
+(** Dense renumbering; returns the old→new map. *)
+
+(** {1 Modification} *)
+
+val add_edge : t -> int * Sym.t * int -> t
+val set_annotation : t -> int -> F.t -> t
+val clear_annotations : t -> t
+val set_finals : t -> int list -> t
+val widen_alphabet : t -> Label.t list -> t
+
+val structurally_equal : t -> t -> bool
+(** Same states, alphabet, start, finals, edges and annotations. *)

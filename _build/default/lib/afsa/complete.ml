@@ -1,0 +1,39 @@
+(** Completion: make every state have an outgoing transition for every
+    alphabet symbol, by adding a non-final sink. Definition 4 of the
+    paper (difference) assumes complete automata. The sink carries the
+    default annotation [true]. *)
+
+module ISet = Afsa.ISet
+
+(** [complete ?over a] completes [a] over its own alphabet unioned with
+    [over]. No-op when already complete. The automaton must be
+    ε-free (determinize first if needed). *)
+let complete ?(over = []) a =
+  let a = Afsa.widen_alphabet a over in
+  if Afsa.has_eps a then
+    invalid_arg "Complete.complete: automaton has ε-transitions";
+  let alpha = Afsa.alphabet a in
+  let needs q =
+    let out = Afsa.out_symbols a q in
+    List.filter (fun l -> not (Label.Set.mem l out)) alpha
+  in
+  let missing =
+    List.concat_map (fun q -> List.map (fun l -> (q, l)) (needs q)) (Afsa.states a)
+  in
+  if missing = [] then a
+  else
+    let sink = 1 + List.fold_left max 0 (Afsa.states a) in
+    let a =
+      List.fold_left
+        (fun a (q, l) -> Afsa.add_edge a (q, Sym.L l, sink))
+        a missing
+    in
+    List.fold_left
+      (fun a l -> Afsa.add_edge a (sink, Sym.L l, sink))
+      a alpha
+
+let is_complete a =
+  let alpha = Label.Set.of_list (Afsa.alphabet a) in
+  List.for_all
+    (fun q -> Label.Set.subset alpha (Afsa.out_symbols a q))
+    (Afsa.states a)

@@ -1,0 +1,8 @@
+(** Completion with a non-final sink (Definition 4 of the paper assumes
+    complete automata). *)
+
+val complete : ?over:Label.t list -> Afsa.t -> Afsa.t
+(** Complete over the automaton's alphabet unioned with [over]. The
+    input must be ε-free. *)
+
+val is_complete : Afsa.t -> bool

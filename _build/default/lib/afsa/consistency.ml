@@ -1,0 +1,22 @@
+(** Bilateral consistency (Sec. 3.2).
+
+    Two public processes are consistent — their interaction is
+    deadlock-free — iff their intersection is non-empty under the
+    annotated emptiness test: there is at least one execution sequence
+    to a final state along which every mandatory obligation is met. *)
+
+type verdict = {
+  consistent : bool;
+  intersection : Afsa.t;
+  witness : Label.t list option;
+      (** a deadlock-free conversation, when consistent *)
+}
+
+let check a b =
+  let i = Ops.intersect a b in
+  let consistent = Emptiness.is_nonempty i in
+  let witness = if consistent then Emptiness.witness i else None in
+  { consistent; intersection = i; witness }
+
+(** [consistent a b] — the paper's bilateral consistency predicate. *)
+let consistent a b = Emptiness.is_nonempty (Ops.intersect a b)

@@ -1,0 +1,12 @@
+(** Bilateral consistency (Sec. 3.2): two public processes interact
+    deadlock-free iff their annotated intersection is non-empty. *)
+
+type verdict = {
+  consistent : bool;
+  intersection : Afsa.t;
+  witness : Label.t list option;
+      (** a deadlock-free conversation, when consistent *)
+}
+
+val check : Afsa.t -> Afsa.t -> verdict
+val consistent : Afsa.t -> Afsa.t -> bool

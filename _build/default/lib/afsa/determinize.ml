@@ -1,0 +1,74 @@
+(** Subset construction for aFSAs.
+
+    Annotations of the member states of a subset are combined by
+    disjunction: a deterministic run being "in" a subset corresponds to
+    the nondeterministic automaton being in one of its members, so the
+    obligations that must hold are those of whichever member is actually
+    inhabited — the weakest combination. This follows the annotated
+    deterministic FSAs of Wombacher et al. (ICWS 2004) which the paper
+    builds on. *)
+
+module F = Chorev_formula.Syntax
+module ISet = Afsa.ISet
+
+module SetKey = struct
+  type t = ISet.t
+
+  let compare = ISet.compare
+end
+
+module SMap = Map.Make (SetKey)
+
+(** Determinize; the result has no ε-transitions and at most one
+    transition per (state, label). State numbering is dense from 0
+    (start = 0). *)
+let determinize a =
+  let a = Epsilon.eliminate a in
+  if Afsa.is_deterministic a then fst (Afsa.renumber a)
+  else
+    let start_set = ISet.singleton (Afsa.start a) in
+    let next_id = ref 0 in
+    let ids = ref SMap.empty in
+    let edges = ref [] in
+    let finals = ref [] in
+    let anns = ref [] in
+    let rec visit set =
+      match SMap.find_opt set !ids with
+      | Some id -> id
+      | None ->
+          let id = !next_id in
+          incr next_id;
+          ids := SMap.add set id !ids;
+          if ISet.exists (Afsa.is_final a) set then finals := id :: !finals;
+          let ann =
+            ISet.fold (fun q acc -> F.or_ (Afsa.annotation a q) acc) set F.False
+          in
+          let ann = Chorev_formula.Simplify.simplify ann in
+          if not (F.equal ann F.True) then anns := (id, ann) :: !anns;
+          (* group successors by symbol *)
+          let by_sym =
+            ISet.fold
+              (fun q acc ->
+                List.fold_left
+                  (fun acc (sym, t) ->
+                    match sym with
+                    | Sym.Eps -> acc
+                    | Sym.L _ ->
+                        let cur =
+                          Option.value ~default:ISet.empty
+                            (Sym.Map.find_opt sym acc)
+                        in
+                        Sym.Map.add sym (ISet.add t cur) acc)
+                  acc (Afsa.out_edges a q))
+              set Sym.Map.empty
+          in
+          Sym.Map.iter
+            (fun sym tgt_set ->
+              let tid = visit tgt_set in
+              edges := (id, sym, tid) :: !edges)
+            by_sym;
+          id
+    in
+    let s0 = visit start_set in
+    Afsa.make ~alphabet:(Afsa.alphabet a) ~start:s0 ~finals:!finals
+      ~edges:!edges ~ann:!anns ()

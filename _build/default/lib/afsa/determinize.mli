@@ -1,0 +1,7 @@
+(** Subset construction. Member annotations combine by disjunction —
+    the weakest obligation of whichever state is actually inhabited —
+    following the annotated deterministic FSAs of Wombacher et al.
+    (ICWS 2004). *)
+
+val determinize : Afsa.t -> Afsa.t
+(** ε-free, deterministic, densely numbered from the start. *)

@@ -1,0 +1,50 @@
+(** Graphviz export, rendering aFSAs the way the paper draws them:
+    circles for states, double circles for final states, and annotation
+    boxes attached to annotated states. *)
+
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_dot ?(name = "afsa") ?(abbrev = true) a =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph %s {\n  rankdir=LR;\n  node [shape=circle];\n" name;
+  pf "  __start [shape=point];\n";
+  List.iter
+    (fun q ->
+      let shape = if Afsa.is_final a q then "doublecircle" else "circle" in
+      pf "  q%d [shape=%s,label=\"%d\"];\n" q shape q)
+    (Afsa.states a);
+  pf "  __start -> q%d;\n" (Afsa.start a);
+  List.iter
+    (fun (s, sym, t) ->
+      let lbl =
+        match sym with
+        | Sym.Eps -> "ε"
+        | Sym.L l -> if abbrev then l.Label.msg else Label.to_string l
+      in
+      pf "  q%d -> q%d [label=\"%s\"];\n" s t (escape lbl))
+    (Afsa.edges a);
+  List.iter
+    (fun (q, f) ->
+      let txt =
+        if abbrev then
+          Fmt.str "%a"
+            (Chorev_formula.Pp.pp_abbrev (fun v ->
+                 match Label.of_string v with
+                 | Ok l -> l.Label.msg
+                 | Error _ -> v))
+            f
+        else Chorev_formula.Pp.to_string f
+      in
+      pf "  a%d [shape=box,fontsize=10,label=\"%s\"];\n" q (escape txt);
+      pf "  a%d -> q%d [style=dashed,arrowhead=none];\n" q q)
+    (Afsa.annotations a);
+  pf "}\n";
+  Buffer.contents buf
+
+let to_file ?name ?abbrev ~path a =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?name ?abbrev a))

@@ -1,0 +1,5 @@
+(** Graphviz export in the paper's drawing style: double circles for
+    final states, dashed boxes for annotations. *)
+
+val to_dot : ?name:string -> ?abbrev:bool -> Afsa.t -> string
+val to_file : ?name:string -> ?abbrev:bool -> path:string -> Afsa.t -> unit

@@ -1,0 +1,132 @@
+(** Annotated emptiness test (Sec. 3.2 of the paper).
+
+    A standard FSA is non-empty when a final state is reachable; the
+    aFSA test additionally requires that every formula annotated to a
+    state on the accepting path evaluates to true, where a variable [v]
+    is true at state [q] iff there is a [v]-labeled transition from [q]
+    to a state that itself admits acceptance. In the paper's words: "all
+    transitions of a conjunction associated to a single state are
+    available in the automaton and a final state can be reached
+    following each of these transitions".
+
+    We compute the *greatest* fixpoint of the predicate
+    [sat : Q -> bool]:
+
+      sat(q) = eval(ann(q), σ_q) ∧ reach_final_through_sat(q)
+      σ_q(v) = ∃ (q,v,q') ∈ Δ. sat(q')
+
+    where [reach_final_through_sat(q)] holds when a final sat-state is
+    reachable from [q] via sat-states only. Starting from sat = Q and
+    shrinking is essential: protocol loops support their annotations
+    mutually (the buyer's tracking loop of Fig. 6 requires
+    [get_statusOp], whose target supports the loop head in turn), which
+    a least fixpoint would wrongly reject; the reachability conjunct
+    rules out vacuous self-supporting cycles that never reach a final
+    state. Both conjuncts are monotone in [sat] for positive
+    annotations (all the paper uses), so the iteration converges to the
+    greatest fixpoint; for annotations containing negation the result
+    is an approximation and the API reports a warning.
+
+    The automaton is non-empty iff sat(q0) — equivalently, iff "the
+    annotation of the start state is true" in the paper's phrasing. *)
+
+module F = Chorev_formula.Syntax
+module ISet = Afsa.ISet
+
+type result = {
+  sat : ISet.t;  (** states from which annotated acceptance is possible *)
+  nonempty : bool;
+  warning : string option;
+      (** set when a non-positive annotation was encountered *)
+}
+
+(* States that can reach a final state of [sat] moving through [sat]
+   states only: backward closure from F ∩ sat inside sat. *)
+let reach_final_through a sat =
+  let rev = Hashtbl.create 16 in
+  List.iter
+    (fun (s, _, t) ->
+      if ISet.mem s sat && ISet.mem t sat then
+        Hashtbl.replace rev t (s :: Option.value ~default:[] (Hashtbl.find_opt rev t)))
+    (Afsa.edges a);
+  let seeds = List.filter (fun f -> ISet.mem f sat) (Afsa.finals a) in
+  let rec go seen = function
+    | [] -> seen
+    | q :: rest ->
+        if ISet.mem q seen then go seen rest
+        else
+          let preds = Option.value ~default:[] (Hashtbl.find_opt rev q) in
+          go (ISet.add q seen) (preds @ rest)
+  in
+  go ISet.empty seeds
+
+let analyze a =
+  let warning =
+    if List.for_all (fun (_, f) -> F.is_positive f) (Afsa.annotations a) then
+      None
+    else
+      Some
+        "annotation contains negation: emptiness fixpoint is an \
+         approximation only"
+  in
+  let holds sat q =
+    let assign v =
+      (* σ_q(v): some v-labeled edge to a sat state. *)
+      List.exists
+        (fun (sym, t) ->
+          match sym with
+          | Sym.Eps -> false
+          | Sym.L l -> String.equal (Label.to_string l) v && ISet.mem t sat)
+        (Afsa.out_edges a q)
+    in
+    Chorev_formula.Eval.eval ~assign (Afsa.annotation a q)
+  in
+  let rec fix sat =
+    let reach = reach_final_through a sat in
+    let sat' = ISet.filter (fun q -> ISet.mem q reach && holds sat q) sat in
+    if ISet.equal sat' sat then sat else fix sat'
+  in
+  let sat = fix a.Afsa.states in
+  { sat; nonempty = ISet.mem (Afsa.start a) sat; warning }
+
+(** An aFSA is empty when no message sequence satisfying all mandatory
+    annotations leads from the start state to a final state. *)
+let is_empty a = not (analyze a).nonempty
+
+let is_nonempty a = (analyze a).nonempty
+
+(** Plain (annotation-oblivious) emptiness: no final state reachable. *)
+let is_empty_plain a =
+  let r = Afsa.reachable_from a (Afsa.start a) in
+  not (List.exists (fun f -> ISet.mem f r) (Afsa.finals a))
+
+(** Shortest witness of annotated non-emptiness: a label sequence along
+    sat-states from the start to a final sat-state. [None] if empty. *)
+let witness a =
+  let { sat; nonempty; _ } = analyze a in
+  if not nonempty then None
+  else
+    let module Q = Queue in
+    let q = Q.create () in
+    Q.add (Afsa.start a, []) q;
+    let seen = ref (ISet.singleton (Afsa.start a)) in
+    let rec bfs () =
+      if Q.is_empty q then None
+      else
+        let st, path = Q.pop q in
+        if Afsa.is_final a st then Some (List.rev path)
+        else begin
+          List.iter
+            (fun (sym, t) ->
+              if ISet.mem t sat && not (ISet.mem t !seen) then begin
+                seen := ISet.add t !seen;
+                let path' =
+                  match sym with Sym.Eps -> path | Sym.L l -> l :: path
+                in
+                Q.add (t, path') q
+              end)
+            (Afsa.out_edges a st);
+          bfs ()
+        end
+    in
+    bfs ()

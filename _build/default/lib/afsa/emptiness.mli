@@ -1,0 +1,26 @@
+(** Annotated emptiness (Sec. 3.2): a greatest fixpoint of states from
+    which an accepting conversation satisfying all mandatory
+    annotations exists. See DESIGN.md for why the fixpoint must be
+    greatest (mutually supporting loops) and how reachability rules out
+    vacuous cycles. *)
+
+type result = {
+  sat : Afsa.ISet.t;
+      (** states from which annotated acceptance is possible *)
+  nonempty : bool;
+  warning : string option;
+      (** set when a non-positive annotation makes the fixpoint an
+          approximation *)
+}
+
+val analyze : Afsa.t -> result
+
+val is_empty : Afsa.t -> bool
+val is_nonempty : Afsa.t -> bool
+
+val is_empty_plain : Afsa.t -> bool
+(** Annotation-oblivious: no final state reachable. *)
+
+val witness : Afsa.t -> Label.t list option
+(** A shortest accepted conversation through sat-states; [None] when
+    empty. *)

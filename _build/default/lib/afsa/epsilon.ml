@@ -1,0 +1,74 @@
+(** ε-closure and ε-elimination.
+
+    View generation (Sec. 3.4) relabels foreign transitions with ε; the
+    resulting automaton is then ε-eliminated before minimization.
+    Annotations of states merged along ε-paths are combined by
+    conjunction: every obligation of a state silently reachable from [q]
+    is already an obligation at [q]. *)
+
+module F = Chorev_formula.Syntax
+module ISet = Afsa.ISet
+
+(** ε-closure of a state set. *)
+let closure a set =
+  let rec go seen = function
+    | [] -> seen
+    | q :: rest ->
+        if ISet.mem q seen then go seen rest
+        else
+          let eps_succ = Afsa.step a q Sym.Eps in
+          go (ISet.add q seen) (ISet.elements eps_succ @ rest)
+  in
+  go ISet.empty (ISet.elements set)
+
+let closure_of a q = closure a (ISet.singleton q)
+
+(** Remove all ε-transitions, preserving the language. For each state
+    [q], the new outgoing edges are the proper edges of all states in
+    the ε-closure of [q]; [q] is final if its closure meets a final
+    state; its annotation is the conjunction of the closure's
+    annotations. Unreachable states are dropped. *)
+let eliminate a =
+  if not (Afsa.has_eps a) then a
+  else
+    let states = Afsa.states a in
+    let cl = List.map (fun q -> (q, closure_of a q)) states in
+    let cl_tbl = List.to_seq cl |> Afsa.IMap.of_seq in
+    let edges =
+      List.concat_map
+        (fun q ->
+          let c = Afsa.IMap.find q cl_tbl in
+          ISet.fold
+            (fun p acc ->
+              List.filter_map
+                (fun (sym, t) ->
+                  match sym with
+                  | Sym.Eps -> None
+                  | Sym.L _ -> Some (q, sym, t))
+                (Afsa.out_edges a p)
+              @ acc)
+            c [])
+        states
+    in
+    let finals =
+      List.filter
+        (fun q ->
+          let c = Afsa.IMap.find q cl_tbl in
+          ISet.exists (Afsa.is_final a) c)
+        states
+    in
+    let ann =
+      List.filter_map
+        (fun q ->
+          let c = Afsa.IMap.find q cl_tbl in
+          let f =
+            ISet.fold (fun p acc -> F.and_ (Afsa.annotation a p) acc) c F.True
+          in
+          let f = Chorev_formula.Simplify.simplify f in
+          if F.equal f F.True then None else Some (q, f))
+        states
+    in
+    Afsa.make
+      ~alphabet:(Afsa.alphabet a)
+      ~start:(Afsa.start a) ~finals ~edges ~ann ()
+    |> Afsa.trim_unreachable

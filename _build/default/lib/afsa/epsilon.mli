@@ -1,0 +1,9 @@
+(** ε-closure and ε-elimination. Annotations of states merged along
+    ε-paths combine by conjunction. *)
+
+val closure : Afsa.t -> Afsa.ISet.t -> Afsa.ISet.t
+val closure_of : Afsa.t -> int -> Afsa.ISet.t
+
+val eliminate : Afsa.t -> Afsa.t
+(** Remove all ε-transitions, preserving the language; unreachable
+    states are dropped. *)

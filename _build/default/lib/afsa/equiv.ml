@@ -1,0 +1,20 @@
+(** Language equality and inclusion (plain languages — annotation
+    equivalence is handled by comparing minimized automata whose blocks
+    distinguish annotations, see {!equal_annotated}). *)
+
+let included a b = Emptiness.is_empty_plain (Ops.difference a b)
+
+(** Plain language equality: [a ⊆ b] and [b ⊆ a]. *)
+let equal_language a b = included a b && included b a
+
+(** Annotated equality: equal plain language and isomorphic minimized
+    automata including annotation keys. Since {!Minimize.minimize}
+    canonicalizes deterministic automata up to state naming with a fixed
+    BFS numbering from the start state, structural equality of the two
+    minimized automata decides annotated equivalence. *)
+let equal_annotated a b =
+  let ma = Minimize.minimize a and mb = Minimize.minimize b in
+  Afsa.structurally_equal ma mb
+
+(** Convenience: is the (plain) language of [a] strictly larger? *)
+let strictly_includes a b = included b a && not (included a b)

@@ -1,0 +1,9 @@
+(** Language inclusion and equality. *)
+
+val included : Afsa.t -> Afsa.t -> bool
+val equal_language : Afsa.t -> Afsa.t -> bool
+val strictly_includes : Afsa.t -> Afsa.t -> bool
+
+val equal_annotated : Afsa.t -> Afsa.t -> bool
+(** Equal plain language and equal annotations, decided by structural
+    equality of the canonical minimized forms. *)

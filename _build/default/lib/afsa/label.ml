@@ -1,0 +1,48 @@
+(** Transition labels of annotated FSAs.
+
+    A label [A#B#msg] denotes party [A] sending message [msg] to party
+    [B] (Sec. 3.2 of the paper). Parties are plain strings; [msg] is an
+    operation name such as ["orderOp"]. *)
+
+type t = { sender : string; receiver : string; msg : string }
+[@@deriving eq, ord, show]
+
+let make ~sender ~receiver msg = { sender; receiver; msg }
+
+let to_string { sender; receiver; msg } =
+  String.concat "#" [ sender; receiver; msg ]
+
+(** Parse ["A#B#msg"]. Message names may themselves not contain ['#']. *)
+let of_string s =
+  match String.split_on_char '#' s with
+  | [ sender; receiver; msg ] when sender <> "" && receiver <> "" && msg <> ""
+    ->
+      Ok { sender; receiver; msg }
+  | _ -> Error (Printf.sprintf "Label.of_string: malformed label %S" s)
+
+let of_string_exn s =
+  match of_string s with Ok l -> l | Error e -> invalid_arg e
+
+(** [involves p l] holds when [p] is the sender or the receiver. *)
+let involves p { sender; receiver; _ } =
+  String.equal p sender || String.equal p receiver
+
+(** The other endpoint of a label from [p]'s point of view. *)
+let counterparty p l =
+  if String.equal p l.sender then Some l.receiver
+  else if String.equal p l.receiver then Some l.sender
+  else None
+
+let pp_short ppf l = Fmt.string ppf l.msg
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

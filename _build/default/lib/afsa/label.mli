@@ -1,0 +1,29 @@
+(** Transition labels: [A#B#msg] means party [A] sends message [msg]
+    to party [B] (Sec. 3.2 of the paper). *)
+
+type t = { sender : string; receiver : string; msg : string }
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val make : sender:string -> receiver:string -> string -> t
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse ["A#B#msg"]. *)
+
+val of_string_exn : string -> t
+
+val involves : string -> t -> bool
+(** Is the party the sender or the receiver? *)
+
+val counterparty : string -> t -> string option
+(** The other endpoint, when the party is involved. *)
+
+val pp_short : Format.formatter -> t -> unit
+(** Message name only, as the paper's figures abbreviate. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,190 @@
+(** Minimization of deterministic aFSAs by Hopcroft partition
+    refinement.
+
+    The initial partition distinguishes states by finality *and* by
+    their simplified annotation, so states with different
+    mandatory-message obligations are never merged; refinement then
+    proceeds as for plain DFAs in O(|Σ|·n·log n). The input is
+    determinized and completed internally; dead states are trimmed from
+    the result and states are renumbered canonically (BFS from the
+    start in sorted-label order), so two automata with the same
+    annotated language minimize to structurally equal values — which is
+    what {!Equiv.equal_annotated} relies on. *)
+
+module F = Chorev_formula.Syntax
+module ISet = Afsa.ISet
+module IMap = Afsa.IMap
+
+(* Hopcroft on a complete DFA given as arrays. [init_class.(q)] is the
+   initial class of state [q] (finality × annotation); returns the
+   final block id per state. *)
+let hopcroft ~n ~k ~succ ~init_class =
+  (* predecessor lists per symbol *)
+  let pred = Array.init k (fun _ -> Array.make n []) in
+  for c = 0 to k - 1 do
+    for q = 0 to n - 1 do
+      let t = succ.(c).(q) in
+      pred.(c).(t) <- q :: pred.(c).(t)
+    done
+  done;
+  (* blocks *)
+  let block = Array.make n 0 in
+  let members : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let next_block = ref 0 in
+  let by_class = Hashtbl.create 16 in
+  for q = 0 to n - 1 do
+    let id =
+      match Hashtbl.find_opt by_class init_class.(q) with
+      | Some id -> id
+      | None ->
+          let id = !next_block in
+          incr next_block;
+          Hashtbl.add by_class init_class.(q) id;
+          id
+    in
+    block.(q) <- id;
+    Hashtbl.replace members id
+      (q :: Option.value ~default:[] (Hashtbl.find_opt members id))
+  done;
+  (* worklist of (block, symbol) *)
+  let w = Queue.create () in
+  let in_w = Hashtbl.create 64 in
+  let push b c =
+    if not (Hashtbl.mem in_w (b, c)) then begin
+      Hashtbl.add in_w (b, c) ();
+      Queue.add (b, c) w
+    end
+  in
+  Hashtbl.iter (fun b _ -> for c = 0 to k - 1 do push b c done) members;
+  while not (Queue.is_empty w) do
+    let a, c = Queue.pop w in
+    Hashtbl.remove in_w (a, c);
+    (* X = c-preimage of block a *)
+    let x =
+      List.concat_map
+        (fun t -> pred.(c).(t))
+        (Option.value ~default:[] (Hashtbl.find_opt members a))
+    in
+    (* group X by current block *)
+    let touched = Hashtbl.create 8 in
+    List.iter
+      (fun q ->
+        Hashtbl.replace touched block.(q)
+          (q :: Option.value ~default:[] (Hashtbl.find_opt touched block.(q))))
+      x;
+    Hashtbl.iter
+      (fun y xs ->
+        let xs = List.sort_uniq compare xs in
+        let y_members = Hashtbl.find members y in
+        let y_size = List.length y_members in
+        let x_size = List.length xs in
+        if x_size > 0 && x_size < y_size then begin
+          (* split y into z (= xs) and the rest *)
+          let z = !next_block in
+          incr next_block;
+          let in_xs = Hashtbl.create x_size in
+          List.iter (fun q -> Hashtbl.replace in_xs q ()) xs;
+          let rest = List.filter (fun q -> not (Hashtbl.mem in_xs q)) y_members in
+          Hashtbl.replace members y rest;
+          Hashtbl.replace members z xs;
+          List.iter (fun q -> block.(q) <- z) xs;
+          let smaller = if x_size <= y_size - x_size then z else y in
+          for c' = 0 to k - 1 do
+            if Hashtbl.mem in_w (y, c') then push z c' else push smaller c'
+          done
+        end)
+      touched
+  done;
+  block
+
+let rec minimize a =
+  let d = Complete.complete (Determinize.determinize a) in
+  let d, _ = Afsa.renumber d in
+  let n = Afsa.num_states d in
+  if n = 0 then d
+  else begin
+    let alpha = Array.of_list (Afsa.alphabet d) in
+    let k = Array.length alpha in
+    let succ = Array.make_matrix k n (-1) in
+    Array.iteri
+      (fun c l ->
+        for q = 0 to n - 1 do
+          match ISet.choose_opt (Afsa.step d q (Sym.L l)) with
+          | Some t -> succ.(c).(q) <- t
+          | None -> assert false (* complete *)
+        done)
+      alpha;
+    let init_class =
+      Array.init n (fun q ->
+          ( Afsa.is_final d q,
+            Chorev_formula.Pp.to_string
+              (Chorev_formula.Simplify.simplify (Afsa.annotation d q)) ))
+    in
+    let block = hopcroft ~n ~k ~succ ~init_class in
+    let edges = ref [] in
+    let seen = Hashtbl.create 16 in
+    for q = 0 to n - 1 do
+      for c = 0 to k - 1 do
+        let e = (block.(q), Sym.L alpha.(c), block.(succ.(c).(q))) in
+        if not (Hashtbl.mem seen e) then begin
+          Hashtbl.replace seen e ();
+          edges := e :: !edges
+        end
+      done
+    done;
+    let finals =
+      List.filter_map
+        (fun q -> if Afsa.is_final d q then Some block.(q) else None)
+        (Afsa.states d)
+      |> List.sort_uniq compare
+    in
+    let ann =
+      List.map (fun q -> (block.(q), Afsa.annotation d q)) (Afsa.states d)
+      |> List.sort_uniq compare
+    in
+    Afsa.make
+      ~alphabet:(Array.to_list alpha)
+      ~start:block.(Afsa.start d) ~finals ~edges:!edges ~ann ()
+    |> Afsa.trim |> canonical_renumber
+  end
+
+(** Canonical state numbering: BFS from the start, exploring outgoing
+    edges in sorted label order. Two isomorphic deterministic automata
+    renumber to structurally equal ones. *)
+and canonical_renumber m =
+  let order = ref [] in
+  let seen = Hashtbl.create 16 in
+  let q = Queue.create () in
+  Queue.add (Afsa.start m) q;
+  Hashtbl.add seen (Afsa.start m) ();
+  while not (Queue.is_empty q) do
+    let s = Queue.pop q in
+    order := s :: !order;
+    let succs =
+      Afsa.out_edges m s
+      |> List.sort (fun (y1, _) (y2, _) -> Sym.compare y1 y2)
+      |> List.map snd
+    in
+    List.iter
+      (fun t ->
+        if not (Hashtbl.mem seen t) then begin
+          Hashtbl.add seen t ();
+          Queue.add t q
+        end)
+      succs
+  done;
+  let order = List.rev !order in
+  let map =
+    List.fold_left
+      (fun (i, acc) s -> (i + 1, IMap.add s i acc))
+      (0, IMap.empty) order
+    |> snd
+  in
+  let f s = IMap.find s map in
+  Afsa.make
+    ~alphabet:(Afsa.alphabet m)
+    ~start:(f (Afsa.start m))
+    ~finals:(List.map f (Afsa.finals m))
+    ~edges:(List.map (fun (s, y, t) -> (f s, y, f t)) (Afsa.edges m))
+    ~ann:(List.map (fun (s, e) -> (f s, e)) (Afsa.annotations m))
+    ()

@@ -1,0 +1,29 @@
+(** Textual rendering of aFSAs for logs and test failure messages. *)
+
+let abbrev_var v =
+  match Label.of_string v with Ok l -> l.Label.msg | Error _ -> v
+
+let pp ?(abbrev = false) ppf a =
+  let lbl sym =
+    match sym with
+    | Sym.Eps -> "ε"
+    | Sym.L l -> if abbrev then l.Label.msg else Label.to_string l
+  in
+  Fmt.pf ppf "@[<v>aFSA: %d states, %d edges, start=%d, finals={%a}@,"
+    (Afsa.num_states a) (Afsa.num_edges a) (Afsa.start a)
+    Fmt.(list ~sep:(any ",") int)
+    (Afsa.finals a);
+  List.iter
+    (fun (s, sym, t) -> Fmt.pf ppf "  %d --%s--> %d@," s (lbl sym) t)
+    (List.sort compare (Afsa.edges a));
+  List.iter
+    (fun (q, f) ->
+      if abbrev then
+        Fmt.pf ppf "  ann(%d) = %a@," q
+          (Chorev_formula.Pp.pp_abbrev abbrev_var)
+          f
+      else Fmt.pf ppf "  ann(%d) = %a@," q Chorev_formula.Pp.pp f)
+    (Afsa.annotations a);
+  Fmt.pf ppf "@]"
+
+let to_string ?abbrev a = Fmt.str "%a" (pp ?abbrev) a

@@ -1,0 +1,7 @@
+(** Textual rendering of aFSAs for logs and test failure messages. *)
+
+val abbrev_var : string -> string
+(** Message-name part of a label variable, as the paper abbreviates. *)
+
+val pp : ?abbrev:bool -> Format.formatter -> Afsa.t -> unit
+val to_string : ?abbrev:bool -> Afsa.t -> string

@@ -1,0 +1,81 @@
+(** Generic ε-tolerant product construction.
+
+    Both intersection (Def. 3) and difference (Def. 4) of the paper are
+    products over the pair state space: the automata synchronize on
+    shared proper labels, and either side may take its ε-transitions
+    alone. The final-state predicate and the annotation combiner are
+    parameters. Only the reachable part is built. *)
+
+module F = Chorev_formula.Syntax
+module ISet = Afsa.ISet
+
+module PairKey = struct
+  type t = int * int
+
+  let compare = compare
+end
+
+module PMap = Map.Make (PairKey)
+
+type spec = {
+  alphabet : Label.t list;  (** alphabet of the product *)
+  final : int * int -> bool;
+  combine_ann : F.t -> F.t -> F.t;
+}
+
+(** [run spec a b] builds the product automaton; state pairs are
+    renumbered densely, the start is [(start a, start b)] = 0. Returns
+    the automaton together with the pair ↦ product-state map. *)
+let run spec a b =
+  let next = ref 0 in
+  let ids = ref PMap.empty in
+  let edges = ref [] in
+  let finals = ref [] in
+  let anns = ref [] in
+  let alpha = Label.Set.of_list spec.alphabet in
+  let rec visit ((q1, q2) as p) =
+    match PMap.find_opt p !ids with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        ids := PMap.add p id !ids;
+        if spec.final p then finals := id :: !finals;
+        let ann =
+          Chorev_formula.Simplify.simplify
+            (spec.combine_ann (Afsa.annotation a q1) (Afsa.annotation b q2))
+        in
+        if not (F.equal ann F.True) then anns := (id, ann) :: !anns;
+        (* synchronized moves on shared labels *)
+        Label.Set.iter
+          (fun l ->
+            let t1s = Afsa.step a q1 (Sym.L l) in
+            let t2s = Afsa.step b q2 (Sym.L l) in
+            ISet.iter
+              (fun t1 ->
+                ISet.iter
+                  (fun t2 ->
+                    let tid = visit (t1, t2) in
+                    edges := (id, Sym.L l, tid) :: !edges)
+                  t2s)
+              t1s)
+          alpha;
+        (* lone ε-moves of either side *)
+        ISet.iter
+          (fun t1 ->
+            let tid = visit (t1, q2) in
+            edges := (id, Sym.Eps, tid) :: !edges)
+          (Afsa.step a q1 Sym.Eps);
+        ISet.iter
+          (fun t2 ->
+            let tid = visit (q1, t2) in
+            edges := (id, Sym.Eps, tid) :: !edges)
+          (Afsa.step b q2 Sym.Eps);
+        id
+  in
+  let s0 = visit (Afsa.start a, Afsa.start b) in
+  let auto =
+    Afsa.make ~alphabet:spec.alphabet ~start:s0 ~finals:!finals ~edges:!edges
+      ~ann:!anns ()
+  in
+  (auto, !ids)

@@ -1,0 +1,18 @@
+(** Generic ε-tolerant product over pair states — the common core of
+    intersection (Def. 3) and difference (Def. 4): synchronize on
+    shared labels, interleave ε-moves, combine annotations with the
+    given operator. *)
+
+module PMap : Map.S with type key = int * int
+
+type spec = {
+  alphabet : Label.t list;
+  final : int * int -> bool;
+  combine_ann :
+    Chorev_formula.Syntax.t ->
+    Chorev_formula.Syntax.t ->
+    Chorev_formula.Syntax.t;
+}
+
+val run : spec -> Afsa.t -> Afsa.t -> Afsa.t * int PMap.t
+(** Reachable part only; returns the pair ↦ product-state map. *)

@@ -1,0 +1,8 @@
+(** Line-based textual persistence; [to_string]/[of_string] round-trip
+    structurally. See the implementation header for the format. *)
+
+val to_string : Afsa.t -> string
+val of_string : string -> (Afsa.t, string) result
+val of_string_exn : string -> Afsa.t
+val to_file : path:string -> Afsa.t -> unit
+val of_file : string -> (Afsa.t, string) result

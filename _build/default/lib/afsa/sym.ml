@@ -1,0 +1,30 @@
+(** Transition symbols: either a proper label or the empty word ε.
+
+    ε-transitions arise from view generation (Sec. 3.4): transitions not
+    related to the observing party are relabeled with ε. *)
+
+type t = Eps | L of Label.t [@@deriving eq, ord, show]
+
+let eps = Eps
+let label l = L l
+let of_label_string s = L (Label.of_string_exn s)
+let is_eps = function Eps -> true | L _ -> false
+let to_label = function Eps -> None | L l -> Some l
+
+let to_string = function Eps -> "ε" | L l -> Label.to_string l
+
+let pp ppf = function
+  | Eps -> Fmt.string ppf "ε"
+  | L l -> Fmt.string ppf (Label.to_string l)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

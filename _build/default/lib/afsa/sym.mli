@@ -1,0 +1,19 @@
+(** Transition symbols: a proper label or the empty word ε (view
+    generation relabels foreign transitions with ε, Sec. 3.4). *)
+
+type t = Eps | L of Label.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val eps : t
+val label : Label.t -> t
+val of_label_string : string -> t
+val is_eps : t -> bool
+val to_label : t -> Label.t option
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

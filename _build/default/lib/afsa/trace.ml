@@ -1,0 +1,98 @@
+(** Word acceptance and language enumeration. *)
+
+module ISet = Afsa.ISet
+
+(** Plain acceptance (annotations ignored): NFA simulation with
+    ε-closure. *)
+let accepts a word =
+  let step set l =
+    Epsilon.closure a set |> fun cl ->
+    ISet.fold
+      (fun q acc -> ISet.union (Afsa.step a q (Sym.L l)) acc)
+      cl ISet.empty
+  in
+  let final_set =
+    List.fold_left step (ISet.singleton (Afsa.start a)) word
+    |> Epsilon.closure a
+  in
+  ISet.exists (Afsa.is_final a) final_set
+
+(** Annotated acceptance: the word must be accepted by a run that stays
+    within the [sat] states of the emptiness fixpoint, i.e. a run along
+    which every annotation holds. *)
+let accepts_annotated a word =
+  let { Emptiness.sat; _ } = Emptiness.analyze a in
+  let restrict set = ISet.inter set sat in
+  let step set l =
+    Epsilon.closure a set |> restrict |> fun cl ->
+    ISet.fold
+      (fun q acc -> ISet.union (Afsa.step a q (Sym.L l)) acc)
+      cl ISet.empty
+    |> restrict
+  in
+  let init = restrict (ISet.singleton (Afsa.start a)) in
+  let final_set = List.fold_left step init word |> Epsilon.closure a in
+  ISet.exists (fun q -> Afsa.is_final a q && ISet.mem q sat) final_set
+
+(** All accepted words of length ≤ [max_len] (plain language). The
+    number of words is truncated at [limit] (default 10_000). *)
+let enumerate ?(limit = 10_000) ~max_len a =
+  let out = ref [] in
+  let count = ref 0 in
+  let rec go set word len =
+    if !count >= limit then ()
+    else begin
+      let cl = Epsilon.closure a set in
+      if ISet.exists (Afsa.is_final a) cl then begin
+        incr count;
+        out := List.rev word :: !out
+      end;
+      if len < max_len then
+        List.iter
+          (fun l ->
+            let next =
+              ISet.fold
+                (fun q acc -> ISet.union (Afsa.step a q (Sym.L l)) acc)
+                cl ISet.empty
+            in
+            if not (ISet.is_empty next) then go next (l :: word) (len + 1))
+          (Afsa.alphabet a)
+    end
+  in
+  go (ISet.singleton (Afsa.start a)) [] 0;
+  List.rev !out
+
+(** Shortest accepted word (plain), if any. *)
+let shortest a =
+  let module Q = Queue in
+  let q = Q.create () in
+  let seen = Hashtbl.create 16 in
+  let key set = ISet.elements set in
+  let push set w =
+    let k = key set in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      Q.add (set, w) q
+    end
+  in
+  push (Epsilon.closure a (ISet.singleton (Afsa.start a))) [];
+  let rec bfs () =
+    if Q.is_empty q then None
+    else
+      let set, w = Q.pop q in
+      if ISet.exists (Afsa.is_final a) set then Some (List.rev w)
+      else begin
+        List.iter
+          (fun l ->
+            let next =
+              ISet.fold
+                (fun st acc -> ISet.union (Afsa.step a st (Sym.L l)) acc)
+                set ISet.empty
+            in
+            if not (ISet.is_empty next) then
+              push (Epsilon.closure a next) (l :: w))
+          (Afsa.alphabet a);
+        bfs ()
+      end
+  in
+  bfs ()

@@ -1,0 +1,14 @@
+(** Word acceptance and language enumeration. *)
+
+val accepts : Afsa.t -> Label.t list -> bool
+(** Plain acceptance (annotations ignored). *)
+
+val accepts_annotated : Afsa.t -> Label.t list -> bool
+(** Acceptance by a run staying within the emptiness fixpoint's
+    sat-states — every annotation holds along the way. *)
+
+val enumerate : ?limit:int -> max_len:int -> Afsa.t -> Label.t list list
+(** Accepted words up to a length bound (truncated at [limit],
+    default 10000). *)
+
+val shortest : Afsa.t -> Label.t list option

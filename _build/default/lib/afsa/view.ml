@@ -1,0 +1,56 @@
+(** Bilateral views (Sec. 3.4).
+
+    The view [τ_P(wf)] of party [P] on a public process [wf] relabels
+    every transition not related to [P] with ε; annotations referring to
+    hidden messages substitute them with [true] (they are obligations the
+    owner discharges internally — invisible to [P], cf. Fig. 8 where the
+    logistics messages vanish from the buyer view). The result is
+    ε-eliminated; [tau] additionally minimizes, [tau_raw] does not. *)
+
+module F = Chorev_formula.Syntax
+
+let relabel ~observer a =
+  let keep l = Label.involves observer l in
+  let edges =
+    List.map
+      (fun (s, sym, t) ->
+        match sym with
+        | Sym.Eps -> (s, Sym.Eps, t)
+        | Sym.L l -> if keep l then (s, sym, t) else (s, Sym.Eps, t))
+      (Afsa.edges a)
+  in
+  let visible_vars =
+    let h = Hashtbl.create 16 in
+    List.iter
+      (fun l -> if keep l then Hashtbl.replace h (Label.to_string l) ())
+      (Afsa.alphabet a);
+    fun v -> Hashtbl.mem h v
+  in
+  let ann =
+    List.map
+      (fun (q, f) ->
+        ( q,
+          Chorev_formula.Simplify.simplify
+            (Chorev_formula.Eval.restrict_to ~keep:visible_vars ~default:true f)
+        ))
+      (Afsa.annotations a)
+  in
+  Afsa.make
+    ~alphabet:(List.filter keep (Afsa.alphabet a))
+    ~start:(Afsa.start a) ~finals:(Afsa.finals a) ~edges ~ann ()
+
+(** Un-minimized view: relabel + ε-elimination only. *)
+let tau_raw ~observer a = Epsilon.eliminate (relabel ~observer a)
+
+(** The view of [observer] on [a], minimized (as the paper's figures
+    present it). *)
+let tau ~observer a = Minimize.minimize (relabel ~observer a)
+
+(** Parties mentioned by the automaton's alphabet. *)
+let parties a =
+  List.fold_left
+    (fun acc (l : Label.t) ->
+      let add s set = if List.mem s set then set else s :: set in
+      add l.sender (add l.receiver acc))
+    [] (Afsa.alphabet a)
+  |> List.sort String.compare

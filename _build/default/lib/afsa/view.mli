@@ -1,0 +1,10 @@
+(** Bilateral views τ_P (Sec. 3.4): relabel transitions not involving
+    the observer with ε; substitute hidden message variables with
+    [true] in annotations; ε-eliminate (and minimize, for {!tau}). *)
+
+val relabel : observer:string -> Afsa.t -> Afsa.t
+val tau_raw : observer:string -> Afsa.t -> Afsa.t
+val tau : observer:string -> Afsa.t -> Afsa.t
+
+val parties : Afsa.t -> string list
+(** Parties mentioned by the alphabet. *)

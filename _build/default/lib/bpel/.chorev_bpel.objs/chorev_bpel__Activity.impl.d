@@ -1,0 +1,1 @@
+lib/bpel/activity.pp.ml: List Option Ppx_deriving_runtime Printf

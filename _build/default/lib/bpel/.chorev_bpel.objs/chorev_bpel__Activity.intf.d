@@ -1,0 +1,1 @@
+lib/bpel/activity.pp.mli: Format

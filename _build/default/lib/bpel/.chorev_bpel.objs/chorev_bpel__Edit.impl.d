@@ -1,0 +1,1 @@
+lib/bpel/edit.pp.ml: Activity List Printf Process Result String

@@ -1,0 +1,1 @@
+lib/bpel/edit.pp.mli: Activity Process

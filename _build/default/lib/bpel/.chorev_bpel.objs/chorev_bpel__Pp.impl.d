@@ -1,0 +1,1 @@
+lib/bpel/pp.pp.ml: Activity Buffer Fmt List Printf Process String Types

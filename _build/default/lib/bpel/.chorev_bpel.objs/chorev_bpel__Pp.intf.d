@@ -1,0 +1,1 @@
+lib/bpel/pp.pp.mli: Activity Format Process

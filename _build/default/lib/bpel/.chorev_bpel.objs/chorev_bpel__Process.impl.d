@@ -1,0 +1,1 @@
+lib/bpel/process.pp.ml: Activity Chorev_afsa List Option String Types

@@ -1,0 +1,1 @@
+lib/bpel/process.pp.mli: Activity Chorev_afsa Types

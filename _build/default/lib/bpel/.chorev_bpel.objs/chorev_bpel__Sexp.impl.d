@@ -1,0 +1,1 @@
+lib/bpel/sexp.pp.ml: Activity Buffer List Process String Types

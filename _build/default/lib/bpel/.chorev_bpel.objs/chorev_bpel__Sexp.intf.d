@@ -1,0 +1,1 @@
+lib/bpel/sexp.pp.mli: Activity Process

@@ -1,0 +1,1 @@
+lib/bpel/types.pp.ml: List Option Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/bpel/types.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/bpel/validate.pp.ml: Activity Fmt Hashtbl List Ppx_deriving_runtime Printf Process String Types

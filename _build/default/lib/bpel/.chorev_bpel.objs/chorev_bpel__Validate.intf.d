@@ -1,0 +1,1 @@
+lib/bpel/validate.pp.mli: Activity Format Process

@@ -1,0 +1,199 @@
+(** Block-structured process activities, after the BPEL 1.1 constructs
+    the paper uses (Sec. 2): communication activities (receive, reply,
+    invoke), basic activities (assign, empty, terminate), and structured
+    activities (sequence, flow, while, switch, pick, scope).
+
+    Every structured activity carries a name; names form the block
+    identifiers of the mapping table (Table 1), e.g.
+    ["While:tracking"]. Activities are addressed by positional paths
+    (child index lists) for structural edits. *)
+
+(** A communication endpoint: the partner party and the operation name.
+    Whether the operation is synchronous is decided by the registry. *)
+type comm = { partner : string; op : string } [@@deriving eq, ord, show]
+
+type t =
+  | Receive of comm
+  | Reply of comm
+  | Invoke of comm
+  | Assign of string  (** named data-flow step; no message exchanged *)
+  | Empty
+  | Terminate
+  | Sequence of string * t list
+  | Flow of string * t list
+  | While of { name : string; cond : string; body : t }
+  | Switch of { name : string; branches : branch list }
+  | Pick of { name : string; on_messages : (comm * t) list }
+  | Scope of string * t
+
+and branch = { cond : string; body : t } [@@deriving eq, ord, show]
+
+let receive ~partner ~op = Receive { partner; op }
+let reply ~partner ~op = Reply { partner; op }
+let invoke ~partner ~op = Invoke { partner; op }
+let seq name body = Sequence (name, body)
+let flow name branches = Flow (name, branches)
+let while_ name ~cond body = While { name; cond; body }
+let switch name branches = Switch { name; branches }
+let branch ~cond body = { cond; body }
+let otherwise body = { cond = "otherwise"; body }
+let pick name on_messages = Pick { name; on_messages }
+let on_message ~partner ~op body = ({ partner; op }, body)
+let scope name body = Scope (name, body)
+
+(** The block name of a structured activity (mapping-table vocabulary). *)
+let block_name = function
+  | Sequence (n, _) -> Some ("Sequence:" ^ n)
+  | Flow (n, _) -> Some ("Flow:" ^ n)
+  | While { name; _ } -> Some ("While:" ^ name)
+  | Switch { name; _ } -> Some ("Switch:" ^ name)
+  | Pick { name; _ } -> Some ("Pick:" ^ name)
+  | Scope (n, _) -> Some ("Scope:" ^ n)
+  | Receive _ | Reply _ | Invoke _ | Assign _ | Empty | Terminate -> None
+
+let kind = function
+  | Receive _ -> "receive"
+  | Reply _ -> "reply"
+  | Invoke _ -> "invoke"
+  | Assign _ -> "assign"
+  | Empty -> "empty"
+  | Terminate -> "terminate"
+  | Sequence _ -> "sequence"
+  | Flow _ -> "flow"
+  | While _ -> "while"
+  | Switch _ -> "switch"
+  | Pick _ -> "pick"
+  | Scope _ -> "scope"
+
+(* ------------------------------------------------------------------ *)
+(* Children and positional paths                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Direct children, in order. Switch branches and pick arms count as
+    one child each (their bodies). *)
+let children = function
+  | Receive _ | Reply _ | Invoke _ | Assign _ | Empty | Terminate -> []
+  | Sequence (_, body) -> body
+  | Flow (_, branches) -> branches
+  | While { body; _ } -> [ body ]
+  | Switch { branches; _ } -> List.map (fun b -> b.body) branches
+  | Pick { on_messages; _ } -> List.map snd on_messages
+  | Scope (_, body) -> [ body ]
+
+(** Rebuild an activity with new children (same count required). *)
+let with_children act kids =
+  let expect n =
+    if List.length kids <> n then
+      invalid_arg
+        (Printf.sprintf "Activity.with_children: %s expects %d children, got %d"
+           (kind act) n (List.length kids))
+  in
+  match act with
+  | Receive _ | Reply _ | Invoke _ | Assign _ | Empty | Terminate ->
+      expect 0;
+      act
+  | Sequence (n, _) -> Sequence (n, kids)
+  | Flow (n, _) -> Flow (n, kids)
+  | While w ->
+      expect 1;
+      While { w with body = List.hd kids }
+  | Switch { name; branches } ->
+      expect (List.length branches);
+      Switch
+        { name; branches = List.map2 (fun b k -> { b with body = k }) branches kids }
+  | Pick { name; on_messages } ->
+      expect (List.length on_messages);
+      Pick
+        {
+          name;
+          on_messages = List.map2 (fun (m, _) k -> (m, k)) on_messages kids;
+        }
+  | Scope (n, _) ->
+      expect 1;
+      Scope (n, List.hd kids)
+
+(** A positional path: child indices from the root. *)
+type path = int list [@@deriving eq, ord, show]
+
+let rec find_at path act =
+  match path with
+  | [] -> Some act
+  | i :: rest -> (
+      match List.nth_opt (children act) i with
+      | None -> None
+      | Some c -> find_at rest c)
+
+(** Replace the sub-activity at [path] by [f sub]; [None] if the path is
+    invalid. *)
+let rec update_at path f act =
+  match path with
+  | [] -> Some (f act)
+  | i :: rest ->
+      let kids = children act in
+      if i < 0 || i >= List.length kids then None
+      else
+        let rec go j = function
+          | [] -> None
+          | k :: tl ->
+              if j = i then
+                Option.map (fun k' -> k' :: tl) (update_at rest f k)
+              else Option.map (fun tl' -> k :: tl') (go (j + 1) tl)
+        in
+        Option.map (with_children act) (go 0 kids)
+
+(** Depth-first preorder fold over (path, activity). *)
+let fold ~f init act =
+  let rec go acc path act =
+    let acc = f acc (List.rev path) act in
+    List.fold_left
+      (fun (i, acc) c -> (i + 1, go acc (i :: path) c))
+      (0, acc) (children act)
+    |> snd
+  in
+  go init [] act
+
+(** All (path, activity) pairs in depth-first preorder. *)
+let all_nodes act = List.rev (fold ~f:(fun acc p a -> (p, a) :: acc) [] act)
+
+let iter ~f act = fold ~f:(fun () p a -> f p a) () act
+
+(** Number of activity nodes. *)
+let size act = fold ~f:(fun n _ _ -> n + 1) 0 act
+
+(** All communication activities with their direction-relevant data:
+    [(path, kind, comm)] where kind ∈ {[`Receive]; [`Reply]; [`Invoke]}
+    plus pick arms as receives of their trigger message. *)
+let communications act =
+  List.rev
+    (fold
+       ~f:(fun acc path a ->
+         match a with
+         | Receive c -> (path, `Receive, c) :: acc
+         | Reply c -> (path, `Reply, c) :: acc
+         | Invoke c -> (path, `Invoke, c) :: acc
+         | Pick { on_messages; _ } ->
+             List.fold_left
+               (fun acc (c, _) -> (path, `Receive, c) :: acc)
+               acc on_messages
+         | _ -> acc)
+       [] act)
+
+(** Named-block path of an activity position: the chain of block names
+    of the structured ancestors (and the node itself when structured),
+    as the mapping table presents it. *)
+let named_path root path =
+  let rec go acc act = function
+    | [] ->
+        let acc =
+          match block_name act with Some n -> n :: acc | None -> acc
+        in
+        List.rev acc
+    | i :: rest -> (
+        let acc =
+          match block_name act with Some n -> n :: acc | None -> acc
+        in
+        match List.nth_opt (children act) i with
+        | None -> List.rev acc
+        | Some c -> go acc c rest)
+  in
+  go [] root path

@@ -1,0 +1,90 @@
+(** Block-structured process activities, after the BPEL 1.1 constructs
+    the paper uses (Sec. 2). Structured activities carry names forming
+    the block identifiers of the mapping table (Table 1); activities
+    are addressed by positional paths for structural edits. *)
+
+type comm = { partner : string; op : string }
+(** Whether the operation is synchronous is decided by the registry. *)
+
+val equal_comm : comm -> comm -> bool
+val compare_comm : comm -> comm -> int
+val pp_comm : Format.formatter -> comm -> unit
+val show_comm : comm -> string
+
+type t =
+  | Receive of comm
+  | Reply of comm
+  | Invoke of comm
+  | Assign of string
+  | Empty
+  | Terminate
+  | Sequence of string * t list
+  | Flow of string * t list
+  | While of { name : string; cond : string; body : t }
+  | Switch of { name : string; branches : branch list }
+  | Pick of { name : string; on_messages : (comm * t) list }
+  | Scope of string * t
+
+and branch = { cond : string; body : t }
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal_branch : branch -> branch -> bool
+val pp_branch : Format.formatter -> branch -> unit
+
+(** {1 Constructors} *)
+
+val receive : partner:string -> op:string -> t
+val reply : partner:string -> op:string -> t
+val invoke : partner:string -> op:string -> t
+val seq : string -> t list -> t
+val flow : string -> t list -> t
+val while_ : string -> cond:string -> t -> t
+val switch : string -> branch list -> t
+val branch : cond:string -> t -> branch
+val otherwise : t -> branch
+val pick : string -> (comm * t) list -> t
+val on_message : partner:string -> op:string -> t -> comm * t
+val scope : string -> t -> t
+
+(** {1 Structure} *)
+
+val block_name : t -> string option
+(** E.g. ["While:tracking"]; [None] for basic activities. *)
+
+val kind : t -> string
+val children : t -> t list
+
+val with_children : t -> t list -> t
+(** Rebuild with new children (same count). Raises [Invalid_argument]
+    on arity mismatch. *)
+
+(** {1 Positional paths} *)
+
+type path = int list
+
+val equal_path : path -> path -> bool
+val compare_path : path -> path -> int
+val pp_path : Format.formatter -> path -> unit
+val show_path : path -> string
+
+val find_at : path -> t -> t option
+val update_at : path -> (t -> t) -> t -> t option
+
+val fold : f:('a -> path -> t -> 'a) -> 'a -> t -> 'a
+(** Depth-first preorder. *)
+
+val all_nodes : t -> (path * t) list
+val iter : f:(path -> t -> unit) -> t -> unit
+val size : t -> int
+
+val communications :
+  t -> (path * [ `Receive | `Reply | `Invoke ] * comm) list
+(** Every communication, pick arms counted as receives of their
+    triggers. *)
+
+val named_path : t -> path -> string list
+(** The chain of block names along a position, as the mapping table
+    presents it. *)

@@ -1,0 +1,127 @@
+(** Structural edit primitives on activities and processes. These are
+    the mechanical substrate on which the change operations of Sec. 4
+    ({!Chorev_change.Ops}) and the propagation suggestions of Sec. 5
+    ({!Chorev_propagate.Suggest}) are built. All functions return
+    [Error] on invalid paths instead of raising. *)
+
+open Activity
+
+type error = string
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let update path f (act : t) : (t, error) result =
+  match update_at path f act with
+  | Some a -> Ok a
+  | None -> err "invalid path %s" (show_path path)
+
+(** Replace the node at [path] by [a]. *)
+let replace ~path ~by act = update path (fun _ -> by) act
+
+(** Insert [a] into the sequence at [path] at position [pos] (clamped).
+    Fails if the node at [path] is not a sequence. *)
+let insert_in_sequence ~path ~pos a act =
+  match find_at path act with
+  | Some (Sequence (n, body)) ->
+      let pos = max 0 (min pos (List.length body)) in
+      let rec put i = function
+        | rest when i = pos -> a :: rest
+        | [] -> [ a ]
+        | x :: tl -> x :: put (i + 1) tl
+      in
+      update path (fun _ -> Sequence (n, put 0 body)) act
+  | Some other -> err "node at path is a %s, not a sequence" (kind other)
+  | None -> err "invalid path %s" (show_path path)
+
+(** Delete the child at index [i] of the sequence or flow at [path]. *)
+let delete_child ~path ~index act =
+  match find_at path act with
+  | Some (Sequence (n, body)) when index >= 0 && index < List.length body ->
+      update path (fun _ -> Sequence (n, List.filteri (fun j _ -> j <> index) body)) act
+  | Some (Flow (n, body)) when index >= 0 && index < List.length body ->
+      update path (fun _ -> Flow (n, List.filteri (fun j _ -> j <> index) body)) act
+  | Some other -> err "cannot delete child %d of %s" index (kind other)
+  | None -> err "invalid path %s" (show_path path)
+
+(** Add a branch to the switch at [path]. *)
+let add_switch_branch ~path ~branch:b act =
+  match find_at path act with
+  | Some (Switch { name; branches }) ->
+      update path (fun _ -> Switch { name; branches = branches @ [ b ] }) act
+  | Some other -> err "node at path is a %s, not a switch" (kind other)
+  | None -> err "invalid path %s" (show_path path)
+
+(** Add an onMessage arm to the pick at [path]. *)
+let add_pick_arm ~path ~arm act =
+  match find_at path act with
+  | Some (Pick { name; on_messages }) ->
+      update path (fun _ -> Pick { name; on_messages = on_messages @ [ arm ] }) act
+  | Some other -> err "node at path is a %s, not a pick" (kind other)
+  | None -> err "invalid path %s" (show_path path)
+
+(** Turn the receive at [path] into a pick whose first arm is the
+    original receive trigger with continuation [Empty], adding [arms].
+    This is the adaptation of the paper's Fig. 14, where a [receive
+    delivery] becomes a [pick] over [delivery] and [cancel]. When the
+    receive sits inside a sequence, the rest of the sequence stays
+    *after* the pick (the pick only captures the trigger). *)
+let receive_to_pick ~path ~name ~arms act =
+  match find_at path act with
+  | Some (Receive c) ->
+      update path (fun _ -> Pick { name; on_messages = (c, Empty) :: arms }) act
+  | Some other -> err "node at path is a %s, not a receive" (kind other)
+  | None -> err "invalid path %s" (show_path path)
+
+(** Replace the while at [path] by its unrolled body under a switch:
+    either skip (otherwise → empty) or perform the body once followed by
+    [suffix]. This realizes the paper's subtractive adaptation (Fig. 18)
+    where unlimited parcel tracking becomes at most one iteration. *)
+let unroll_while_once ?(suffix = Empty) ~path ~switch_name act =
+  match find_at path act with
+  | Some (While { name = _; cond = _; body }) ->
+      let once =
+        match suffix with
+        | Empty -> body
+        | s -> Sequence ("unrolled once", [ body; s ])
+      in
+      update path
+        (fun _ ->
+          Switch
+            {
+              name = switch_name;
+              branches =
+                [
+                  { cond = "once"; body = once };
+                  { cond = "otherwise"; body = suffix };
+                ];
+            })
+        act
+  | Some other -> err "node at path is a %s, not a while" (kind other)
+  | None -> err "invalid path %s" (show_path path)
+
+(** Remove the while at [path], splicing its body in place (the loop
+    executes exactly once). *)
+let remove_while ~path act =
+  match find_at path act with
+  | Some (While { body; _ }) -> update path (fun _ -> body) act
+  | Some other -> err "node at path is a %s, not a while" (kind other)
+  | None -> err "invalid path %s" (show_path path)
+
+(* Process-level wrappers. *)
+
+let on_process f (p : Process.t) : (Process.t, error) result =
+  Result.map (Process.with_body p) (f (Process.body p))
+
+(** Find the first node satisfying [pred] (depth-first preorder). *)
+let find_first ~pred act =
+  List.find_opt (fun (_, a) -> pred a) (all_nodes act)
+
+(** Find the path of the first structured block whose block name equals
+    [name]. *)
+let find_block ~name act =
+  List.find_map
+    (fun (p, a) ->
+      match block_name a with
+      | Some n when String.equal n name -> Some p
+      | _ -> None)
+    (all_nodes act)

@@ -1,0 +1,60 @@
+(** Structural edit primitives on activities and processes — the
+    mechanical substrate of the change operations (Sec. 4) and the
+    propagation suggestions (Sec. 5). All functions return [Error] on
+    invalid paths. *)
+
+type error = string
+
+val update :
+  Activity.path -> (Activity.t -> Activity.t) -> Activity.t ->
+  (Activity.t, error) result
+
+val replace :
+  path:Activity.path -> by:Activity.t -> Activity.t ->
+  (Activity.t, error) result
+
+val insert_in_sequence :
+  path:Activity.path -> pos:int -> Activity.t -> Activity.t ->
+  (Activity.t, error) result
+(** Insert into the sequence at [path] at [pos] (clamped). *)
+
+val delete_child :
+  path:Activity.path -> index:int -> Activity.t ->
+  (Activity.t, error) result
+(** Delete a child of the sequence or flow at [path]. *)
+
+val add_switch_branch :
+  path:Activity.path -> branch:Activity.branch -> Activity.t ->
+  (Activity.t, error) result
+
+val add_pick_arm :
+  path:Activity.path -> arm:(Activity.comm * Activity.t) -> Activity.t ->
+  (Activity.t, error) result
+
+val receive_to_pick :
+  path:Activity.path -> name:string ->
+  arms:(Activity.comm * Activity.t) list -> Activity.t ->
+  (Activity.t, error) result
+(** Turn the receive at [path] into a pick whose first arm is the
+    original trigger — the paper's Fig. 14 adaptation. *)
+
+val unroll_while_once :
+  ?suffix:Activity.t -> path:Activity.path -> switch_name:string ->
+  Activity.t -> (Activity.t, error) result
+(** Replace the while at [path] by a switch: run the body once followed
+    by [suffix], or just [suffix] — the paper's Fig. 18 adaptation. *)
+
+val remove_while :
+  path:Activity.path -> Activity.t -> (Activity.t, error) result
+(** Splice the loop body in place. *)
+
+val on_process :
+  (Activity.t -> (Activity.t, error) result) -> Process.t ->
+  (Process.t, error) result
+
+val find_first :
+  pred:(Activity.t -> bool) -> Activity.t ->
+  (Activity.path * Activity.t) option
+
+val find_block : name:string -> Activity.t -> Activity.path option
+(** Path of the first structured block with the given block name. *)

@@ -1,0 +1,133 @@
+(** Pretty-printer (indented pseudo-BPEL, used in logs and docs) and a
+    simple BPEL 1.1 XML emitter. The XML emitter exists because the
+    paper's processes are BPEL documents; our framework never parses
+    XML back (DESIGN.md, substitutions). *)
+
+open Activity
+
+let rec pp ppf act =
+  match act with
+  | Receive c -> Fmt.pf ppf "receive %s/%s" c.partner c.op
+  | Reply c -> Fmt.pf ppf "reply %s/%s" c.partner c.op
+  | Invoke c -> Fmt.pf ppf "invoke %s/%s" c.partner c.op
+  | Assign n -> Fmt.pf ppf "assign %s" n
+  | Empty -> Fmt.string ppf "empty"
+  | Terminate -> Fmt.string ppf "terminate"
+  | Sequence (n, body) ->
+      Fmt.pf ppf "@[<v 2>sequence %s {@,%a@]@,}" n
+        (Fmt.list ~sep:Fmt.cut pp) body
+  | Flow (n, branches) ->
+      Fmt.pf ppf "@[<v 2>flow %s {@,%a@]@,}" n
+        (Fmt.list ~sep:Fmt.cut pp) branches
+  | While { name; cond; body } ->
+      Fmt.pf ppf "@[<v 2>while %s [%s] {@,%a@]@,}" name cond pp body
+  | Switch { name; branches } ->
+      Fmt.pf ppf "@[<v 2>switch %s {@,%a@]@,}" name
+        (Fmt.list ~sep:Fmt.cut pp_branch) branches
+  | Pick { name; on_messages } ->
+      Fmt.pf ppf "@[<v 2>pick %s {@,%a@]@,}" name
+        (Fmt.list ~sep:Fmt.cut pp_arm) on_messages
+  | Scope (n, body) -> Fmt.pf ppf "@[<v 2>scope %s {@,%a@]@,}" n pp body
+
+and pp_branch ppf { cond; body } =
+  Fmt.pf ppf "@[<v 2>case [%s]:@,%a@]" cond pp body
+
+and pp_arm ppf ((c : comm), body) =
+  Fmt.pf ppf "@[<v 2>onMessage %s/%s:@,%a@]" c.partner c.op pp body
+
+let pp_process ppf (p : Process.t) =
+  Fmt.pf ppf "@[<v 2>process %s (party %s) {@,%a@]@,}" p.name p.party pp
+    p.body
+
+let to_string p = Fmt.str "%a" pp_process p
+
+(* -------------------------- XML emission -------------------------- *)
+
+let xml_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec xml buf indent act =
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let ind = String.make (2 * indent) ' ' in
+  match act with
+  | Receive c ->
+      pf "%s<receive partnerLink=\"%s\" operation=\"%s\"/>\n" ind
+        (xml_escape c.partner) (xml_escape c.op)
+  | Reply c ->
+      pf "%s<reply partnerLink=\"%s\" operation=\"%s\"/>\n" ind
+        (xml_escape c.partner) (xml_escape c.op)
+  | Invoke c ->
+      pf "%s<invoke partnerLink=\"%s\" operation=\"%s\"/>\n" ind
+        (xml_escape c.partner) (xml_escape c.op)
+  | Assign n -> pf "%s<assign name=\"%s\"/>\n" ind (xml_escape n)
+  | Empty -> pf "%s<empty/>\n" ind
+  | Terminate -> pf "%s<terminate/>\n" ind
+  | Sequence (n, body) ->
+      pf "%s<sequence name=\"%s\">\n" ind (xml_escape n);
+      List.iter (xml buf (indent + 1)) body;
+      pf "%s</sequence>\n" ind
+  | Flow (n, branches) ->
+      pf "%s<flow name=\"%s\">\n" ind (xml_escape n);
+      List.iter (xml buf (indent + 1)) branches;
+      pf "%s</flow>\n" ind
+  | While { name; cond; body } ->
+      pf "%s<while name=\"%s\" condition=\"%s\">\n" ind (xml_escape name)
+        (xml_escape cond);
+      xml buf (indent + 1) body;
+      pf "%s</while>\n" ind
+  | Switch { name; branches } ->
+      pf "%s<switch name=\"%s\">\n" ind (xml_escape name);
+      List.iter
+        (fun { cond; body } ->
+          if String.equal cond "otherwise" then begin
+            pf "%s  <otherwise>\n" ind;
+            xml buf (indent + 2) body;
+            pf "%s  </otherwise>\n" ind
+          end
+          else begin
+            pf "%s  <case condition=\"%s\">\n" ind (xml_escape cond);
+            xml buf (indent + 2) body;
+            pf "%s  </case>\n" ind
+          end)
+        branches;
+      pf "%s</switch>\n" ind
+  | Pick { name; on_messages } ->
+      pf "%s<pick name=\"%s\">\n" ind (xml_escape name);
+      List.iter
+        (fun ((c : comm), body) ->
+          pf "%s  <onMessage partnerLink=\"%s\" operation=\"%s\">\n" ind
+            (xml_escape c.partner) (xml_escape c.op);
+          xml buf (indent + 2) body;
+          pf "%s  </onMessage>\n" ind)
+        on_messages;
+      pf "%s</pick>\n" ind
+  | Scope (n, body) ->
+      pf "%s<scope name=\"%s\">\n" ind (xml_escape n);
+      xml buf (indent + 1) body;
+      pf "%s</scope>\n" ind
+
+let to_xml (p : Process.t) =
+  let buf = Buffer.create 1024 in
+  Printf.ksprintf (Buffer.add_string buf)
+    "<process name=\"%s\" xmlns=\"http://schemas.xmlsoap.org/ws/2003/03/business-process/\">\n"
+    (xml_escape p.name);
+  List.iter
+    (fun (l : Types.partner_link) ->
+      Printf.ksprintf (Buffer.add_string buf)
+        "  <partnerLink name=\"%s\" partner=\"%s\" myRole=\"%s\" partnerRole=\"%s\"/>\n"
+        (xml_escape l.link_name) (xml_escape l.partner) (xml_escape l.my_role)
+        (xml_escape l.partner_role))
+    p.links;
+  xml buf 1 p.body;
+  Buffer.add_string buf "</process>\n";
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** Pretty-printer (indented pseudo-BPEL) and BPEL 1.1 XML emitter. *)
+
+val pp : Format.formatter -> Activity.t -> unit
+val pp_process : Format.formatter -> Process.t -> unit
+val to_string : Process.t -> string
+val to_xml : Process.t -> string
+val xml_escape : string -> string

@@ -1,0 +1,20 @@
+(** S-expression persistence for processes and activities;
+    [process_to_string]/[process_of_string] round-trip exactly. *)
+
+type sexp = Atom of string | List of sexp list
+
+exception Parse_error of string
+
+val sexp_to_string : sexp -> string
+val parse_sexp : string -> sexp
+
+val to_sexp : Activity.t -> sexp
+val of_sexp : sexp -> Activity.t
+
+val process_to_sexp : Process.t -> sexp
+val process_of_sexp : sexp -> Process.t
+
+val process_to_string : Process.t -> string
+val process_of_string : string -> (Process.t, string) result
+val activity_to_string : Activity.t -> string
+val activity_of_string : string -> (Activity.t, string) result

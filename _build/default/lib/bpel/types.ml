@@ -1,0 +1,43 @@
+(** WSDL-lite vocabulary: operations, port types and partner links.
+
+    The paper (Sec. 2) describes partners exchanging messages by
+    invoking WSDL operations grouped in port types; an operation with
+    only an input message is asynchronous, one with input and output is
+    synchronous (two messages on the wire). Partner links associate a
+    partner name with a bilateral interaction. *)
+
+type mode = Async | Sync [@@deriving eq, ord, show]
+
+type operation = { op_name : string; mode : mode } [@@deriving eq, ord, show]
+
+let async name = { op_name = name; mode = Async }
+let sync name = { op_name = name; mode = Sync }
+
+type port_type = { pt_name : string; ops : operation list }
+[@@deriving eq, ord, show]
+
+let find_op pt name = List.find_opt (fun o -> String.equal o.op_name name) pt.ops
+
+type partner_link = {
+  link_name : string;
+  partner : string;  (** the party on the other end *)
+  my_role : string;
+  partner_role : string;
+}
+[@@deriving eq, ord, show]
+
+(** Registry of the operations a process may use, with the port types
+    offered by each party. *)
+type registry = { port_types : (string * port_type) list }
+[@@deriving eq, show]
+
+let registry port_types = { port_types }
+
+let lookup_op registry ~party ~op =
+  List.find_map
+    (fun (p, pt) ->
+      if String.equal p party then find_op pt op else None)
+    registry.port_types
+
+let op_mode registry ~party ~op =
+  Option.map (fun o -> o.mode) (lookup_op registry ~party ~op)

@@ -1,0 +1,54 @@
+(** WSDL-lite vocabulary (Sec. 2 of the paper): operations are
+    asynchronous (one input message) or synchronous (input and output —
+    two messages on the wire); port types group operations; partner
+    links name bilateral interactions. *)
+
+type mode = Async | Sync
+
+val equal_mode : mode -> mode -> bool
+val compare_mode : mode -> mode -> int
+val pp_mode : Format.formatter -> mode -> unit
+val show_mode : mode -> string
+
+type operation = { op_name : string; mode : mode }
+
+val equal_operation : operation -> operation -> bool
+val compare_operation : operation -> operation -> int
+val pp_operation : Format.formatter -> operation -> unit
+val show_operation : operation -> string
+
+val async : string -> operation
+val sync : string -> operation
+
+type port_type = { pt_name : string; ops : operation list }
+
+val equal_port_type : port_type -> port_type -> bool
+val compare_port_type : port_type -> port_type -> int
+val pp_port_type : Format.formatter -> port_type -> unit
+val show_port_type : port_type -> string
+
+val find_op : port_type -> string -> operation option
+
+type partner_link = {
+  link_name : string;
+  partner : string;
+  my_role : string;
+  partner_role : string;
+}
+
+val equal_partner_link : partner_link -> partner_link -> bool
+val compare_partner_link : partner_link -> partner_link -> int
+val pp_partner_link : Format.formatter -> partner_link -> unit
+val show_partner_link : partner_link -> string
+
+type registry = { port_types : (string * port_type) list }
+(** Port types offered by each party; a party may appear several
+    times. *)
+
+val equal_registry : registry -> registry -> bool
+val pp_registry : Format.formatter -> registry -> unit
+val show_registry : registry -> string
+
+val registry : (string * port_type) list -> registry
+val lookup_op : registry -> party:string -> op:string -> operation option
+val op_mode : registry -> party:string -> op:string -> mode option

@@ -1,0 +1,52 @@
+(** Static well-formedness checks on private processes. *)
+
+type issue = { path : Activity.path; message : string } [@@deriving show]
+
+
+let check (p : Process.t) : issue list =
+  let issues = ref [] in
+  let add path fmt = Printf.ksprintf (fun m -> issues := { path; message = m } :: !issues) fmt in
+  let known_partner name =
+    List.exists (fun (l : Types.partner_link) -> String.equal l.partner name) p.links
+    || p.links = []
+  in
+  let check_comm path kind (c : Activity.comm) =
+    if String.equal c.partner p.party then
+      add path "communication with the owning party %s itself" p.party;
+    if not (known_partner c.partner) then
+      add path "partner %s has no partner link" c.partner;
+    let owner = Process.op_owner p kind c in
+    if Types.lookup_op p.registry ~party:owner ~op:c.op = None then
+      add path "operation %s is not registered for party %s" c.op owner
+  in
+  (* duplicate block names make the mapping table ambiguous *)
+  let seen = Hashtbl.create 16 in
+  Activity.iter p.body ~f:(fun path act ->
+      (match Activity.block_name act with
+      | Some n ->
+          if Hashtbl.mem seen n then add path "duplicate block name %s" n
+          else Hashtbl.add seen n ()
+      | None -> ());
+      match act with
+      | Activity.Receive c -> check_comm path `Receive c
+      | Activity.Reply c -> check_comm path `Reply c
+      | Activity.Invoke c -> check_comm path `Invoke c
+      | Activity.Pick { on_messages; _ } ->
+          if on_messages = [] then add path "pick with no onMessage branch";
+          List.iter (fun (c, _) -> check_comm path `Receive c) on_messages;
+          let ops = List.map (fun ((c : Activity.comm), _) -> (c.partner, c.op)) on_messages in
+          if List.length (List.sort_uniq compare ops) <> List.length ops then
+            add path "pick with duplicate trigger messages"
+      | Activity.Switch { branches; _ } ->
+          if branches = [] then add path "switch with no branch"
+      | Activity.Sequence (_, []) -> add path "empty sequence"
+      | Activity.Flow (_, []) -> add path "empty flow"
+      | Activity.While { cond; _ } ->
+          if String.equal cond "" then add path "while without condition"
+      | _ -> ());
+  List.rev !issues
+
+let is_valid p = check p = []
+
+let pp_issue ppf i =
+  Fmt.pf ppf "at %a: %s" (Fmt.list ~sep:(Fmt.any ".") Fmt.int) i.path i.message

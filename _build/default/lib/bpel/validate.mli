@@ -1,0 +1,10 @@
+(** Static well-formedness checks: registered operations, no
+    self-communication, no empty/duplicate structures. *)
+
+type issue = { path : Activity.path; message : string }
+
+val show_issue : issue -> string
+
+val check : Process.t -> issue list
+val is_valid : Process.t -> bool
+val pp_issue : Format.formatter -> issue -> unit

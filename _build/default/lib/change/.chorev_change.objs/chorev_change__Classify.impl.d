@@ -1,0 +1,1 @@
+lib/change/classify.pp.ml: Chorev_afsa Fmt Ppx_deriving_runtime

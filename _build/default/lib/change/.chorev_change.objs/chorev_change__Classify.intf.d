@@ -1,0 +1,1 @@
+lib/change/classify.pp.mli: Chorev_afsa Format

@@ -1,0 +1,1 @@
+lib/change/ops.pp.ml: Activity Array Chorev_bpel Edit Fmt List Printf Process Result

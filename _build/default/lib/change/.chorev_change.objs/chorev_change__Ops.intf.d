@@ -1,0 +1,1 @@
+lib/change/ops.pp.mli: Activity Chorev_bpel Format Process

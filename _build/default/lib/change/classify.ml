@@ -1,0 +1,82 @@
+(** Classification of changes (Sec. 4 of the paper).
+
+    Changes are classified along two dimensions:
+
+    - the *change framework* (Def. 5): a change [δ : A → A'] is
+      {e additive} iff [A' \ A ≠ ∅] and {e subtractive} iff
+      [A \ A' ≠ ∅] — both can hold for one change;
+    - the *change propagation* dimension (Def. 6), relative to one
+      partner's public process [B]: δ is {e invariant} iff [A' ∩ B ≠ ∅]
+      (no propagation needed) and {e variant} iff [A' ∩ B = ∅].
+
+    Both dimensions are computed on the *bilateral views*: the paper's
+    Sec. 3.4 requires that processes compared for consistency represent
+    the bilateral message exchanges only. Differences (Def. 5) are
+    plain-language tests; variance (Def. 6) uses the annotated
+    emptiness test. *)
+
+module Afsa = Chorev_afsa.Afsa
+
+type framework = {
+  additive : bool;
+  subtractive : bool;
+  added : Afsa.t;  (** A' \ A — the added message sequences *)
+  removed : Afsa.t;  (** A \ A' — the removed message sequences *)
+}
+
+type propagation = Invariant | Variant [@@deriving eq, show]
+
+type verdict = {
+  partner : string;
+  framework : framework;
+  propagation : propagation;
+}
+
+(** Def. 5 on two versions of (a view of) a public process. *)
+let framework ~old_public ~new_public =
+  let added = Chorev_afsa.Ops.difference new_public old_public in
+  let removed = Chorev_afsa.Ops.difference old_public new_public in
+  {
+    additive = not (Chorev_afsa.Emptiness.is_empty_plain added);
+    subtractive = not (Chorev_afsa.Emptiness.is_empty_plain removed);
+    added;
+    removed;
+  }
+
+(** Def. 6 against one partner. *)
+let propagation ~new_public ~partner_public =
+  if Chorev_afsa.Consistency.consistent new_public partner_public then
+    Invariant
+  else Variant
+
+(** Full classification of a change of [owner]'s public process against
+    partner [partner] whose public process is [partner_public]. The
+    views [τ_partner] are taken internally. *)
+let classify ~owner:_ ~partner ~old_public ~new_public ~partner_public =
+  let v_old = Chorev_afsa.View.tau ~observer:partner old_public in
+  let v_new = Chorev_afsa.View.tau ~observer:partner new_public in
+  {
+    partner;
+    framework = framework ~old_public:v_old ~new_public:v_new;
+    propagation = propagation ~new_public:v_new ~partner_public;
+  }
+
+(** Does the change touch the public level at all? (If the public views
+    are language- and annotation-equal for every partner, the change is
+    local to the private process — the top of the paper's Fig. 4
+    flowchart.) *)
+let public_unchanged ~old_public ~new_public =
+  Chorev_afsa.Equiv.equal_annotated old_public new_public
+
+let requires_propagation v = v.propagation = Variant
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "partner %s: %s%s, %s" v.partner
+    (if v.framework.additive then "additive" else "")
+    (if v.framework.subtractive then
+       (if v.framework.additive then "+subtractive" else "subtractive")
+     else if not v.framework.additive then "neutral"
+     else "")
+    (match v.propagation with
+    | Invariant -> "invariant (no propagation needed)"
+    | Variant -> "variant (propagation required)")

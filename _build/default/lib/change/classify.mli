@@ -1,0 +1,47 @@
+(** Classification of changes (Sec. 4): additive/subtractive along the
+    change-framework dimension (Def. 5, via aFSA difference) and
+    variant/invariant along the propagation dimension (Def. 6, via
+    annotated intersection emptiness against a partner). Both are
+    computed on bilateral views. *)
+
+module Afsa = Chorev_afsa.Afsa
+
+type framework = {
+  additive : bool;
+  subtractive : bool;
+  added : Afsa.t;  (** A′ ∖ A *)
+  removed : Afsa.t;  (** A ∖ A′ *)
+}
+
+type propagation = Invariant | Variant
+
+val equal_propagation : propagation -> propagation -> bool
+val pp_propagation : Format.formatter -> propagation -> unit
+val show_propagation : propagation -> string
+
+type verdict = {
+  partner : string;
+  framework : framework;
+  propagation : propagation;
+}
+
+val framework : old_public:Afsa.t -> new_public:Afsa.t -> framework
+
+val propagation :
+  new_public:Afsa.t -> partner_public:Afsa.t -> propagation
+
+val classify :
+  owner:string ->
+  partner:string ->
+  old_public:Afsa.t ->
+  new_public:Afsa.t ->
+  partner_public:Afsa.t ->
+  verdict
+(** Takes the partner's views of both versions internally. *)
+
+val public_unchanged : old_public:Afsa.t -> new_public:Afsa.t -> bool
+(** Language- and annotation-equal: the change is local, nothing to
+    propagate (top of the paper's Fig. 4). *)
+
+val requires_propagation : verdict -> bool
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,207 @@
+(** Change operations on private processes (Sec. 4 of the paper).
+
+    The paper focuses on structural changes — "the insertion or deletion
+    of process activities". We provide the catalogue of basic operations
+    its scenarios use (and those its Sec. 4 mentions as part of the
+    framework): inserting and deleting activities, adding alternative
+    branches, replacing activities, and removing/unrolling loops. A
+    change is applied to a private process and yields a new private
+    process; its additive/subtractive/variant/invariant character is
+    *derived* from the public processes by {!Classify}, never declared. *)
+
+open Chorev_bpel
+
+type t =
+  | Insert_activity of {
+      path : Activity.path;  (** a sequence *)
+      pos : int;
+      act : Activity.t;
+    }
+  | Delete_activity of { path : Activity.path; index : int }
+      (** delete child [index] of the sequence/flow at [path] *)
+  | Replace_activity of { path : Activity.path; by : Activity.t }
+  | Add_switch_branch of { path : Activity.path; branch : Activity.branch }
+  | Add_pick_arm of {
+      path : Activity.path;
+      arm : Activity.comm * Activity.t;
+    }
+  | Receive_to_pick of {
+      path : Activity.path;
+      name : string;
+      arms : (Activity.comm * Activity.t) list;
+    }
+  | Remove_loop of { path : Activity.path }
+      (** splice the loop body in place (runs exactly once) *)
+  | Unroll_loop_once of {
+      path : Activity.path;
+      switch_name : string;
+      suffix : Activity.t;
+    }
+  | Move_activity of {
+      from_path : Activity.path;
+      from_index : int;
+      to_path : Activity.path;
+      to_index : int;
+    }
+      (** the paper's "shift" operation: move a child of one sequence
+          to a position in another (or the same) sequence *)
+  | Swap_activities of { path : Activity.path; i : int; j : int }
+      (** exchange two children of a sequence *)
+  | Parallelize of { path : Activity.path }
+      (** turn the sequence at [path] into a flow: its members may now
+          interleave *)
+  | Serialize of { path : Activity.path }
+      (** turn the flow at [path] into a sequence: fix one order *)
+  | Wrap_in_loop of { path : Activity.path; name : string; cond : string }
+      (** wrap the activity at [path] in a while loop *)
+  | Rename_block of { path : Activity.path; name : string }
+      (** rename a structured block — publicly invisible, but it moves
+          the mapping table's vocabulary *)
+  | Compound of t list  (** apply in order; fail atomically *)
+
+let rec pp ppf = function
+  | Insert_activity { path; pos; _ } ->
+      Fmt.pf ppf "insert activity at %a pos %d" pp_path path pos
+  | Delete_activity { path; index } ->
+      Fmt.pf ppf "delete child %d at %a" index pp_path path
+  | Replace_activity { path; _ } -> Fmt.pf ppf "replace at %a" pp_path path
+  | Add_switch_branch { path; _ } ->
+      Fmt.pf ppf "add switch branch at %a" pp_path path
+  | Add_pick_arm { path; _ } -> Fmt.pf ppf "add pick arm at %a" pp_path path
+  | Receive_to_pick { path; _ } ->
+      Fmt.pf ppf "turn receive at %a into pick" pp_path path
+  | Remove_loop { path } -> Fmt.pf ppf "remove loop at %a" pp_path path
+  | Unroll_loop_once { path; _ } ->
+      Fmt.pf ppf "unroll loop once at %a" pp_path path
+  | Move_activity { from_path; from_index; to_path; to_index } ->
+      Fmt.pf ppf "move child %d of %a to position %d of %a" from_index
+        pp_path from_path to_index pp_path to_path
+  | Swap_activities { path; i; j } ->
+      Fmt.pf ppf "swap children %d and %d at %a" i j pp_path path
+  | Parallelize { path } -> Fmt.pf ppf "parallelize sequence at %a" pp_path path
+  | Serialize { path } -> Fmt.pf ppf "serialize flow at %a" pp_path path
+  | Wrap_in_loop { path; _ } -> Fmt.pf ppf "wrap %a in a loop" pp_path path
+  | Rename_block { path; name } ->
+      Fmt.pf ppf "rename block at %a to %s" pp_path path name
+  | Compound ops ->
+      Fmt.pf ppf "compound [%a]" (Fmt.list ~sep:(Fmt.any "; ") pp) ops
+
+and pp_path ppf p = Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ".") Fmt.int) p
+
+let to_string op = Fmt.str "%a" pp op
+
+(** Apply a change operation to a private process. *)
+let rec apply (op : t) (p : Process.t) : (Process.t, string) result =
+  let on = Edit.on_process in
+  match op with
+  | Insert_activity { path; pos; act } ->
+      on (Edit.insert_in_sequence ~path ~pos act) p
+  | Delete_activity { path; index } -> on (Edit.delete_child ~path ~index) p
+  | Replace_activity { path; by } -> on (Edit.replace ~path ~by) p
+  | Add_switch_branch { path; branch } ->
+      on (Edit.add_switch_branch ~path ~branch) p
+  | Add_pick_arm { path; arm } -> on (Edit.add_pick_arm ~path ~arm) p
+  | Receive_to_pick { path; name; arms } ->
+      on (Edit.receive_to_pick ~path ~name ~arms) p
+  | Remove_loop { path } -> on (Edit.remove_while ~path) p
+  | Unroll_loop_once { path; switch_name; suffix } ->
+      on (Edit.unroll_while_once ~suffix ~path ~switch_name) p
+  | Move_activity { from_path; from_index; to_path; to_index } ->
+      on
+        (fun body ->
+          match Activity.find_at from_path body with
+          | Some (Activity.Sequence (_, kids))
+            when from_index >= 0 && from_index < List.length kids ->
+              let act = List.nth kids from_index in
+              Result.bind
+                (Edit.delete_child ~path:from_path ~index:from_index body)
+                (fun body' ->
+                  (* deleting before inserting shifts indices when both
+                     ends are the same sequence and the insertion point
+                     lies after the removal point *)
+                  let to_index =
+                    if
+                      Activity.equal_path from_path to_path
+                      && to_index > from_index
+                    then to_index - 1
+                    else to_index
+                  in
+                  Edit.insert_in_sequence ~path:to_path ~pos:to_index act body')
+          | Some a ->
+              Error
+                (Printf.sprintf "cannot move child %d of a %s" from_index
+                   (Activity.kind a))
+          | None -> Error "invalid source path")
+        p
+  | Swap_activities { path; i; j } ->
+      on
+        (fun body ->
+          match Activity.find_at path body with
+          | Some (Activity.Sequence (n, kids))
+            when i >= 0 && j >= 0 && i < List.length kids
+                 && j < List.length kids ->
+              let arr = Array.of_list kids in
+              let tmp = arr.(i) in
+              arr.(i) <- arr.(j);
+              arr.(j) <- tmp;
+              Edit.replace ~path ~by:(Activity.Sequence (n, Array.to_list arr))
+                body
+          | Some a -> Error ("cannot swap children of a " ^ Activity.kind a)
+          | None -> Error "invalid path")
+        p
+  | Parallelize { path } ->
+      on
+        (fun body ->
+          match Activity.find_at path body with
+          | Some (Activity.Sequence (n, kids)) ->
+              Edit.replace ~path ~by:(Activity.Flow (n, kids)) body
+          | Some a -> Error ("cannot parallelize a " ^ Activity.kind a)
+          | None -> Error "invalid path")
+        p
+  | Serialize { path } ->
+      on
+        (fun body ->
+          match Activity.find_at path body with
+          | Some (Activity.Flow (n, kids)) ->
+              Edit.replace ~path ~by:(Activity.Sequence (n, kids)) body
+          | Some a -> Error ("cannot serialize a " ^ Activity.kind a)
+          | None -> Error "invalid path")
+        p
+  | Wrap_in_loop { path; name; cond } ->
+      on
+        (fun body ->
+          match Activity.find_at path body with
+          | Some a ->
+              Edit.replace ~path
+                ~by:(Activity.While { name; cond; body = a })
+                body
+          | None -> Error "invalid path")
+        p
+  | Rename_block { path; name } ->
+      on
+        (fun body ->
+          match Activity.find_at path body with
+          | Some (Activity.Sequence (_, kids)) ->
+              Edit.replace ~path ~by:(Activity.Sequence (name, kids)) body
+          | Some (Activity.Flow (_, kids)) ->
+              Edit.replace ~path ~by:(Activity.Flow (name, kids)) body
+          | Some (Activity.While w) ->
+              Edit.replace ~path ~by:(Activity.While { w with name }) body
+          | Some (Activity.Switch s) ->
+              Edit.replace ~path ~by:(Activity.Switch { s with name }) body
+          | Some (Activity.Pick pk) ->
+              Edit.replace ~path ~by:(Activity.Pick { pk with name }) body
+          | Some (Activity.Scope (_, b)) ->
+              Edit.replace ~path ~by:(Activity.Scope (name, b)) body
+          | Some a -> Error ("cannot rename a " ^ Activity.kind a)
+          | None -> Error "invalid path")
+        p
+  | Compound ops ->
+      List.fold_left
+        (fun acc op -> Result.bind acc (apply op))
+        (Ok p) ops
+
+let apply_exn op p =
+  match apply op p with
+  | Ok p' -> p'
+  | Error e -> invalid_arg ("Change.Ops.apply_exn: " ^ e)

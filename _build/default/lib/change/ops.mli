@@ -1,0 +1,51 @@
+(** Change operations on private processes (Sec. 4): insert/delete/
+    replace activities, branch additions, loop removal/unrolling, and
+    the shift operations (move/swap) the paper mentions as part of its
+    wider framework. A change's additive/subtractive/variant/invariant
+    character is derived by {!Classify}, never declared. *)
+
+open Chorev_bpel
+
+type t =
+  | Insert_activity of {
+      path : Activity.path;
+      pos : int;
+      act : Activity.t;
+    }
+  | Delete_activity of { path : Activity.path; index : int }
+  | Replace_activity of { path : Activity.path; by : Activity.t }
+  | Add_switch_branch of { path : Activity.path; branch : Activity.branch }
+  | Add_pick_arm of {
+      path : Activity.path;
+      arm : Activity.comm * Activity.t;
+    }
+  | Receive_to_pick of {
+      path : Activity.path;
+      name : string;
+      arms : (Activity.comm * Activity.t) list;
+    }
+  | Remove_loop of { path : Activity.path }
+  | Unroll_loop_once of {
+      path : Activity.path;
+      switch_name : string;
+      suffix : Activity.t;
+    }
+  | Move_activity of {
+      from_path : Activity.path;
+      from_index : int;
+      to_path : Activity.path;
+      to_index : int;
+    }
+  | Swap_activities of { path : Activity.path; i : int; j : int }
+  | Parallelize of { path : Activity.path }
+  | Serialize of { path : Activity.path }
+  | Wrap_in_loop of { path : Activity.path; name : string; cond : string }
+  | Rename_block of { path : Activity.path; name : string }
+  | Compound of t list  (** applied in order; fails atomically *)
+
+val pp : Format.formatter -> t -> unit
+val pp_path : Format.formatter -> Activity.path -> unit
+val to_string : t -> string
+
+val apply : t -> Process.t -> (Process.t, string) result
+val apply_exn : t -> Process.t -> Process.t

@@ -1,0 +1,1 @@
+lib/choreography/consistency.pp.ml: Chorev_afsa Fmt List Model

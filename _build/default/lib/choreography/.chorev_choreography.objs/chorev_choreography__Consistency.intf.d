@@ -1,0 +1,1 @@
+lib/choreography/consistency.pp.mli: Chorev_afsa Format Model

@@ -1,0 +1,1 @@
+lib/choreography/evolution.pp.ml: Chorev_afsa Chorev_bpel Chorev_change Chorev_mapping Chorev_propagate Consistency Fmt List Model Process String

@@ -1,0 +1,1 @@
+lib/choreography/evolution.pp.mli: Chorev_bpel Chorev_change Chorev_propagate Format Model

@@ -1,0 +1,1 @@
+lib/choreography/global.pp.ml: Chorev_afsa Chorev_runtime Consistency Fmt Hashtbl List Model Queue

@@ -1,0 +1,1 @@
+lib/choreography/global.pp.mli: Chorev_afsa Chorev_runtime Format Model

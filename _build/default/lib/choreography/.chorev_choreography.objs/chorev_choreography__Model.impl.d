@@ -1,0 +1,1 @@
+lib/choreography/model.pp.ml: Chorev_afsa Chorev_bpel Chorev_mapping List Map Printf Process String

@@ -1,0 +1,1 @@
+lib/choreography/model.pp.mli: Chorev_afsa Chorev_bpel Chorev_mapping

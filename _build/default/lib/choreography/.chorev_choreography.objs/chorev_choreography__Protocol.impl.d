@@ -1,0 +1,1 @@
+lib/choreography/protocol.pp.ml: Chorev_afsa Chorev_change Chorev_propagate Consistency Fmt List Model Option Queue

@@ -1,0 +1,1 @@
+lib/choreography/protocol.pp.mli: Chorev_afsa Chorev_bpel Format Model

@@ -1,0 +1,48 @@
+(** Choreography-wide consistency: every pair of interacting parties
+    must be bilaterally consistent on their mutual views (Sec. 3.4 —
+    "as a basis for bilateral consistency checking, it has to be ensured
+    that the processes to be compared are representing the bilateral
+    message exchanges only"). *)
+
+module View = Chorev_afsa.View
+
+type pair_verdict = {
+  party_a : string;
+  party_b : string;
+  consistent : bool;
+  witness : Chorev_afsa.Label.t list option;
+}
+
+(** Bilateral consistency of two parties of the choreography: each
+    side's view of the other is intersected. *)
+let check_pair t p1 p2 =
+  let v1 = View.tau ~observer:p2 (Model.public t p1) in
+  let v2 = View.tau ~observer:p1 (Model.public t p2) in
+  let r = Chorev_afsa.Consistency.check v1 v2 in
+  {
+    party_a = p1;
+    party_b = p2;
+    consistent = r.Chorev_afsa.Consistency.consistent;
+    witness = r.Chorev_afsa.Consistency.witness;
+  }
+
+let consistent_pair t p1 p2 = (check_pair t p1 p2).consistent
+
+(** Verdicts for every interacting pair. *)
+let check_all t = List.map (fun (a, b) -> check_pair t a b) (Model.pairs t)
+
+(** The choreography is consistent iff all interacting pairs are. *)
+let consistent t = List.for_all (fun v -> v.consistent) (check_all t)
+
+(** The protocol agreed between two parties — the paper's
+    "A ∩ B ≠ ∅ … the protocol (choreography) between them" (Sec. 4.2):
+    the annotated intersection of their mutual views. Empty iff the
+    pair is inconsistent. *)
+let protocol t p1 p2 =
+  let v1 = View.tau ~observer:p2 (Model.public t p1) in
+  let v2 = View.tau ~observer:p1 (Model.public t p2) in
+  Chorev_afsa.Ops.intersect v1 v2
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "%s ↔ %s: %s" v.party_a v.party_b
+    (if v.consistent then "consistent" else "INCONSISTENT")

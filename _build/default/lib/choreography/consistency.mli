@@ -1,0 +1,21 @@
+(** Choreography-wide consistency: every interacting pair, compared on
+    mutual bilateral views (Sec. 3.4). *)
+
+type pair_verdict = {
+  party_a : string;
+  party_b : string;
+  consistent : bool;
+  witness : Chorev_afsa.Label.t list option;
+}
+
+val check_pair : Model.t -> string -> string -> pair_verdict
+val consistent_pair : Model.t -> string -> string -> bool
+val check_all : Model.t -> pair_verdict list
+val consistent : Model.t -> bool
+
+val protocol : Model.t -> string -> string -> Chorev_afsa.Afsa.t
+(** The agreed protocol of two parties — the annotated intersection of
+    their mutual views ("the protocol between them", Sec. 4.2); empty
+    iff inconsistent. *)
+
+val pp_verdict : Format.formatter -> pair_verdict -> unit

@@ -1,0 +1,181 @@
+(** The controlled-evolution pipeline of the paper's Fig. 4, across all
+    partners of a choreography.
+
+    A party changes its private process. The pipeline
+
+    1. regenerates the changer's public process ("producing public aFSA
+       from scratch");
+    2. if the public view is unchanged, stops — no propagation
+       ("no propagation necessary");
+    3. otherwise classifies the change per partner (Defs. 5/6) on the
+       bilateral views;
+    4. for variant partners, runs the propagation engine of Sec. 5
+       (suggestions + optional auto-apply + re-check);
+    5. returns the evolved choreography together with a full report.
+
+    Auto-applied partner adaptations themselves count as changes of
+    those partners' private processes; the pipeline re-runs for them
+    (transitive propagation) until the choreography is quiescent or
+    [max_rounds] is reached. *)
+
+module Afsa = Chorev_afsa.Afsa
+module Classify = Chorev_change.Classify
+module Engine = Chorev_propagate.Engine
+open Chorev_bpel
+
+type partner_report = {
+  partner : string;
+  verdict : Classify.verdict;
+  outcome : Engine.outcome option;  (** [None] for invariant changes *)
+}
+
+type round = {
+  originator : string;
+  public_changed : bool;
+  partners : partner_report list;
+}
+
+type report = {
+  rounds : round list;
+  choreography : Model.t;  (** the evolved choreography *)
+  consistent : bool;  (** all-pairs consistency afterwards *)
+}
+
+let classify_partner ~owner ~old_public ~new_public t partner =
+  let partner_view =
+    Chorev_afsa.View.tau ~observer:owner (Model.public t partner)
+  in
+  Classify.classify ~owner ~partner ~old_public ~new_public
+    ~partner_public:partner_view
+
+(* One round: [changed] replaces [owner]'s private process; returns the
+   round report, the updated choreography, and the list of partners
+   whose private processes were auto-adapted (next round's
+   originators). *)
+let run_round ~auto_apply t owner (changed : Process.t) =
+  let old_public = Model.public t owner in
+  let t' = Model.update t changed in
+  let new_public = Model.public t' owner in
+  let public_changed =
+    not (Classify.public_unchanged ~old_public ~new_public)
+  in
+  if not public_changed then
+    ({ originator = owner; public_changed = false; partners = [] }, t', [])
+  else
+    let partners =
+      List.filter (fun p -> Model.interact t' owner p) (Model.parties t')
+    in
+    let reports, t'', adapted =
+      List.fold_left
+        (fun (reports, t_acc, adapted) partner ->
+          let verdict =
+            classify_partner ~owner ~old_public ~new_public t_acc partner
+          in
+          if not (Classify.requires_propagation verdict) then
+            ({ partner; verdict; outcome = None } :: reports, t_acc, adapted)
+          else
+            let direction =
+              Engine.direction_of_framework verdict.Classify.framework
+            in
+            let outcome =
+              Engine.propagate ~auto_apply ~direction ~a':new_public
+                ~partner_private:(Model.private_ t_acc partner) ()
+            in
+            let t_acc, adapted =
+              match outcome.Engine.adapted with
+              | Some p' -> (Model.update t_acc p', (partner, p') :: adapted)
+              | None -> (t_acc, adapted)
+            in
+            ( { partner; verdict; outcome = Some outcome } :: reports,
+              t_acc,
+              adapted ))
+        ([], t', []) partners
+    in
+    ( { originator = owner; public_changed = true; partners = List.rev reports },
+      t'',
+      adapted )
+
+(** Evolve the choreography by replacing [owner]'s private process with
+    [changed]. [auto_apply] (default true) lets the engine adapt
+    partners automatically; [max_rounds] bounds transitive propagation
+    (default 8). *)
+let evolve ?(auto_apply = true) ?(max_rounds = 8) t ~owner ~changed =
+  let rec go t rounds budget pending =
+    match pending with
+    | [] ->
+        {
+          rounds = List.rev rounds;
+          choreography = t;
+          consistent = Consistency.consistent t;
+        }
+    | _ when budget = 0 ->
+        {
+          rounds = List.rev rounds;
+          choreography = t;
+          consistent = Consistency.consistent t;
+        }
+    | (owner, proc) :: rest ->
+        let round, t', adapted = run_round ~auto_apply t owner proc in
+        (* partners adapted in this round propagate onward, except back
+           to processes already equal in the model *)
+        let new_pending =
+          List.filter
+            (fun (p, proc') ->
+              not
+                (Chorev_afsa.Equiv.equal_annotated
+                   (Chorev_mapping.Public_gen.public proc')
+                   (Model.public t p)))
+            adapted
+        in
+        go t' (round :: rounds) (budget - 1) (rest @ new_pending)
+  in
+  go t [] max_rounds [ (owner, changed) ]
+
+(** Impact analysis: classify a proposed change against every partner
+    without touching the choreography or anyone's private process — the
+    report a process engineer reviews before committing (the decision
+    diamond of the paper's Fig. 4). *)
+let dry_run t ~owner ~changed : partner_report list =
+  let old_public = Model.public t owner in
+  let new_public = Chorev_mapping.Public_gen.public changed in
+  if Classify.public_unchanged ~old_public ~new_public then []
+  else
+    Model.parties t
+    |> List.filter (fun p -> (not (String.equal p owner)) && Model.interact t owner p)
+    |> List.map (fun partner ->
+           let verdict =
+             classify_partner ~owner ~old_public ~new_public t partner
+           in
+           let outcome =
+             if Classify.requires_propagation verdict then
+               Some
+                 (Engine.propagate ~auto_apply:false
+                    ~direction:
+                      (Engine.direction_of_framework verdict.Classify.framework)
+                    ~a':new_public
+                    ~partner_private:(Model.private_ t partner) ())
+             else None
+           in
+           { partner; verdict; outcome })
+
+(** Convenience: apply a change operation to [owner]'s private process
+    and evolve. *)
+let evolve_op ?auto_apply ?max_rounds t ~owner op =
+  match Chorev_change.Ops.apply op (Model.private_ t owner) with
+  | Error e -> Error e
+  | Ok changed -> Ok (evolve ?auto_apply ?max_rounds t ~owner ~changed)
+
+let pp_round ppf r =
+  Fmt.pf ppf "@[<v>round by %s (public %s):@,%a@]" r.originator
+    (if r.public_changed then "changed" else "unchanged")
+    (Fmt.list ~sep:Fmt.cut (fun ppf pr ->
+         Fmt.pf ppf "  %a%a" Classify.pp_verdict pr.verdict
+           (Fmt.option (fun ppf o ->
+                Fmt.pf ppf " → %a" Engine.pp_outcome o))
+           pr.outcome))
+    r.partners
+
+let pp_report ppf rep =
+  Fmt.pf ppf "@[<v>%a@,choreography consistent: %b@]"
+    (Fmt.list ~sep:Fmt.cut pp_round)
+    rep.rounds rep.consistent

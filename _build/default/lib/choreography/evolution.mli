@@ -1,0 +1,53 @@
+(** The controlled-evolution pipeline of the paper's Fig. 4 across all
+    partners, with transitive propagation: auto-applied partner
+    adaptations are themselves changes and re-enter the pipeline until
+    quiescence or [max_rounds]. *)
+
+type partner_report = {
+  partner : string;
+  verdict : Chorev_change.Classify.verdict;
+  outcome : Chorev_propagate.Engine.outcome option;
+      (** [None] for invariant changes *)
+}
+
+type round = {
+  originator : string;
+  public_changed : bool;
+  partners : partner_report list;
+}
+
+type report = {
+  rounds : round list;
+  choreography : Model.t;  (** the evolved choreography *)
+  consistent : bool;
+}
+
+val evolve :
+  ?auto_apply:bool ->
+  ?max_rounds:int ->
+  Model.t ->
+  owner:string ->
+  changed:Chorev_bpel.Process.t ->
+  report
+
+val dry_run :
+  Model.t ->
+  owner:string ->
+  changed:Chorev_bpel.Process.t ->
+  partner_report list
+(** Impact analysis: classification and (for variant partners)
+    propagation suggestions, with nothing applied anywhere. Empty when
+    the public view is unchanged. *)
+
+val evolve_op :
+  ?auto_apply:bool ->
+  ?max_rounds:int ->
+  Model.t ->
+  owner:string ->
+  Chorev_change.Ops.t ->
+  (report, string) result
+(** Apply a change operation to the owner's private process, then
+    evolve. *)
+
+val pp_round : Format.formatter -> round -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,140 @@
+(** Multi-lateral (global) analysis of a choreography.
+
+    The paper checks consistency bilaterally (Sec. 3.2) and notes that
+    its companion work [16, 17] derives and validates the *overall*
+    cross-organizational process decentrally. This module supplies the
+    global view: the conversation automaton of the whole choreography —
+    the synchronous product of all public processes — and the global
+    correctness notions it supports:
+
+    - {e global consistency}: some conversation completes (every party
+      reaches a final state);
+    - {e global deadlock-freedom}: no reachable configuration is stuck
+      short of completion.
+
+    Bilateral consistency of all pairs does *not* imply global
+    deadlock-freedom (after the paper's §5.2 cancel change, a
+    cancellation strands logistics — see EXPERIMENTS.md); this module
+    diagnoses exactly such situations, naming the stuck parties. *)
+
+module Afsa = Chorev_afsa.Afsa
+module Label = Chorev_afsa.Label
+module Exec = Chorev_runtime.Exec
+
+let system (t : Model.t) =
+  Exec.make (List.map (fun p -> (p, Model.public t p)) (Model.parties t))
+
+(** The conversation automaton: states are joint configurations, edges
+    are the joint steps, finals are completed configurations. Built by
+    BFS over the reachable joint state space (bounded). *)
+let conversation_automaton ?(max_configs = 100_000) (t : Model.t) : Afsa.t =
+  let sys = system t in
+  let ids = Hashtbl.create 256 in
+  let next = ref 0 in
+  let id_of c =
+    let k = Exec.key c in
+    match Hashtbl.find_opt ids k with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.add ids k i;
+        i
+  in
+  let c0 = Exec.initial sys in
+  let q = Queue.create () in
+  Queue.add c0 q;
+  let seen = Hashtbl.create 256 in
+  Hashtbl.add seen (Exec.key c0) ();
+  let edges = ref [] in
+  let finals = ref [] in
+  let truncated = ref false in
+  while not (Queue.is_empty q) do
+    let c = Queue.pop q in
+    let i = id_of c in
+    if Exec.completed c then finals := i :: !finals;
+    List.iter
+      (fun (l, c') ->
+        let j = id_of c' in
+        edges := (i, Chorev_afsa.Sym.L l, j) :: !edges;
+        if not (Hashtbl.mem seen (Exec.key c')) then
+          if Hashtbl.length seen >= max_configs then truncated := true
+          else begin
+            Hashtbl.add seen (Exec.key c') ();
+            Queue.add c' q
+          end)
+      (Exec.enabled c)
+  done;
+  if !truncated then
+    invalid_arg "Global.conversation_automaton: state space truncated";
+  Afsa.make ~start:(id_of c0) ~finals:!finals ~edges:!edges ()
+
+type diagnosis = {
+  globally_consistent : bool;
+      (** a completing global conversation exists *)
+  deadlock_free : bool;  (** no stuck non-final configuration *)
+  bilateral_consistent : bool;  (** all interacting pairs consistent *)
+  deadlocks : (Chorev_afsa.Label.t list * string list) list;
+      (** for each reachable deadlock: a trace leading to it and the
+          parties stuck short of a final state *)
+}
+
+(* Shortest trace to each deadlocked configuration. *)
+let deadlock_traces sys max_configs =
+  let q = Queue.create () in
+  let seen = Hashtbl.create 256 in
+  let c0 = Exec.initial sys in
+  Hashtbl.add seen (Exec.key c0) ();
+  Queue.add (c0, []) q;
+  let out = ref [] in
+  let truncated = ref false in
+  while not (Queue.is_empty q) do
+    let c, path = Queue.pop q in
+    (match Exec.status c with
+    | Exec.Deadlock ->
+        let stuck =
+          List.filter_map
+            (fun (ps : Exec.party_state) ->
+              if Afsa.is_final ps.automaton ps.state then None
+              else Some ps.party)
+            c
+        in
+        out := (List.rev path, stuck) :: !out
+    | _ -> ());
+    List.iter
+      (fun (l, c') ->
+        if not (Hashtbl.mem seen (Exec.key c')) then
+          if Hashtbl.length seen >= max_configs then truncated := true
+          else begin
+            Hashtbl.add seen (Exec.key c') ();
+            Queue.add (c', l :: path) q
+          end)
+      (Exec.enabled c)
+  done;
+  (List.rev !out, !truncated)
+
+(** Full global diagnosis of a choreography. *)
+let diagnose ?(max_configs = 100_000) (t : Model.t) : diagnosis =
+  let sys = system t in
+  let e = Exec.explore ~max_configs sys in
+  let deadlocks, _ = deadlock_traces sys max_configs in
+  {
+    globally_consistent = e.Exec.completions > 0;
+    deadlock_free = e.Exec.deadlocks = [];
+    bilateral_consistent = Consistency.consistent t;
+    deadlocks;
+  }
+
+let pp_diagnosis ppf d =
+  Fmt.pf ppf
+    "@[<v>global consistency: %b@,global deadlock-freedom: %b@,bilateral \
+     consistency (all pairs): %b@,%a@]"
+    d.globally_consistent d.deadlock_free d.bilateral_consistent
+    (Fmt.list ~sep:Fmt.cut (fun ppf (trace, stuck) ->
+         Fmt.pf ppf "deadlock after [%a]; stuck: %a"
+           (Fmt.list ~sep:(Fmt.any " → ") (fun ppf l ->
+                Fmt.string ppf (Label.to_string l)))
+           trace
+           (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+           stuck))
+    d.deadlocks

@@ -1,0 +1,24 @@
+(** Multi-lateral (global) analysis: the conversation automaton of the
+    whole choreography and global correctness notions. Bilateral
+    consistency of all pairs does not imply global deadlock-freedom;
+    {!diagnose} names the stuck parties when it fails (cf.
+    EXPERIMENTS.md, "additional findings"). *)
+
+module Afsa = Chorev_afsa.Afsa
+
+val system : Model.t -> Chorev_runtime.Exec.system
+
+val conversation_automaton : ?max_configs:int -> Model.t -> Afsa.t
+(** Synchronous product of all public processes; finals are completed
+    configurations. Raises [Invalid_argument] beyond [max_configs]. *)
+
+type diagnosis = {
+  globally_consistent : bool;
+  deadlock_free : bool;
+  bilateral_consistent : bool;
+  deadlocks : (Chorev_afsa.Label.t list * string list) list;
+      (** shortest trace to each deadlock and the stuck parties *)
+}
+
+val diagnose : ?max_configs:int -> Model.t -> diagnosis
+val pp_diagnosis : Format.formatter -> diagnosis -> unit

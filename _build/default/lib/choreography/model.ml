@@ -1,0 +1,78 @@
+(** A process choreography: a set of parties, each with a private
+    process; public processes and mapping tables are derived (Sec. 3).
+
+    The paper's Fig. 1 choreography has three parties (buyer,
+    accounting, logistics); this model supports any number. Interaction
+    is bilateral: two parties interact when their alphabets share a
+    label. *)
+
+module Afsa = Chorev_afsa.Afsa
+module Label = Chorev_afsa.Label
+open Chorev_bpel
+
+module SMap = Map.Make (String)
+
+type member = {
+  private_process : Process.t;
+  public_process : Afsa.t;
+  table : Chorev_mapping.Table.t;
+}
+
+type t = { members : member SMap.t }
+
+let of_processes procs =
+  let members =
+    List.fold_left
+      (fun acc (p : Process.t) ->
+        let public_process, table = Chorev_mapping.Public_gen.generate p in
+        if SMap.mem (Process.party p) acc then
+          invalid_arg
+            (Printf.sprintf "Choreography.of_processes: duplicate party %s"
+               (Process.party p));
+        SMap.add (Process.party p)
+          { private_process = p; public_process; table }
+          acc)
+      SMap.empty procs
+  in
+  { members }
+
+let parties t = List.map fst (SMap.bindings t.members)
+let member t party = SMap.find_opt party t.members
+
+let member_exn t party =
+  match member t party with
+  | Some m -> m
+  | None -> invalid_arg ("Choreography.member_exn: unknown party " ^ party)
+
+let public t party = (member_exn t party).public_process
+let private_ t party = (member_exn t party).private_process
+let table t party = (member_exn t party).table
+
+(** Replace one party's private process; its public process and table
+    are re-derived (the "recreate public view" step of Fig. 4). *)
+let update t (p : Process.t) =
+  let public_process, table = Chorev_mapping.Public_gen.generate p in
+  {
+    members =
+      SMap.add (Process.party p)
+        { private_process = p; public_process; table }
+        t.members;
+  }
+
+(** Do two parties interact (share at least one label)? *)
+let interact t p1 p2 =
+  (not (String.equal p1 p2))
+  &&
+  let a1 = Label.Set.of_list (Afsa.alphabet (public t p1)) in
+  let a2 = Label.Set.of_list (Afsa.alphabet (public t p2)) in
+  not (Label.Set.is_empty (Label.Set.inter a1 a2))
+
+(** All interacting (unordered) pairs. *)
+let pairs t =
+  let ps = parties t in
+  List.concat_map
+    (fun p1 ->
+      List.filter_map
+        (fun p2 -> if p1 < p2 && interact t p1 p2 then Some (p1, p2) else None)
+        ps)
+    ps

@@ -1,0 +1,31 @@
+(** A process choreography: parties with private processes; public
+    processes and mapping tables are derived (Sec. 3). Interaction is
+    bilateral: two parties interact when their alphabets share a
+    label. *)
+
+module Afsa = Chorev_afsa.Afsa
+
+type member = {
+  private_process : Chorev_bpel.Process.t;
+  public_process : Afsa.t;
+  table : Chorev_mapping.Table.t;
+}
+
+type t
+
+val of_processes : Chorev_bpel.Process.t list -> t
+(** Raises [Invalid_argument] on duplicate parties. *)
+
+val parties : t -> string list
+val member : t -> string -> member option
+val member_exn : t -> string -> member
+val public : t -> string -> Afsa.t
+val private_ : t -> string -> Chorev_bpel.Process.t
+val table : t -> string -> Chorev_mapping.Table.t
+
+val update : t -> Chorev_bpel.Process.t -> t
+(** Replace one party's private process; public and table re-derived. *)
+
+val interact : t -> string -> string -> bool
+val pairs : t -> (string * string) list
+(** All interacting unordered pairs. *)

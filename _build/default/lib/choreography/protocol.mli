@@ -1,0 +1,36 @@
+(** Decentralized consistency checking (Sec. 6, after Wombacher et al.
+    EEE 2005): parties exchange only announcements of their new public
+    processes and ack/nack verdicts; views, checks and adaptations
+    happen locally. The simulation counts rounds and messages. *)
+
+module Afsa = Chorev_afsa.Afsa
+
+type message =
+  | Announce of { sender : string; public : Afsa.t }
+  | Ack of { sender : string; about : string }
+  | Nack of { sender : string; about : string }
+
+type stats = {
+  rounds : int;
+  messages : int;
+  announcements : int;
+  acks : int;
+  nacks : int;
+}
+
+type result = {
+  agreed : bool;  (** all interacting pairs consistent afterwards *)
+  stats : stats;
+  final : Model.t;  (** choreography after local adaptations *)
+}
+
+val run :
+  ?adapt:bool ->
+  ?max_rounds:int ->
+  Model.t ->
+  owner:string ->
+  changed:Chorev_bpel.Process.t ->
+  result
+(** [adapt:false] disables local adaptation by nacking partners. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,130 @@
+(** {1 chorev — controlled evolution of process choreographies}
+
+    An OCaml implementation of Rinderle, Wombacher & Reichert,
+    {e On the Controlled Evolution of Process Choreographies}
+    (ICDE 2006), together with every substrate the paper builds on.
+
+    The modules below re-export the whole public API; see README.md for
+    a guided tour and DESIGN.md for the architecture.
+
+    {2 Formal substrate}
+    - {!Formula} — the annotation logic (Def. 1)
+    - {!Label}, {!Sym}, {!Afsa} — annotated finite state automata
+      (Def. 2)
+    - {!Ops} — intersection / difference / union / complement
+      (Defs. 3, 4)
+    - {!Emptiness}, {!Consistency} — the annotated emptiness test and
+      bilateral consistency (Sec. 3.2)
+    - {!View} — bilateral views τ_P (Sec. 3.4)
+
+    {2 Process substrate}
+    - {!Bpel} — block-structured private processes (Sec. 2)
+    - {!Public_gen}, {!Table} — public-process generation and the
+      mapping table (Sec. 3.3)
+
+    {2 The paper's contribution}
+    - {!Change} — change operations and their classification (Sec. 4)
+    - {!Propagate} — propagation of variant changes (Sec. 5)
+    - {!Choreography} — the multi-party model, the Fig. 4 pipeline, and
+      the decentralized consistency protocol (Sec. 6)
+
+    {2 Validation and evaluation substrate}
+    - {!Runtime} — a synchronous execution engine (deadlock-freeness)
+    - {!Workload} — synthetic generators for benchmarks and property
+      tests
+    - {!Scenario} — the paper's procurement example (Figs. 1–18) *)
+
+(* Formal substrate *)
+module Formula = struct
+  include Chorev_formula.Syntax
+  module Eval = Chorev_formula.Eval
+  module Simplify = Chorev_formula.Simplify
+  module Sat = Chorev_formula.Sat
+  module Pp = Chorev_formula.Pp
+  module Parse = Chorev_formula.Parse
+end
+
+module Label = Chorev_afsa.Label
+module Sym = Chorev_afsa.Sym
+module Afsa = struct
+  include Chorev_afsa.Afsa
+  module Pp = Chorev_afsa.Pp
+end
+module Epsilon = Chorev_afsa.Epsilon
+module Determinize = Chorev_afsa.Determinize
+module Complete = Chorev_afsa.Complete
+module Minimize = Chorev_afsa.Minimize
+module Ops = Chorev_afsa.Ops
+module Emptiness = Chorev_afsa.Emptiness
+module Ablation = Chorev_afsa.Ablation
+module Consistency = Chorev_afsa.Consistency
+module View = Chorev_afsa.View
+module Trace = Chorev_afsa.Trace
+module Equiv = Chorev_afsa.Equiv
+module Dot = Chorev_afsa.Dot
+module Serialize = Chorev_afsa.Serialize
+
+(* Process substrate *)
+module Bpel = struct
+  module Types = Chorev_bpel.Types
+  module Activity = Chorev_bpel.Activity
+  module Process = Chorev_bpel.Process
+  module Validate = Chorev_bpel.Validate
+  module Edit = Chorev_bpel.Edit
+  module Pp = Chorev_bpel.Pp
+  module Sexp = Chorev_bpel.Sexp
+end
+
+module Table = Chorev_mapping.Table
+module Public_gen = Chorev_mapping.Public_gen
+module Firsts = Chorev_mapping.Firsts
+module Skeleton = Chorev_mapping.Skeleton
+
+(* The paper's contribution *)
+module Change = struct
+  module Ops = Chorev_change.Ops
+  module Classify = Chorev_change.Classify
+end
+
+module Propagate = struct
+  module Localize = Chorev_propagate.Localize
+  module Suggest = Chorev_propagate.Suggest
+  module Engine = Chorev_propagate.Engine
+end
+
+module Choreography = struct
+  module Model = Chorev_choreography.Model
+  module Consistency = Chorev_choreography.Consistency
+  module Evolution = Chorev_choreography.Evolution
+  module Protocol = Chorev_choreography.Protocol
+  module Global = Chorev_choreography.Global
+end
+
+(* Validation and evaluation substrate *)
+module Runtime = struct
+  module Exec = Chorev_runtime.Exec
+  module Conformance = Chorev_runtime.Conformance
+end
+
+(* Extensions following the paper's Sec. 6 building blocks and Sec. 8
+   outlook *)
+module Migration = struct
+  module Instance = Chorev_migration.Instance
+  module Compliance = Chorev_migration.Compliance
+  module Versions = Chorev_migration.Versions
+end
+
+module Discovery = Chorev_discovery.Registry
+
+module Workload = struct
+  module Gen_afsa = Chorev_workload.Gen_afsa
+  module Gen_process = Chorev_workload.Gen_process
+  module Gen_change = Chorev_workload.Gen_change
+  module Scale = Chorev_workload.Scale
+end
+
+module Scenario = struct
+  module Procurement = Chorev_scenario.Procurement
+  module Fig5 = Chorev_scenario.Fig5
+  module Report = Chorev_scenario.Report
+end

@@ -1,0 +1,1 @@
+lib/discovery/registry.pp.ml: Chorev_afsa Chorev_bpel Chorev_mapping Fmt List String

@@ -1,0 +1,1 @@
+lib/discovery/registry.pp.mli: Chorev_afsa Chorev_bpel Format

@@ -1,0 +1,118 @@
+(** Process-annotated service discovery.
+
+    Sec. 6 of the paper: "The extension of classical UDDI proposed in
+    this context uses BPEL specifications of public processes and
+    bilateral consistency to improve the precision of service discovery
+    results" (after Wombacher et al., ICWS 2004 / CEC 2004 — the
+    IPSI-PF matchmaking engine). This module is that building block: a
+    registry of advertised public processes, queried with a requester's
+    public process; a service matches iff it is bilaterally consistent
+    with the request, i.e. the two can interact without deadlock.
+
+    Matches are ranked by conversation richness: how many distinct
+    deadlock-free conversations (up to a bounded length) the pair
+    supports — a keyword-style UDDI lookup would return every service
+    sharing an operation name; consistency filtering is what the paper
+    calls improved precision. *)
+
+module Afsa = Chorev_afsa.Afsa
+module Label = Chorev_afsa.Label
+
+type entry = {
+  name : string;
+  party : string;  (** the party name the service advertises *)
+  public : Afsa.t;
+  description : string;
+}
+
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+
+let advertise t ~name ~party ?(description = "") public =
+  if List.exists (fun e -> String.equal e.name name) t.entries then
+    invalid_arg ("Discovery.advertise: duplicate service name " ^ name);
+  t.entries <- { name; party; public; description } :: t.entries
+
+(** Advertise a private process: its public process is derived — the
+    private implementation never enters the registry (the paper's
+    privacy requirement). *)
+let advertise_process t ~name ?description (p : Chorev_bpel.Process.t) =
+  advertise t ~name ~party:(Chorev_bpel.Process.party p) ?description
+    (Chorev_mapping.Public_gen.public p)
+
+let remove t name =
+  t.entries <- List.filter (fun e -> not (String.equal e.name name)) t.entries
+
+let size t = List.length t.entries
+let entries t = List.rev t.entries
+
+type match_result = {
+  entry : entry;
+  conversations : int;
+      (** distinct deadlock-free conversations up to the ranking bound *)
+  shortest : Label.t list option;  (** a shortest successful conversation *)
+}
+
+(* Keyword-level match: do the alphabets share any operation name? This
+   is the classical-UDDI baseline the paper contrasts with. *)
+let keyword_match requester entry =
+  let ops a =
+    List.map (fun (l : Label.t) -> l.msg) (Afsa.alphabet a)
+    |> List.sort_uniq String.compare
+  in
+  List.exists (fun m -> List.mem m (ops entry.public)) (ops requester)
+
+(** Baseline: services sharing at least one operation name with the
+    requester (no behavioral check). *)
+let query_keyword t ~requester =
+  List.filter (keyword_match requester) (entries t)
+
+(** Precise matchmaking: bilaterally-consistent services only, ranked
+    by the number of distinct successful conversations of length ≤
+    [horizon] (default 8), descending; ties by name. [party] is the
+    requester's own party name: following Sec. 3.4 of the paper, each
+    advertised public process is reduced to its bilateral view for
+    that party before the consistency check. *)
+let query ?(horizon = 8) t ~party ~requester =
+  entries t
+  |> List.filter_map (fun entry ->
+         let service_view =
+           Chorev_afsa.View.tau ~observer:party entry.public
+         in
+         let i = Chorev_afsa.Ops.intersect requester service_view in
+         if Chorev_afsa.Emptiness.is_nonempty i then
+           let conversations =
+             (* bounded count of annotated-accepted words *)
+             Chorev_afsa.Trace.enumerate ~limit:500 ~max_len:horizon i
+             |> List.filter (Chorev_afsa.Trace.accepts_annotated i)
+             |> List.length
+           in
+           Some
+             {
+               entry;
+               conversations;
+               shortest = Chorev_afsa.Emptiness.witness i;
+             }
+         else None)
+  |> List.sort (fun a b ->
+         match compare b.conversations a.conversations with
+         | 0 -> String.compare a.entry.name b.entry.name
+         | c -> c)
+
+(** Precision of the consistency filter over the keyword baseline for a
+    given requester: (consistent matches, keyword matches). The paper's
+    point is the first is a subset of the second. *)
+let precision t ~party ~requester =
+  let precise = query t ~party ~requester |> List.map (fun m -> m.entry.name) in
+  let keyword = query_keyword t ~requester |> List.map (fun e -> e.name) in
+  (precise, keyword)
+
+let pp_match ppf m =
+  Fmt.pf ppf "%s (%d conversations%a)" m.entry.name m.conversations
+    (Fmt.option (fun ppf w ->
+         Fmt.pf ppf "; e.g. %a"
+           (Fmt.list ~sep:(Fmt.any " → ") (fun ppf l ->
+                Fmt.string ppf (Label.to_string l)))
+           w))
+    m.shortest

@@ -1,0 +1,53 @@
+(** Process-annotated service discovery (Sec. 6, after the IPSI-PF
+    matchmaking engine): a registry of advertised public processes
+    queried by bilateral consistency — the paper's improved-precision
+    alternative to keyword UDDI lookup. *)
+
+module Afsa = Chorev_afsa.Afsa
+module Label = Chorev_afsa.Label
+
+type entry = {
+  name : string;
+  party : string;
+  public : Afsa.t;
+  description : string;
+}
+
+type t
+
+val create : unit -> t
+
+val advertise :
+  t -> name:string -> party:string -> ?description:string -> Afsa.t -> unit
+(** Raises [Invalid_argument] on duplicate names. *)
+
+val advertise_process :
+  t -> name:string -> ?description:string -> Chorev_bpel.Process.t -> unit
+(** Derives and stores only the public process — the private
+    implementation never enters the registry. *)
+
+val remove : t -> string -> unit
+val size : t -> int
+val entries : t -> entry list
+
+type match_result = {
+  entry : entry;
+  conversations : int;
+      (** distinct deadlock-free conversations up to the ranking bound *)
+  shortest : Label.t list option;
+}
+
+val query_keyword : t -> requester:Afsa.t -> entry list
+(** The classical-UDDI baseline: services sharing an operation name. *)
+
+val query :
+  ?horizon:int -> t -> party:string -> requester:Afsa.t ->
+  match_result list
+(** Bilaterally consistent services (on the requester-party views),
+    ranked by conversation richness, descending. *)
+
+val precision :
+  t -> party:string -> requester:Afsa.t -> string list * string list
+(** (consistent names, keyword names) — the former is a subset. *)
+
+val pp_match : Format.formatter -> match_result -> unit

@@ -1,0 +1,1 @@
+lib/formula/eval.pp.ml: Syntax

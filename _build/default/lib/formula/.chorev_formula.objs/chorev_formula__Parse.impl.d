@@ -1,0 +1,1 @@
+lib/formula/parse.pp.ml: List String Syntax

@@ -1,0 +1,1 @@
+lib/formula/parse.pp.mli: Syntax

@@ -1,0 +1,1 @@
+lib/formula/pp.pp.ml: Fmt Syntax

@@ -1,0 +1,1 @@
+lib/formula/sat.pp.ml: Eval List Simplify String Syntax

@@ -1,0 +1,1 @@
+lib/formula/sat.pp.mli: Syntax

@@ -1,0 +1,1 @@
+lib/formula/simplify.pp.ml: List Syntax

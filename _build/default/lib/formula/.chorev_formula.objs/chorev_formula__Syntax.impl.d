@@ -1,0 +1,1 @@
+lib/formula/syntax.pp.ml: List Ppx_deriving_runtime Set String

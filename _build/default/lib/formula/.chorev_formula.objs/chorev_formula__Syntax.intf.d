@@ -1,0 +1,1 @@
+lib/formula/syntax.pp.mli: Format Set

@@ -1,0 +1,37 @@
+(** Evaluation and substitution of formulas. *)
+
+open Syntax
+
+(** [eval ~assign phi] evaluates [phi] under the total assignment
+    [assign]. *)
+let rec eval ~assign = function
+  | True -> true
+  | False -> false
+  | Var v -> assign v
+  | Not f -> not (eval ~assign f)
+  | And (a, b) -> eval ~assign a && eval ~assign b
+  | Or (a, b) -> eval ~assign a || eval ~assign b
+
+(** [subst ~bind phi] replaces each variable [v] for which
+    [bind v = Some b] by the constant [b]; other variables remain. The
+    result is partially constant-folded via the smart constructors. *)
+let subst ~bind phi =
+  map_vars
+    (fun v ->
+      match bind v with
+      | Some true -> True
+      | Some false -> False
+      | None -> Var v)
+    phi
+
+(** [restrict_to ~keep ~default phi] substitutes every variable not
+    satisfying [keep] by the constant [default]. Used by view generation:
+    messages invisible to a partner are internal obligations and are
+    assumed fulfilled ([default = true]). *)
+let restrict_to ~keep ~default phi =
+  subst ~bind:(fun v -> if keep v then None else Some default) phi
+
+(** [eval_partial ~bind phi] evaluates under a partial assignment,
+    returning [Some b] when the value is determined. *)
+let eval_partial ~bind phi =
+  match subst ~bind phi with True -> Some true | False -> Some false | _ -> None

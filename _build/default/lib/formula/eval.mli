@@ -1,0 +1,17 @@
+(** Evaluation and substitution of annotation formulas. *)
+
+val eval : assign:(string -> bool) -> Syntax.t -> bool
+(** Evaluate under a total assignment. *)
+
+val subst : bind:(string -> bool option) -> Syntax.t -> Syntax.t
+(** Replace variables the partial assignment determines by constants;
+    constant-fold the result. *)
+
+val restrict_to :
+  keep:(string -> bool) -> default:bool -> Syntax.t -> Syntax.t
+(** Substitute every variable not satisfying [keep] by [default]. View
+    generation uses [default:true]: hidden messages are internal
+    obligations assumed fulfilled (Sec. 3.4 of the paper). *)
+
+val eval_partial : bind:(string -> bool option) -> Syntax.t -> bool option
+(** [Some b] when the partial assignment determines the value. *)

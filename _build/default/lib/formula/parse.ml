@@ -1,0 +1,110 @@
+(** Parser for the textual formula syntax produced by {!Pp}:
+
+      formula ::= disj
+      disj    ::= conj ("OR" conj)*
+      conj    ::= atom ("AND" atom)*
+      atom    ::= "NOT" atom | "true" | "false" | var | "(" formula ")"
+
+    Variables are message identifiers: any run of characters that is
+    not whitespace, a parenthesis, or one of the keywords (labels like
+    ["B#A#orderOp"] parse as single variables). Round-trips with
+    {!Pp.to_string}. *)
+
+open Syntax
+
+type token = LPAREN | RPAREN | AND | OR | NOT | TRUE | FALSE | VAR of string
+
+let tokenize s : (token list, string) result =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (LPAREN :: acc)
+      | ')' -> go (i + 1) (RPAREN :: acc)
+      | _ ->
+          let j = ref i in
+          while
+            !j < n
+            && not (List.mem s.[!j] [ ' '; '\t'; '\n'; '\r'; '('; ')' ])
+          do
+            incr j
+          done;
+          let word = String.sub s i (!j - i) in
+          let tok =
+            match word with
+            | "AND" -> AND
+            | "OR" -> OR
+            | "NOT" -> NOT
+            | "true" -> TRUE
+            | "false" -> FALSE
+            | v -> VAR v
+          in
+          go !j (tok :: acc)
+  in
+  go 0 []
+
+exception Parse_error of string
+
+let parse_tokens tokens =
+  let toks = ref tokens in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> () | _ :: tl -> toks := tl in
+  let expect t msg =
+    match peek () with
+    | Some t' when t' = t -> advance ()
+    | _ -> raise (Parse_error msg)
+  in
+  let rec disj () =
+    let left = conj () in
+    match peek () with
+    | Some OR ->
+        advance ();
+        Or (left, disj ())
+    | _ -> left
+  and conj () =
+    let left = atom () in
+    match peek () with
+    | Some AND ->
+        advance ();
+        And (left, conj ())
+    | _ -> left
+  and atom () =
+    match peek () with
+    | Some NOT ->
+        advance ();
+        Not (atom ())
+    | Some TRUE ->
+        advance ();
+        True
+    | Some FALSE ->
+        advance ();
+        False
+    | Some (VAR v) ->
+        advance ();
+        Var v
+    | Some LPAREN ->
+        advance ();
+        let f = disj () in
+        expect RPAREN "expected ')'";
+        f
+    | Some RPAREN -> raise (Parse_error "unexpected ')'")
+    | Some AND | Some OR -> raise (Parse_error "unexpected operator")
+    | None -> raise (Parse_error "unexpected end of input")
+  in
+  let f = disj () in
+  match !toks with
+  | [] -> f
+  | _ -> raise (Parse_error "trailing input")
+
+let of_string s : (t, string) result =
+  match tokenize s with
+  | Error e -> Error e
+  | Ok tokens -> (
+      try Ok (parse_tokens tokens) with Parse_error e -> Error e)
+
+let of_string_exn s =
+  match of_string s with
+  | Ok f -> f
+  | Error e -> invalid_arg ("Formula.Parse.of_string_exn: " ^ e)

@@ -1,0 +1,6 @@
+(** Parser for the textual syntax of {!Pp}: [AND] binds tighter than
+    [OR]; [NOT] tighter than both; variables are any non-keyword word
+    (labels like ["B#A#orderOp"] are single variables). *)
+
+val of_string : string -> (Syntax.t, string) result
+val of_string_exn : string -> Syntax.t

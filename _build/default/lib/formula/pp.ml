@@ -1,0 +1,26 @@
+(** Printing of formulas in the paper's style: infix [AND] / [OR] / [NOT],
+    parenthesized by precedence (NOT > AND > OR). *)
+
+open Syntax
+
+let rec pp_prec prec ppf f =
+  match f with
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Var v -> Fmt.string ppf v
+  | Not g ->
+      if prec > 3 then Fmt.pf ppf "(NOT %a)" (pp_prec 3) g
+      else Fmt.pf ppf "NOT %a" (pp_prec 3) g
+  | And (a, b) ->
+      if prec > 2 then Fmt.pf ppf "(%a AND %a)" (pp_prec 2) a (pp_prec 2) b
+      else Fmt.pf ppf "%a AND %a" (pp_prec 2) a (pp_prec 2) b
+  | Or (a, b) ->
+      if prec > 1 then Fmt.pf ppf "(%a OR %a)" (pp_prec 1) a (pp_prec 1) b
+      else Fmt.pf ppf "%a OR %a" (pp_prec 1) a (pp_prec 1) b
+
+let pp ppf f = pp_prec 0 ppf f
+let to_string f = Fmt.str "%a" pp f
+
+(** Print with variables abbreviated through [abbrev] (the paper's
+    figures print only the operation part of a label). *)
+let pp_abbrev abbrev ppf f = pp ppf (rename abbrev f)

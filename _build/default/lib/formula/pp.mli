@@ -1,0 +1,9 @@
+(** Printing in the paper's style: infix [AND] / [OR] / [NOT],
+    parenthesized by precedence. Parsed back by {!Parse}. *)
+
+val pp : Format.formatter -> Syntax.t -> unit
+val to_string : Syntax.t -> string
+
+val pp_abbrev : (string -> string) -> Format.formatter -> Syntax.t -> unit
+(** Print with variables renamed through an abbreviation function (the
+    paper's figures show only the operation part of a label). *)

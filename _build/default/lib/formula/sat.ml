@@ -1,0 +1,60 @@
+(** Satisfiability, tautology and equivalence of formulas.
+
+    Annotation formulas are small (a handful of message variables), so a
+    DNF-based decision procedure is entirely adequate; [satisfiable]
+    falls back to truth-table enumeration when DNF explodes. *)
+
+open Syntax
+
+let satisfiable f =
+  match Simplify.dnf f with
+  | clauses -> List.exists Simplify.clause_consistent clauses
+  | exception Simplify.Too_large ->
+      (* Truth-table fallback; annotation vocabularies are small. *)
+      let vs = vars_list f in
+      let n = List.length vs in
+      if n > 22 then invalid_arg "Sat.satisfiable: too many variables";
+      let rec try_mask mask =
+        if mask >= 1 lsl n then false
+        else
+          let assign v =
+            let rec idx i = function
+              | [] -> invalid_arg "Sat.satisfiable"
+              | w :: tl -> if String.equal v w then i else idx (i + 1) tl
+            in
+            mask land (1 lsl idx 0 vs) <> 0
+          in
+          Eval.eval ~assign f || try_mask (mask + 1)
+      in
+      try_mask 0
+
+let unsat f = not (satisfiable f)
+let tautology f = unsat (not_ f)
+
+(** Logical equivalence. *)
+let equivalent a b = tautology (or_ (and_ a b) (and_ (not_ a) (not_ b)))
+
+(** [implies a b] iff every model of [a] is a model of [b]. *)
+let implies a b = unsat (and_ a (not_ b))
+
+(** A model of [f] over its own variables, if any: list of
+    (variable, value). *)
+let model f =
+  let vs = vars_list f in
+  let n = List.length vs in
+  if n > 22 then invalid_arg "Sat.model: too many variables";
+  let rec try_mask mask =
+    if mask >= 1 lsl n then None
+    else
+      let value i = mask land (1 lsl i) <> 0 in
+      let assign v =
+        let rec idx i = function
+          | [] -> invalid_arg "Sat.model"
+          | w :: tl -> if String.equal v w then i else idx (i + 1) tl
+        in
+        value (idx 0 vs)
+      in
+      if Eval.eval ~assign f then Some (List.mapi (fun i v -> (v, value i)) vs)
+      else try_mask (mask + 1)
+  in
+  try_mask 0

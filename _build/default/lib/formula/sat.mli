@@ -1,0 +1,14 @@
+(** Satisfiability, tautology and equivalence. Annotation formulas are
+    small; decisions go through DNF with a truth-table fallback. *)
+
+val satisfiable : Syntax.t -> bool
+val unsat : Syntax.t -> bool
+val tautology : Syntax.t -> bool
+
+val equivalent : Syntax.t -> Syntax.t -> bool
+(** Logical equivalence. *)
+
+val implies : Syntax.t -> Syntax.t -> bool
+
+val model : Syntax.t -> (string * bool) list option
+(** A satisfying assignment over the formula's own variables, if any. *)

@@ -1,0 +1,134 @@
+(** Simplification and normal forms.
+
+    [simplify] computes a canonical-ish form: negation normal form with
+    flattened, sorted, duplicate-free conjunctions/disjunctions, constant
+    folding, complement annihilation and absorption. It is not a full
+    canonizer (no BDDs) but is idempotent and strong enough to give
+    minimization a stable annotation key; exact equivalence checking is
+    in {!Sat}. *)
+
+open Syntax
+
+(* Negation normal form. *)
+let rec nnf = function
+  | True -> True
+  | False -> False
+  | Var v -> Var v
+  | And (a, b) -> And (nnf a, nnf b)
+  | Or (a, b) -> Or (nnf a, nnf b)
+  | Not f -> nnf_neg f
+
+and nnf_neg = function
+  | True -> False
+  | False -> True
+  | Var v -> Not (Var v)
+  | Not f -> nnf f
+  | And (a, b) -> Or (nnf_neg a, nnf_neg b)
+  | Or (a, b) -> And (nnf_neg a, nnf_neg b)
+
+(* Flatten nested conjunctions (resp. disjunctions) into a list. *)
+let rec flat_and acc = function
+  | And (a, b) -> flat_and (flat_and acc a) b
+  | f -> f :: acc
+
+let rec flat_or acc = function
+  | Or (a, b) -> flat_or (flat_or acc a) b
+  | f -> f :: acc
+
+let is_neg_of a b =
+  match (a, b) with
+  | Not x, y | y, Not x -> equal x y
+  | _ -> false
+
+let contains_complement fs =
+  List.exists (fun a -> List.exists (fun b -> is_neg_of a b) fs) fs
+
+let sort_uniq fs = List.sort_uniq compare fs
+
+(* Absorption: in a conjunction, drop any disjunction that contains a
+   conjunct as a member (a ∧ (a ∨ b) = a); dually for disjunction. *)
+let absorb_and fs =
+  List.filter
+    (fun f ->
+      match f with
+      | Or _ ->
+          let members = flat_or [] f in
+          not (List.exists (fun g -> (not (equal g f)) && List.mem g members) fs)
+      | _ -> true)
+    fs
+
+let absorb_or fs =
+  List.filter
+    (fun f ->
+      match f with
+      | And _ ->
+          let members = flat_and [] f in
+          not (List.exists (fun g -> (not (equal g f)) && List.mem g members) fs)
+      | _ -> true)
+    fs
+
+let rec simp f =
+  match f with
+  | True | False | Var _ -> f
+  | Not g -> not_ (simp g)
+  | And _ ->
+      let fs = flat_and [] f |> List.map simp in
+      if List.mem False fs then False
+      else
+        let fs = List.filter (fun g -> g <> True) fs |> sort_uniq in
+        if contains_complement fs then False
+        else conj (absorb_and fs)
+  | Or _ ->
+      let fs = flat_or [] f |> List.map simp in
+      if List.mem True fs then True
+      else
+        let fs = List.filter (fun g -> g <> False) fs |> sort_uniq in
+        if contains_complement fs then True
+        else disj (absorb_or fs)
+
+(** Simplify to a stable form: NNF, then bottom-up local simplification,
+    iterated to a fixpoint (bounded). *)
+let simplify f =
+  let rec go n f =
+    if n = 0 then f
+    else
+      let f' = simp f in
+      if equal f' f then f else go (n - 1) f'
+  in
+  go 8 (nnf f)
+
+(** Disjunctive normal form as a list of clauses, each clause a list of
+    literals ([`Pos v] / [`Neg v]). Exponential in the worst case; guarded
+    by [max_clauses] (default 4096, raises [Too_large] beyond). *)
+exception Too_large
+
+type literal = [ `Pos of string | `Neg of string ]
+
+let dnf ?(max_clauses = 4096) f : literal list list =
+  let rec go f : literal list list =
+    match f with
+    | True -> [ [] ]
+    | False -> []
+    | Var v -> [ [ `Pos v ] ]
+    | Not (Var v) -> [ [ `Neg v ] ]
+    | Not _ -> assert false (* NNF *)
+    | Or (a, b) ->
+        let ca = go a and cb = go b in
+        let r = ca @ cb in
+        if List.length r > max_clauses then raise Too_large else r
+    | And (a, b) ->
+        let ca = go a and cb = go b in
+        if List.length ca * List.length cb > max_clauses then raise Too_large;
+        List.concat_map (fun c1 -> List.map (fun c2 -> c1 @ c2) cb) ca
+  in
+  go (nnf f)
+
+(* A DNF clause is consistent unless it contains v and ¬v. *)
+let clause_consistent lits =
+  not
+    (List.exists
+       (fun l ->
+         match l with
+         | `Pos v -> List.mem (`Neg v) lits
+         | `Neg v -> List.mem (`Pos v) lits)
+       lits)

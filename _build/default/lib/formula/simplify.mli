@@ -1,0 +1,21 @@
+(** Simplification and normal forms of annotation formulas. *)
+
+val nnf : Syntax.t -> Syntax.t
+(** Negation normal form. *)
+
+val simplify : Syntax.t -> Syntax.t
+(** Stable simplified form: NNF with flattened, sorted, duplicate-free
+    conjunctions/disjunctions, constant folding, complement
+    annihilation, absorption. Idempotent; used as the annotation key by
+    minimization. *)
+
+exception Too_large
+
+type literal = [ `Pos of string | `Neg of string ]
+
+val dnf : ?max_clauses:int -> Syntax.t -> literal list list
+(** Disjunctive normal form as clauses of literals. Raises {!Too_large}
+    beyond [max_clauses] (default 4096). *)
+
+val clause_consistent : literal list -> bool
+(** No variable occurring both positively and negatively. *)

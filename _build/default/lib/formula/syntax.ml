@@ -1,0 +1,96 @@
+(** Syntax of the logical formulas used in aFSA state annotations.
+
+    This implements Definition 1 of the paper: the constants [true] and
+    [false] are formulas, variables over a finite set of messages are
+    formulas, and formulas are closed under negation, conjunction and
+    disjunction. Variables are message identifiers (we use the full label
+    string ["B#A#orderOp"]; the paper's figures abbreviate to the bare
+    operation name). *)
+
+type t =
+  | True
+  | False
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+[@@deriving eq, ord, show]
+
+(* Smart constructors perform only local, constant-level rewrites so that
+   formula construction never explodes; full simplification lives in
+   {!Simplify}. *)
+
+let tru = True
+let fls = False
+let var v = Var v
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let and_ a b =
+  match (a, b) with
+  | True, f | f, True -> f
+  | False, _ | _, False -> False
+  | a, b -> And (a, b)
+
+let or_ a b =
+  match (a, b) with
+  | False, f | f, False -> f
+  | True, _ | _, True -> True
+  | a, b -> Or (a, b)
+
+(** [conj fs] is the conjunction of all formulas in [fs]; [True] if empty. *)
+let conj fs = List.fold_left and_ True fs
+
+(** [disj fs] is the disjunction of all formulas in [fs]; [False] if empty. *)
+let disj fs = List.fold_left or_ False fs
+
+(** Set of variable names. *)
+module Vars = Set.Make (String)
+
+let rec vars = function
+  | True | False -> Vars.empty
+  | Var v -> Vars.singleton v
+  | Not f -> vars f
+  | And (a, b) | Or (a, b) -> Vars.union (vars a) (vars b)
+
+let vars_list f = Vars.elements (vars f)
+
+(** Number of AST nodes. *)
+let rec size = function
+  | True | False | Var _ -> 1
+  | Not f -> 1 + size f
+  | And (a, b) | Or (a, b) -> 1 + size a + size b
+
+(** [map_vars f phi] replaces every variable [v] by the formula [f v]. *)
+let rec map_vars f = function
+  | True -> True
+  | False -> False
+  | Var v -> f v
+  | Not g -> not_ (map_vars f g)
+  | And (a, b) -> and_ (map_vars f a) (map_vars f b)
+  | Or (a, b) -> or_ (map_vars f a) (map_vars f b)
+
+(** [rename f phi] renames every variable through [f]. *)
+let rename f phi = map_vars (fun v -> Var (f v)) phi
+
+(** A formula is positive when it contains no negation. The annotations
+    the paper uses (conjunctions of mandatory messages) are all positive;
+    the emptiness fixpoint is exact only on positive formulas. *)
+let rec is_positive = function
+  | True | False | Var _ -> true
+  | Not _ -> false
+  | And (a, b) | Or (a, b) -> is_positive a && is_positive b
+
+let rec fold ~tru ~fls ~var ~nt ~cj ~dj = function
+  | True -> tru
+  | False -> fls
+  | Var v -> var v
+  | Not f -> nt (fold ~tru ~fls ~var ~nt ~cj ~dj f)
+  | And (a, b) ->
+      cj (fold ~tru ~fls ~var ~nt ~cj ~dj a) (fold ~tru ~fls ~var ~nt ~cj ~dj b)
+  | Or (a, b) ->
+      dj (fold ~tru ~fls ~var ~nt ~cj ~dj a) (fold ~tru ~fls ~var ~nt ~cj ~dj b)

@@ -1,0 +1,64 @@
+(** Syntax of the logical formulas used in aFSA state annotations
+    (Definition 1 of the paper): constants, variables over messages,
+    negation, conjunction, disjunction. Variables are full label
+    strings such as ["B#A#orderOp"]. *)
+
+type t =
+  | True
+  | False
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+(** {1 Smart constructors}
+
+    Perform local constant folding only; see {!Simplify} for full
+    simplification. *)
+
+val tru : t
+val fls : t
+val var : string -> t
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+
+val conj : t list -> t
+(** Conjunction of a list; [True] when empty. *)
+
+val disj : t list -> t
+(** Disjunction of a list; [False] when empty. *)
+
+(** {1 Queries and transformations} *)
+
+module Vars : Set.S with type elt = string
+
+val vars : t -> Vars.t
+val vars_list : t -> string list
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val map_vars : (string -> t) -> t -> t
+(** Replace every variable by a formula. *)
+
+val rename : (string -> string) -> t -> t
+
+val is_positive : t -> bool
+(** No negation anywhere — the fragment on which the annotated
+    emptiness fixpoint is exact. *)
+
+val fold :
+  tru:'a ->
+  fls:'a ->
+  var:(string -> 'a) ->
+  nt:('a -> 'a) ->
+  cj:('a -> 'a -> 'a) ->
+  dj:('a -> 'a -> 'a) ->
+  t ->
+  'a

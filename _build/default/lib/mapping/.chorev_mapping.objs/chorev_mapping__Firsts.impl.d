@@ -1,0 +1,1 @@
+lib/mapping/firsts.pp.ml: Activity Chorev_afsa Chorev_bpel Chorev_formula Hashtbl List Process String

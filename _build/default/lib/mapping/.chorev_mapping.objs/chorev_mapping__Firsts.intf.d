@@ -1,0 +1,1 @@
+lib/mapping/firsts.pp.mli: Chorev_afsa Chorev_bpel Chorev_formula

@@ -1,0 +1,1 @@
+lib/mapping/public_gen.pp.ml: Activity Chorev_afsa Chorev_bpel Chorev_formula Firsts Hashtbl List Map Process Queue Seq String Table

@@ -1,0 +1,1 @@
+lib/mapping/public_gen.pp.mli: Chorev_afsa Chorev_bpel Table

@@ -1,0 +1,1 @@
+lib/mapping/skeleton.pp.ml: Activity Chorev_afsa Chorev_bpel Hashtbl List Option Printf Process String Types

@@ -1,0 +1,1 @@
+lib/mapping/skeleton.pp.mli: Chorev_afsa Chorev_bpel

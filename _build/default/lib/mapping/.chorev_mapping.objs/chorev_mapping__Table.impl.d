@@ -1,0 +1,1 @@
+lib/mapping/table.pp.ml: Chorev_bpel Fmt Int List Map Option Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/mapping/table.pp.mli: Chorev_bpel Format

@@ -1,0 +1,57 @@
+(** First-send analysis used by the annotation rule of public-process
+    generation.
+
+    At an internal choice (a [switch]), each alternative obligates the
+    process to a set of sends: for every partner, the first message the
+    branch will send to that partner along its *linear prefix* — the
+    deterministic run of basic activities before the next structured
+    choice point ([switch]/[pick]/[while]) or [flow]. Receives do not
+    stop the walk (cf. Fig. 12a of the paper, where [deliveryOp] is
+    mandatory although a [deliver_conf] receive precedes it); they are
+    simply not obligations of this process.
+
+    The conjunction of these labels over all branches is the state
+    annotation (cf. Fig. 6: [terminateOp AND get_statusOp]). *)
+
+module Label = Chorev_afsa.Label
+open Chorev_bpel
+
+(** Sends of the linear prefix of [act]: first message per partner, in
+    traversal order. *)
+let first_sends (p : Process.t) (act : Activity.t) : Label.t list =
+  let seen = Hashtbl.create 4 in
+  let out = ref [] in
+  let record (l : Label.t) =
+    (* only sends of this process, first per partner *)
+    if String.equal l.sender (Process.party p) && not (Hashtbl.mem seen l.receiver)
+    then begin
+      Hashtbl.add seen l.receiver ();
+      out := l :: !out
+    end
+  in
+  let exception Stop in
+  (* [walk] raises [Stop] at the first choice point or flow so that no
+     activity *after* it in an enclosing sequence is inspected either. *)
+  let rec walk act =
+    match (act : Activity.t) with
+    | Receive c -> List.iter record (Process.labels_of_comm p `Receive c)
+    | Reply c -> List.iter record (Process.labels_of_comm p `Reply c)
+    | Invoke c -> List.iter record (Process.labels_of_comm p `Invoke c)
+    | Assign _ | Empty -> ()
+    | Terminate -> raise Stop (* nothing after a terminate executes *)
+    | Sequence (_, body) -> List.iter walk body
+    | Scope (_, body) -> walk body
+    | Switch _ | Pick _ | While _ | Flow _ -> raise Stop
+  in
+  (try walk act with Stop -> ());
+  List.rev !out
+
+(** The mandatory-annotation formula for an internal choice among
+    [branches]: conjunction of every branch's first sends. [True] when
+    nothing is obligated (e.g. all branches start with receives). *)
+let choice_annotation (p : Process.t) (branches : Activity.t list) :
+    Chorev_formula.Syntax.t =
+  branches
+  |> List.concat_map (fun b -> first_sends p b)
+  |> List.map (fun l -> Chorev_formula.Syntax.var (Label.to_string l))
+  |> Chorev_formula.Syntax.conj

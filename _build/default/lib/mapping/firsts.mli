@@ -1,0 +1,13 @@
+(** First-send analysis for the annotation rule: per branch, the first
+    message sent to each partner along its linear prefix (receives do
+    not stop the walk — Fig. 12a; choice points and [terminate] do). *)
+
+val first_sends :
+  Chorev_bpel.Process.t -> Chorev_bpel.Activity.t -> Chorev_afsa.Label.t list
+
+val choice_annotation :
+  Chorev_bpel.Process.t ->
+  Chorev_bpel.Activity.t list ->
+  Chorev_formula.Syntax.t
+(** Conjunction of every branch's first sends — the mandatory
+    annotation of an internal choice (Fig. 6). *)

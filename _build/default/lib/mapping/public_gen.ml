@@ -1,0 +1,319 @@
+(** Public-process generation: compile a private BPEL process into its
+    public aFSA and the mapping table (Sec. 3.3 of the paper).
+
+    The compilation is a depth-first traversal of the block structure.
+    Each activity is compiled between an [entry] and an [exit] state;
+    structured blocks record a mapping-table entry at their entry state,
+    and every freshly allocated state is attributed to the innermost
+    enclosing named block (this reproduces Table 1 of the paper, see
+    {!Table}). Internal choices ([switch] with ≥ 2 branches) annotate
+    their entry state with the conjunctive mandatory formula of
+    {!Firsts.choice_annotation}. [while] loops with the paper's
+    non-terminating condition ("1 = 1" or "true") have no exit edge.
+
+    ε-transitions produced by silent activities and loop exits are
+    eliminated afterwards with provenance tracking, so table entries
+    survive; states are finally renumbered in BFS order from the start
+    (the paper's figures number them the same way, 1-based). *)
+
+module F = Chorev_formula.Syntax
+module Afsa = Chorev_afsa.Afsa
+module Sym = Chorev_afsa.Sym
+module Label = Chorev_afsa.Label
+module ISet = Afsa.ISet
+open Chorev_bpel
+
+type builder = {
+  mutable next : int;
+  mutable edges : (int * Sym.t * int) list;
+  mutable finals : ISet.t;
+  mutable anns : (int * F.t) list;
+  mutable table : Table.t;
+}
+
+let new_builder () =
+  { next = 0; edges = []; finals = ISet.empty; anns = []; table = Table.empty }
+
+let fresh b ~ctx =
+  let q = b.next in
+  b.next <- q + 1;
+  (match ctx with
+  | Some entry -> b.table <- Table.add b.table ~state:q entry
+  | None -> ());
+  q
+
+let edge b s sym t = b.edges <- (s, sym, t) :: b.edges
+let lbl l = Sym.L l
+let mark_final b q = b.finals <- ISet.add q b.finals
+let annotate b q f = if not (F.equal f F.True) then b.anns <- (q, f) :: b.anns
+
+let record_block b ~state ~path act =
+  match Activity.block_name act with
+  | Some name -> b.table <- Table.add b.table ~state { Table.block = name; path }
+  | None -> ()
+
+(** Is a while condition the paper's non-terminating idiom? *)
+let nonterminating_cond cond =
+  let squash s =
+    String.to_seq s |> Seq.filter (fun c -> c <> ' ') |> String.of_seq
+    |> String.lowercase_ascii
+  in
+  List.mem (squash cond) [ "1=1"; "true" ]
+
+(* Interleaving (shuffle) product of two fragment automata, used for
+   [flow]. Each side moves independently; annotations combine by
+   conjunction; finals are pairs of finals. *)
+let shuffle a1 a2 =
+  let module PMap = Map.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let next = ref 0 in
+  let ids = ref PMap.empty in
+  let edges = ref [] in
+  let finals = ref [] in
+  let anns = ref [] in
+  let rec visit ((q1, q2) as pr) =
+    match PMap.find_opt pr !ids with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        ids := PMap.add pr id !ids;
+        if Afsa.is_final a1 q1 && Afsa.is_final a2 q2 then finals := id :: !finals;
+        let ann = F.and_ (Afsa.annotation a1 q1) (Afsa.annotation a2 q2) in
+        if not (F.equal ann F.True) then anns := (id, ann) :: !anns;
+        List.iter
+          (fun (sym, t1) ->
+            let tid = visit (t1, q2) in
+            edges := (id, sym, tid) :: !edges)
+          (Afsa.out_edges a1 q1);
+        List.iter
+          (fun (sym, t2) ->
+            let tid = visit (q1, t2) in
+            edges := (id, sym, tid) :: !edges)
+          (Afsa.out_edges a2 q2);
+        id
+  in
+  let s0 = visit (Afsa.start a1, Afsa.start a2) in
+  Afsa.make ~start:s0 ~finals:!finals ~edges:!edges ~ann:!anns ()
+
+let rec compile (p : Process.t) b ~ctx ~path ~entry ~exit act =
+  record_block b ~state:entry ~path act;
+  let ctx' =
+    match Activity.block_name act with
+    | Some name -> Some { Table.block = name; path }
+    | None -> ctx
+  in
+  let comm_edges kind c =
+    let labels = Process.labels_of_comm p kind c in
+    let rec chain s = function
+      | [] -> edge b s Sym.Eps exit
+      | [ l ] -> edge b s (lbl l) exit
+      | l :: rest ->
+          let m = fresh b ~ctx in
+          edge b s (lbl l) m;
+          chain m rest
+    in
+    chain entry labels
+  in
+  match (act : Activity.t) with
+  | Receive c -> comm_edges `Receive c
+  | Reply c -> comm_edges `Reply c
+  | Invoke c -> comm_edges `Invoke c
+  | Assign _ | Empty -> edge b entry Sym.Eps exit
+  | Terminate -> mark_final b entry
+  | Scope (_, body) ->
+      compile p b ~ctx:ctx' ~path:(path @ [ 0 ]) ~entry ~exit body
+  | Sequence (_, body) ->
+      let n = List.length body in
+      let _ =
+        List.fold_left
+          (fun (i, s) child ->
+            let s' = if i = n - 1 then exit else fresh b ~ctx:ctx' in
+            compile p b ~ctx:ctx' ~path:(path @ [ i ]) ~entry:s ~exit:s' child;
+            (i + 1, s'))
+          (0, entry) body
+      in
+      if n = 0 then edge b entry Sym.Eps exit
+  | Switch { branches; _ } ->
+      if List.length branches >= 2 then
+        annotate b entry
+          (Firsts.choice_annotation p (List.map (fun br -> br.Activity.body) branches));
+      List.iteri
+        (fun i br ->
+          compile p b ~ctx:ctx' ~path:(path @ [ i ]) ~entry ~exit
+            br.Activity.body)
+        branches;
+      if branches = [] then edge b entry Sym.Eps exit
+  | Pick { on_messages; _ } ->
+      List.iteri
+        (fun i (c, body) ->
+          (* the trigger is a receive; its labels chain to a fresh state
+             from which the arm body continues *)
+          let labels = Process.labels_of_comm p `Receive c in
+          let after =
+            List.fold_left
+              (fun s l ->
+                let m = fresh b ~ctx:ctx' in
+                edge b s (lbl l) m;
+                m)
+              entry labels
+          in
+          compile p b ~ctx:ctx' ~path:(path @ [ i ]) ~entry:after ~exit body)
+        on_messages;
+      if on_messages = [] then edge b entry Sym.Eps exit
+  | While { cond; body; _ } ->
+      compile p b ~ctx:ctx' ~path:(path @ [ 0 ]) ~entry ~exit:entry body;
+      if not (nonterminating_cond cond) then begin
+        edge b entry Sym.Eps exit;
+        annotate b entry (Firsts.choice_annotation p [ body ])
+      end
+  | Flow (_, branches) ->
+      (* compile each branch standalone, shuffle, embed *)
+      let frags =
+        List.map
+          (fun br ->
+            let fb = new_builder () in
+            let s = fresh fb ~ctx:None in
+            let e = fresh fb ~ctx:None in
+            compile p fb ~ctx:None ~path:[] ~entry:s ~exit:e br;
+            mark_final fb e;
+            Afsa.make ~start:s
+              ~finals:(ISet.elements fb.finals)
+              ~edges:fb.edges ~ann:fb.anns ())
+          branches
+      in
+      let product =
+        match frags with
+        | [] -> None
+        | f :: rest -> Some (List.fold_left shuffle f rest)
+      in
+      (match product with
+      | None -> edge b entry Sym.Eps exit
+      | Some prod ->
+          (* embed with fresh states *)
+          let map = Hashtbl.create 16 in
+          let emb q =
+            match Hashtbl.find_opt map q with
+            | Some v -> v
+            | None ->
+                let v = fresh b ~ctx:ctx' in
+                Hashtbl.add map q v;
+                v
+          in
+          List.iter
+            (fun (s, sym, t) -> edge b (emb s) sym (emb t))
+            (Afsa.edges prod);
+          List.iter (fun (q, f) -> annotate b (emb q) f) (Afsa.annotations prod);
+          edge b entry Sym.Eps (emb (Afsa.start prod));
+          List.iter (fun q -> edge b (emb q) Sym.Eps exit) (Afsa.finals prod))
+
+(* ------------------------------------------------------------------ *)
+(* ε-elimination with provenance + BFS renumbering                     *)
+(* ------------------------------------------------------------------ *)
+
+let eliminate_with_table (a : Afsa.t) (table : Table.t) =
+  let epsilon = Chorev_afsa.Epsilon.closure_of a in
+  let states = Afsa.states a in
+  let edges =
+    List.concat_map
+      (fun q ->
+        ISet.fold
+          (fun pstate acc ->
+            List.filter_map
+              (fun (sym, t) ->
+                match sym with Sym.Eps -> None | Sym.L _ -> Some (q, sym, t))
+              (Afsa.out_edges a pstate)
+            @ acc)
+          (epsilon q) [])
+      states
+  in
+  let finals =
+    List.filter (fun q -> ISet.exists (Afsa.is_final a) (epsilon q)) states
+  in
+  let anns =
+    List.filter_map
+      (fun q ->
+        let f =
+          ISet.fold (fun s acc -> F.and_ (Afsa.annotation a s) acc) (epsilon q) F.True
+        in
+        let f = Chorev_formula.Simplify.simplify f in
+        if F.equal f F.True then None else Some (q, f))
+      states
+  in
+  let table =
+    List.fold_left
+      (fun tbl q ->
+        ISet.fold
+          (fun s tbl -> if s = q then tbl else Table.merge tbl ~into:q ~from:s)
+          (epsilon q) tbl)
+      table states
+  in
+  let a' =
+    Afsa.make ~alphabet:(Afsa.alphabet a) ~start:(Afsa.start a) ~finals ~edges
+      ~ann:anns ()
+  in
+  (a', table)
+
+let bfs_order a =
+  let seen = Hashtbl.create 16 in
+  let q = Queue.create () in
+  let order = ref [] in
+  Queue.add (Afsa.start a) q;
+  Hashtbl.add seen (Afsa.start a) ();
+  while not (Queue.is_empty q) do
+    let s = Queue.pop q in
+    order := s :: !order;
+    Afsa.out_edges a s
+    |> List.sort (fun (y1, _) (y2, _) -> Sym.compare y1 y2)
+    |> List.iter (fun (_, t) ->
+           if not (Hashtbl.mem seen t) then begin
+             Hashtbl.add seen t ();
+             Queue.add t q
+           end)
+  done;
+  List.rev !order
+
+(** [generate p] compiles private process [p] to its public aFSA and
+    mapping table. The automaton's alphabet is the full alphabet of the
+    process. *)
+let generate (p : Process.t) : Afsa.t * Table.t =
+  let b = new_builder () in
+  let root_entry = fresh b ~ctx:None in
+  b.table <-
+    Table.add b.table ~state:root_entry { Table.block = "BPELProcess"; path = [] };
+  let root_exit = fresh b ~ctx:None in
+  mark_final b root_exit;
+  compile p b ~ctx:None ~path:[] ~entry:root_entry ~exit:root_exit
+    (Process.body p);
+  let raw =
+    Afsa.make
+      ~alphabet:(Process.alphabet p)
+      ~start:root_entry
+      ~finals:(ISet.elements b.finals)
+      ~edges:b.edges ~ann:b.anns ()
+  in
+  let elim, table = eliminate_with_table raw b.table in
+  let elim = Afsa.trim_unreachable elim in
+  (* BFS renumbering, composed into the table *)
+  let order = bfs_order elim in
+  let map = Hashtbl.create 16 in
+  List.iteri (fun i q -> Hashtbl.add map q i) order;
+  let f q = Hashtbl.find map q in
+  let renum =
+    Afsa.make
+      ~alphabet:(Afsa.alphabet elim)
+      ~start:(f (Afsa.start elim))
+      ~finals:(List.map f (Afsa.finals elim))
+      ~edges:(List.map (fun (s, y, t) -> (f s, y, f t)) (Afsa.edges elim))
+      ~ann:(List.map (fun (s, e) -> (f s, e)) (Afsa.annotations elim))
+      ()
+  in
+  let table = Table.restrict table order in
+  let table = Table.renumber table ~f in
+  (renum, table)
+
+(** Just the public aFSA. *)
+let public p = fst (generate p)

@@ -1,0 +1,18 @@
+(** Skeleton synthesis — the inverse of {!Public_gen}: recover a
+    private BPEL process template from a deterministic public process
+    (picks for received alternatives, switches for sent ones,
+    non-terminating whiles for cycles, the idiom of the paper's
+    Figs. 2/3). The synthesized process regenerates a public process
+    with the same plain language; annotations are re-derived from the
+    recovered structure. States mixing sends and receives, and
+    automata whose cycles do not pass through their loop entry, are
+    rejected with [Error]. Worst-case exponential on automata with
+    heavily shared acyclic suffixes (the output is a tree). *)
+
+type error = string
+
+val synthesize :
+  ?name:string ->
+  party:string ->
+  Chorev_afsa.Afsa.t ->
+  (Chorev_bpel.Process.t, error) result

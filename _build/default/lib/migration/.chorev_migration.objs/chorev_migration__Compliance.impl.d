@@ -1,0 +1,1 @@
+lib/migration/compliance.pp.ml: Chorev_afsa Instance List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/migration/compliance.pp.mli: Chorev_afsa Format Instance

@@ -1,0 +1,1 @@
+lib/migration/instance.pp.ml: Chorev_afsa List Ppx_deriving_runtime Random Result

@@ -1,0 +1,1 @@
+lib/migration/instance.pp.mli: Chorev_afsa Format

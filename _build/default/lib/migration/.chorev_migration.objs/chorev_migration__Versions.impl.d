@@ -1,0 +1,1 @@
+lib/migration/versions.pp.ml: Chorev_afsa Compliance Fmt Instance List String

@@ -1,0 +1,1 @@
+lib/migration/versions.pp.mli: Chorev_afsa Format Instance

@@ -1,0 +1,31 @@
+(** The ADEPT compliance criterion (Rinderle et al., DKE 2004) applied
+    to public processes: an instance migrates iff its trace replays on
+    the new process and an annotated-accepting continuation remains. *)
+
+module Afsa = Chorev_afsa.Afsa
+
+type verdict =
+  | Migratable of { resume_states : int list }
+  | Not_compliant of { at : int; label : Chorev_afsa.Label.t }
+  | Dead_end of { resume_states : int list }
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val show_verdict : verdict -> string
+
+val is_migratable : verdict -> bool
+val check : Afsa.t -> Instance.t -> verdict
+
+val partition :
+  Afsa.t -> Instance.t list -> Instance.t list * Instance.t list
+(** (migratable, blocked). *)
+
+type disposition = Migrate | Finish_on_old | Stuck
+
+val equal_disposition : disposition -> disposition -> bool
+val pp_disposition : Format.formatter -> disposition -> unit
+val show_disposition : disposition -> string
+
+val dispose :
+  old_public:Afsa.t -> new_public:Afsa.t -> Instance.t -> disposition
+(** Delayed migration: non-compliant instances may finish on the old
+    version when still able to. *)

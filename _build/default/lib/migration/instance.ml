@@ -1,0 +1,89 @@
+(** Running choreography instances.
+
+    The paper's Sec. 8 outlook: "Another challenging issue is the
+    treatment of running process instances (participating in a
+    choreography) when changing private and public process models. The
+    co-existence of different versions of a process choreography is a
+    must in this context. For long-running choreographies, in addition,
+    change propagation to already running instances is highly
+    desirable." This module (together with {!Compliance} and
+    {!Versions}) implements that program for public processes, using
+    the ADEPT compliance criterion of the authors' companion work
+    (Rinderle et al., DKE 50(1), 2004): an instance may migrate to a
+    new schema iff its execution trace so far can be replayed on it.
+
+    An instance is identified by an id and carries the conversation
+    trace executed so far. *)
+
+module Afsa = Chorev_afsa.Afsa
+module Label = Chorev_afsa.Label
+module ISet = Afsa.ISet
+
+type t = {
+  id : string;
+  trace : Label.t list;  (** messages exchanged so far, oldest first *)
+}
+[@@deriving eq, show]
+
+let make ~id ?(trace = []) () = { id; trace }
+
+let extend t l = { t with trace = t.trace @ [ l ] }
+
+let length t = List.length t.trace
+
+(** Replay the instance's trace on a public process: the NFA state set
+    reached after consuming the trace (with ε-closure), or [Error]
+    with the offset of the first message the process cannot take. *)
+let replay (a : Afsa.t) (t : t) : (ISet.t, int) result =
+  let closure = Chorev_afsa.Epsilon.closure a in
+  let rec go set i = function
+    | [] -> Ok set
+    | l :: rest ->
+        let next =
+          ISet.fold
+            (fun q acc -> ISet.union (Afsa.step a q (Chorev_afsa.Sym.L l)) acc)
+            (closure set) ISet.empty
+        in
+        if ISet.is_empty next then Error i else go next (i + 1) rest
+  in
+  go (ISet.singleton (Afsa.start a)) 0 t.trace
+
+(** The instance has reached a final state (the conversation could stop
+    here). *)
+let completed (a : Afsa.t) (t : t) =
+  match replay a t with
+  | Error _ -> false
+  | Ok set ->
+      ISet.exists (Afsa.is_final a) (Chorev_afsa.Epsilon.closure a set)
+
+(** Is the trace a valid (not necessarily accepting) run prefix? *)
+let valid (a : Afsa.t) (t : t) = Result.is_ok (replay a t)
+
+(** Sample an instance of [a]: a random valid prefix of length ≤
+    [max_len] (deterministic per seed). Useful for tests and benches. *)
+let sample (a : Afsa.t) ~id ~seed ~max_len =
+  let rng = Random.State.make [| seed |] in
+  let closure = Chorev_afsa.Epsilon.closure a in
+  let rec go set acc n =
+    if n = 0 then List.rev acc
+    else
+      let moves =
+        ISet.fold
+          (fun q acc ->
+            List.filter_map
+              (fun (sym, t) ->
+                match sym with
+                | Chorev_afsa.Sym.Eps -> None
+                | Chorev_afsa.Sym.L l -> Some (l, t))
+              (Afsa.out_edges a q)
+            @ acc)
+          (closure set) []
+      in
+      match moves with
+      | [] -> List.rev acc
+      | _ ->
+          let l, t = List.nth moves (Random.State.int rng (List.length moves)) in
+          go (ISet.singleton t) (l :: acc) (n - 1)
+  in
+  let len = if max_len = 0 then 0 else Random.State.int rng (max_len + 1) in
+  { id; trace = go (ISet.singleton (Afsa.start a)) [] len }

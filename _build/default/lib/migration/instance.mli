@@ -1,0 +1,25 @@
+(** Running choreography instances (Sec. 8 outlook): an id plus the
+    conversation trace executed so far. *)
+
+module Afsa = Chorev_afsa.Afsa
+module Label = Chorev_afsa.Label
+
+type t = { id : string; trace : Label.t list }
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val make : id:string -> ?trace:Label.t list -> unit -> t
+val extend : t -> Label.t -> t
+val length : t -> int
+
+val replay : Afsa.t -> t -> (Afsa.ISet.t, int) result
+(** States reached after the trace, or the offset of the first
+    unreplayable message. *)
+
+val completed : Afsa.t -> t -> bool
+val valid : Afsa.t -> t -> bool
+
+val sample : Afsa.t -> id:string -> seed:int -> max_len:int -> t
+(** A random valid prefix, deterministic per seed. *)

@@ -1,0 +1,123 @@
+(** Version coexistence for evolving public processes.
+
+    "The co-existence of different versions of a process choreography
+    is a must in this context" (Sec. 8). A {!t} holds the version
+    history of one party's public process and the running instances
+    pinned to each version. Publishing a new version migrates every
+    compliant instance (the ADEPT strategy) and leaves the others to
+    finish on their version; fully drained old versions can be
+    retired. *)
+
+module Afsa = Chorev_afsa.Afsa
+
+type version = {
+  number : int;
+  public : Afsa.t;
+  mutable instances : Instance.t list;
+}
+
+type t = {
+  mutable versions : version list;  (** newest first *)
+  mutable retired : int list;
+}
+
+type migration_report = {
+  to_version : int;
+  migrated : string list;  (** instance ids *)
+  finishing_on_old : (string * int) list;  (** id, version *)
+  stuck : string list;
+}
+
+let create public =
+  { versions = [ { number = 1; public; instances = [] } ]; retired = [] }
+
+let current t = List.hd t.versions
+let current_public t = (current t).public
+let version_numbers t = List.map (fun v -> v.number) t.versions
+
+let find_version t n = List.find_opt (fun v -> v.number = n) t.versions
+
+(** Start a new instance on the current version. *)
+let start t inst =
+  let v = current t in
+  v.instances <- inst :: v.instances
+
+(** Record a message on a running instance (wherever it lives). *)
+let observe t ~id label =
+  List.iter
+    (fun v ->
+      v.instances <-
+        List.map
+          (fun (i : Instance.t) ->
+            if String.equal i.Instance.id id then Instance.extend i label
+            else i)
+          v.instances)
+    t.versions
+
+let all_instances t =
+  List.concat_map (fun v -> List.map (fun i -> (v.number, i)) v.instances) t.versions
+
+(** Publish a new public process: compliant instances of *all* live
+    versions migrate to it; the rest stay where they are (or are
+    reported stuck). *)
+let publish t new_public =
+  let number = (current t).number + 1 in
+  let fresh = { number; public = new_public; instances = [] } in
+  let migrated = ref [] in
+  let finishing = ref [] in
+  let stuck = ref [] in
+  List.iter
+    (fun v ->
+      let stay, go =
+        List.partition
+          (fun inst ->
+            match
+              Compliance.dispose ~old_public:v.public ~new_public inst
+            with
+            | Compliance.Migrate -> false
+            | Compliance.Finish_on_old -> true
+            | Compliance.Stuck ->
+                stuck := inst.Instance.id :: !stuck;
+                true)
+          v.instances
+      in
+      List.iter
+        (fun (i : Instance.t) -> migrated := i.Instance.id :: !migrated)
+        go;
+      List.iter
+        (fun (i : Instance.t) ->
+          if not (List.mem i.Instance.id !stuck) then
+            finishing := (i.Instance.id, v.number) :: !finishing)
+        stay;
+      v.instances <- stay;
+      fresh.instances <- go @ fresh.instances)
+    t.versions;
+  t.versions <- fresh :: t.versions;
+  {
+    to_version = number;
+    migrated = List.rev !migrated;
+    finishing_on_old = List.rev !finishing;
+    stuck = List.rev !stuck;
+  }
+
+(** Retire versions with no remaining instances (never the current). *)
+let retire_drained t =
+  let cur = (current t).number in
+  let keep, drop =
+    List.partition
+      (fun v -> v.number = cur || v.instances <> [])
+      t.versions
+  in
+  t.versions <- keep;
+  t.retired <- List.map (fun v -> v.number) drop @ t.retired;
+  List.map (fun v -> v.number) drop
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>migration to v%d: %d migrated (%a)@,%d finishing on old versions@,%d stuck@]"
+    r.to_version
+    (List.length r.migrated)
+    (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+    r.migrated
+    (List.length r.finishing_on_old)
+    (List.length r.stuck)

@@ -1,0 +1,44 @@
+(** Version coexistence (Sec. 8: "the co-existence of different
+    versions of a process choreography is a must"): version history of
+    one party's public process with instances pinned to versions;
+    publishing migrates compliant instances, drained versions retire. *)
+
+module Afsa = Chorev_afsa.Afsa
+
+type version = {
+  number : int;
+  public : Afsa.t;
+  mutable instances : Instance.t list;
+}
+
+type t
+
+type migration_report = {
+  to_version : int;
+  migrated : string list;
+  finishing_on_old : (string * int) list;
+  stuck : string list;
+}
+
+val create : Afsa.t -> t
+val current : t -> version
+val current_public : t -> Afsa.t
+val version_numbers : t -> int list
+val find_version : t -> int -> version option
+
+val start : t -> Instance.t -> unit
+(** New instance on the current version. *)
+
+val observe : t -> id:string -> Chorev_afsa.Label.t -> unit
+(** Record a message on a running instance. *)
+
+val all_instances : t -> (int * Instance.t) list
+
+val publish : t -> Afsa.t -> migration_report
+(** New version; compliant instances of all live versions migrate. *)
+
+val retire_drained : t -> int list
+(** Retire versions with no instances (never the current); returns the
+    retired numbers. *)
+
+val pp_report : Format.formatter -> migration_report -> unit

@@ -1,0 +1,1 @@
+lib/propagate/engine.pp.ml: Chorev_afsa Chorev_bpel Chorev_change Chorev_mapping Fmt List Localize Option Process Result Suggest

@@ -1,0 +1,1 @@
+lib/propagate/engine.pp.mli: Chorev_afsa Chorev_bpel Chorev_change Chorev_mapping Format Localize Suggest

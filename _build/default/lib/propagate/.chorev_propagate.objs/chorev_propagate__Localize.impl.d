@@ -1,0 +1,1 @@
+lib/propagate/localize.pp.ml: Chorev_afsa Chorev_mapping Fmt Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/propagate/localize.pp.mli: Chorev_afsa Chorev_mapping Format

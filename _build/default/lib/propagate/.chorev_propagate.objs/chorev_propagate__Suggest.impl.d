@@ -1,0 +1,1 @@
+lib/propagate/suggest.pp.ml: Activity Chorev_afsa Chorev_bpel Chorev_change Chorev_mapping Fmt List Localize Option Process String

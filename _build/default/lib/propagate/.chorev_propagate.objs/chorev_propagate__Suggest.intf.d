@@ -1,0 +1,1 @@
+lib/propagate/suggest.pp.mli: Chorev_afsa Chorev_bpel Chorev_change Format Localize

@@ -1,0 +1,186 @@
+(** The propagation pipelines of Sec. 5.2 (variant additive) and
+    Sec. 5.3 (variant subtractive), steps 1–5.
+
+    Given the change originator's new public process [A'] and one
+    partner (private process [P_B], public process [B] with its mapping
+    table), the engine:
+
+    1. takes the partner's view [τ_B(A')] and computes the delta —
+       added sequences [τ_B(A') \ B] for the additive case, removed
+       sequences [B \ τ_B(A')] for the subtractive case (the paper's
+       Sec. 5.3 writes [τ(A') \ B] for both, but its own Fig. 17a is
+       the removed-sequences automaton [B \ τ(A')]; see DESIGN.md);
+    2. computes the target public process — [B' = delta ∪ B] resp.
+       [B' = B \ delta];
+    3. localizes divergences by parallel traversal of [B] and [B']
+       and maps them to private blocks through the mapping table;
+    4. derives adaptation suggestions and (optionally) auto-applies
+       them to the partner's private process;
+    5. regenerates the partner's public process and re-checks bilateral
+       consistency against [τ_B(A')].
+
+    When the re-check fails the engine retries with the remaining
+    applicable suggestion subsets (the paper's "go back to the previous
+    step and repeat it with a modified set of changes"). *)
+
+module Afsa = Chorev_afsa.Afsa
+open Chorev_bpel
+
+type direction = Additive | Subtractive
+
+type outcome = {
+  direction : direction;
+  view_new : Afsa.t;  (** τ_partner(A') *)
+  delta : Afsa.t;  (** added or removed sequences *)
+  target_public : Afsa.t;  (** computed B' *)
+  divergences : Localize.divergence list;
+  suggestions : Suggest.t list;
+  adapted : Process.t option;  (** auto-applied private process *)
+  adapted_public : Afsa.t option;
+  consistent_after : bool;
+}
+
+(** Compute delta, target, divergences and suggestions for partner
+    [partner_private] (whose current public process and table are
+    [public_b]/[table_b]) facing the originator's new public process
+    [a']. The [direction] decides additive vs subtractive treatment. *)
+let analyze ~direction ~a' ~partner_private ~public_b ~table_b =
+  let me = Process.party partner_private in
+  let view_new = Chorev_afsa.View.tau ~observer:me a' in
+  let delta, target =
+    match direction with
+    | Additive ->
+        let d = Chorev_afsa.Ops.difference view_new public_b in
+        let t = Afsa.trim (Chorev_afsa.Ops.union d public_b) in
+        (d, t)
+    | Subtractive ->
+        let d = Chorev_afsa.Ops.difference public_b view_new in
+        let t = Afsa.trim (Chorev_afsa.Ops.difference public_b d) in
+        (d, t)
+  in
+  let divergences =
+    Localize.diverge ~old_public:public_b ~new_public:target ~table:table_b
+  in
+  let suggestions =
+    match direction with
+    | Additive ->
+        List.concat_map
+          (fun d ->
+            Suggest.additive partner_private ~old_public:public_b ~target d)
+          divergences
+    | Subtractive ->
+        List.concat_map (fun d -> Suggest.subtractive partner_private d) divergences
+  in
+  (view_new, delta, target, divergences, suggestions)
+
+(* Power-set-free retry order: all suggestions, then each prefix, then
+   each single suggestion. Suggestion lists are short. *)
+let retry_sets suggestions =
+  let applicable = List.filter (fun s -> not (Suggest.is_manual s)) suggestions in
+  match applicable with
+  | [] -> []
+  | [ s ] -> [ [ s ] ]
+  | all ->
+      let singles = List.map (fun s -> [ s ]) all in
+      (all :: singles) |> List.sort_uniq compare
+
+let apply_all set p =
+  List.fold_left
+    (fun acc s -> Result.bind acc (Suggest.apply s))
+    (Ok p) set
+
+(** Run the full pipeline. [auto_apply] (default true) attempts the
+    suggested private-process adaptations and re-checks; with
+    [auto_apply:false] the outcome carries analysis and suggestions
+    only, as a process engineer would consume them. *)
+let propagate ?(auto_apply = true) ~direction ~a' ~partner_private () =
+  let me = Process.party partner_private in
+  let public_b, table_b = Chorev_mapping.Public_gen.generate partner_private in
+  let view_new, delta, target, divergences, suggestions =
+    analyze ~direction ~a' ~partner_private ~public_b ~table_b
+  in
+  let consistent_with p' = Chorev_afsa.Consistency.consistent p' view_new in
+  if not auto_apply then
+    {
+      direction;
+      view_new;
+      delta;
+      target_public = target;
+      divergences;
+      suggestions;
+      adapted = None;
+      adapted_public = None;
+      consistent_after = consistent_with public_b;
+    }
+  else
+    let attempt set =
+      match apply_all set partner_private with
+      | Error _ -> None
+      | Ok p' ->
+          let pub' = Chorev_mapping.Public_gen.public p' in
+          if consistent_with pub' then Some (p', pub') else None
+    in
+    (* last resort: re-synthesize the whole private process from the
+       computed target public process (Skeleton) — guaranteed
+       consistent whenever the target is synthesizable, at the price of
+       discarding the private structure (hence tried only after every
+       targeted edit failed) *)
+    let synthesized () =
+      match
+        Chorev_mapping.Skeleton.synthesize
+          ~name:(Process.name partner_private ^ "-resynthesized")
+          ~party:me target
+      with
+      | Error _ -> None
+      | Ok p' ->
+          let pub' = Chorev_mapping.Public_gen.public p' in
+          if consistent_with pub' then Some (p', pub') else None
+    in
+    let result =
+      match List.find_map attempt (retry_sets suggestions) with
+      | Some r -> Some r
+      | None -> synthesized ()
+    in
+    match result with
+    | Some (p', pub') ->
+        {
+          direction;
+          view_new;
+          delta;
+          target_public = target;
+          divergences;
+          suggestions;
+          adapted = Some p';
+          adapted_public = Some pub';
+          consistent_after = true;
+        }
+    | None ->
+        {
+          direction;
+          view_new;
+          delta;
+          target_public = target;
+          divergences;
+          suggestions;
+          adapted = None;
+          adapted_public = None;
+          consistent_after = consistent_with public_b;
+        }
+
+(** Decide the direction from the classification verdict: a purely
+    subtractive change propagates subtractively, anything that adds
+    sequences propagates additively (a change that both adds and
+    removes is treated additively first; the re-check loop catches the
+    rest). *)
+let direction_of_framework (f : Chorev_change.Classify.framework) =
+  if f.additive then Additive else Subtractive
+
+let pp_outcome ppf o =
+  Fmt.pf ppf
+    "@[<v>%s propagation: %d divergence(s), %d suggestion(s), adapted=%b, \
+     consistent_after=%b@]"
+    (match o.direction with Additive -> "additive" | Subtractive -> "subtractive")
+    (List.length o.divergences)
+    (List.length o.suggestions)
+    (Option.is_some o.adapted)
+    o.consistent_after

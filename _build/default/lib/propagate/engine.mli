@@ -1,0 +1,42 @@
+(** The propagation pipelines of Sec. 5.2 (variant additive) and 5.3
+    (variant subtractive), steps 1–5: delta computation, target public
+    process, localization, suggestions, optional auto-apply with a
+    re-check loop over suggestion subsets. *)
+
+module Afsa = Chorev_afsa.Afsa
+
+type direction = Additive | Subtractive
+
+type outcome = {
+  direction : direction;
+  view_new : Afsa.t;  (** τ_partner(A′) *)
+  delta : Afsa.t;  (** added or removed sequences *)
+  target_public : Afsa.t;  (** computed B′ *)
+  divergences : Localize.divergence list;
+  suggestions : Suggest.t list;
+  adapted : Chorev_bpel.Process.t option;
+  adapted_public : Afsa.t option;
+  consistent_after : bool;
+}
+
+val analyze :
+  direction:direction ->
+  a':Afsa.t ->
+  partner_private:Chorev_bpel.Process.t ->
+  public_b:Afsa.t ->
+  table_b:Chorev_mapping.Table.t ->
+  Afsa.t * Afsa.t * Afsa.t * Localize.divergence list * Suggest.t list
+(** [(view_new, delta, target, divergences, suggestions)]. *)
+
+val propagate :
+  ?auto_apply:bool ->
+  direction:direction ->
+  a':Afsa.t ->
+  partner_private:Chorev_bpel.Process.t ->
+  unit ->
+  outcome
+(** With [auto_apply:false] the outcome carries analysis and
+    suggestions only. *)
+
+val direction_of_framework : Chorev_change.Classify.framework -> direction
+val pp_outcome : Format.formatter -> outcome -> unit

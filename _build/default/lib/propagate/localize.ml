@@ -1,0 +1,85 @@
+(** Localization of change effects in the partner's process (Sec. 5.2
+    ad 3 / Sec. 5.3 ad 3 of the paper).
+
+    The partner's current public process [B] is traversed in parallel
+    with the computed target public process [B'] ("comparable to
+    bi-simulation", as the paper puts it). At each reached state pair we
+    compare the outgoing labels: a label present in [B'] but not in [B]
+    marks an *addition* the private process must start handling; a label
+    present in [B] but not in [B'] marks a *removal*. The mapping table
+    translates the [B]-state of each divergence into BPEL blocks; the
+    first block is the edit anchor ("the required modifications can be
+    limited to the first block mentioned"). *)
+
+module Afsa = Chorev_afsa.Afsa
+module Label = Chorev_afsa.Label
+module Sym = Chorev_afsa.Sym
+module Table = Chorev_mapping.Table
+
+type divergence = {
+  state_b : int;  (** state of the partner's current public process *)
+  state_new : int;  (** paired state of the computed target process *)
+  missing : Label.t list;  (** labels [B'] has here and [B] lacks *)
+  removed : Label.t list;  (** labels [B] has here and [B'] lacks *)
+  anchors : Table.entry list;  (** mapping-table entries of [state_b] *)
+}
+
+let out_labels a q = Afsa.out_symbols a q |> Label.Set.elements
+
+(** All divergences, in BFS order from the start pair — the first one is
+    the paper's localization point. Both automata should be ε-free
+    (generated publics and difference/union results are). *)
+let diverge ~old_public:b ~new_public:b' ~table : divergence list =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let queue = Queue.create () in
+  let push pr = if not (Hashtbl.mem seen pr) then begin
+      Hashtbl.add seen pr ();
+      Queue.add pr queue
+    end
+  in
+  push (Afsa.start b, Afsa.start b');
+  while not (Queue.is_empty queue) do
+    let (qb, qn) = Queue.pop queue in
+    let lb = Label.Set.of_list (out_labels b qb) in
+    let ln = Label.Set.of_list (out_labels b' qn) in
+    let missing = Label.Set.elements (Label.Set.diff ln lb) in
+    let removed = Label.Set.elements (Label.Set.diff lb ln) in
+    if missing <> [] || removed <> [] then
+      out :=
+        {
+          state_b = qb;
+          state_new = qn;
+          missing;
+          removed;
+          anchors = Table.entries table qb;
+        }
+        :: !out;
+    (* advance on shared labels *)
+    Label.Set.iter
+      (fun l ->
+        Afsa.ISet.iter
+          (fun tb ->
+            Afsa.ISet.iter
+              (fun tn -> push (tb, tn))
+              (Afsa.step b' qn (Sym.L l)))
+          (Afsa.step b qb (Sym.L l)))
+      (Label.Set.inter lb ln)
+  done;
+  List.rev !out
+
+let pp_divergence ppf d =
+  Fmt.pf ppf "@[<v>at public state %d (paired with %d):@," d.state_b
+    d.state_new;
+  if d.missing <> [] then
+    Fmt.pf ppf "  new transitions: %a@,"
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf l -> Fmt.string ppf (Label.to_string l)))
+      d.missing;
+  if d.removed <> [] then
+    Fmt.pf ppf "  removed transitions: %a@,"
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf l -> Fmt.string ppf (Label.to_string l)))
+      d.removed;
+  Fmt.pf ppf "  blocks: %a@]"
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (e : Table.entry) ->
+         Fmt.string ppf e.block))
+    d.anchors

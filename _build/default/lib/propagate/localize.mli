@@ -1,0 +1,26 @@
+(** Localization of change effects (Sec. 5.2 ad 3 / 5.3 ad 3): parallel
+    traversal of the partner's current public process against the
+    computed target, mapping divergent states to BPEL blocks via the
+    mapping table. *)
+
+module Afsa = Chorev_afsa.Afsa
+module Label = Chorev_afsa.Label
+module Table = Chorev_mapping.Table
+
+type divergence = {
+  state_b : int;  (** state of the partner's current public process *)
+  state_new : int;  (** paired state of the computed target *)
+  missing : Label.t list;  (** labels the target has and B lacks *)
+  removed : Label.t list;  (** labels B has and the target lacks *)
+  anchors : Table.entry list;  (** table entries of [state_b] *)
+}
+
+val out_labels : Afsa.t -> int -> Label.t list
+
+val diverge :
+  old_public:Afsa.t -> new_public:Afsa.t -> table:Table.t ->
+  divergence list
+(** BFS order from the start pair — the first divergence is the
+    paper's localization point. *)
+
+val pp_divergence : Format.formatter -> divergence -> unit

@@ -1,0 +1,33 @@
+(** Adaptation suggestions for the partner's private process. The
+    paper: automatic adaptation of private processes is not desired —
+    the system assists the process engineer. Each suggestion pairs a
+    description with a change operation that *can* be auto-applied by
+    the engine's re-check loop; non-mechanizable cases are [Manual]. *)
+
+type t =
+  | Apply of { description : string; op : Chorev_change.Ops.t }
+  | Manual of string
+
+val describe : t -> string
+val pp : Format.formatter -> t -> unit
+val is_manual : t -> bool
+
+val additive :
+  Chorev_bpel.Process.t ->
+  old_public:Chorev_afsa.Afsa.t ->
+  target:Chorev_afsa.Afsa.t ->
+  Localize.divergence ->
+  t list
+(** Candidate edits for newly required messages, most likely first:
+    sequential insertion, alternative (pick extension / receive→pick,
+    the Fig. 14 edit; switch branch for sends), insertion after the
+    predecessor communication. *)
+
+val subtractive :
+  Chorev_bpel.Process.t -> Localize.divergence -> t list
+(** The signature case is the paper's Sec. 5.3: unroll the loop whose
+    iterations the partner no longer supports (Fig. 18). *)
+
+val apply :
+  t -> Chorev_bpel.Process.t -> (Chorev_bpel.Process.t, string) result
+(** No-op for [Manual]. *)

@@ -1,0 +1,1 @@
+lib/runtime/conformance.pp.ml: Chorev_afsa Chorev_formula Exec Hashtbl List Option Queue String

@@ -1,0 +1,1 @@
+lib/runtime/conformance.pp.mli: Chorev_afsa Exec

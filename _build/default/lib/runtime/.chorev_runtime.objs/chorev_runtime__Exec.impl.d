@@ -1,0 +1,1 @@
+lib/runtime/exec.pp.ml: Chorev_afsa Fmt Hashtbl List Queue Random String

@@ -1,0 +1,1 @@
+lib/runtime/exec.pp.mli: Chorev_afsa Format

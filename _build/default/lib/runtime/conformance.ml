@@ -1,0 +1,204 @@
+(** Conformance between the static theory and the operational engine.
+
+    The paper's Sec. 3.2 claims: "The non-emptiness of the intersection
+    of two automata guarantees for the absence of deadlock with respect
+    to the execution of these two automata." This module provides the
+    operational counterparts used by the test suite's property-based
+    checks, plus an online trace monitor. *)
+
+module Afsa = Chorev_afsa.Afsa
+module Label = Chorev_afsa.Label
+
+(** Two-party agreement between theory and execution: bilateral
+    consistency of [a] and [b] (annotated intersection non-empty)
+    versus the execution engine's ability to complete a joint run.
+
+    Note the exact correspondence: consistency asserts the existence of
+    *one* successful conversation, i.e. the joint system can reach a
+    configuration where both parties accept — [Exec.can_complete]. Full
+    deadlock-freedom of every schedule additionally depends on the
+    automata's internal branching (a party may nondeterministically
+    walk into a dead alley); for deterministic public processes whose
+    every state can reach a final state — which generation from block
+    structures yields — the two coincide. *)
+type verdict = {
+  consistent : bool;
+  can_complete : bool;
+  deadlock_free : bool;
+  agree : bool;  (** [consistent = can_complete] *)
+}
+
+let check ?(party_a = "A") ?(party_b = "B") a b =
+  let consistent = Chorev_afsa.Consistency.consistent a b in
+  let sys = Exec.make [ (party_a, a); (party_b, b) ] in
+  let e = Exec.explore sys in
+  let can_complete = e.Exec.completions > 0 in
+  {
+    consistent;
+    can_complete;
+    deadlock_free = e.Exec.deadlocks = [];
+    agree = consistent = can_complete;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Annotated operational deadlock-freedom                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Operational counterpart of the annotated emptiness semantics,
+    computed on the *joint configuration space* rather than the
+    intersection automaton: a configuration is {e good} iff every
+    party's annotation at its current state is satisfied — a variable
+    (mandatory message) is satisfied when the joint step on it is
+    enabled and leads to a good configuration — and a completed
+    configuration is reachable through good configurations. The system
+    is annotated-deadlock-free iff the initial configuration is good.
+
+    This is an independent re-derivation of bilateral consistency
+    (intersection + greatest-fixpoint emptiness): mandatory
+    annotations model a party's right to internally commit to any of
+    its declared alternatives, which plain reachability
+    ({!Exec.can_complete}) cannot see. The test suite checks
+    [consistent a b ⇔ annotated_deadlock_free [a; b]] on random
+    automata. *)
+let annotated_deadlock_free ?(max_configs = 100_000) (s : Exec.system) =
+  (* enumerate reachable configurations once *)
+  let module K = struct
+    type t = (string * int) list
+
+    let equal = ( = )
+
+    let hash = Hashtbl.hash
+  end in
+  let module H = Hashtbl.Make (K) in
+  let configs = H.create 256 in
+  let q = Queue.create () in
+  let c0 = Exec.initial s in
+  H.replace configs (Exec.key c0) c0;
+  Queue.add c0 q;
+  let truncated = ref false in
+  while not (Queue.is_empty q) do
+    let c = Queue.pop q in
+    List.iter
+      (fun (_, c') ->
+        let k = Exec.key c' in
+        if not (H.mem configs k) then
+          if H.length configs >= max_configs then truncated := true
+          else begin
+            H.replace configs k c';
+            Queue.add c' q
+          end)
+      (Exec.enabled c)
+  done;
+  if !truncated then
+    invalid_arg "Conformance.annotated_deadlock_free: state space truncated";
+  (* greatest fixpoint over the reachable configurations *)
+  let good = H.create (H.length configs) in
+  H.iter (fun k _ -> H.replace good k ()) configs;
+  let ann_ok c =
+    List.for_all
+      (fun (ps : Exec.party_state) ->
+        let moves = Exec.enabled c in
+        let assign v =
+          List.exists
+            (fun ((l : Label.t), c') ->
+              String.equal (Label.to_string l) v
+              && Label.involves ps.party l
+              && H.mem good (Exec.key c'))
+            moves
+        in
+        Chorev_formula.Eval.eval ~assign
+          (Afsa.annotation ps.automaton ps.state))
+      c
+  in
+  let reach_completion_through_good () =
+    (* backward BFS from completed good configs within good configs *)
+    let rev = H.create 256 in
+    H.iter
+      (fun _ c ->
+        if H.mem good (Exec.key c) then
+          List.iter
+            (fun (_, c') ->
+              if H.mem good (Exec.key c') then
+                H.replace rev (Exec.key c')
+                  (c :: Option.value ~default:[] (H.find_opt rev (Exec.key c'))))
+            (Exec.enabled c))
+      configs;
+    let ok = H.create 256 in
+    let bq = Queue.create () in
+    H.iter
+      (fun k c ->
+        if Exec.completed c && H.mem good k then begin
+          H.replace ok k ();
+          Queue.add c bq
+        end)
+      configs;
+    while not (Queue.is_empty bq) do
+      let c = Queue.pop bq in
+      List.iter
+        (fun p ->
+          let k = Exec.key p in
+          if not (H.mem ok k) then begin
+            H.replace ok k ();
+            Queue.add p bq
+          end)
+        (Option.value ~default:[] (H.find_opt rev (Exec.key c)))
+    done;
+    ok
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let ok = reach_completion_through_good () in
+    H.iter
+      (fun k c ->
+        if H.mem good k && ((not (H.mem ok k)) || not (ann_ok c)) then begin
+          H.remove good k;
+          changed := true
+        end)
+      configs
+  done;
+  H.mem good (Exec.key c0)
+
+(* ------------------------------------------------------------------ *)
+(* Trace monitoring                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type monitor_verdict =
+  | Accepted  (** trace led every party to a final state *)
+  | Incomplete  (** trace is a valid prefix but parties not all final *)
+  | Violated of { at : int; label : Label.t }
+      (** step [at] was not executable *)
+
+(** Replay [trace] against the system: each label must be a joint step
+    of its endpoints. Nondeterministic automata are handled by tracking
+    every configuration the trace may have reached. *)
+let monitor (s : Exec.system) (trace : Label.t list) : monitor_verdict =
+  let rec go configs i = function
+    | [] ->
+        if List.exists Exec.completed configs then Accepted else Incomplete
+    | l :: rest -> (
+        let next =
+          List.concat_map
+            (fun c ->
+              List.filter_map
+                (fun (l', c') -> if Label.equal l l' then Some c' else None)
+                (Exec.enabled c))
+            configs
+          |> List.sort_uniq compare
+        in
+        match next with
+        | [] -> Violated { at = i; label = l }
+        | _ -> go next (i + 1) rest)
+  in
+  go [ Exec.initial s ] 0 trace
+
+(** Does the witness conversation produced by the consistency checker
+    actually replay on the execution engine? (Used as an integration
+    check: theory's witness must be operationally executable.) *)
+let witness_replays ?(party_a = "A") ?(party_b = "B") a b =
+  match (Chorev_afsa.Consistency.check a b).Chorev_afsa.Consistency.witness with
+  | None -> true (* inconsistent: nothing to replay *)
+  | Some w -> (
+      match monitor (Exec.make [ (party_a, a); (party_b, b) ]) w with
+      | Accepted -> true
+      | Incomplete | Violated _ -> false)

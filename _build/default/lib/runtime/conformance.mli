@@ -1,0 +1,39 @@
+(** Conformance between the static theory and the execution engine,
+    plus an online trace monitor. *)
+
+module Afsa = Chorev_afsa.Afsa
+module Label = Chorev_afsa.Label
+
+type verdict = {
+  consistent : bool;
+  can_complete : bool;
+  deadlock_free : bool;
+  agree : bool;  (** [consistent = can_complete] *)
+}
+
+val check : ?party_a:string -> ?party_b:string -> Afsa.t -> Afsa.t -> verdict
+(** Plain correspondence: consistency vs. joint completability. Exact
+    for annotation-free automata; with annotations use
+    {!annotated_deadlock_free}. *)
+
+val annotated_deadlock_free : ?max_configs:int -> Exec.system -> bool
+(** Operational counterpart of the annotated emptiness semantics on the
+    joint configuration space (greatest fixpoint): mandatory
+    annotations model a party's right to commit internally to any
+    declared alternative. [consistent a b ⇔
+    annotated_deadlock_free [a; b]] — property-tested. Raises
+    [Invalid_argument] when the state space exceeds [max_configs]. *)
+
+type monitor_verdict =
+  | Accepted
+  | Incomplete
+  | Violated of { at : int; label : Label.t }
+
+val monitor : Exec.system -> Label.t list -> monitor_verdict
+(** Replay a trace as joint steps; nondeterminism is tracked via
+    configuration sets. *)
+
+val witness_replays :
+  ?party_a:string -> ?party_b:string -> Afsa.t -> Afsa.t -> bool
+(** Does the consistency witness execute on the engine? [true] when
+    inconsistent (nothing to replay). *)

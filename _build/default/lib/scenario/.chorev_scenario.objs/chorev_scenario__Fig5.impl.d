@@ -1,0 +1,1 @@
+lib/scenario/fig5.ml: Chorev_afsa Chorev_formula

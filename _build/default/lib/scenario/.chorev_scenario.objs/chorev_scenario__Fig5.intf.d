@@ -1,0 +1,1 @@
+lib/scenario/fig5.mli: Chorev_afsa

@@ -1,0 +1,1 @@
+lib/scenario/procurement.ml: Activity Chorev_bpel Edit Process Types

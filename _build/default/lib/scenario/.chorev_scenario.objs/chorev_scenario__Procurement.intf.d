@@ -1,0 +1,1 @@
+lib/scenario/procurement.mli: Chorev_bpel

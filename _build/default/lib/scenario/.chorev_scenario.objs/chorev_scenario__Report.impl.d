@@ -1,0 +1,1 @@
+lib/scenario/report.ml: Chorev_afsa Chorev_bpel Chorev_choreography Chorev_formula Chorev_mapping Chorev_propagate Fig5 Fmt List Option Printf Procurement String

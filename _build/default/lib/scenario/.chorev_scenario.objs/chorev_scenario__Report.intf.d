@@ -1,0 +1,1 @@
+lib/scenario/report.mli: Format

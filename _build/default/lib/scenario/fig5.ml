@@ -1,0 +1,37 @@
+(** The two toy aFSAs of Fig. 5 and their intersection, used to
+    illustrate annotated intersection and emptiness in Sec. 3.2.
+
+    Party A accepts [B#A#msg0 · B#A#msg2]; its middle state implicitly
+    requires [msg2] (only continuation). Party B accepts
+    [B#A#msg0 · (B#A#msg1 | B#A#msg2)] and annotates the state after
+    [msg0] with [B#A#msg1 AND B#A#msg2] — both are mandatory. The
+    intersection lacks the mandatory [B#A#msg1] transition, hence is
+    empty. *)
+
+module Afsa = Chorev_afsa.Afsa
+module F = Chorev_formula.Syntax
+
+let msg0 = "B#A#msg0"
+let msg1 = "B#A#msg1"
+let msg2 = "B#A#msg2"
+
+(** Left automaton of Fig. 5. The explicit [msg2] annotation on state 1
+    is the "default annotation of party A" the paper mentions when
+    forming the intersection annotation. *)
+let party_a =
+  Afsa.of_strings ~start:0 ~finals:[ 2 ]
+    ~edges:[ (0, msg0, 1); (1, msg2, 2) ]
+    ~ann:[ (1, F.var msg2) ]
+    ()
+
+(** Right automaton of Fig. 5, with the conjunctive mandatory
+    annotation. *)
+let party_b =
+  Afsa.of_strings ~start:0 ~finals:[ 2; 3 ]
+    ~edges:[ (0, msg0, 1); (1, msg1, 2); (1, msg2, 3) ]
+    ~ann:[ (1, F.and_ (F.var msg1) (F.var msg2)) ]
+    ()
+
+(** The intersection shown on the right of Fig. 5 — empty under the
+    annotated emptiness test. *)
+let intersection () = Chorev_afsa.Ops.intersect party_a party_b

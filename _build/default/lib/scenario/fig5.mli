@@ -1,0 +1,11 @@
+(** The toy aFSAs of Fig. 5: party B mandates both [msg1] and [msg2];
+    the intersection with party A (which only offers [msg2]) is empty
+    under the annotated emptiness test. *)
+
+val msg0 : string
+val msg1 : string
+val msg2 : string
+
+val party_a : Chorev_afsa.Afsa.t
+val party_b : Chorev_afsa.Afsa.t
+val intersection : unit -> Chorev_afsa.Afsa.t

@@ -1,0 +1,283 @@
+(** The paper's running example (Sec. 2): a procurement process within a
+    virtual enterprise with a buyer [B], an accounting department [A]
+    and a logistics department [L]. All processes and their changed
+    variants (Figs. 2, 3, 9, 11, 14, 15, 18) are built here.
+
+    Operation names follow the automata figures ([orderOp],
+    [get_statusOp], …). All operations are asynchronous except the
+    logistics [get_statusLOp] (Sec. 2). *)
+
+open Chorev_bpel
+
+let buyer = "B"
+let accounting = "A"
+let logistics = "L"
+
+(* Port types, per Figs. 2 and 3. [order_2Op] and [cancelOp] belong to
+   the changed variants (Figs. 9, 11) and are registered up front —
+   registration is vocabulary, not behavior. *)
+let registry =
+  Types.registry
+    [
+      ( accounting,
+        {
+          Types.pt_name = "accBuyer";
+          ops =
+            [
+              Types.async "orderOp";
+              Types.async "order_2Op";
+              Types.async "get_statusOp";
+              Types.async "terminateOp";
+            ];
+        } );
+      ( accounting,
+        { Types.pt_name = "accLogistics"; ops = [ Types.async "deliver_confOp" ] }
+      );
+      ( buyer,
+        {
+          Types.pt_name = "buyer";
+          ops =
+            [
+              Types.async "deliveryOp";
+              Types.async "statusOp";
+              Types.async "cancelOp";
+            ];
+        } );
+      ( logistics,
+        {
+          Types.pt_name = "logistics";
+          ops =
+            [
+              Types.async "deliverOp";
+              Types.sync "get_statusLOp";
+              Types.async "terminateLOp";
+            ];
+        } );
+    ]
+
+let link name partner = { Types.link_name = name; partner; my_role = name ^ "Role"; partner_role = partner ^ "Role" }
+
+(* ------------------------------- Buyer ------------------------------ *)
+
+(** Buyer private process (Fig. 3). Block structure: BPELProcess,
+    Sequence:buyer process, While:tracking, Switch:termination?,
+    Sequence:cond continue, Sequence:cond terminate — as in Table 1. *)
+let buyer_process =
+  let open Activity in
+  Process.make ~name:"buyer" ~party:buyer
+    ~links:[ link "accBuyer" accounting ]
+    ~registry
+    (seq "buyer process"
+       [
+         invoke ~partner:accounting ~op:"orderOp";
+         receive ~partner:accounting ~op:"deliveryOp";
+         while_ "tracking" ~cond:"1 = 1"
+           (switch "termination?"
+              [
+                branch ~cond:"continue"
+                  (seq "cond continue"
+                     [
+                       invoke ~partner:accounting ~op:"get_statusOp";
+                       receive ~partner:accounting ~op:"statusOp";
+                     ]);
+                otherwise
+                  (seq "cond terminate"
+                     [ invoke ~partner:accounting ~op:"terminateOp"; Terminate ]);
+              ]);
+       ])
+
+(* ---------------------------- Accounting ---------------------------- *)
+
+(** Accounting private process (Fig. 2): approve and forward the order,
+    confirm delivery, then serve parcel tracking in a non-terminating
+    loop until the buyer terminates. *)
+let accounting_process =
+  let open Activity in
+  Process.make ~name:"accounting" ~party:accounting
+    ~links:[ link "accBuyer" buyer; link "logistics" logistics ]
+    ~registry
+    (seq "accounting"
+       [
+         receive ~partner:buyer ~op:"orderOp";
+         invoke ~partner:logistics ~op:"deliverOp";
+         receive ~partner:logistics ~op:"deliver_confOp";
+         invoke ~partner:buyer ~op:"deliveryOp";
+         while_ "parcel tracking" ~cond:"1 = 1"
+           (pick "tracking choice"
+              [
+                on_message ~partner:buyer ~op:"get_statusOp"
+                  (seq "handle status"
+                     [
+                       invoke ~partner:logistics ~op:"get_statusLOp";
+                       invoke ~partner:buyer ~op:"statusOp";
+                     ]);
+                on_message ~partner:buyer ~op:"terminateOp"
+                  (seq "handle terminate"
+                     [ invoke ~partner:logistics ~op:"terminateLOp"; Terminate ]);
+              ]);
+       ])
+
+(* ----------------------------- Logistics ---------------------------- *)
+
+(** Logistics private process (not drawn in the paper; inferred from
+    Fig. 1 and the accounting process): accept the delivery order,
+    confirm receipt, then answer synchronous status requests until
+    terminated. *)
+let logistics_process =
+  let open Activity in
+  Process.make ~name:"logistics" ~party:logistics
+    ~links:[ link "accLogistics" accounting ]
+    ~registry
+    (seq "logistics"
+       [
+         receive ~partner:accounting ~op:"deliverOp";
+         invoke ~partner:accounting ~op:"deliver_confOp";
+         while_ "status loop" ~cond:"1 = 1"
+           (pick "serve"
+              [
+                on_message ~partner:accounting ~op:"get_statusLOp" Empty;
+                on_message ~partner:accounting ~op:"terminateLOp"
+                  (seq "handle terminateL" [ Terminate ]);
+              ]);
+       ])
+
+(* --------------------------- Changed variants ----------------------- *)
+
+(** Fig. 9 — invariant additive change: the accounting process offers an
+    alternative order message format [order_2Op]; the initial receive
+    becomes a pick over both formats. *)
+let accounting_order2 =
+  let body = Process.body accounting_process in
+  match
+    Edit.receive_to_pick ~path:[ 0 ] ~name:"order formats"
+      ~arms:[ Activity.on_message ~partner:buyer ~op:"order_2Op" Activity.Empty ]
+      body
+  with
+  | Ok b ->
+      Process.with_name (Process.with_body accounting_process b)
+        "accounting-order2"
+  | Error e -> invalid_arg ("accounting_order2: " ^ e)
+
+(** Fig. 11 — variant additive change: the accounting process may cancel
+    an order (product out of stock) by sending [cancelOp] to the buyer
+    instead of delivering. *)
+let accounting_cancel =
+  let open Activity in
+  Process.make ~name:"accounting-cancel" ~party:accounting
+    ~links:[ link "accBuyer" buyer; link "logistics" logistics ]
+    ~registry
+    (seq "accounting"
+       [
+         receive ~partner:buyer ~op:"orderOp";
+         switch "credit check"
+           [
+             branch ~cond:{|creditStatus = "ok"|}
+               (seq "cond deliver"
+                  [
+                    invoke ~partner:logistics ~op:"deliverOp";
+                    receive ~partner:logistics ~op:"deliver_confOp";
+                    invoke ~partner:buyer ~op:"deliveryOp";
+                    while_ "parcel tracking" ~cond:"1 = 1"
+                      (pick "tracking choice"
+                         [
+                           on_message ~partner:buyer ~op:"get_statusOp"
+                             (seq "handle status"
+                                [
+                                  invoke ~partner:logistics ~op:"get_statusLOp";
+                                  invoke ~partner:buyer ~op:"statusOp";
+                                ]);
+                           on_message ~partner:buyer ~op:"terminateOp"
+                             (seq "handle terminate"
+                                [
+                                  invoke ~partner:logistics ~op:"terminateLOp";
+                                  Terminate;
+                                ]);
+                         ]);
+                  ]);
+             otherwise
+               (seq "cond cancel" [ invoke ~partner:buyer ~op:"cancelOp" ]);
+           ];
+       ])
+
+(** Fig. 15 — variant subtractive change: parcel tracking is limited to
+    at most one request; the loop is removed, both paths finish with the
+    terminate exchange. (The paper's drawing also repeats the cancel
+    branch of Fig. 11; its analysis in Sec. 5.3 isolates the tracking
+    restriction, which is what we model.) *)
+let accounting_once =
+  let open Activity in
+  Process.make ~name:"accounting-once" ~party:accounting
+    ~links:[ link "accBuyer" buyer; link "logistics" logistics ]
+    ~registry
+    (seq "accounting"
+       [
+         receive ~partner:buyer ~op:"orderOp";
+         invoke ~partner:logistics ~op:"deliverOp";
+         receive ~partner:logistics ~op:"deliver_confOp";
+         invoke ~partner:buyer ~op:"deliveryOp";
+         pick "tracking once?"
+           [
+             on_message ~partner:buyer ~op:"get_statusOp"
+               (seq "track once"
+                  [
+                    invoke ~partner:logistics ~op:"get_statusLOp";
+                    invoke ~partner:buyer ~op:"statusOp";
+                    receive ~partner:buyer ~op:"terminateOp";
+                    invoke ~partner:logistics ~op:"terminateLOp";
+                    Terminate;
+                  ]);
+             on_message ~partner:buyer ~op:"terminateOp"
+               (seq "terminate now"
+                  [ invoke ~partner:logistics ~op:"terminateLOp"; Terminate ]);
+           ];
+       ])
+
+(** Fig. 14 — buyer after propagation of the additive cancel change: the
+    [receive delivery] becomes a pick over [deliveryOp] and [cancelOp];
+    a cancellation ends the process. *)
+let buyer_with_cancel =
+  let body = Process.body buyer_process in
+  match
+    Edit.receive_to_pick ~path:[ 1 ] ~name:"delivery or cancel"
+      ~arms:
+        [ Activity.on_message ~partner:accounting ~op:"cancelOp" Activity.Terminate ]
+      body
+  with
+  | Ok b ->
+      Process.with_name (Process.with_body buyer_process b) "buyer-cancel"
+  | Error e -> invalid_arg ("buyer_with_cancel: " ^ e)
+
+(** Fig. 18 — buyer after propagation of the subtractive change: the
+    tracking loop is gone; track at most once, then terminate. *)
+let buyer_once =
+  let open Activity in
+  Process.make ~name:"buyer-once" ~party:buyer
+    ~links:[ link "accBuyer" accounting ]
+    ~registry
+    (seq "buyer process"
+       [
+         invoke ~partner:accounting ~op:"orderOp";
+         receive ~partner:accounting ~op:"deliveryOp";
+         switch "termination?"
+           [
+             branch ~cond:"continue"
+               (seq "cond continue"
+                  [
+                    invoke ~partner:accounting ~op:"get_statusOp";
+                    receive ~partner:accounting ~op:"statusOp";
+                    invoke ~partner:accounting ~op:"terminateOp";
+                    Terminate;
+                  ]);
+             otherwise
+               (seq "cond terminate"
+                  [ invoke ~partner:accounting ~op:"terminateOp"; Terminate ]);
+           ];
+       ])
+
+(** All private processes of the unchanged choreography (Fig. 1). *)
+let parties =
+  [
+    (buyer, buyer_process);
+    (accounting, accounting_process);
+    (logistics, logistics_process);
+  ]

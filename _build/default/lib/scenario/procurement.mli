@@ -1,0 +1,35 @@
+(** The paper's running example (Sec. 2): buyer [B], accounting [A],
+    logistics [L], with every changed variant of Secs. 5.1–5.3. *)
+
+val buyer : string
+val accounting : string
+val logistics : string
+
+val registry : Chorev_bpel.Types.registry
+
+val buyer_process : Chorev_bpel.Process.t
+(** Fig. 3. *)
+
+val accounting_process : Chorev_bpel.Process.t
+(** Fig. 2. *)
+
+val logistics_process : Chorev_bpel.Process.t
+(** Inferred from Fig. 1 and the accounting process. *)
+
+val accounting_order2 : Chorev_bpel.Process.t
+(** Fig. 9 — invariant additive change. *)
+
+val accounting_cancel : Chorev_bpel.Process.t
+(** Fig. 11 — variant additive change. *)
+
+val accounting_once : Chorev_bpel.Process.t
+(** Fig. 15 — variant subtractive change. *)
+
+val buyer_with_cancel : Chorev_bpel.Process.t
+(** Fig. 14 — buyer after additive propagation. *)
+
+val buyer_once : Chorev_bpel.Process.t
+(** Fig. 18 — buyer after subtractive propagation. *)
+
+val parties : (string * Chorev_bpel.Process.t) list
+(** The unchanged choreography of Fig. 1. *)

@@ -1,0 +1,17 @@
+(** The per-figure reproduction report: every figure and table of the
+    paper re-derived, with the paper's claim and the measured outcome
+    side by side (the rows of EXPERIMENTS.md). *)
+
+type row = {
+  id : string;
+  what : string;
+  paper : string;
+  measured : string;
+  ok : bool;
+}
+
+val all : unit -> row list
+val pp_row : Format.formatter -> row -> unit
+
+val print_all : unit -> bool
+(** Prints every row plus a summary; [true] iff all reproduced. *)

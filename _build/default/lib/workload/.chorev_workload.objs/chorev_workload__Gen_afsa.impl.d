@@ -1,0 +1,1 @@
+lib/workload/gen_afsa.pp.ml: Chorev_afsa Chorev_formula Fun Hashtbl List Printf Random

@@ -1,0 +1,1 @@
+lib/workload/gen_afsa.pp.mli: Chorev_afsa

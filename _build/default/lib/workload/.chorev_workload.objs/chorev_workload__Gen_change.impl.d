@@ -1,0 +1,1 @@
+lib/workload/gen_change.pp.ml: Activity Chorev_bpel Chorev_change Fun List Option Process Random

@@ -1,0 +1,1 @@
+lib/workload/gen_change.pp.mli: Chorev_bpel Chorev_change

@@ -1,0 +1,1 @@
+lib/workload/gen_process.pp.ml: Activity Chorev_bpel List Printf Process Random String Types

@@ -1,0 +1,1 @@
+lib/workload/gen_process.pp.mli: Chorev_bpel

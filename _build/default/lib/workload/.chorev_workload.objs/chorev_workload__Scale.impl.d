@@ -1,0 +1,1 @@
+lib/workload/scale.pp.ml: Activity Chorev_bpel List Printf Process Types

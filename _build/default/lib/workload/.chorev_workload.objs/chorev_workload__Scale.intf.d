@@ -1,0 +1,1 @@
+lib/workload/scale.pp.mli: Chorev_bpel

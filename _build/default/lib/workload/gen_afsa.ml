@@ -1,0 +1,101 @@
+(** Random aFSA generation for benchmarks and property-based tests.
+
+    All generators are deterministic per seed. Two families:
+
+    - {!random}: arbitrary trimmed NFAs over a small label vocabulary,
+      optionally annotated — stress tests for the automata algebra;
+    - {!random_protocol}: connected "protocol-shaped" DFAs whose every
+      state reaches a final state, mimicking generated public
+      processes. *)
+
+module Afsa = Chorev_afsa.Afsa
+module Label = Chorev_afsa.Label
+module F = Chorev_formula.Syntax
+
+(** A vocabulary of [n] labels between two parties, alternating
+    directions. *)
+let vocabulary ?(party_a = "A") ?(party_b = "B") n =
+  List.init n (fun i ->
+      if i mod 2 = 0 then
+        Label.make ~sender:party_a ~receiver:party_b (Printf.sprintf "m%dOp" i)
+      else
+        Label.make ~sender:party_b ~receiver:party_a (Printf.sprintf "m%dOp" i))
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+(** Random (possibly nondeterministic) aFSA: [states] states,
+    [density] × [states] random edges, each state final with
+    probability [final_p], annotated with a random conjunction with
+    probability [ann_p]. *)
+let random ?(party_a = "A") ?(party_b = "B") ~seed ~states
+    ?(labels = 6) ?(density = 2.0) ?(final_p = 0.3) ?(ann_p = 0.2) () =
+  let rng = Random.State.make [| seed |] in
+  let vocab = vocabulary ~party_a ~party_b labels in
+  let n_edges = int_of_float (density *. float_of_int states) in
+  let edges =
+    List.init n_edges (fun _ ->
+        ( Random.State.int rng states,
+          Chorev_afsa.Sym.L (pick rng vocab),
+          Random.State.int rng states ))
+  in
+  let finals =
+    List.filter (fun _ -> Random.State.float rng 1.0 < final_p)
+      (List.init states Fun.id)
+  in
+  let finals = match finals with [] -> [ states - 1 ] | f -> f in
+  let ann =
+    List.filter_map
+      (fun q ->
+        if Random.State.float rng 1.0 < ann_p then
+          let k = 1 + Random.State.int rng 2 in
+          let vars =
+            List.init k (fun _ -> F.var (Label.to_string (pick rng vocab)))
+          in
+          Some (q, F.conj vars)
+        else None)
+      (List.init states Fun.id)
+  in
+  Afsa.make
+    ~alphabet:vocab
+    ~start:0 ~finals ~edges ~ann ()
+
+(** Protocol-shaped DFA: a backbone path [0 → 1 → … → n-1] (last state
+    final) with [extra] × n additional forward/backward edges on fresh
+    labels where determinism allows, so every state reaches the final
+    state. These resemble generated public processes. *)
+let random_protocol ?(party_a = "A") ?(party_b = "B") ~seed ~states
+    ?(labels = 8) ?(extra = 0.5) () =
+  let rng = Random.State.make [| seed |] in
+  let vocab = vocabulary ~party_a ~party_b labels in
+  let backbone =
+    List.init (states - 1) (fun i ->
+        (i, Chorev_afsa.Sym.L (List.nth vocab (i mod labels)), i + 1))
+  in
+  let n_extra = int_of_float (extra *. float_of_int states) in
+  let used = Hashtbl.create 16 in
+  List.iter (fun (s, sym, _) -> Hashtbl.replace used (s, sym) ()) backbone;
+  let extra_edges =
+    List.filter_map
+      (fun _ ->
+        let s = Random.State.int rng states in
+        let l = Chorev_afsa.Sym.L (pick rng vocab) in
+        let t = Random.State.int rng states in
+        if Hashtbl.mem used (s, l) then None
+        else begin
+          Hashtbl.replace used (s, l) ();
+          Some (s, l, t)
+        end)
+      (List.init n_extra Fun.id)
+  in
+  Afsa.make ~alphabet:vocab ~start:0
+    ~finals:[ states - 1 ]
+    ~edges:(backbone @ extra_edges)
+    ()
+
+(** A consistent pair of protocol automata: the second is the first
+    with some optional alternatives pruned — they share the backbone,
+    so their intersection is non-empty. *)
+let consistent_pair ~seed ~states () =
+  let a = random_protocol ~seed ~states () in
+  let b = random_protocol ~seed ~states ~extra:0.0 () in
+  (a, b)

@@ -1,0 +1,38 @@
+(** Random aFSA generation for benchmarks and property tests; all
+    generators are deterministic per seed. *)
+
+module Afsa = Chorev_afsa.Afsa
+module Label = Chorev_afsa.Label
+
+val vocabulary : ?party_a:string -> ?party_b:string -> int -> Label.t list
+(** [n] labels between two parties, alternating directions. *)
+
+val random :
+  ?party_a:string ->
+  ?party_b:string ->
+  seed:int ->
+  states:int ->
+  ?labels:int ->
+  ?density:float ->
+  ?final_p:float ->
+  ?ann_p:float ->
+  unit ->
+  Afsa.t
+(** Arbitrary (possibly nondeterministic, possibly annotated) automata
+    — stress input for the algebra. *)
+
+val random_protocol :
+  ?party_a:string ->
+  ?party_b:string ->
+  seed:int ->
+  states:int ->
+  ?labels:int ->
+  ?extra:float ->
+  unit ->
+  Afsa.t
+(** Connected protocol-shaped DFAs whose every state reaches the final
+    state. *)
+
+val consistent_pair : seed:int -> states:int -> unit -> Afsa.t * Afsa.t
+(** Two protocol automata sharing a backbone — consistent by
+    construction. *)

@@ -1,0 +1,112 @@
+(** Random (valid) change operations for a given private process, used
+    by propagation benchmarks and robustness tests. Deterministic per
+    seed. *)
+
+open Chorev_bpel
+module Ops = Chorev_change.Ops
+
+(* Candidate edit sites of each kind. *)
+let sequences p =
+  Activity.all_nodes (Process.body p)
+  |> List.filter_map (fun (path, a) ->
+         match a with Activity.Sequence (_, kids) -> Some (path, List.length kids) | _ -> None)
+
+let receives p =
+  Activity.all_nodes (Process.body p)
+  |> List.filter_map (fun (path, a) ->
+         match a with Activity.Receive c -> Some (path, c) | _ -> None)
+
+let switches p =
+  Activity.all_nodes (Process.body p)
+  |> List.filter_map (fun (path, a) ->
+         match a with Activity.Switch _ -> Some path | _ -> None)
+
+let picks p =
+  Activity.all_nodes (Process.body p)
+  |> List.filter_map (fun (path, a) ->
+         match a with Activity.Pick _ -> Some path | _ -> None)
+
+let whiles p =
+  Activity.all_nodes (Process.body p)
+  |> List.filter_map (fun (path, a) ->
+         match a with Activity.While _ -> Some path | _ -> None)
+
+let pick_one rng = function
+  | [] -> None
+  | l -> Some (List.nth l (Random.State.int rng (List.length l)))
+
+(** A random additive change: insert a fresh send, add a pick arm for a
+    fresh receive, or add a switch branch with a fresh send. *)
+let additive ?(fresh_op = "freshOp") ~seed (p : Process.t) : Ops.t option =
+  let rng = Random.State.make [| seed |] in
+  let partner =
+    match Process.partners p with [] -> None | ps -> pick_one rng ps
+  in
+  Option.bind partner (fun partner ->
+      let choices =
+        List.filter_map Fun.id
+          [
+            Option.map
+              (fun (path, n) ->
+                Ops.Insert_activity
+                  {
+                    path;
+                    pos = Random.State.int rng (n + 1);
+                    act = Activity.invoke ~partner ~op:fresh_op;
+                  })
+              (pick_one rng (sequences p));
+            Option.map
+              (fun (path, _) ->
+                Ops.Receive_to_pick
+                  {
+                    path;
+                    name = "alt:" ^ fresh_op;
+                    arms =
+                      [
+                        Activity.on_message ~partner ~op:fresh_op Activity.Empty;
+                      ];
+                  })
+              (pick_one rng (receives p));
+            Option.map
+              (fun path ->
+                Ops.Add_switch_branch
+                  {
+                    path;
+                    branch =
+                      Activity.branch ~cond:("opt " ^ fresh_op)
+                        (Activity.invoke ~partner ~op:fresh_op);
+                  })
+              (pick_one rng (switches p));
+            Option.map
+              (fun path ->
+                Ops.Add_pick_arm
+                  {
+                    path;
+                    arm = Activity.on_message ~partner ~op:fresh_op Activity.Empty;
+                  })
+              (pick_one rng (picks p));
+          ]
+      in
+      pick_one rng choices)
+
+(** A random subtractive change: delete a sequence child or unroll a
+    loop. *)
+let subtractive ~seed (p : Process.t) : Ops.t option =
+  let rng = Random.State.make [| seed |] in
+  let choices =
+    List.filter_map Fun.id
+      [
+        Option.map
+          (fun path ->
+            Ops.Unroll_loop_once
+              { path; switch_name = "once?"; suffix = Activity.Empty })
+          (pick_one rng (whiles p));
+        (match
+           pick_one rng (List.filter (fun (_, n) -> n > 1) (sequences p))
+         with
+        | Some (path, n) ->
+            Some (Ops.Delete_activity { path; index = Random.State.int rng n })
+        | None -> None);
+      ]
+  in
+  pick_one rng choices

@@ -1,0 +1,12 @@
+(** Random valid change operations for a given private process,
+    deterministic per seed. *)
+
+val additive :
+  ?fresh_op:string -> seed:int -> Chorev_bpel.Process.t ->
+  Chorev_change.Ops.t option
+(** Insert a fresh send, add a pick arm, extend a switch — [None] when
+    the process offers no site. *)
+
+val subtractive :
+  seed:int -> Chorev_bpel.Process.t -> Chorev_change.Ops.t option
+(** Unroll a loop or delete a sequence child. *)

@@ -1,0 +1,164 @@
+(** Random block-structured private-process generation.
+
+    Produces *pairs* of complementary processes: a requester that
+    drives a conversation and a responder that mirrors it — so the
+    generated choreographies are consistent by construction, which is
+    what propagation benchmarks need as a baseline. Deterministic per
+    seed. *)
+
+open Chorev_bpel
+
+type params = {
+  depth : int;  (** max nesting depth of structured blocks *)
+  width : int;  (** max children per sequence *)
+  ops : int;  (** vocabulary size *)
+  loop_p : float;  (** probability of a while block *)
+  choice_p : float;  (** probability of a switch/pick block *)
+}
+
+let default = { depth = 3; width = 4; ops = 8; loop_p = 0.2; choice_p = 0.3 }
+
+let op_name i = Printf.sprintf "op%d" i
+
+(* Build a conversation tree, then project it to both parties. A
+   conversation step is either A→B or B→A on a fresh-ish operation. *)
+type conv =
+  | Msg of [ `AtoB | `BtoA ] * string
+  | Seq of conv list
+  | Loop of conv  (** finite loop: iterate or leave, decided by A *)
+  | Choice of conv list  (** decided by A (sender side) *)
+
+let rec gen_conv rng (p : params) ~depth ~counter =
+  let fresh dir =
+    incr counter;
+    let suffix = match dir with `AtoB -> "B" | `BtoA -> "A" in
+    (* A→B invokes an op of B's port; B→A an op of A's port *)
+    Msg (dir, op_name (!counter mod p.ops) ^ suffix)
+  in
+  if depth = 0 then
+    fresh (if Random.State.bool rng then `AtoB else `BtoA)
+  else
+    let r = Random.State.float rng 1.0 in
+    if r < p.loop_p then Loop (gen_conv rng p ~depth:(depth - 1) ~counter)
+    else if r < p.loop_p +. p.choice_p then
+      let n = 2 + Random.State.int rng 2 in
+      Choice
+        (List.init n (fun _ -> gen_conv rng p ~depth:(depth - 1) ~counter))
+    else
+      let n = 1 + Random.State.int rng p.width in
+      Seq (List.init n (fun _ -> gen_conv rng p ~depth:(depth - 1) ~counter))
+
+(* Ensure every Choice / Loop is announced by a distinguished A→B
+   message first so both projections stay deterministic and consistent:
+   the decision maker (A) tells B which way it went. *)
+let rec project ~party_a ~party_b ~side ~counter conv : Activity.t =
+  let seqname () =
+    incr counter;
+    Printf.sprintf "s%d" !counter
+  in
+  match conv with
+  | Msg (`AtoB, op) -> (
+      match side with
+      | `A -> Activity.invoke ~partner:party_b ~op
+      | `B -> Activity.receive ~partner:party_a ~op)
+  | Msg (`BtoA, op) -> (
+      match side with
+      | `A -> Activity.receive ~partner:party_b ~op
+      | `B -> Activity.invoke ~partner:party_a ~op)
+  | Seq convs ->
+      Activity.seq (seqname ())
+        (List.map (project ~party_a ~party_b ~side ~counter) convs)
+  | Loop body ->
+      (* A decides: continue (cont message) or stop (stop message) *)
+      incr counter;
+      let cont = Printf.sprintf "cont%dB" !counter
+      and stop = Printf.sprintf "stop%dB" !counter in
+      let inner = project ~party_a ~party_b ~side ~counter body in
+      let name = Printf.sprintf "loop%d" !counter in
+      (match side with
+      | `A ->
+          (* while: announce continue, run body; finally announce stop *)
+          Activity.seq (name ^ "seq")
+            [
+              Activity.while_ name ~cond:"again?"
+                (Activity.seq (name ^ "body")
+                   [ Activity.invoke ~partner:party_b ~op:cont; inner ]);
+              Activity.invoke ~partner:party_b ~op:stop;
+            ]
+      | `B ->
+          (* mirror: iterate on cont messages (the finite while lets the
+             loop be left), then consume the stop message and continue
+             with the rest of the conversation *)
+          Activity.seq (name ^ "seq")
+            [
+              Activity.while_ name ~cond:"more?"
+                (Activity.pick (name ^ "pick")
+                   [ Activity.on_message ~partner:party_a ~op:cont inner ]);
+              Activity.receive ~partner:party_a ~op:stop;
+            ])
+  | Choice branches ->
+      incr counter;
+      let base = !counter in
+      let tags =
+        List.mapi (fun i _ -> Printf.sprintf "take%d_%dB" base i) branches
+      in
+      let name = Printf.sprintf "choice%d" base in
+      (match side with
+      | `A ->
+          Activity.switch name
+            (List.map2
+               (fun tag br ->
+                 Activity.branch ~cond:tag
+                   (Activity.seq (name ^ "_" ^ tag)
+                      [
+                        Activity.invoke ~partner:party_b ~op:tag;
+                        project ~party_a ~party_b ~side ~counter br;
+                      ]))
+               tags branches)
+      | `B ->
+          Activity.pick name
+            (List.map2
+               (fun tag br ->
+                 Activity.on_message ~partner:party_a ~op:tag
+                   (project ~party_a ~party_b ~side ~counter br))
+               tags branches))
+
+(* Tag operations used by projections must exist in the registry; we
+   instead register permissively: every op name that appears. *)
+let registry_for (acts : Activity.t list) ~party_a ~party_b =
+  let collect act =
+    Activity.communications act |> List.map (fun (_, _, c) -> c)
+  in
+  let comms = List.concat_map collect acts in
+  let for_party party =
+    comms
+    |> List.filter_map (fun (c : Activity.comm) ->
+           (* op belongs to the party being *addressed* for invokes and
+              to the owner for receives; registering under both target
+              parties is harmless and keeps validation happy *)
+           if String.equal c.partner party then Some (Types.async c.op)
+           else None)
+    |> List.sort_uniq compare
+  in
+  (* receives register the op under the receiving party *)
+  Types.registry
+    [
+      (party_a, { Types.pt_name = party_a ^ "Port"; ops = for_party party_a });
+      (party_b, { Types.pt_name = party_b ^ "Port"; ops = for_party party_b });
+    ]
+
+(** Generate a consistent requester/responder pair of private
+    processes. [size] grows with [params.depth] and [params.width]. *)
+let pair ?(party_a = "A") ?(party_b = "B") ?(params = default) ~seed () =
+  let rng = Random.State.make [| seed |] in
+  let counter = ref 0 in
+  let conv = gen_conv rng params ~depth:params.depth ~counter in
+  let c1 = ref 0 and c2 = ref 0 in
+  let body_a = project ~party_a ~party_b ~side:`A ~counter:c1 conv in
+  let body_b = project ~party_a ~party_b ~side:`B ~counter:c2 conv in
+  let body_a = Activity.seq "rootA" [ body_a ] in
+  let body_b = Activity.seq "rootB" [ body_b ] in
+  let reg = registry_for [ body_a; body_b ] ~party_a ~party_b in
+  ( Process.make ~name:(party_a ^ "-proc") ~party:party_a ~registry:reg body_a,
+    Process.make ~name:(party_b ^ "-proc") ~party:party_b ~registry:reg body_b
+  )

@@ -1,0 +1,21 @@
+(** Random block-structured process generation: complementary
+    requester/responder pairs, consistent by construction,
+    deterministic per seed. *)
+
+type params = {
+  depth : int;
+  width : int;
+  ops : int;
+  loop_p : float;
+  choice_p : float;
+}
+
+val default : params
+
+val pair :
+  ?party_a:string ->
+  ?party_b:string ->
+  ?params:params ->
+  seed:int ->
+  unit ->
+  Chorev_bpel.Process.t * Chorev_bpel.Process.t

@@ -1,0 +1,187 @@
+(** Parameterized scenario families for scalability benchmarks: the
+    paper gives no performance evaluation, so these define the workload
+    axes our benches sweep (process size, loop/choice density, number
+    of parties). *)
+
+open Chorev_bpel
+
+(** A "ladder" conversation of [n] request/response rounds between two
+    parties — public processes have Θ(n) states. Returns the consistent
+    pair. *)
+let ladder ?(party_a = "A") ?(party_b = "B") n =
+  let reg =
+    Types.registry
+      [
+        ( party_a,
+          {
+            Types.pt_name = party_a ^ "Port";
+            ops = List.init n (fun i -> Types.async (Printf.sprintf "rsp%dOp" i));
+          } );
+        ( party_b,
+          {
+            Types.pt_name = party_b ^ "Port";
+            ops = List.init n (fun i -> Types.async (Printf.sprintf "req%dOp" i));
+          } );
+      ]
+  in
+  let a_body =
+    Activity.seq "ladderA"
+      (List.concat
+         (List.init n (fun i ->
+              [
+                Activity.invoke ~partner:party_b
+                  ~op:(Printf.sprintf "req%dOp" i);
+                Activity.receive ~partner:party_b
+                  ~op:(Printf.sprintf "rsp%dOp" i);
+              ])))
+  in
+  let b_body =
+    Activity.seq "ladderB"
+      (List.concat
+         (List.init n (fun i ->
+              [
+                Activity.receive ~partner:party_a
+                  ~op:(Printf.sprintf "req%dOp" i);
+                Activity.invoke ~partner:party_a
+                  ~op:(Printf.sprintf "rsp%dOp" i);
+              ])))
+  in
+  ( Process.make ~name:"ladder-a" ~party:party_a ~registry:reg a_body,
+    Process.make ~name:"ladder-b" ~party:party_b ~registry:reg b_body )
+
+(** A "menu" of [n] alternatives: A internally chooses one of [n]
+    requests (conjunctive annotation of size [n]); B picks. Stresses
+    annotation handling in intersections. *)
+let menu ?(party_a = "A") ?(party_b = "B") n =
+  let op i = Printf.sprintf "alt%dOp" i in
+  let reg =
+    Types.registry
+      [
+        (party_a, { Types.pt_name = party_a ^ "Port"; ops = [] });
+        ( party_b,
+          {
+            Types.pt_name = party_b ^ "Port";
+            ops = List.init n (fun i -> Types.async (op i));
+          } );
+      ]
+  in
+  let a_body =
+    Activity.seq "menuA"
+      [
+        Activity.switch "which"
+          (List.init n (fun i ->
+               Activity.branch
+                 ~cond:(Printf.sprintf "case %d" i)
+                 (Activity.invoke ~partner:party_b ~op:(op i))));
+      ]
+  in
+  let b_body =
+    Activity.seq "menuB"
+      [
+        Activity.pick "serve"
+          (List.init n (fun i ->
+               Activity.on_message ~partner:party_a ~op:(op i) Activity.Empty));
+      ]
+  in
+  ( Process.make ~name:"menu-a" ~party:party_a ~registry:reg a_body,
+    Process.make ~name:"menu-b" ~party:party_b ~registry:reg b_body )
+
+(** A hub choreography of [k] spokes: a central party converses with
+    [k] partners in sequence (generalizes the paper's
+    buyer–accounting–logistics chain). Returns hub process then
+    spokes. *)
+let hub k =
+  let spoke i = Printf.sprintf "P%d" i in
+  let req i = Printf.sprintf "req%dOp" i
+  and rsp i = Printf.sprintf "rsp%dOp" i in
+  let reg =
+    Types.registry
+      (( "HUB",
+         {
+           Types.pt_name = "hubPort";
+           ops = List.init k (fun i -> Types.async (rsp i));
+         } )
+      :: List.init k (fun i ->
+             ( spoke i,
+               {
+                 Types.pt_name = spoke i ^ "Port";
+                 ops = [ Types.async (req i) ];
+               } )))
+  in
+  let hub_body =
+    Activity.seq "hub"
+      (List.concat
+         (List.init k (fun i ->
+              [
+                Activity.invoke ~partner:(spoke i) ~op:(req i);
+                Activity.receive ~partner:(spoke i) ~op:(rsp i);
+              ])))
+  in
+  let spoke_body i =
+    Activity.seq ("spoke" ^ string_of_int i)
+      [
+        Activity.receive ~partner:"HUB" ~op:(req i);
+        Activity.invoke ~partner:"HUB" ~op:(rsp i);
+      ]
+  in
+  ( Process.make ~name:"hub" ~party:"HUB" ~registry:reg hub_body,
+    List.init k (fun i ->
+        Process.make ~name:("spoke" ^ string_of_int i) ~party:(spoke i)
+          ~registry:reg (spoke_body i)) )
+
+(** A two-party tracking protocol with an [n]-armed service loop
+    (generalized Fig. 2/3): stresses view generation and emptiness on
+    loopy automata. *)
+let service_loop ?(party_a = "A") ?(party_b = "B") n =
+  let op i = Printf.sprintf "svc%dOp" i
+  and ans i = Printf.sprintf "ans%dOp" i in
+  let reg =
+    Types.registry
+      [
+        ( party_a,
+          {
+            Types.pt_name = "servicePort";
+            ops = Types.async "quitOp" :: List.init n (fun i -> Types.async (op i));
+          } );
+        ( party_b,
+          {
+            Types.pt_name = "clientPort";
+            ops = List.init n (fun i -> Types.async (ans i));
+          } );
+      ]
+  in
+  let a_body =
+    (* server: loop over pick of n services or quit *)
+    Activity.seq "server"
+      [
+        Activity.while_ "serve" ~cond:"1 = 1"
+          (Activity.pick "dispatch"
+             (Activity.on_message ~partner:party_b ~op:"quitOp"
+                Activity.Terminate
+             :: List.init n (fun i ->
+                    Activity.on_message ~partner:party_b ~op:(op i)
+                      (Activity.invoke ~partner:party_b ~op:(ans i)))));
+      ]
+  in
+  let b_body =
+    (* client: internally choose services until quitting *)
+    Activity.seq "client"
+      [
+        Activity.while_ "use" ~cond:"1 = 1"
+          (Activity.switch "what"
+             (Activity.branch ~cond:"quit"
+                (Activity.seq "quitting"
+                   [ Activity.invoke ~partner:party_a ~op:"quitOp"; Activity.Terminate ])
+             :: List.init n (fun i ->
+                    Activity.branch
+                      ~cond:(Printf.sprintf "use %d" i)
+                      (Activity.seq
+                         (Printf.sprintf "call%d" i)
+                         [
+                           Activity.invoke ~partner:party_a ~op:(op i);
+                           Activity.receive ~partner:party_a ~op:(ans i);
+                         ]))));
+      ]
+  in
+  ( Process.make ~name:"server" ~party:party_a ~registry:reg a_body,
+    Process.make ~name:"client" ~party:party_b ~registry:reg b_body )

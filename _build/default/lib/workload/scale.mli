@@ -1,0 +1,22 @@
+(** Parameterized scenario families — the workload axes of the
+    benchmark sweeps (the paper has no performance evaluation of its
+    own). All pairs/choreographies are consistent by construction. *)
+
+val ladder :
+  ?party_a:string -> ?party_b:string -> int ->
+  Chorev_bpel.Process.t * Chorev_bpel.Process.t
+(** [n] request/response rounds — Θ(n) public states. *)
+
+val menu :
+  ?party_a:string -> ?party_b:string -> int ->
+  Chorev_bpel.Process.t * Chorev_bpel.Process.t
+(** [n]-way internal choice — a conjunctive annotation of width [n]. *)
+
+val hub : int -> Chorev_bpel.Process.t * Chorev_bpel.Process.t list
+(** A central party conversing with [k] spokes. *)
+
+val service_loop :
+  ?party_a:string -> ?party_b:string -> int ->
+  Chorev_bpel.Process.t * Chorev_bpel.Process.t
+(** An [n]-armed service loop — cyclic automata for view/emptiness
+    stress. *)

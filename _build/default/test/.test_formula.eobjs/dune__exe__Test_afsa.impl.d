@@ -1,0 +1,1 @@
+test/test_afsa.ml: Alcotest Chorev List Result String

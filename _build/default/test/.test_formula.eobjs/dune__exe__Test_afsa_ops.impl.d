@@ -1,0 +1,1 @@
+test/test_afsa_ops.ml: Alcotest Chorev List Printf QCheck QCheck_alcotest

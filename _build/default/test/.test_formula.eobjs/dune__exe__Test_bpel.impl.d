@@ -1,0 +1,1 @@
+test/test_bpel.ml: Alcotest Chorev List Option Result String

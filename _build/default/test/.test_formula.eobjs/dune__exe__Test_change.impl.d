@@ -1,0 +1,1 @@
+test/test_change.ml: Alcotest Chorev List Result String

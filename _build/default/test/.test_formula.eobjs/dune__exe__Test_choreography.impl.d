@@ -1,0 +1,1 @@
+test/test_choreography.ml: Alcotest Chorev List

@@ -1,0 +1,1 @@
+test/test_discovery.ml: Alcotest Chorev List String

@@ -1,0 +1,1 @@
+test/test_emptiness.ml: Alcotest Chorev List Printf

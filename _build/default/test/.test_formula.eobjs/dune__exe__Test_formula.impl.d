@@ -1,0 +1,1 @@
+test/test_formula.ml: Alcotest Chorev List Printf QCheck QCheck_alcotest Stdlib String

@@ -1,0 +1,1 @@
+test/test_global.ml: Alcotest Chorev List String

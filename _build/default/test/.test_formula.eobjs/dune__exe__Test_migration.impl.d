@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest Chorev Fmt List Option Printf

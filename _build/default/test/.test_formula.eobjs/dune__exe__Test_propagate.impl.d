@@ -1,0 +1,1 @@
+test/test_propagate.ml: Alcotest Chorev List Option String

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Chorev List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Chorev Chorev_afsa Chorev_bpel Chorev_formula Filename Fun List Printf QCheck QCheck_alcotest Result String Sys

@@ -1,0 +1,1 @@
+test/test_skeleton.ml: Alcotest Chorev List Printf Result

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Chorev List Printf Result String

@@ -1,0 +1,119 @@
+(* Ablations: demonstrate that the naive alternatives to the semantic
+   decisions of DESIGN.md actually break the paper's figures — i.e.
+   the choices are load-bearing, not incidental. *)
+
+module C = Chorev
+module P = C.Scenario.Procurement
+
+let check_bool = Alcotest.(check bool)
+let gen = C.Public_gen.public
+
+(* Decision 1: annotated emptiness must be a GREATEST fixpoint. *)
+let test_least_fixpoint_rejects_loops () =
+  let buyer = gen P.buyer_process in
+  let view = C.View.tau ~observer:"B" (gen P.accounting_process) in
+  let i = C.Ops.intersect buyer view in
+  (* the real semantics: consistent (non-empty) *)
+  check_bool "gfp: consistent" true (C.Emptiness.is_nonempty i);
+  (* the least fixpoint wrongly rejects the mutually-supporting
+     tracking loop *)
+  check_bool "lfp: wrongly empty" true (C.Ablation.is_empty_least_fixpoint i)
+
+let test_least_fixpoint_agrees_on_acyclic () =
+  (* on the acyclic Fig. 5 example both fixpoints agree *)
+  let i = C.Scenario.Fig5.intersection () in
+  check_bool "both empty" true
+    (C.Emptiness.is_empty i && C.Ablation.is_empty_least_fixpoint i);
+  check_bool "party A: both nonempty" true
+    (C.Emptiness.is_nonempty C.Scenario.Fig5.party_a
+    && not (C.Ablation.is_empty_least_fixpoint C.Scenario.Fig5.party_a))
+
+(* Decision 2: minimization must respect annotations. *)
+let test_minimize_must_respect_annotations () =
+  (* two states, equal language, different obligations *)
+  let a =
+    C.Afsa.of_strings ~start:0 ~finals:[ 3 ]
+      ~edges:
+        [
+          (0, "B#A#go1Op", 1); (0, "B#A#go2Op", 2);
+          (1, "A#B#xOp", 3); (2, "A#B#xOp", 3);
+        ]
+      ~ann:[ (1, C.Formula.var "A#B#xOp") ]
+      ()
+  in
+  let proper = C.Minimize.minimize a in
+  let naive = C.Ablation.minimize_ignoring_annotations a in
+  (* the naive variant merges states 1 and 2 and drops the obligation *)
+  check_bool "naive smaller" true
+    (C.Afsa.num_states naive < C.Afsa.num_states proper);
+  check_bool "naive lost the annotation" false (C.Afsa.has_annotations naive);
+  check_bool "proper kept the annotation" true (C.Afsa.has_annotations proper)
+
+let test_minimize_ablation_breaks_fig16 () =
+  (* running the subtractive-change check with annotation-oblivious
+     minimization of the buyer public changes the verdict *)
+  let buyer_naive =
+    C.Ablation.minimize_ignoring_annotations (gen P.buyer_process)
+  in
+  let view = C.View.tau ~observer:"B" (gen P.accounting_once) in
+  (* real: empty (variant change, Fig. 16); naive: non-empty — the
+     subtractive change would be silently mis-classified as invariant *)
+  check_bool "real verdict: variant" true
+    (C.Emptiness.is_empty (C.Ops.intersect view (gen P.buyer_process)));
+  check_bool "naive verdict: wrongly invariant" true
+    (C.Emptiness.is_nonempty (C.Ops.intersect view buyer_naive))
+
+(* Decision 3: views must substitute hidden variables with TRUE. *)
+let test_view_hidden_false_kills_protocol () =
+  let acc = gen P.accounting_cancel in
+  (* proper buyer view keeps a satisfiable protocol *)
+  let proper = C.View.tau ~observer:"B" acc in
+  check_bool "proper view nonempty" true (C.Emptiness.is_nonempty proper);
+  (* substituting hidden obligations with false destroys it: the
+     cancel-switch annotation also mandates the (hidden) logistics
+     deliverOp *)
+  let broken = C.Ablation.tau_hidden_false ~observer:"B" acc in
+  check_bool "hidden-false view empty" true (C.Emptiness.is_empty broken)
+
+(* Decision 4: union must preserve annotations (the De Morgan form the
+   paper quotes is language-correct but annotation-oblivious). *)
+let test_de_morgan_union_loses_annotations () =
+  let buyer = gen P.buyer_process in
+  let view = C.View.tau ~observer:"B" (gen P.accounting_cancel) in
+  let delta = C.Ops.difference view buyer in
+  let keeping = C.Ops.union delta buyer in
+  let de_morgan = C.Ops.union_de_morgan delta buyer in
+  check_bool "same language" true (C.Equiv.equal_language keeping de_morgan);
+  check_bool "direct union keeps annotations" true
+    (C.Afsa.has_annotations keeping);
+  check_bool "de morgan drops annotations" false
+    (C.Afsa.has_annotations de_morgan)
+
+let () =
+  Alcotest.run "ablation"
+    [
+      ( "emptiness fixpoint",
+        [
+          Alcotest.test_case "lfp rejects loops" `Quick
+            test_least_fixpoint_rejects_loops;
+          Alcotest.test_case "agree on acyclic" `Quick
+            test_least_fixpoint_agrees_on_acyclic;
+        ] );
+      ( "minimization",
+        [
+          Alcotest.test_case "annotation partition" `Quick
+            test_minimize_must_respect_annotations;
+          Alcotest.test_case "fig16 breaks without it" `Quick
+            test_minimize_ablation_breaks_fig16;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "hidden must default true" `Quick
+            test_view_hidden_false_kills_protocol;
+        ] );
+      ( "union",
+        [
+          Alcotest.test_case "de morgan loses annotations" `Quick
+            test_de_morgan_union_loses_annotations;
+        ] );
+    ]

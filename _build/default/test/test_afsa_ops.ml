@@ -1,0 +1,243 @@
+(* The aFSA algebra: intersection (Def. 3), difference (Def. 4), union,
+   complement, language equivalence — unit cases plus word-level
+   properties on random automata. *)
+
+module C = Chorev
+module A = C.Afsa
+module F = C.Formula
+
+let afsa ?ann ?alphabet ~start ~finals edges =
+  A.of_strings ?alphabet ~start ~finals ~edges ?ann ()
+
+let l = C.Label.of_string_exn
+let word = List.map l
+let check_bool = Alcotest.(check bool)
+
+let ab = afsa ~start:0 ~finals:[ 2 ] [ (0, "A#B#x", 1); (1, "B#A#y", 2) ]
+
+let ab_or_c =
+  afsa ~start:0 ~finals:[ 2; 3 ]
+    [ (0, "A#B#x", 1); (1, "B#A#y", 2); (0, "A#B#z", 3) ]
+
+(* --------------------------- intersection ------------------------- *)
+
+let test_intersect_language () =
+  let i = C.Ops.intersect ab ab_or_c in
+  check_bool "xy in both" true (C.Trace.accepts i (word [ "A#B#x"; "B#A#y" ]));
+  check_bool "z not shared" false (C.Trace.accepts i (word [ "A#B#z" ]));
+  (* alphabet is the intersection *)
+  Alcotest.(check int) "alphabet" 2 (List.length (A.alphabet i))
+
+let test_intersect_annotations_conj () =
+  let a1 =
+    afsa ~start:0 ~finals:[ 1 ] [ (0, "A#B#x", 1) ] ~ann:[ (0, F.var "A#B#x") ]
+  in
+  let a2 =
+    afsa ~start:0 ~finals:[ 1 ] [ (0, "A#B#x", 1) ] ~ann:[ (0, F.var "A#B#y") ]
+  in
+  let i = C.Ops.intersect a1 a2 in
+  check_bool "conjunction" true
+    (F.Sat.equivalent
+       (A.annotation i (A.start i))
+       (F.and_ (F.var "A#B#x") (F.var "A#B#y")))
+
+let test_intersect_with_eps () =
+  (* ε on one side interleaves *)
+  let a1 = afsa ~start:0 ~finals:[ 2 ] [ (0, "", 1); (1, "A#B#x", 2) ] in
+  let i = C.Ops.intersect a1 ab in
+  check_bool "x through eps" true (C.Trace.accepts i (word [ "A#B#x" ])= false);
+  (* ab needs y after x; intersection of languages {x} ∩ {xy} = ∅ *)
+  check_bool "no common word" true (C.Emptiness.is_empty_plain (A.trim i))
+
+(* ---------------------------- difference -------------------------- *)
+
+let test_difference () =
+  let d = C.Ops.difference ab_or_c ab in
+  check_bool "z removed? no — z is the difference" true
+    (C.Trace.accepts d (word [ "A#B#z" ]));
+  check_bool "xy not in difference" false
+    (C.Trace.accepts d (word [ "A#B#x"; "B#A#y" ]));
+  let d2 = C.Ops.difference ab ab_or_c in
+  check_bool "A ⊆ B ⇒ empty difference" true (C.Emptiness.is_empty_plain d2)
+
+let test_difference_keeps_left_annotations () =
+  let a1 =
+    afsa ~start:0 ~finals:[ 1 ]
+      [ (0, "A#B#x", 1); (0, "A#B#z", 1) ]
+      ~ann:[ (0, F.var "A#B#x") ]
+  in
+  let a2 = afsa ~start:0 ~finals:[ 1 ] [ (0, "A#B#x", 1) ] in
+  let d = C.Ops.difference a1 a2 in
+  (* start annotation comes from a1 only *)
+  check_bool "left annotation kept" true
+    (F.Sat.equivalent (A.annotation d (A.start d)) (F.var "A#B#x"))
+
+let test_difference_outside_alphabet () =
+  (* the paper's Fig. 13a: symbols unknown to B survive A \ B *)
+  let a1 = afsa ~start:0 ~finals:[ 1 ] [ (0, "A#B#cancelOp", 1) ] in
+  let b = afsa ~start:0 ~finals:[ 1 ] [ (0, "A#B#deliveryOp", 1) ] in
+  let d = C.Ops.difference a1 b in
+  check_bool "cancel survives" true (C.Trace.accepts d (word [ "A#B#cancelOp" ]))
+
+(* ------------------------------ union ----------------------------- *)
+
+let test_union () =
+  let u = C.Ops.union ab ab_or_c in
+  check_bool "xy" true (C.Trace.accepts u (word [ "A#B#x"; "B#A#y" ]));
+  check_bool "z" true (C.Trace.accepts u (word [ "A#B#z" ]));
+  check_bool "x alone rejected" false (C.Trace.accepts u (word [ "A#B#x" ]))
+
+let test_union_de_morgan_equivalent () =
+  let u1 = C.Ops.union ab ab_or_c in
+  let u2 = C.Ops.union_de_morgan ab ab_or_c in
+  check_bool "same language" true (C.Equiv.equal_language u1 u2)
+
+let test_union_preserves_annotations () =
+  (* Fig. 13b: both sides' obligations survive the union *)
+  let a1 =
+    afsa ~start:0 ~finals:[ 1 ] [ (0, "A#B#x", 1) ] ~ann:[ (0, F.var "A#B#x") ]
+  in
+  let a2 =
+    afsa ~start:0 ~finals:[ 1 ] [ (0, "A#B#z", 1) ] ~ann:[ (0, F.var "A#B#z") ]
+  in
+  let u = C.Ops.union a1 a2 in
+  check_bool "conjoined obligations" true
+    (F.Sat.equivalent
+       (A.annotation u (A.start u))
+       (F.and_ (F.var "A#B#x") (F.var "A#B#z")))
+
+(* ---------------------------- complement -------------------------- *)
+
+let test_complement () =
+  let c = C.Ops.complement ab in
+  check_bool "xy excluded" false (C.Trace.accepts c (word [ "A#B#x"; "B#A#y" ]));
+  check_bool "x alone included" true (C.Trace.accepts c (word [ "A#B#x" ]));
+  check_bool "empty word included" true (C.Trace.accepts c []);
+  let cc = C.Ops.complement c in
+  check_bool "double complement" true (C.Equiv.equal_language cc ab)
+
+(* ------------------------------ equiv ----------------------------- *)
+
+let test_equiv () =
+  check_bool "self" true (C.Equiv.equal_language ab ab);
+  check_bool "subset" true (C.Equiv.included ab ab_or_c);
+  check_bool "not superset" false (C.Equiv.included ab_or_c ab);
+  check_bool "strict" true (C.Equiv.strictly_includes ab_or_c ab);
+  let m1 = C.Minimize.minimize ab and m2 = C.Minimize.minimize ab in
+  check_bool "annotated equal" true (C.Equiv.equal_annotated m1 m2)
+
+(* --------------------------- properties --------------------------- *)
+
+let arb_afsa =
+  QCheck.make
+    ~print:(fun seed -> Printf.sprintf "seed=%d" seed)
+    QCheck.Gen.(int_bound 10_000)
+
+let gen seed = C.Workload.Gen_afsa.random ~seed ~states:6 ()
+
+let words a =
+  C.Trace.enumerate ~limit:200 ~max_len:4 a |> List.sort_uniq compare
+
+let prop_intersection_is_conjunction =
+  QCheck.Test.make ~name:"w ∈ L(A∩B) ⟺ w ∈ L(A) ∧ w ∈ L(B)" ~count:60
+    (QCheck.pair arb_afsa arb_afsa) (fun (s1, s2) ->
+      let a = gen s1 and b = gen (s2 + 20_000) in
+      let i = C.Ops.intersect a b in
+      List.for_all
+        (fun w ->
+          C.Trace.accepts i w = (C.Trace.accepts a w && C.Trace.accepts b w))
+        (words a @ words b @ words i))
+
+let prop_difference_is_subtraction =
+  QCheck.Test.make ~name:"w ∈ L(A∖B) ⟺ w ∈ L(A) ∧ w ∉ L(B)" ~count:60
+    (QCheck.pair arb_afsa arb_afsa) (fun (s1, s2) ->
+      let a = gen s1 and b = gen (s2 + 40_000) in
+      let d = C.Ops.difference a b in
+      List.for_all
+        (fun w ->
+          C.Trace.accepts d w = (C.Trace.accepts a w && not (C.Trace.accepts b w)))
+        (words a @ words b @ words d))
+
+let prop_union_is_disjunction =
+  QCheck.Test.make ~name:"w ∈ L(A∪B) ⟺ w ∈ L(A) ∨ w ∈ L(B)" ~count:60
+    (QCheck.pair arb_afsa arb_afsa) (fun (s1, s2) ->
+      let a = gen s1 and b = gen (s2 + 60_000) in
+      let u = C.Ops.union a b in
+      List.for_all
+        (fun w ->
+          C.Trace.accepts u w = (C.Trace.accepts a w || C.Trace.accepts b w))
+        (words a @ words b @ words u))
+
+let prop_determinize_preserves =
+  QCheck.Test.make ~name:"determinization preserves the language" ~count:60
+    arb_afsa (fun s ->
+      let a = gen s in
+      let d = C.Determinize.determinize a in
+      A.is_deterministic d
+      && List.for_all
+           (fun w -> C.Trace.accepts a w = C.Trace.accepts d w)
+           (words a @ words d))
+
+let prop_minimize_preserves =
+  QCheck.Test.make ~name:"minimization preserves the language" ~count:60
+    arb_afsa (fun s ->
+      let a = gen s in
+      let m = C.Minimize.minimize a in
+      List.for_all
+        (fun w -> C.Trace.accepts a w = C.Trace.accepts m w)
+        (words a @ words m))
+
+let prop_minimize_not_larger =
+  QCheck.Test.make ~name:"minimization does not grow determinized size"
+    ~count:60 arb_afsa (fun s ->
+      let a = gen s in
+      let d = C.Complete.complete (C.Determinize.determinize a) in
+      A.num_states (C.Minimize.minimize a) <= A.num_states d)
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"union = De-Morgan union (language)" ~count:40
+    (QCheck.pair arb_afsa arb_afsa) (fun (s1, s2) ->
+      let a = gen s1 and b = gen (s2 + 80_000) in
+      C.Equiv.equal_language (C.Ops.union a b) (C.Ops.union_de_morgan a b))
+
+let () =
+  Alcotest.run "afsa-ops"
+    [
+      ( "intersection",
+        [
+          Alcotest.test_case "language" `Quick test_intersect_language;
+          Alcotest.test_case "annotation conjunction" `Quick
+            test_intersect_annotations_conj;
+          Alcotest.test_case "with eps" `Quick test_intersect_with_eps;
+        ] );
+      ( "difference",
+        [
+          Alcotest.test_case "language" `Quick test_difference;
+          Alcotest.test_case "keeps left annotations" `Quick
+            test_difference_keeps_left_annotations;
+          Alcotest.test_case "outside alphabet (Fig 13a)" `Quick
+            test_difference_outside_alphabet;
+        ] );
+      ( "union",
+        [
+          Alcotest.test_case "language" `Quick test_union;
+          Alcotest.test_case "de morgan equivalent" `Quick
+            test_union_de_morgan_equivalent;
+          Alcotest.test_case "preserves annotations (Fig 13b)" `Quick
+            test_union_preserves_annotations;
+        ] );
+      ( "complement",
+        [ Alcotest.test_case "complement" `Quick test_complement ] );
+      ("equiv", [ Alcotest.test_case "equalities" `Quick test_equiv ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_intersection_is_conjunction;
+            prop_difference_is_subtraction;
+            prop_union_is_disjunction;
+            prop_determinize_preserves;
+            prop_minimize_preserves;
+            prop_minimize_not_larger;
+            prop_de_morgan;
+          ] );
+    ]

@@ -1,0 +1,254 @@
+(* The BPEL-lite process substrate: AST navigation, paths, validation,
+   pretty/XML printing, structural edits. *)
+
+module C = Chorev
+module B = C.Bpel
+module Act = B.Activity
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let sample =
+  Act.seq "root"
+    [
+      Act.receive ~partner:"P" ~op:"inOp";
+      Act.while_ "loop" ~cond:"1 = 1"
+        (Act.switch "sw"
+           [
+             Act.branch ~cond:"a" (Act.invoke ~partner:"P" ~op:"aOp");
+             Act.otherwise (Act.seq "term" [ Act.invoke ~partner:"P" ~op:"bOp"; Act.Terminate ]);
+           ]);
+    ]
+
+let registry =
+  B.Types.registry
+    [
+      ( "P",
+        {
+          B.Types.pt_name = "pPort";
+          ops = [ B.Types.async "aOp"; B.Types.async "bOp"; B.Types.sync "sOp" ];
+        } );
+      ("me", { B.Types.pt_name = "mePort"; ops = [ B.Types.async "inOp" ] });
+    ]
+
+let proc = B.Process.make ~name:"p" ~party:"me" ~registry sample
+
+(* ----------------------------- activity --------------------------- *)
+
+let test_children () =
+  check_int "root children" 2 (List.length (Act.children sample));
+  let sw = Option.get (Act.find_at [ 1; 0 ] sample) in
+  check_int "switch children" 2 (List.length (Act.children sw));
+  check_str "block name" "Switch:sw" (Option.get (Act.block_name sw));
+  check_bool "basic has no block name" true
+    (Act.block_name (Act.receive ~partner:"P" ~op:"x") = None)
+
+let test_with_children () =
+  let sw = Option.get (Act.find_at [ 1; 0 ] sample) in
+  let kids = Act.children sw in
+  let sw' = Act.with_children sw kids in
+  check_bool "rebuild identical" true (Act.equal sw sw');
+  check_bool "wrong arity raises" true
+    (try
+       ignore (Act.with_children sw []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_paths () =
+  check_bool "find root" true (Act.find_at [] sample <> None);
+  check_bool "find deep" true (Act.find_at [ 1; 0; 1 ] sample <> None);
+  check_bool "invalid path" true (Act.find_at [ 9 ] sample = None);
+  let updated =
+    Option.get (Act.update_at [ 0 ] (fun _ -> Act.Empty) sample)
+  in
+  check_bool "updated" true (Act.find_at [ 0 ] updated = Some Act.Empty);
+  check_bool "update invalid path" true
+    (Act.update_at [ 7; 7 ] (fun a -> a) sample = None)
+
+let test_fold_size_nodes () =
+  check_int "size" 8 (Act.size sample);
+  check_int "all nodes" 8 (List.length (Act.all_nodes sample));
+  let comms = Act.communications sample in
+  check_int "communications" 3 (List.length comms)
+
+let test_named_path () =
+  let np = Act.named_path sample [ 1; 0; 1 ] in
+  Alcotest.(check (list string))
+    "named path"
+    [ "Sequence:root"; "While:loop"; "Switch:sw"; "Sequence:term" ]
+    np
+
+(* ------------------------------ process ---------------------------- *)
+
+let test_labels_of_comm () =
+  let labels kind c = B.Process.labels_of_comm proc kind c in
+  let c = { Act.partner = "P"; op = "aOp" } in
+  Alcotest.(check (list string))
+    "async invoke" [ "me#P#aOp" ]
+    (List.map C.Label.to_string (labels `Invoke c));
+  let s = { Act.partner = "P"; op = "sOp" } in
+  Alcotest.(check (list string))
+    "sync invoke" [ "me#P#sOp"; "P#me#sOp" ]
+    (List.map C.Label.to_string (labels `Invoke s));
+  let r = { Act.partner = "P"; op = "inOp" } in
+  Alcotest.(check (list string))
+    "receive" [ "P#me#inOp" ]
+    (List.map C.Label.to_string (labels `Receive r))
+
+let test_alphabet_partners () =
+  check_int "alphabet" 3 (List.length (B.Process.alphabet proc));
+  Alcotest.(check (list string)) "partners" [ "P" ] (B.Process.partners proc)
+
+(* ----------------------------- validate --------------------------- *)
+
+let test_validate_ok () =
+  check_bool "valid" true (B.Validate.is_valid proc)
+
+let test_validate_catches () =
+  let bad_op =
+    B.Process.with_body proc (Act.invoke ~partner:"P" ~op:"nopeOp")
+  in
+  check_bool "unregistered op" false (B.Validate.is_valid bad_op);
+  let self_talk =
+    B.Process.with_body proc (Act.invoke ~partner:"me" ~op:"aOp")
+  in
+  check_bool "self communication" false (B.Validate.is_valid self_talk);
+  let empty_pick = B.Process.with_body proc (Act.pick "p" []) in
+  check_bool "empty pick" false (B.Validate.is_valid empty_pick);
+  let dup_blocks =
+    B.Process.with_body proc
+      (Act.seq "x" [ Act.seq "dup" [ Act.Empty ]; Act.seq "dup" [ Act.Empty ] ])
+  in
+  check_bool "duplicate block names" false (B.Validate.is_valid dup_blocks);
+  let empty_seq = B.Process.with_body proc (Act.seq "x" []) in
+  check_bool "empty sequence" false (B.Validate.is_valid empty_seq);
+  let dup_arms =
+    B.Process.with_body proc
+      (Act.pick "p"
+         [
+           Act.on_message ~partner:"P" ~op:"aOp" Act.Empty;
+           Act.on_message ~partner:"P" ~op:"aOp" Act.Empty;
+         ])
+  in
+  check_bool "duplicate pick triggers" false (B.Validate.is_valid dup_arms)
+
+(* ------------------------------- pp -------------------------------- *)
+
+let test_pp () =
+  let s = B.Pp.to_string proc in
+  check_bool "mentions while" true (contains s "while loop");
+  check_bool "mentions receive" true (contains s "receive P/inOp");
+  check_bool "mentions case" true (contains s "case [a]")
+
+let test_xml () =
+  let x = B.Pp.to_xml proc in
+  check_bool "xml process" true (contains x "<process name=\"p\"");
+  check_bool "xml while" true (contains x "<while name=\"loop\"");
+  check_bool "xml otherwise" true (contains x "<otherwise>");
+  check_bool "xml escapes" true
+    (contains
+       (B.Pp.to_xml (B.Process.with_body proc (Act.seq "a<b" [ Act.Empty ])))
+       "a&lt;b")
+
+(* ------------------------------- edit ------------------------------ *)
+
+let test_edit_insert_delete () =
+  let body = B.Process.body proc in
+  let inserted =
+    Result.get_ok
+      (B.Edit.insert_in_sequence ~path:[] ~pos:1 (Act.Assign "a") body)
+  in
+  (match inserted with
+  | Act.Sequence (_, kids) -> check_int "inserted" 3 (List.length kids)
+  | _ -> Alcotest.fail "expected sequence");
+  let deleted = Result.get_ok (B.Edit.delete_child ~path:[] ~index:0 body) in
+  (match deleted with
+  | Act.Sequence (_, kids) -> check_int "deleted" 1 (List.length kids)
+  | _ -> Alcotest.fail "expected sequence");
+  check_bool "delete bad index" true
+    (Result.is_error (B.Edit.delete_child ~path:[] ~index:9 body));
+  check_bool "insert into non-sequence" true
+    (Result.is_error
+       (B.Edit.insert_in_sequence ~path:[ 0 ] ~pos:0 Act.Empty body))
+
+let test_edit_receive_to_pick () =
+  let body = B.Process.body proc in
+  let picked =
+    Result.get_ok
+      (B.Edit.receive_to_pick ~path:[ 0 ] ~name:"alt"
+         ~arms:[ Act.on_message ~partner:"P" ~op:"bOp" Act.Empty ]
+         body)
+  in
+  (match Act.find_at [ 0 ] picked with
+  | Some (Act.Pick { on_messages; _ }) ->
+      check_int "two arms" 2 (List.length on_messages)
+  | _ -> Alcotest.fail "expected pick");
+  check_bool "non-receive rejected" true
+    (Result.is_error
+       (B.Edit.receive_to_pick ~path:[ 1 ] ~name:"x" ~arms:[] body))
+
+let test_edit_loops () =
+  let body = B.Process.body proc in
+  let unrolled =
+    Result.get_ok
+      (B.Edit.unroll_while_once ~path:[ 1 ] ~switch_name:"once" body)
+  in
+  (match Act.find_at [ 1 ] unrolled with
+  | Some (Act.Switch { branches; _ }) ->
+      check_int "two branches" 2 (List.length branches)
+  | _ -> Alcotest.fail "expected switch");
+  let removed = Result.get_ok (B.Edit.remove_while ~path:[ 1 ] body) in
+  (match Act.find_at [ 1 ] removed with
+  | Some (Act.Switch _) -> ()
+  | _ -> Alcotest.fail "expected spliced body");
+  check_bool "unroll non-while" true
+    (Result.is_error (B.Edit.unroll_while_once ~path:[ 0 ] ~switch_name:"x" body))
+
+let test_edit_find () =
+  let body = B.Process.body proc in
+  check_bool "find_block" true (B.Edit.find_block ~name:"While:loop" body = Some [ 1 ]);
+  check_bool "find_block missing" true (B.Edit.find_block ~name:"While:none" body = None);
+  (match B.Edit.find_first ~pred:(function Act.Terminate -> true | _ -> false) body with
+  | Some (p, _) -> Alcotest.(check (list int)) "terminate path" [ 1; 0; 1; 1 ] p
+  | None -> Alcotest.fail "expected to find terminate")
+
+let () =
+  Alcotest.run "bpel"
+    [
+      ( "activity",
+        [
+          Alcotest.test_case "children" `Quick test_children;
+          Alcotest.test_case "with_children" `Quick test_with_children;
+          Alcotest.test_case "paths" `Quick test_paths;
+          Alcotest.test_case "fold/size" `Quick test_fold_size_nodes;
+          Alcotest.test_case "named path" `Quick test_named_path;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "labels_of_comm" `Quick test_labels_of_comm;
+          Alcotest.test_case "alphabet/partners" `Quick test_alphabet_partners;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "valid process" `Quick test_validate_ok;
+          Alcotest.test_case "catches issues" `Quick test_validate_catches;
+        ] );
+      ( "pp",
+        [
+          Alcotest.test_case "pretty printer" `Quick test_pp;
+          Alcotest.test_case "xml emitter" `Quick test_xml;
+        ] );
+      ( "edit",
+        [
+          Alcotest.test_case "insert/delete" `Quick test_edit_insert_delete;
+          Alcotest.test_case "receive→pick" `Quick test_edit_receive_to_pick;
+          Alcotest.test_case "loops" `Quick test_edit_loops;
+          Alcotest.test_case "find" `Quick test_edit_find;
+        ] );
+    ]

@@ -1,0 +1,236 @@
+(* Multi-party choreography model, the Fig. 4 evolution pipeline, and
+   the decentralized consistency protocol. *)
+
+module C = Chorev
+module M = C.Choreography.Model
+module Cons = C.Choreography.Consistency
+module Ev = C.Choreography.Evolution
+module Pr = C.Choreography.Protocol
+module P = C.Scenario.Procurement
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let procurement () = M.of_processes (List.map snd P.parties)
+
+(* ------------------------------ model ------------------------------ *)
+
+let test_model_basics () =
+  let t = procurement () in
+  Alcotest.(check (list string)) "parties" [ "A"; "B"; "L" ] (M.parties t);
+  check_bool "member" true (M.member t "A" <> None);
+  check_bool "unknown member" true (M.member t "X" = None);
+  check_bool "interact A B" true (M.interact t "A" "B");
+  check_bool "interact A L" true (M.interact t "A" "L");
+  check_bool "B and L do not interact" false (M.interact t "B" "L");
+  check_int "pairs" 2 (List.length (M.pairs t))
+
+let test_model_duplicate_party_rejected () =
+  check_bool "duplicate raises" true
+    (try
+       ignore (M.of_processes [ P.buyer_process; P.buyer_process ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_model_update () =
+  let t = procurement () in
+  let t' = M.update t P.accounting_cancel in
+  check_bool "public changed" false
+    (C.Equiv.equal_language (M.public t "A") (M.public t' "A"));
+  check_bool "others untouched" true
+    (C.Equiv.equal_language (M.public t "B") (M.public t' "B"))
+
+(* --------------------------- consistency --------------------------- *)
+
+let test_consistency_all () =
+  let t = procurement () in
+  check_bool "consistent" true (Cons.consistent t);
+  let verdicts = Cons.check_all t in
+  check_int "two pairs checked" 2 (List.length verdicts);
+  List.iter
+    (fun v ->
+      check_bool "pair consistent" true v.Cons.consistent;
+      check_bool "witness exists" true (v.Cons.witness <> None))
+    verdicts
+
+let test_consistency_broken_by_uncontrolled_change () =
+  (* applying the cancel change without propagation breaks B *)
+  let t = M.update (procurement ()) P.accounting_cancel in
+  check_bool "now inconsistent" false (Cons.consistent t);
+  check_bool "A-B pair broken" false (Cons.consistent_pair t "A" "B");
+  check_bool "A-L pair fine" true (Cons.consistent_pair t "A" "L")
+
+let test_agreed_protocol () =
+  let t = procurement () in
+  let p = Cons.protocol t "A" "B" in
+  check_bool "nonempty" true (C.Emptiness.is_nonempty p);
+  check_bool "contains the happy conversation" true
+    (C.Trace.accepts p
+       (List.map C.Label.of_string_exn
+          [ "B#A#orderOp"; "A#B#deliveryOp"; "B#A#terminateOp" ]));
+  (* only bilateral labels *)
+  check_bool "bilateral alphabet" true
+    (List.for_all (C.Label.involves "B") (C.Afsa.alphabet p));
+  (* after an uncontrolled variant change the protocol is empty *)
+  let t' = M.update t P.accounting_cancel in
+  check_bool "broken protocol empty" true
+    (C.Emptiness.is_empty (Cons.protocol t' "A" "B"))
+
+(* ---------------------------- evolution ---------------------------- *)
+
+let test_evolution_additive () =
+  let t = procurement () in
+  let rep = Ev.evolve t ~owner:"A" ~changed:P.accounting_cancel in
+  check_bool "consistent after" true rep.Ev.consistent;
+  let r0 = List.hd rep.Ev.rounds in
+  check_bool "public changed" true r0.Ev.public_changed;
+  check_int "two partners" 2 (List.length r0.Ev.partners);
+  let b = List.find (fun p -> p.Ev.partner = "B") r0.Ev.partners in
+  check_bool "B variant" true
+    (C.Change.Classify.requires_propagation b.Ev.verdict);
+  let l = List.find (fun p -> p.Ev.partner = "L") r0.Ev.partners in
+  check_bool "L invariant" false
+    (C.Change.Classify.requires_propagation l.Ev.verdict);
+  (* evolved buyer equals fig 14 up to language *)
+  check_bool "B adapted to fig14" true
+    (C.Equiv.equal_language
+       (M.public rep.Ev.choreography "B")
+       (C.Public_gen.public P.buyer_with_cancel))
+
+let test_evolution_subtractive () =
+  let t = procurement () in
+  let rep = Ev.evolve t ~owner:"A" ~changed:P.accounting_once in
+  check_bool "consistent after" true rep.Ev.consistent;
+  check_bool "B adapted to fig18" true
+    (C.Equiv.equal_language
+       (M.public rep.Ev.choreography "B")
+       (C.Public_gen.public P.buyer_once))
+
+let test_evolution_local_change_stops_early () =
+  let t = procurement () in
+  let changed =
+    C.Change.Ops.apply_exn
+      (C.Change.Ops.Insert_activity
+         { path = []; pos = 0; act = C.Bpel.Activity.Assign "log" })
+      P.accounting_process
+  in
+  let rep = Ev.evolve t ~owner:"A" ~changed in
+  check_int "one round" 1 (List.length rep.Ev.rounds);
+  check_bool "no public change" false (List.hd rep.Ev.rounds).Ev.public_changed;
+  check_bool "still consistent" true rep.Ev.consistent
+
+let test_evolution_no_auto_apply () =
+  let t = procurement () in
+  let rep = Ev.evolve ~auto_apply:false t ~owner:"A" ~changed:P.accounting_cancel in
+  (* without adaptation the choreography stays inconsistent *)
+  check_bool "inconsistent" false rep.Ev.consistent;
+  let r0 = List.hd rep.Ev.rounds in
+  let b = List.find (fun p -> p.Ev.partner = "B") r0.Ev.partners in
+  check_bool "suggestions available" true
+    (match b.Ev.outcome with
+    | Some o -> o.C.Propagate.Engine.suggestions <> []
+    | None -> false)
+
+let test_dry_run () =
+  let t = procurement () in
+  (* variant change: B flagged with suggestions, nothing applied *)
+  let reports = Ev.dry_run t ~owner:"A" ~changed:P.accounting_cancel in
+  check_int "two partners" 2 (List.length reports);
+  let b = List.find (fun r -> r.Ev.partner = "B") reports in
+  check_bool "B variant" true (C.Change.Classify.requires_propagation b.Ev.verdict);
+  (match b.Ev.outcome with
+  | Some o ->
+      check_bool "suggestions present" true
+        (o.C.Propagate.Engine.suggestions <> []);
+      check_bool "nothing applied" true (o.C.Propagate.Engine.adapted = None)
+  | None -> Alcotest.fail "expected analysis");
+  (* the choreography itself is untouched *)
+  check_bool "still consistent" true (Cons.consistent t);
+  (* local change: empty report *)
+  let local =
+    C.Change.Ops.apply_exn
+      (C.Change.Ops.Insert_activity
+         { path = []; pos = 0; act = C.Bpel.Activity.Assign "x" })
+      P.accounting_process
+  in
+  check_int "local change: no reports" 0
+    (List.length (Ev.dry_run t ~owner:"A" ~changed:local))
+
+let test_evolve_op () =
+  let t = procurement () in
+  match
+    Ev.evolve_op t ~owner:"B"
+      (C.Change.Ops.Insert_activity
+         { path = []; pos = 0; act = C.Bpel.Activity.Assign "note" })
+  with
+  | Ok rep -> check_bool "consistent" true rep.Ev.consistent
+  | Error e -> Alcotest.fail e
+
+(* ----------------------------- protocol ---------------------------- *)
+
+let test_protocol_invariant_change () =
+  let t = procurement () in
+  let r = Pr.run t ~owner:"A" ~changed:P.accounting_order2 in
+  check_bool "agreed" true r.Pr.agreed;
+  check_bool "no nacks" true (r.Pr.stats.Pr.nacks = 0);
+  check_bool "announcements to both partners" true
+    (r.Pr.stats.Pr.announcements >= 2)
+
+let test_protocol_variant_change () =
+  let t = procurement () in
+  let r = Pr.run t ~owner:"A" ~changed:P.accounting_cancel in
+  check_bool "agreed after adaptation" true r.Pr.agreed;
+  check_bool "at least one nack" true (r.Pr.stats.Pr.nacks >= 1);
+  check_bool "final consistent" true
+    (C.Choreography.Consistency.consistent r.Pr.final)
+
+let test_protocol_no_adaptation () =
+  let t = procurement () in
+  let r = Pr.run ~adapt:false t ~owner:"A" ~changed:P.accounting_cancel in
+  check_bool "no agreement" false r.Pr.agreed;
+  check_bool "nacked" true (r.Pr.stats.Pr.nacks >= 1)
+
+let test_protocol_message_economy () =
+  (* only public processes travel; stats stay small for the scenario *)
+  let t = procurement () in
+  let r = Pr.run t ~owner:"A" ~changed:P.accounting_cancel in
+  check_bool "bounded messages" true (r.Pr.stats.Pr.messages <= 20);
+  check_bool "bounded rounds" true (r.Pr.stats.Pr.rounds <= 16)
+
+let () =
+  Alcotest.run "choreography"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "basics" `Quick test_model_basics;
+          Alcotest.test_case "duplicate party" `Quick
+            test_model_duplicate_party_rejected;
+          Alcotest.test_case "update" `Quick test_model_update;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "all pairs" `Quick test_consistency_all;
+          Alcotest.test_case "uncontrolled change breaks" `Quick
+            test_consistency_broken_by_uncontrolled_change;
+          Alcotest.test_case "agreed protocol" `Quick test_agreed_protocol;
+        ] );
+      ( "evolution (Fig 4)",
+        [
+          Alcotest.test_case "additive cancel" `Quick test_evolution_additive;
+          Alcotest.test_case "subtractive tracking" `Quick
+            test_evolution_subtractive;
+          Alcotest.test_case "local change stops early" `Quick
+            test_evolution_local_change_stops_early;
+          Alcotest.test_case "no auto-apply" `Quick test_evolution_no_auto_apply;
+          Alcotest.test_case "evolve_op" `Quick test_evolve_op;
+          Alcotest.test_case "dry run" `Quick test_dry_run;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "invariant" `Quick test_protocol_invariant_change;
+          Alcotest.test_case "variant" `Quick test_protocol_variant_change;
+          Alcotest.test_case "no adaptation" `Quick test_protocol_no_adaptation;
+          Alcotest.test_case "message economy" `Quick
+            test_protocol_message_economy;
+        ] );
+    ]

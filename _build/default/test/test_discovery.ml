@@ -1,0 +1,166 @@
+(* Process-annotated service discovery (Sec. 6, after the IPSI-PF
+   matchmaking engine): registry, consistency-filtered queries, ranking
+   and the precision gain over keyword matching. *)
+
+module C = Chorev
+module D = C.Discovery
+module P = C.Scenario.Procurement
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let gen = C.Public_gen.public
+
+(* The buyer as requester: who can serve its conversation? *)
+let buyer_pub = gen P.buyer_process
+
+(* A decoy "accounting" that shares operation names but speaks them in
+   an incompatible order (delivery before order). *)
+let decoy =
+  C.Afsa.of_strings ~start:0 ~finals:[ 2 ]
+    ~edges:[ (0, "A#B#deliveryOp", 1); (1, "B#A#orderOp", 2) ]
+    ()
+
+(* A rigid accounting variant that supports exactly one conversation:
+   order then delivery then terminate (no tracking). *)
+let rigid =
+  C.Afsa.of_strings ~start:0 ~finals:[ 3 ]
+    ~edges:
+      [
+        (0, "B#A#orderOp", 1); (1, "A#B#deliveryOp", 2);
+        (2, "B#A#terminateOp", 3);
+      ]
+    ()
+
+let setup () =
+  let t = D.create () in
+  D.advertise_process t ~name:"accounting-std"
+    ~description:"the paper's accounting department" P.accounting_process;
+  D.advertise_process t ~name:"accounting-cancel" P.accounting_cancel;
+  D.advertise_process t ~name:"accounting-once" P.accounting_once;
+  D.advertise t ~name:"decoy" ~party:"A" decoy;
+  D.advertise t ~name:"rigid" ~party:"A" rigid;
+  D.advertise_process t ~name:"logistics" P.logistics_process;
+  t
+
+let test_registry_basics () =
+  let t = setup () in
+  check_int "six services" 6 (D.size t);
+  D.remove t "decoy";
+  check_int "five after removal" 5 (D.size t);
+  check_bool "duplicate name rejected" true
+    (try
+       D.advertise t ~name:"rigid" ~party:"A" rigid;
+       false
+     with Invalid_argument _ -> true)
+
+let test_query_filters_by_consistency () =
+  let t = setup () in
+  let names =
+    D.query t ~party:"B" ~requester:buyer_pub |> List.map (fun m -> m.D.entry.D.name)
+  in
+  check_bool "std accounting matches" true (List.mem "accounting-std" names);
+  check_bool "cancel accounting rejected (buyer lacks cancelOp — Fig. 12!)"
+    false
+    (List.mem "accounting-cancel" names);
+  check_bool "decoy rejected (wrong order)" false (List.mem "decoy" names);
+  check_bool "once rejected (buyer may track twice)" false
+    (List.mem "accounting-once" names);
+  check_bool "logistics rejected (no shared conversation)" false
+    (List.mem "logistics" names);
+  (* rigid cannot serve the buyer's mandatory tracking — rejected for
+     the same reason as Fig. 16 *)
+  check_bool "rigid rejected (no tracking support)" false
+    (List.mem "rigid" names);
+  (* …but a requester who never tracks is happy with rigid *)
+  let lenient =
+    C.Afsa.of_strings ~start:0 ~finals:[ 3 ]
+      ~edges:
+        [
+          (0, "B#A#orderOp", 1); (1, "A#B#deliveryOp", 2);
+          (2, "B#A#terminateOp", 3);
+        ]
+      ()
+  in
+  let lenient_names =
+    D.query t ~party:"B" ~requester:lenient
+    |> List.map (fun m -> m.D.entry.D.name)
+  in
+  check_bool "lenient requester matches rigid" true
+    (List.mem "rigid" lenient_names);
+  (* the adapted buyer of Fig. 14 additionally matches the
+     cancel-capable accounting *)
+  let names' =
+    D.query t ~party:"B" ~requester:(gen P.buyer_with_cancel)
+    |> List.map (fun m -> m.D.entry.D.name)
+  in
+  check_bool "fig14 buyer matches cancel accounting" true
+    (List.mem "accounting-cancel" names');
+  check_bool "fig14 buyer still matches std" true
+    (List.mem "accounting-std" names')
+
+let test_ranking () =
+  let t = setup () in
+  (* the Fig. 14 buyer matches both the standard and the cancel-capable
+     accounting; the latter supports strictly more conversations *)
+  let ms = D.query t ~party:"B" ~requester:(gen P.buyer_with_cancel) in
+  let conv name =
+    (List.find (fun m -> String.equal m.D.entry.D.name name) ms)
+      .D.conversations
+  in
+  check_bool "cancel-capable richer than std" true
+    (conv "accounting-cancel" > conv "accounting-std");
+  (* results sorted descending *)
+  let sorted =
+    List.for_all2
+      (fun a b -> a.D.conversations >= b.D.conversations)
+      (List.filteri (fun i _ -> i < List.length ms - 1) ms)
+      (List.tl ms)
+  in
+  check_bool "descending" true sorted;
+  (* every match carries an executable shortest conversation *)
+  List.iter
+    (fun m ->
+      match m.D.shortest with
+      | Some w ->
+          check_bool
+            (m.D.entry.D.name ^ " witness nonempty")
+            true (w <> [])
+      | None -> Alcotest.fail "witness expected")
+    ms
+
+let test_precision_vs_keyword () =
+  let t = setup () in
+  let precise, keyword = D.precision t ~party:"B" ~requester:buyer_pub in
+  (* the decoy shares every operation name: keyword matching returns
+     it, consistency filtering does not — the paper's precision claim *)
+  check_bool "keyword finds decoy" true (List.mem "decoy" keyword);
+  check_bool "precise rejects decoy" false (List.mem "decoy" precise);
+  check_bool "precise ⊆ keyword" true
+    (List.for_all (fun n -> List.mem n keyword) precise);
+  check_bool "strictly more precise" true
+    (List.length precise < List.length keyword)
+
+let test_advertise_keeps_private_private () =
+  (* advertising a process stores only the derived public aFSA *)
+  let t = D.create () in
+  D.advertise_process t ~name:"acc" P.accounting_process;
+  let e = List.hd (D.entries t) in
+  check_bool "public derived" true
+    (C.Equiv.equal_language e.D.public (gen P.accounting_process))
+
+let () =
+  Alcotest.run "discovery"
+    [
+      ( "registry",
+        [ Alcotest.test_case "basics" `Quick test_registry_basics ] );
+      ( "matchmaking",
+        [
+          Alcotest.test_case "consistency filter" `Quick
+            test_query_filters_by_consistency;
+          Alcotest.test_case "ranking" `Quick test_ranking;
+          Alcotest.test_case "precision vs keyword" `Quick
+            test_precision_vs_keyword;
+          Alcotest.test_case "privacy" `Quick
+            test_advertise_keeps_private_private;
+        ] );
+    ]

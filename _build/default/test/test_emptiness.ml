@@ -1,0 +1,248 @@
+(* The annotated emptiness test (Sec. 3.2) — the heart of the
+   consistency machinery. *)
+
+module C = Chorev
+module A = C.Afsa
+module F = C.Formula
+
+let afsa ?ann ?alphabet ~start ~finals edges =
+  A.of_strings ?alphabet ~start ~finals ~edges ?ann ()
+
+let check_bool = Alcotest.(check bool)
+
+(* -------------------------- plain emptiness ----------------------- *)
+
+let test_plain () =
+  let a = afsa ~start:0 ~finals:[ 1 ] [ (0, "A#B#x", 1) ] in
+  check_bool "nonempty" false (C.Emptiness.is_empty_plain a);
+  let b = afsa ~start:0 ~finals:[ 2 ] [ (0, "A#B#x", 1) ] in
+  check_bool "final unreachable" true (C.Emptiness.is_empty_plain b);
+  let c = afsa ~start:0 ~finals:[] [ (0, "A#B#x", 1) ] in
+  check_bool "no finals" true (C.Emptiness.is_empty_plain c)
+
+(* ------------------------ annotated emptiness --------------------- *)
+
+let test_no_annotations_like_plain () =
+  let a = afsa ~start:0 ~finals:[ 1 ] [ (0, "A#B#x", 1) ] in
+  check_bool "nonempty" true (C.Emptiness.is_nonempty a);
+  let b = afsa ~start:0 ~finals:[] [ (0, "A#B#x", 1) ] in
+  check_bool "empty" true (C.Emptiness.is_empty b)
+
+let test_mandatory_missing () =
+  (* Fig. 5's pattern: annotation requires a transition that is absent *)
+  let a =
+    afsa ~start:0 ~finals:[ 2 ]
+      [ (0, "B#A#msg0", 1); (1, "B#A#msg2", 2) ]
+      ~ann:[ (1, F.and_ (F.var "B#A#msg1") (F.var "B#A#msg2")) ]
+  in
+  check_bool "empty" true (C.Emptiness.is_empty a)
+
+let test_mandatory_present () =
+  let a =
+    afsa ~start:0 ~finals:[ 2; 3 ]
+      [ (0, "B#A#msg0", 1); (1, "B#A#msg1", 2); (1, "B#A#msg2", 3) ]
+      ~ann:[ (1, F.and_ (F.var "B#A#msg1") (F.var "B#A#msg2")) ]
+  in
+  check_bool "nonempty" true (C.Emptiness.is_nonempty a)
+
+let test_mandatory_to_dead_state () =
+  (* the mandatory transition exists but leads nowhere final *)
+  let a =
+    afsa ~start:0 ~finals:[ 2 ]
+      [ (0, "B#A#msg0", 1); (1, "B#A#msg2", 2); (1, "B#A#msg1", 3) ]
+      ~ann:[ (1, F.and_ (F.var "B#A#msg1") (F.var "B#A#msg2")) ]
+  in
+  check_bool "empty: msg1 leads to a dead state" true (C.Emptiness.is_empty a)
+
+let test_cyclic_support () =
+  (* a loop supports its own annotation (the buyer tracking pattern):
+     greatest fixpoint must accept this *)
+  let a =
+    afsa ~start:0 ~finals:[ 2 ]
+      [ (0, "B#A#gs", 1); (1, "A#B#st", 0); (0, "B#A#tm", 2) ]
+      ~ann:[ (0, F.and_ (F.var "B#A#gs") (F.var "B#A#tm")) ]
+  in
+  check_bool "loop is fine" true (C.Emptiness.is_nonempty a)
+
+let test_vacuous_cycle_rejected () =
+  (* a cycle that never reaches a final state must not count as
+     support *)
+  let a =
+    afsa ~start:0 ~finals:[]
+      [ (0, "A#B#x", 1); (1, "A#B#x", 0) ]
+  in
+  check_bool "no accept state" true (C.Emptiness.is_empty a);
+  let b =
+    afsa ~start:0 ~finals:[ 3 ]
+      [ (0, "A#B#x", 1); (1, "A#B#x", 0); (0, "A#B#y", 2) ]
+      (* final 3 is unreachable; y leads to dead 2 *)
+  in
+  check_bool "cycle plus dead branch" true (C.Emptiness.is_empty b)
+
+let test_disjunctive_annotation () =
+  let a =
+    afsa ~start:0 ~finals:[ 2 ]
+      [ (0, "B#A#m1", 2) ]
+      ~ann:[ (0, F.or_ (F.var "B#A#m1") (F.var "B#A#m2")) ]
+  in
+  check_bool "one disjunct suffices" true (C.Emptiness.is_nonempty a)
+
+let test_annotation_on_final () =
+  (* annotation on a final state with no outgoing transitions: variables
+     are all false *)
+  let a =
+    afsa ~start:0 ~finals:[ 1 ]
+      [ (0, "A#B#x", 1) ]
+      ~ann:[ (1, F.var "A#B#x") ]
+  in
+  check_bool "unsatisfied final annotation" true (C.Emptiness.is_empty a);
+  let b =
+    afsa ~start:0 ~finals:[ 1 ]
+      [ (0, "A#B#x", 1) ]
+      ~ann:[ (1, F.not_ (F.var "A#B#x")) ]
+  in
+  (* negated var on final with no out-edges is true *)
+  check_bool "negation on final ok" true (C.Emptiness.is_nonempty b)
+
+let test_warning_on_negation () =
+  let a =
+    afsa ~start:0 ~finals:[ 1 ]
+      [ (0, "A#B#x", 1) ]
+      ~ann:[ (0, F.not_ (F.var "A#B#y")) ]
+  in
+  let r = C.Emptiness.analyze a in
+  check_bool "warning present" true (r.C.Emptiness.warning <> None);
+  let b = afsa ~start:0 ~finals:[ 1 ] [ (0, "A#B#x", 1) ] in
+  check_bool "no warning" true ((C.Emptiness.analyze b).C.Emptiness.warning = None)
+
+let test_start_annotation () =
+  (* "the automaton is non-empty if the annotation of the start state is
+     true" *)
+  let a =
+    afsa ~start:0 ~finals:[ 1 ]
+      [ (0, "A#B#x", 1) ]
+      ~ann:[ (0, F.var "A#B#missing") ]
+  in
+  check_bool "start annotation fails" true (C.Emptiness.is_empty a)
+
+let test_emptiness_with_eps () =
+  (* ε contributes to reachability but never satisfies a variable *)
+  let a =
+    afsa ~start:0 ~finals:[ 2 ]
+      [ (0, "", 1); (1, "B#A#m", 2) ]
+      ~ann:[ (0, F.var "B#A#m") ]
+  in
+  (* at state 0 there is no direct B#A#m edge (only via ε) *)
+  check_bool "eps does not bind the variable" true (C.Emptiness.is_empty a);
+  let b =
+    afsa ~start:0 ~finals:[ 2 ] [ (0, "", 1); (1, "B#A#m", 2) ]
+  in
+  check_bool "eps still reaches the final state" true
+    (C.Emptiness.is_nonempty b)
+
+let test_large_conjunction () =
+  (* a wide mandatory conjunction, all supported *)
+  let n = 12 in
+  let edges =
+    List.init n (fun i -> (0, Printf.sprintf "B#A#m%d" i, i + 1))
+  in
+  let ann =
+    [ (0, F.conj (List.init n (fun i -> F.var (Printf.sprintf "B#A#m%d" i)))) ]
+  in
+  let a = afsa ~start:0 ~finals:(List.init n (fun i -> i + 1)) edges ~ann in
+  check_bool "wide conjunction ok" true (C.Emptiness.is_nonempty a);
+  (* remove one alternative: empty *)
+  let edges' = List.filter (fun (_, lbl, _) -> lbl <> "B#A#m5") edges in
+  let b = afsa ~start:0 ~finals:(List.init n (fun i -> i + 1)) edges' ~ann in
+  check_bool "one missing breaks it" true (C.Emptiness.is_empty b)
+
+(* ------------------------------ witness --------------------------- *)
+
+let test_witness () =
+  let a =
+    afsa ~start:0 ~finals:[ 2; 3 ]
+      [ (0, "B#A#msg0", 1); (1, "B#A#msg1", 2); (1, "B#A#msg2", 3) ]
+      ~ann:[ (1, F.and_ (F.var "B#A#msg1") (F.var "B#A#msg2")) ]
+  in
+  (match C.Emptiness.witness a with
+  | Some w ->
+      check_bool "witness accepted" true (C.Trace.accepts a w);
+      check_bool "witness annotated-accepted" true
+        (C.Trace.accepts_annotated a w)
+  | None -> Alcotest.fail "expected witness");
+  let b =
+    afsa ~start:0 ~finals:[ 2 ]
+      [ (0, "B#A#msg0", 1); (1, "B#A#msg2", 2) ]
+      ~ann:[ (1, F.and_ (F.var "B#A#msg1") (F.var "B#A#msg2")) ]
+  in
+  check_bool "no witness when empty" true (C.Emptiness.witness b = None)
+
+let test_accepts_annotated () =
+  let a =
+    afsa ~start:0 ~finals:[ 2; 3 ]
+      [ (0, "B#A#msg0", 1); (1, "B#A#msg1", 2); (1, "B#A#msg2", 3) ]
+      ~ann:[ (1, F.and_ (F.var "B#A#msg1") (F.var "B#A#msg2")) ]
+  in
+  let w = List.map C.Label.of_string_exn in
+  check_bool "plain accept" true (C.Trace.accepts a (w [ "B#A#msg0"; "B#A#msg1" ]));
+  check_bool "annotated accept" true
+    (C.Trace.accepts_annotated a (w [ "B#A#msg0"; "B#A#msg1" ]));
+  (* make msg1 dead: annotated acceptance of the msg2 path must fail *)
+  let b =
+    afsa ~start:0 ~finals:[ 3 ]
+      [ (0, "B#A#msg0", 1); (1, "B#A#msg1", 2); (1, "B#A#msg2", 3) ]
+      ~ann:[ (1, F.and_ (F.var "B#A#msg1") (F.var "B#A#msg2")) ]
+  in
+  check_bool "plain accepts msg2 path" true
+    (C.Trace.accepts b (w [ "B#A#msg0"; "B#A#msg2" ]));
+  check_bool "annotated rejects (msg1 dead)" false
+    (C.Trace.accepts_annotated b (w [ "B#A#msg0"; "B#A#msg2" ]))
+
+(* ---------------------------- consistency ------------------------- *)
+
+let test_consistency_api () =
+  let r = C.Consistency.check C.Scenario.Fig5.party_a C.Scenario.Fig5.party_b in
+  check_bool "fig5 inconsistent" false r.C.Consistency.consistent;
+  check_bool "no witness" true (r.C.Consistency.witness = None);
+  let a = afsa ~start:0 ~finals:[ 1 ] [ (0, "A#B#x", 1) ] in
+  let r2 = C.Consistency.check a a in
+  check_bool "self-consistent" true r2.C.Consistency.consistent;
+  (match r2.C.Consistency.witness with
+  | Some [ lx ] ->
+      Alcotest.(check string) "witness label" "A#B#x" (C.Label.to_string lx)
+  | _ -> Alcotest.fail "expected single-step witness")
+
+let () =
+  Alcotest.run "emptiness"
+    [
+      ("plain", [ Alcotest.test_case "plain" `Quick test_plain ]);
+      ( "annotated",
+        [
+          Alcotest.test_case "no annotations" `Quick test_no_annotations_like_plain;
+          Alcotest.test_case "mandatory missing (Fig 5)" `Quick
+            test_mandatory_missing;
+          Alcotest.test_case "mandatory present" `Quick test_mandatory_present;
+          Alcotest.test_case "mandatory to dead state" `Quick
+            test_mandatory_to_dead_state;
+          Alcotest.test_case "cyclic support (gfp)" `Quick test_cyclic_support;
+          Alcotest.test_case "vacuous cycle rejected" `Quick
+            test_vacuous_cycle_rejected;
+          Alcotest.test_case "disjunctive annotation" `Quick
+            test_disjunctive_annotation;
+          Alcotest.test_case "annotation on final" `Quick
+            test_annotation_on_final;
+          Alcotest.test_case "warning on negation" `Quick
+            test_warning_on_negation;
+          Alcotest.test_case "start annotation" `Quick test_start_annotation;
+          Alcotest.test_case "with eps" `Quick test_emptiness_with_eps;
+          Alcotest.test_case "wide conjunction" `Quick test_large_conjunction;
+        ] );
+      ( "witness",
+        [
+          Alcotest.test_case "witness valid" `Quick test_witness;
+          Alcotest.test_case "annotated acceptance" `Quick
+            test_accepts_annotated;
+        ] );
+      ( "consistency",
+        [ Alcotest.test_case "check api" `Quick test_consistency_api ] );
+    ]

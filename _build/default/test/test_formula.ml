@@ -1,0 +1,239 @@
+(* Unit and property tests for the annotation logic (Def. 1). *)
+
+module F = Chorev.Formula
+open F
+
+let check_bool msg expected actual = Alcotest.(check bool) msg expected actual
+let check_int msg expected actual = Alcotest.(check int) msg expected actual
+
+let formula_t = Alcotest.testable (fun ppf f -> F.Pp.pp ppf f) F.equal
+
+(* ------------------------- smart constructors --------------------- *)
+
+let test_smart_constructors () =
+  Alcotest.check formula_t "and true" (var "x") (and_ True (var "x"));
+  Alcotest.check formula_t "and false" False (and_ (var "x") False);
+  Alcotest.check formula_t "or false" (var "x") (or_ False (var "x"));
+  Alcotest.check formula_t "or true" True (or_ (var "x") True);
+  Alcotest.check formula_t "not not" (var "x") (not_ (not_ (var "x")));
+  Alcotest.check formula_t "not true" False (not_ True);
+  Alcotest.check formula_t "conj empty" True (conj []);
+  Alcotest.check formula_t "disj empty" False (disj [])
+
+let test_vars () =
+  let f = and_ (var "a") (or_ (var "b") (not_ (var "a"))) in
+  Alcotest.(check (list string)) "vars" [ "a"; "b" ] (vars_list f);
+  check_int "size" 6 (size f);
+  check_bool "not positive" false (is_positive f);
+  check_bool "positive" true (is_positive (and_ (var "a") (var "b")))
+
+let test_map_vars () =
+  let f = and_ (var "a") (var "b") in
+  let g = map_vars (fun v -> if v = "a" then True else Var v) f in
+  Alcotest.check formula_t "subst a=true" (var "b") g;
+  let h = rename (fun v -> v ^ "!") f in
+  Alcotest.(check (list string)) "renamed" [ "a!"; "b!" ] (vars_list h)
+
+(* ------------------------------ eval ------------------------------ *)
+
+let test_eval () =
+  let f = or_ (and_ (var "a") (var "b")) (not_ (var "c")) in
+  let assign = function "a" -> true | "b" -> false | _ -> true in
+  check_bool "eval" false (F.Eval.eval ~assign f);
+  let assign2 = function "c" -> false | _ -> false in
+  check_bool "eval2" true (F.Eval.eval ~assign:assign2 f)
+
+let test_subst () =
+  let f = and_ (var "a") (var "b") in
+  let g = F.Eval.subst ~bind:(function "a" -> Some true | _ -> None) f in
+  Alcotest.check formula_t "partial subst" (var "b") g;
+  let h =
+    F.Eval.restrict_to ~keep:(fun v -> v = "b") ~default:true f
+  in
+  Alcotest.check formula_t "restrict" (var "b") h;
+  check_bool "eval_partial determined"
+    true
+    (F.Eval.eval_partial ~bind:(fun _ -> Some false) (or_ (var "x") (var "y"))
+    = Some false);
+  check_bool "eval_partial undetermined"
+    true
+    (F.Eval.eval_partial ~bind:(fun _ -> None) (var "x") = None)
+
+(* ---------------------------- simplify ---------------------------- *)
+
+let simplify = F.Simplify.simplify
+
+let test_simplify_constants () =
+  Alcotest.check formula_t "x and not x" False
+    (simplify (and_ (var "x") (not_ (var "x"))));
+  Alcotest.check formula_t "x or not x" True
+    (simplify (or_ (var "x") (not_ (var "x"))));
+  Alcotest.check formula_t "dedup and" (var "x")
+    (simplify (And (Var "x", Var "x")));
+  Alcotest.check formula_t "absorption" (var "x")
+    (simplify (And (Var "x", Or (Var "x", Var "y"))))
+
+let test_simplify_idempotent () =
+  let f =
+    or_
+      (and_ (var "a") (or_ (var "b") (var "c")))
+      (not_ (and_ (var "a") (var "b")))
+  in
+  let s = simplify f in
+  Alcotest.check formula_t "idempotent" s (simplify s)
+
+let test_nnf () =
+  let f = not_ (and_ (var "a") (or_ (var "b") (not_ (var "c")))) in
+  let n = F.Simplify.nnf f in
+  let rec no_neg_above = function
+    | True | False | Var _ -> true
+    | Not (Var _) -> true
+    | Not _ -> false
+    | And (a, b) | Or (a, b) -> no_neg_above a && no_neg_above b
+  in
+  check_bool "nnf literal-only negation" true (no_neg_above n);
+  check_bool "nnf equivalent" true (F.Sat.equivalent f n)
+
+let test_dnf () =
+  let f = and_ (or_ (var "a") (var "b")) (var "c") in
+  let clauses = F.Simplify.dnf f in
+  check_int "dnf clause count" 2 (List.length clauses);
+  check_bool "clause consistent" true
+    (F.Simplify.clause_consistent [ `Pos "a"; `Neg "b" ]);
+  check_bool "clause inconsistent" false
+    (F.Simplify.clause_consistent [ `Pos "a"; `Neg "a" ])
+
+(* ------------------------------ sat ------------------------------- *)
+
+let test_sat () =
+  check_bool "sat var" true (F.Sat.satisfiable (var "x"));
+  check_bool "unsat" true (F.Sat.unsat (and_ (var "x") (not_ (var "x"))));
+  check_bool "tautology" true (F.Sat.tautology (or_ (var "x") (not_ (var "x"))));
+  check_bool "not tautology" false (F.Sat.tautology (var "x"));
+  check_bool "implies" true (F.Sat.implies (and_ (var "a") (var "b")) (var "a"));
+  check_bool "not implies" false (F.Sat.implies (var "a") (var "b"))
+
+let test_equivalent () =
+  check_bool "demorgan" true
+    (F.Sat.equivalent
+       (not_ (and_ (var "a") (var "b")))
+       (or_ (not_ (var "a")) (not_ (var "b"))));
+  check_bool "distrib" true
+    (F.Sat.equivalent
+       (and_ (var "a") (or_ (var "b") (var "c")))
+       (or_ (and_ (var "a") (var "b")) (and_ (var "a") (var "c"))));
+  check_bool "distinct" false (F.Sat.equivalent (var "a") (var "b"))
+
+let test_model () =
+  (match F.Sat.model (and_ (var "a") (not_ (var "b"))) with
+  | Some m ->
+      check_bool "model a" true (List.assoc "a" m);
+      check_bool "model b" false (List.assoc "b" m)
+  | None -> Alcotest.fail "expected a model");
+  check_bool "no model" true (F.Sat.model (and_ (var "a") (not_ (var "a"))) = None)
+
+(* --------------------------- pp ----------------------------------- *)
+
+let test_pp () =
+  Alcotest.(check string)
+    "paper style" "a AND b"
+    (F.Pp.to_string (and_ (var "a") (var "b")));
+  Alcotest.(check string)
+    "precedence" "(a OR b) AND c"
+    (F.Pp.to_string (and_ (or_ (var "a") (var "b")) (var "c")));
+  Alcotest.(check string)
+    "negation" "NOT a"
+    (F.Pp.to_string (not_ (var "a")))
+
+(* --------------------------- properties --------------------------- *)
+
+let gen_formula =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 1 then
+             oneof
+               [
+                 return True;
+                 return False;
+                 map (fun i -> Var (Printf.sprintf "v%d" i)) (int_bound 4);
+               ]
+           else
+             frequency
+               [
+                 (1, map (fun f -> not_ f) (self (n / 2)));
+                 (2, map2 (fun a b -> And (a, b)) (self (n / 2)) (self (n / 2)));
+                 (2, map2 (fun a b -> Or (a, b)) (self (n / 2)) (self (n / 2)));
+               ]))
+
+let arb_formula = QCheck.make ~print:F.Pp.to_string gen_formula
+
+let assignments f =
+  let vs = vars_list f in
+  let n = List.length vs in
+  List.init (1 lsl n) (fun mask v ->
+      let rec idx i = function
+        | [] -> 0
+        | w :: tl -> if String.equal v w then i else idx (i + 1) tl
+      in
+      mask land (1 lsl idx 0 vs) <> 0)
+
+let prop_simplify_preserves =
+  QCheck.Test.make ~name:"simplify preserves semantics" ~count:300 arb_formula
+    (fun f ->
+      let s = simplify f in
+      List.for_all
+        (fun assign -> F.Eval.eval ~assign f = F.Eval.eval ~assign s)
+        (assignments f))
+
+let prop_simplify_shrinks =
+  QCheck.Test.make ~name:"simplify never grows unboundedly" ~count:300
+    arb_formula (fun f -> size (simplify f) <= Stdlib.max 1 (4 * size f))
+
+let prop_nnf_equiv =
+  QCheck.Test.make ~name:"nnf equivalent" ~count:300 arb_formula (fun f ->
+      F.Sat.equivalent f (F.Simplify.nnf f))
+
+let prop_sat_vs_truthtable =
+  QCheck.Test.make ~name:"satisfiable agrees with truth table" ~count:300
+    arb_formula (fun f ->
+      F.Sat.satisfiable f
+      = List.exists (fun assign -> F.Eval.eval ~assign f) (assignments f))
+
+let () =
+  Alcotest.run "formula"
+    [
+      ( "syntax",
+        [
+          Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+          Alcotest.test_case "vars/size/positive" `Quick test_vars;
+          Alcotest.test_case "map_vars/rename" `Quick test_map_vars;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "subst/restrict" `Quick test_subst;
+        ] );
+      ( "simplify",
+        [
+          Alcotest.test_case "constants" `Quick test_simplify_constants;
+          Alcotest.test_case "idempotent" `Quick test_simplify_idempotent;
+          Alcotest.test_case "nnf" `Quick test_nnf;
+          Alcotest.test_case "dnf" `Quick test_dnf;
+        ] );
+      ( "sat",
+        [
+          Alcotest.test_case "sat/unsat/tautology" `Quick test_sat;
+          Alcotest.test_case "equivalent" `Quick test_equivalent;
+          Alcotest.test_case "model" `Quick test_model;
+        ] );
+      ("pp", [ Alcotest.test_case "printing" `Quick test_pp ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_simplify_preserves;
+            prop_simplify_shrinks;
+            prop_nnf_equiv;
+            prop_sat_vs_truthtable;
+          ] );
+    ]

@@ -1,0 +1,115 @@
+(* Multi-lateral (global) analysis: conversation automaton, global
+   consistency, and the bilateral-vs-global gap. *)
+
+module C = Chorev
+module M = C.Choreography.Model
+module G = C.Choreography.Global
+module P = C.Scenario.Procurement
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let gen = C.Public_gen.public
+
+let procurement () = M.of_processes (List.map snd P.parties)
+
+let test_conversation_automaton () =
+  let t = procurement () in
+  let a = G.conversation_automaton t in
+  (* the global conversation automaton accepts the full happy path... *)
+  check_bool "happy path" true
+    (C.Trace.accepts a
+       (List.map C.Label.of_string_exn
+          [
+            "B#A#orderOp"; "A#L#deliverOp"; "L#A#deliver_confOp";
+            "A#B#deliveryOp"; "B#A#terminateOp"; "A#L#terminateLOp";
+          ]));
+  (* ...including a tracking round with the forwarded logistics query *)
+  check_bool "tracking round" true
+    (C.Trace.accepts a
+       (List.map C.Label.of_string_exn
+          [
+            "B#A#orderOp"; "A#L#deliverOp"; "L#A#deliver_confOp";
+            "A#B#deliveryOp"; "B#A#get_statusOp"; "A#L#get_statusLOp";
+            "L#A#get_statusLOp"; "A#B#statusOp"; "B#A#terminateOp";
+            "A#L#terminateLOp";
+          ]));
+  (* but not out-of-order global conversations *)
+  check_bool "wrong order rejected" false
+    (C.Trace.accepts a
+       (List.map C.Label.of_string_exn [ "A#L#deliverOp"; "B#A#orderOp" ]));
+  check_bool "deterministic product" true (C.Afsa.is_deterministic a)
+
+let test_diagnose_healthy () =
+  let d = G.diagnose (procurement ()) in
+  check_bool "globally consistent" true d.G.globally_consistent;
+  check_bool "deadlock free" true d.G.deadlock_free;
+  check_bool "bilateral too" true d.G.bilateral_consistent;
+  check_int "no deadlocks" 0 (List.length d.G.deadlocks)
+
+let test_bilateral_global_gap () =
+  (* evolve with the cancel change: every pair is consistent, yet the
+     cancellation path strands logistics — the gap the paper's
+     bilateral criterion cannot see *)
+  let rep =
+    C.Choreography.Evolution.evolve (procurement ()) ~owner:"A"
+      ~changed:P.accounting_cancel
+  in
+  let t = rep.C.Choreography.Evolution.choreography in
+  let d = G.diagnose t in
+  check_bool "bilateral all consistent" true d.G.bilateral_consistent;
+  check_bool "still globally consistent (a completing run exists)" true
+    d.G.globally_consistent;
+  check_bool "but not deadlock free" false d.G.deadlock_free;
+  check_bool "logistics named as stuck" true
+    (List.exists (fun (_, stuck) -> List.mem "L" stuck) d.G.deadlocks);
+  (* the deadlock trace is the cancellation conversation *)
+  check_bool "trace ends in cancel" true
+    (List.exists
+       (fun (trace, _) ->
+         match List.rev trace with
+         | last :: _ -> String.equal (C.Label.to_string last) "A#B#cancelOp"
+         | [] -> false)
+       d.G.deadlocks)
+
+let test_global_inconsistency () =
+  (* an uncontrolled change (no propagation) is globally inconsistent:
+     the buyer blocks the cancel protocol entirely? No — order/delivery
+     conversations still complete; instead make A and B incompatible
+     outright *)
+  let a =
+    C.Afsa.of_strings ~start:0 ~finals:[ 1 ] ~edges:[ (0, "A#B#x", 1) ] ()
+  in
+  let b =
+    C.Afsa.of_strings ~start:0 ~finals:[ 1 ] ~edges:[ (0, "A#B#y", 1) ] ()
+  in
+  let reg = C.Bpel.Types.registry [] in
+  ignore reg;
+  let sys = C.Runtime.Exec.make [ ("A", a); ("B", b) ] in
+  let e = C.Runtime.Exec.explore sys in
+  check_bool "no completion" true (e.C.Runtime.Exec.completions = 0);
+  ignore gen
+
+let test_hub_scales () =
+  let h, spokes = C.Workload.Scale.hub 4 in
+  let t = M.of_processes (h :: spokes) in
+  let d = G.diagnose t in
+  check_bool "hub globally fine" true
+    (d.G.globally_consistent && d.G.deadlock_free)
+
+let () =
+  Alcotest.run "global"
+    [
+      ( "conversation automaton",
+        [
+          Alcotest.test_case "procurement" `Quick test_conversation_automaton;
+        ] );
+      ( "diagnosis",
+        [
+          Alcotest.test_case "healthy" `Quick test_diagnose_healthy;
+          Alcotest.test_case "bilateral-global gap" `Quick
+            test_bilateral_global_gap;
+          Alcotest.test_case "incompatible pair" `Quick
+            test_global_inconsistency;
+          Alcotest.test_case "hub" `Quick test_hub_scales;
+        ] );
+    ]

@@ -1,0 +1,226 @@
+(* Cross-cutting property-based tests: the paper's central claims
+   checked on randomized workloads.
+
+   The headline property is Sec. 3.2's soundness claim: bilateral
+   consistency (annotated intersection non-emptiness) coincides with
+   deadlock-free executability — checked here by running the
+   *operational* engine against the *algebraic* verdict on hundreds of
+   random automaton pairs and random choreography changes. *)
+
+module C = Chorev
+module A = C.Afsa
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000)
+let gen = C.Public_gen.public
+
+(* 1. Theory ⇔ operation, plain automata (no annotations). *)
+let prop_consistency_iff_completion_plain =
+  QCheck.Test.make
+    ~name:"consistent ⟺ joint completion (plain random automata)" ~count:80
+    (QCheck.pair arb_seed arb_seed) (fun (s1, s2) ->
+      let a = C.Workload.Gen_afsa.random ~seed:s1 ~states:5 ~ann_p:0.0 () in
+      let b = C.Workload.Gen_afsa.random ~seed:(s2 + 7) ~states:5 ~ann_p:0.0 () in
+      let sys = C.Runtime.Exec.make [ ("A", a); ("B", b) ] in
+      C.Consistency.consistent a b = C.Runtime.Exec.can_complete sys)
+
+(* 2. Theory ⇔ operation, annotated automata: the greatest-fixpoint
+   emptiness equals the operational annotated-deadlock-freedom. *)
+let prop_consistency_iff_annotated_df =
+  QCheck.Test.make
+    ~name:"consistent ⟺ annotated deadlock-free (annotated automata)"
+    ~count:80 (QCheck.pair arb_seed arb_seed) (fun (s1, s2) ->
+      let a = C.Workload.Gen_afsa.random ~seed:s1 ~states:5 ~ann_p:0.4 () in
+      let b = C.Workload.Gen_afsa.random ~seed:(s2 + 13) ~states:5 ~ann_p:0.4 () in
+      let sys = C.Runtime.Exec.make [ ("A", a); ("B", b) ] in
+      C.Consistency.consistent a b
+      = C.Runtime.Conformance.annotated_deadlock_free sys)
+
+(* 3. Consistency witnesses are executable conversations. *)
+let prop_witness_replays =
+  QCheck.Test.make ~name:"consistency witness replays on the engine"
+    ~count:100 (QCheck.pair arb_seed arb_seed) (fun (s1, s2) ->
+      let a = C.Workload.Gen_afsa.random ~seed:s1 ~states:6 () in
+      let b = C.Workload.Gen_afsa.random ~seed:(s2 + 23) ~states:6 () in
+      C.Runtime.Conformance.witness_replays a b)
+
+(* 4. Generated process pairs are consistent by construction, and their
+   publics execute to completion. *)
+let prop_generated_pairs_consistent =
+  QCheck.Test.make ~name:"generated requester/responder pairs consistent"
+    ~count:40 arb_seed (fun seed ->
+      let pa, pb = C.Workload.Gen_process.pair ~seed () in
+      let a = gen pa and b = gen pb in
+      C.Consistency.consistent a b
+      && C.Runtime.Exec.can_complete (C.Runtime.Exec.make [ ("A", a); ("B", b) ]))
+
+(* 5. Public-process generation is stable: regenerating an unchanged
+   private process yields the same (annotated, minimized) public. *)
+let prop_generation_stable =
+  QCheck.Test.make ~name:"public generation deterministic" ~count:30 arb_seed
+    (fun seed ->
+      let pa, _ = C.Workload.Gen_process.pair ~seed () in
+      C.Equiv.equal_annotated (gen pa) (gen pa))
+
+(* 6. Def. 5 sanity on random additive changes: inserting a fresh send
+   into a process yields an additive, non-subtractive change of its
+   public view (when the site is reachable; unreachable sites yield a
+   neutral change). *)
+let prop_additive_changes_are_additive =
+  QCheck.Test.make ~name:"random additive change: additive or neutral"
+    ~count:40 (QCheck.pair arb_seed arb_seed) (fun (s1, s2) ->
+      let pa, _ = C.Workload.Gen_process.pair ~seed:s1 () in
+      match C.Workload.Gen_change.additive ~seed:s2 pa with
+      | None -> QCheck.assume_fail ()
+      | Some op -> (
+          match C.Change.Ops.apply op pa with
+          | Error _ -> QCheck.assume_fail ()
+          | Ok pa' ->
+              let f =
+                C.Change.Classify.framework ~old_public:(gen pa)
+                  ~new_public:(gen pa')
+              in
+              (not f.C.Change.Classify.subtractive)
+              || f.C.Change.Classify.additive))
+
+(* 7. Views are projections: τ_P never invents labels, and hides all
+   foreign ones. *)
+let prop_views_project =
+  QCheck.Test.make ~name:"views only keep bilateral labels" ~count:40 arb_seed
+    (fun seed ->
+      let pa, pb = C.Workload.Gen_process.pair ~seed () in
+      let v = C.View.tau ~observer:"B" (gen pa) in
+      ignore pb;
+      List.for_all (C.Label.involves "B") (A.alphabet v))
+
+(* 8. Intersection emptiness is monotone under removing alternatives
+   from the partner: if B' ⊆ B (language) and A∩B' nonempty, then A∩B
+   nonempty — on annotation-free automata. *)
+let prop_emptiness_monotone =
+  QCheck.Test.make ~name:"consistency monotone in partner language (plain)"
+    ~count:60 (QCheck.pair arb_seed arb_seed) (fun (s1, s2) ->
+      let a = C.Workload.Gen_afsa.random ~seed:s1 ~states:5 ~ann_p:0.0 () in
+      let b = C.Workload.Gen_afsa.random ~seed:(s2 + 31) ~states:5 ~ann_p:0.0 () in
+      let b' = C.Ops.intersect b a in
+      (* b' ⊆ b *)
+      (not (C.Consistency.consistent a b')) || C.Consistency.consistent a b)
+
+(* 9. The evolution pipeline never *breaks* a consistent choreography
+   when the change is invariant for everyone. *)
+let prop_invariant_evolution_keeps_consistency =
+  QCheck.Test.make ~name:"local change keeps choreography consistent"
+    ~count:25 arb_seed (fun seed ->
+      let pa, pb = C.Workload.Gen_process.pair ~seed () in
+      let t = C.Choreography.Model.of_processes [ pa; pb ] in
+      (* a purely internal change: prepend an assign *)
+      match
+        C.Change.Ops.apply
+          (C.Change.Ops.Insert_activity
+             { path = []; pos = 0; act = C.Bpel.Activity.Assign "x" })
+          pa
+      with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok pa' ->
+          let rep = C.Choreography.Evolution.evolve t ~owner:"A" ~changed:pa' in
+          rep.C.Choreography.Evolution.consistent)
+
+(* 10. Skeleton round-trip on generated processes: synthesizing from a
+   generated public process reproduces its plain language. *)
+let prop_skeleton_roundtrip =
+  QCheck.Test.make ~name:"skeleton round-trips generated publics" ~count:30
+    arb_seed (fun seed ->
+      let pa, _ = C.Workload.Gen_process.pair ~seed () in
+      let pub = gen pa in
+      match C.Skeleton.synthesize ~party:"A" pub with
+      | Ok p -> C.Equiv.equal_language pub (gen p)
+      | Error _ -> QCheck.assume_fail ())
+
+(* 11. Migration safety: every sampled valid prefix of a process's own
+   public migrates to that same public (reflexivity), and instances of
+   the old buyer migrate to any *additive* extension of it. *)
+let prop_migration_reflexive =
+  QCheck.Test.make ~name:"instances migrate to their own schema" ~count:50
+    arb_seed (fun seed ->
+      let pa, _ = C.Workload.Gen_process.pair ~seed () in
+      let pub = gen pa in
+      let inst =
+        C.Migration.Instance.sample pub ~id:"i" ~seed:(seed + 1) ~max_len:6
+      in
+      C.Migration.Compliance.is_migratable
+        (C.Migration.Compliance.check pub inst))
+
+let prop_migration_additive =
+  QCheck.Test.make
+    ~name:"instances migrate to additive extensions of their schema"
+    ~count:30 arb_seed (fun seed ->
+      let pa, _ = C.Workload.Gen_process.pair ~seed () in
+      match C.Workload.Gen_change.additive ~seed:(seed + 3) pa with
+      | None -> QCheck.assume_fail ()
+      | Some op -> (
+          match C.Change.Ops.apply op pa with
+          | Error _ -> QCheck.assume_fail ()
+          | Ok pa' ->
+              let old_pub = gen pa and new_pub = gen pa' in
+              (* only for changes that strictly extend the language *)
+              if not (C.Equiv.included old_pub new_pub) then
+                QCheck.assume_fail ()
+              else
+                let inst =
+                  C.Migration.Instance.sample old_pub ~id:"i"
+                    ~seed:(seed + 7) ~max_len:6
+                in
+                C.Migration.Compliance.is_migratable
+                  (C.Migration.Compliance.check new_pub inst)))
+
+(* 12. Discovery precision: consistency matches are always a subset of
+   keyword matches for requesters sharing the registry's vocabulary. *)
+let prop_discovery_precision =
+  QCheck.Test.make ~name:"consistency matches ⊆ keyword matches" ~count:30
+    arb_seed (fun seed ->
+      let reg = C.Discovery.create () in
+      for i = 0 to 4 do
+        C.Discovery.advertise reg
+          ~name:(Printf.sprintf "s%d" i)
+          ~party:"A"
+          (C.Workload.Gen_afsa.random_protocol ~seed:(seed + i) ~states:6 ())
+      done;
+      let requester =
+        C.Workload.Gen_afsa.random_protocol ~seed:(seed + 9) ~states:6 ()
+      in
+      let precise, keyword =
+        C.Discovery.precision reg ~party:"B" ~requester
+      in
+      List.for_all (fun n -> List.mem n keyword) precise)
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "soundness",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_consistency_iff_completion_plain;
+            prop_consistency_iff_annotated_df;
+            prop_witness_replays;
+          ] );
+      ( "generation",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_generated_pairs_consistent;
+            prop_generation_stable;
+            prop_views_project;
+          ] );
+      ( "change-framework",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_additive_changes_are_additive;
+            prop_emptiness_monotone;
+            prop_invariant_evolution_keeps_consistency;
+          ] );
+      ( "extensions",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_skeleton_roundtrip;
+            prop_migration_reflexive;
+            prop_migration_additive;
+            prop_discovery_precision;
+          ] );
+    ]

@@ -1,0 +1,195 @@
+(* The synchronous execution engine and its conformance with the
+   static theory. *)
+
+module C = Chorev
+module A = C.Afsa
+module Ex = C.Runtime.Exec
+module Cf = C.Runtime.Conformance
+module P = C.Scenario.Procurement
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let l = C.Label.of_string_exn
+
+let afsa ?ann ~start ~finals edges =
+  A.of_strings ~start ~finals ~edges ?ann ()
+
+(* A happily matching pair: A sends x, B receives x. *)
+let happy_a = afsa ~start:0 ~finals:[ 1 ] [ (0, "A#B#x", 1) ]
+let happy_pair = [ ("A", happy_a); ("B", happy_a) ]
+
+(* A deadlocking pair: A wants to send x, B expects y. *)
+let dead_b = afsa ~start:0 ~finals:[ 1 ] [ (0, "A#B#y", 1) ]
+let dead_pair = [ ("A", happy_a); ("B", dead_b) ]
+
+let test_initial_enabled () =
+  let s = Ex.make happy_pair in
+  let c0 = Ex.initial s in
+  check_int "two parties" 2 (List.length c0);
+  let moves = Ex.enabled c0 in
+  check_int "one move" 1 (List.length moves);
+  let lab, c1 = List.hd moves in
+  Alcotest.(check string) "label" "A#B#x" (C.Label.to_string lab);
+  check_bool "completed after" true (Ex.completed c1);
+  check_bool "status completed" true (Ex.status c1 = Ex.Completed)
+
+let test_deadlock_detection () =
+  let s = Ex.make dead_pair in
+  let c0 = Ex.initial s in
+  check_int "no moves" 0 (List.length (Ex.enabled c0));
+  check_bool "deadlock" true (Ex.status c0 = Ex.Deadlock);
+  let e = Ex.explore s in
+  check_int "one deadlock" 1 (List.length e.Ex.deadlocks);
+  check_int "no completion" 0 e.Ex.completions;
+  check_bool "deadlock_free false" false (Ex.deadlock_free s);
+  check_bool "can_complete false" false (Ex.can_complete s)
+
+let test_explore_procurement () =
+  let sys =
+    Ex.make
+      (List.map (fun (p, proc) -> (p, C.Public_gen.public proc)) P.parties)
+  in
+  let e = Ex.explore sys in
+  check_bool "no deadlock" true (e.Ex.deadlocks = []);
+  check_bool "completes" true (e.Ex.completions > 0);
+  check_bool "not truncated" false e.Ex.truncated;
+  check_bool "explores loop states" true (e.Ex.configurations >= 10)
+
+let test_external_labels_not_enabled () =
+  (* a label whose receiver is not part of the system cannot fire *)
+  let a = afsa ~start:0 ~finals:[ 1 ] [ (0, "A#X#m", 1) ] in
+  let s = Ex.make [ ("A", a) ] in
+  check_int "nothing enabled" 0 (List.length (Ex.enabled (Ex.initial s)))
+
+let test_random_run_deterministic () =
+  let sys =
+    Ex.make
+      (List.map (fun (p, proc) -> (p, C.Public_gen.public proc)) P.parties)
+  in
+  let r1 = Ex.random_run ~seed:7 sys in
+  let r2 = Ex.random_run ~seed:7 sys in
+  check_bool "same trace for same seed" true
+    (List.equal C.Label.equal r1.Ex.trace r2.Ex.trace);
+  check_bool "terminates sensibly" true
+    (match r1.Ex.outcome with Ex.Completed | Ex.Running -> true | Ex.Deadlock -> false)
+
+let test_random_run_hits_deadlock () =
+  let r = Ex.random_run ~seed:1 (Ex.make dead_pair) in
+  check_bool "deadlock observed" true (r.Ex.outcome = Ex.Deadlock);
+  check_int "empty trace" 0 (List.length r.Ex.trace)
+
+let test_explore_truncation () =
+  (* a huge shuffle product trips the bound *)
+  let pa, pb = C.Workload.Scale.ladder 30 in
+  let sys = Ex.make [ ("A", C.Public_gen.public pa); ("B", C.Public_gen.public pb) ] in
+  let e = Ex.explore ~max_configs:10 sys in
+  check_bool "truncated" true e.Ex.truncated
+
+let test_three_party_sync_op () =
+  (* the synchronous logistics op executes as two joint steps *)
+  let sys =
+    Ex.make
+      (List.map (fun (p, proc) -> (p, C.Public_gen.public proc)) P.parties)
+  in
+  let trace =
+    List.map l
+      [
+        "B#A#orderOp"; "A#L#deliverOp"; "L#A#deliver_confOp";
+        "A#B#deliveryOp"; "B#A#get_statusOp"; "A#L#get_statusLOp";
+        "L#A#get_statusLOp"; "A#B#statusOp"; "B#A#terminateOp";
+        "A#L#terminateLOp";
+      ]
+  in
+  check_bool "sync round replays" true (Cf.monitor sys trace = Cf.Accepted)
+
+(* ---------------------------- monitor ------------------------------ *)
+
+let test_monitor () =
+  let sys = Ex.make happy_pair in
+  check_bool "accepted" true (Cf.monitor sys [ l "A#B#x" ] = Cf.Accepted);
+  check_bool "incomplete" true (Cf.monitor sys [] = Cf.Incomplete);
+  (match Cf.monitor sys [ l "A#B#z" ] with
+  | Cf.Violated { at = 0; _ } -> ()
+  | _ -> Alcotest.fail "expected violation at 0");
+  (* procurement happy path replays *)
+  let psys =
+    Ex.make
+      (List.map (fun (p, proc) -> (p, C.Public_gen.public proc)) P.parties)
+  in
+  let trace =
+    List.map l
+      [
+        "B#A#orderOp";
+        "A#L#deliverOp";
+        "L#A#deliver_confOp";
+        "A#B#deliveryOp";
+        "B#A#terminateOp";
+        "A#L#terminateLOp";
+      ]
+  in
+  check_bool "procurement trace accepted" true
+    (Cf.monitor psys trace = Cf.Accepted)
+
+(* --------------------------- conformance --------------------------- *)
+
+let test_conformance_plain () =
+  let v = Cf.check happy_a happy_a in
+  check_bool "consistent" true v.Cf.consistent;
+  check_bool "can complete" true v.Cf.can_complete;
+  check_bool "agree" true v.Cf.agree;
+  let v2 = Cf.check happy_a dead_b in
+  check_bool "inconsistent" false v2.Cf.consistent;
+  check_bool "cannot complete" false v2.Cf.can_complete;
+  check_bool "agree" true v2.Cf.agree
+
+let test_annotated_deadlock_free () =
+  (* fig5: plain reachability says fine, annotations say deadlock *)
+  let sys5 =
+    Ex.make [ ("A", C.Scenario.Fig5.party_a); ("B", C.Scenario.Fig5.party_b) ]
+  in
+  check_bool "fig5 not annotated-deadlock-free" false
+    (Cf.annotated_deadlock_free sys5);
+  let vb = C.Public_gen.public P.buyer_process in
+  let va =
+    C.View.tau ~observer:"B" (C.Public_gen.public P.accounting_process)
+  in
+  check_bool "buyer/accounting fine" true
+    (Cf.annotated_deadlock_free (Ex.make [ ("B", vb); ("A", va) ]))
+
+let test_witness_replays () =
+  let vb = C.Public_gen.public P.buyer_process in
+  let va =
+    C.View.tau ~observer:"B" (C.Public_gen.public P.accounting_process)
+  in
+  check_bool "witness is executable" true
+    (Cf.witness_replays ~party_a:"B" ~party_b:"A" vb va)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "exec",
+        [
+          Alcotest.test_case "initial/enabled" `Quick test_initial_enabled;
+          Alcotest.test_case "deadlock" `Quick test_deadlock_detection;
+          Alcotest.test_case "explore procurement" `Quick
+            test_explore_procurement;
+          Alcotest.test_case "external labels" `Quick
+            test_external_labels_not_enabled;
+          Alcotest.test_case "random run deterministic" `Quick
+            test_random_run_deterministic;
+          Alcotest.test_case "random run deadlock" `Quick
+            test_random_run_hits_deadlock;
+          Alcotest.test_case "explore truncation" `Quick
+            test_explore_truncation;
+          Alcotest.test_case "sync op joint steps" `Quick
+            test_three_party_sync_op;
+        ] );
+      ("monitor", [ Alcotest.test_case "replay" `Quick test_monitor ]);
+      ( "conformance",
+        [
+          Alcotest.test_case "plain" `Quick test_conformance_plain;
+          Alcotest.test_case "annotated deadlock freedom" `Quick
+            test_annotated_deadlock_free;
+          Alcotest.test_case "witness replays" `Quick test_witness_replays;
+        ] );
+    ]

@@ -1,0 +1,152 @@
+(* Skeleton synthesis: public process → private process template
+   (inverse of public-process generation). *)
+
+module C = Chorev
+module Sk = C.Skeleton
+module P = C.Scenario.Procurement
+
+let check_bool = Alcotest.(check bool)
+let gen = C.Public_gen.public
+
+let roundtrip name party proc =
+  let pub = gen proc in
+  match Sk.synthesize ~party pub with
+  | Ok p ->
+      check_bool (name ^ " valid") true (C.Bpel.Validate.is_valid p);
+      check_bool
+        (name ^ " regenerates the same language")
+        true
+        (C.Equiv.equal_language pub (gen p))
+  | Error e -> Alcotest.fail (name ^ ": " ^ e)
+
+let test_roundtrip_scenario () =
+  roundtrip "buyer" "B" P.buyer_process;
+  roundtrip "accounting" "A" P.accounting_process;
+  roundtrip "logistics" "L" P.logistics_process;
+  roundtrip "accounting-cancel" "A" P.accounting_cancel;
+  roundtrip "accounting-once" "A" P.accounting_once;
+  roundtrip "buyer-once" "B" P.buyer_once
+
+let test_stub_from_view () =
+  (* synthesizing the buyer's side from the accounting's buyer view
+     yields a process consistent with the accounting — a conforming
+     partner stub, the composition building block of the paper's
+     ref [16] *)
+  let view = C.View.tau ~observer:"B" (gen P.accounting_process) in
+  match Sk.synthesize ~name:"buyer-stub" ~party:"B" view with
+  | Ok stub ->
+      check_bool "stub consistent" true
+        (C.Consistency.consistent (gen stub) view);
+      (* and its structure is the paper's: loop + choice *)
+      let body = C.Bpel.Process.body stub in
+      check_bool "has a loop" true
+        (List.exists
+           (fun (_, a) ->
+             match a with C.Bpel.Activity.While _ -> true | _ -> false)
+           (C.Bpel.Activity.all_nodes body))
+  | Error e -> Alcotest.fail e
+
+let test_structure_recovery () =
+  (* external alternatives become a pick, internal ones a switch *)
+  let recv2 =
+    C.Afsa.of_strings ~start:0 ~finals:[ 1 ]
+      ~edges:[ (0, "A#B#xOp", 1); (0, "A#B#yOp", 1) ]
+      ()
+  in
+  (match Sk.synthesize ~party:"B" recv2 with
+  | Ok p ->
+      check_bool "pick for receives" true
+        (List.exists
+           (fun (_, a) ->
+             match a with C.Bpel.Activity.Pick _ -> true | _ -> false)
+           (C.Bpel.Activity.all_nodes (C.Bpel.Process.body p)))
+  | Error e -> Alcotest.fail e);
+  let send2 =
+    C.Afsa.of_strings ~start:0 ~finals:[ 1 ]
+      ~edges:[ (0, "B#A#xOp", 1); (0, "B#A#yOp", 1) ]
+      ()
+  in
+  match Sk.synthesize ~party:"B" send2 with
+  | Ok p ->
+      check_bool "switch for sends" true
+        (List.exists
+           (fun (_, a) ->
+             match a with C.Bpel.Activity.Switch _ -> true | _ -> false)
+           (C.Bpel.Activity.all_nodes (C.Bpel.Process.body p)))
+  | Error e -> Alcotest.fail e
+
+let test_accept_and_continue () =
+  (* a final state with continuation: stop-or-go switch *)
+  let a =
+    C.Afsa.of_strings ~start:0 ~finals:[ 1; 2 ]
+      ~edges:[ (0, "B#A#xOp", 1); (1, "B#A#yOp", 2) ]
+      ()
+  in
+  match Sk.synthesize ~party:"B" a with
+  | Ok p ->
+      let pub = gen p in
+      check_bool "short word" true
+        (C.Trace.accepts pub [ C.Label.of_string_exn "B#A#xOp" ]);
+      check_bool "long word" true
+        (C.Trace.accepts pub
+           [ C.Label.of_string_exn "B#A#xOp"; C.Label.of_string_exn "B#A#yOp" ])
+  | Error e -> Alcotest.fail e
+
+let test_rejections () =
+  let eps =
+    C.Afsa.of_strings ~start:0 ~finals:[ 1 ] ~edges:[ (0, "", 1) ] ()
+  in
+  check_bool "eps rejected" true (Result.is_error (Sk.synthesize ~party:"B" eps));
+  let ndet =
+    C.Afsa.of_strings ~start:0 ~finals:[ 1; 2 ]
+      ~edges:[ (0, "A#B#xOp", 1); (0, "A#B#xOp", 2) ]
+      ()
+  in
+  check_bool "nondeterminism rejected" true
+    (Result.is_error (Sk.synthesize ~party:"B" ndet));
+  let foreign =
+    C.Afsa.of_strings ~start:0 ~finals:[ 1 ] ~edges:[ (0, "X#Y#zOp", 1) ] ()
+  in
+  check_bool "foreign labels rejected" true
+    (Result.is_error (Sk.synthesize ~party:"B" foreign));
+  let mixed =
+    C.Afsa.of_strings ~start:0 ~finals:[ 1 ]
+      ~edges:[ (0, "A#B#inOp", 1); (0, "B#A#outOp", 1) ]
+      ()
+  in
+  check_bool "mixed direction rejected" true
+    (Result.is_error (Sk.synthesize ~party:"B" mixed))
+
+let test_roundtrip_random_protocols () =
+  for seed = 0 to 9 do
+    let a = C.Workload.Gen_afsa.random_protocol ~seed ~states:8 () in
+    let a = C.Minimize.minimize a in
+    match Sk.synthesize ~party:"A" a with
+    | Ok p ->
+        check_bool
+          (Printf.sprintf "seed %d language" seed)
+          true
+          (C.Equiv.equal_language a (gen p))
+    | Error _ ->
+        (* mixed-direction states are legitimate rejections *)
+        ()
+  done
+
+let () =
+  Alcotest.run "skeleton"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "scenario processes" `Quick test_roundtrip_scenario;
+          Alcotest.test_case "random protocols" `Quick
+            test_roundtrip_random_protocols;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "stub from view" `Quick test_stub_from_view;
+          Alcotest.test_case "pick vs switch" `Quick test_structure_recovery;
+          Alcotest.test_case "accept and continue" `Quick
+            test_accept_and_continue;
+        ] );
+      ("rejections", [ Alcotest.test_case "errors" `Quick test_rejections ]);
+    ]

@@ -1,0 +1,105 @@
+(* Bilateral views τ_P (Sec. 3.4). *)
+
+module C = Chorev
+module A = C.Afsa
+module F = C.Formula
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let l = C.Label.of_string_exn
+let word = List.map l
+
+let three_party =
+  (* A talks to B then to L then back to B *)
+  A.of_strings ~start:0 ~finals:[ 3 ]
+    ~edges:
+      [ (0, "B#A#req", 1); (1, "A#L#work", 2); (2, "A#B#rsp", 3) ]
+    ~ann:[ (1, F.and_ (F.var "A#L#work") (F.var "A#B#rsp")) ]
+    ()
+
+let test_relabel_hides () =
+  let v = C.View.tau ~observer:"B" three_party in
+  check_bool "B view hides L message" true
+    (C.Trace.accepts v (word [ "B#A#req"; "A#B#rsp" ]));
+  check_bool "hidden label gone" true
+    (List.for_all
+       (fun (lab : C.Label.t) -> C.Label.involves "B" lab)
+       (A.alphabet v))
+
+let test_view_annotation_substitution () =
+  (* hidden obligations are assumed fulfilled: only the B-visible var
+     stays *)
+  let v = C.View.tau ~observer:"B" three_party in
+  let anns = A.annotations v in
+  check_bool "only visible vars in annotations" true
+    (List.for_all
+       (fun (_, f) ->
+         List.for_all
+           (fun var ->
+             match C.Label.of_string var with
+             | Ok lab -> C.Label.involves "B" lab
+             | Error _ -> false)
+           (F.vars_list f))
+       anns)
+
+let test_view_of_logistics () =
+  let v = C.View.tau ~observer:"L" three_party in
+  check_bool "L sees only its message" true
+    (C.Trace.accepts v (word [ "A#L#work" ]));
+  check_int "alphabet 1" 1 (List.length (A.alphabet v))
+
+let test_view_idempotent () =
+  let v = C.View.tau ~observer:"B" three_party in
+  let v2 = C.View.tau ~observer:"B" v in
+  check_bool "idempotent up to language" true (C.Equiv.equal_language v v2)
+
+let test_tau_raw_language_equals_tau () =
+  let r = C.View.tau_raw ~observer:"B" three_party in
+  let m = C.View.tau ~observer:"B" three_party in
+  check_bool "raw and minimized same language" true (C.Equiv.equal_language r m)
+
+let test_parties () =
+  Alcotest.(check (list string))
+    "parties" [ "A"; "B"; "L" ]
+    (C.View.parties three_party)
+
+(* Fig. 8 of the paper: views of the accounting public process. *)
+let test_fig8 () =
+  let pub = C.Public_gen.public C.Scenario.Procurement.accounting_process in
+  let vb = C.View.tau ~observer:"B" pub in
+  let vl = C.View.tau ~observer:"L" pub in
+  check_int "buyer view states (Fig 8a)" 5 (A.num_states vb);
+  check_int "logistics view states (Fig 8b)" 5 (A.num_states vl);
+  check_bool "buyer conversation" true
+    (C.Trace.accepts vb
+       (word [ "B#A#orderOp"; "A#B#deliveryOp"; "B#A#terminateOp" ]));
+  check_bool "logistics conversation" true
+    (C.Trace.accepts vl
+       (word [ "A#L#deliverOp"; "L#A#deliver_confOp"; "A#L#terminateLOp" ]));
+  check_bool "sync op both directions" true
+    (C.Trace.accepts vl
+       (word
+          [
+            "A#L#deliverOp";
+            "L#A#deliver_confOp";
+            "A#L#get_statusLOp";
+            "L#A#get_statusLOp";
+            "A#L#terminateLOp";
+          ]))
+
+let () =
+  Alcotest.run "view"
+    [
+      ( "tau",
+        [
+          Alcotest.test_case "relabel hides" `Quick test_relabel_hides;
+          Alcotest.test_case "annotation substitution" `Quick
+            test_view_annotation_substitution;
+          Alcotest.test_case "logistics view" `Quick test_view_of_logistics;
+          Alcotest.test_case "idempotent" `Quick test_view_idempotent;
+          Alcotest.test_case "raw = minimized (language)" `Quick
+            test_tau_raw_language_equals_tau;
+          Alcotest.test_case "parties" `Quick test_parties;
+        ] );
+      ("fig8", [ Alcotest.test_case "accounting views" `Quick test_fig8 ]);
+    ]

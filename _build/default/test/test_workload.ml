@@ -1,0 +1,143 @@
+(* Synthetic workload generators: determinism per seed, validity and
+   consistency-by-construction of the generated artifacts. *)
+
+module C = Chorev
+module A = C.Afsa
+module GA = C.Workload.Gen_afsa
+module GP = C.Workload.Gen_process
+module GC = C.Workload.Gen_change
+module Sc = C.Workload.Scale
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let gen = C.Public_gen.public
+
+let test_gen_afsa_deterministic () =
+  let a = GA.random ~seed:5 ~states:8 () in
+  let b = GA.random ~seed:5 ~states:8 () in
+  check_bool "same seed same automaton" true (A.structurally_equal a b);
+  let c = GA.random ~seed:6 ~states:8 () in
+  check_bool "different seed different automaton" false
+    (A.structurally_equal a c)
+
+let test_gen_afsa_shape () =
+  let a = GA.random ~seed:1 ~states:10 ~labels:4 () in
+  check_bool "has states" true (A.num_states a >= 1);
+  check_int "alphabet size" 4 (List.length (A.alphabet a));
+  check_bool "has finals" true (A.finals a <> [])
+
+let test_gen_protocol_live () =
+  (* protocol-shaped automata accept at least the backbone word *)
+  for seed = 0 to 9 do
+    let a = GA.random_protocol ~seed ~states:12 () in
+    check_bool
+      (Printf.sprintf "seed %d nonempty" seed)
+      false
+      (C.Emptiness.is_empty_plain a)
+  done
+
+let test_gen_pair_consistent_many_seeds () =
+  for seed = 0 to 14 do
+    let pa, pb = GP.pair ~seed () in
+    check_bool
+      (Printf.sprintf "seed %d valid A" seed)
+      true
+      (C.Bpel.Validate.check pa
+      |> List.for_all (fun (i : C.Bpel.Validate.issue) ->
+             (* generated names may repeat across branches; only
+                operation errors are fatal *)
+             not
+               (String.length i.message >= 9
+               && String.sub i.message 0 9 = "operation")));
+    check_bool
+      (Printf.sprintf "seed %d consistent" seed)
+      true
+      (C.Consistency.consistent (gen pa) (gen pb))
+  done
+
+let test_gen_pair_deterministic () =
+  let a1, b1 = GP.pair ~seed:3 () in
+  let a2, b2 = GP.pair ~seed:3 () in
+  check_bool "same A" true
+    (C.Bpel.Activity.equal (C.Bpel.Process.body a1) (C.Bpel.Process.body a2));
+  check_bool "same B" true
+    (C.Bpel.Activity.equal (C.Bpel.Process.body b1) (C.Bpel.Process.body b2))
+
+let test_gen_change_applies () =
+  let pa, _ = GP.pair ~seed:11 () in
+  (match GC.additive ~seed:1 pa with
+  | Some op ->
+      check_bool "additive applies" true
+        (Result.is_ok (C.Change.Ops.apply op pa))
+  | None -> Alcotest.fail "expected an additive change");
+  match GC.subtractive ~seed:1 pa with
+  | Some op ->
+      check_bool "subtractive applies" true
+        (Result.is_ok (C.Change.Ops.apply op pa))
+  | None -> ()
+
+(* ------------------------------ scale ------------------------------ *)
+
+let test_ladder () =
+  let a, b = Sc.ladder 15 in
+  let pa = gen a and pb = gen b in
+  check_int "ladder states" 31 (A.num_states pa);
+  check_bool "consistent" true (C.Consistency.consistent pa pb)
+
+let test_menu () =
+  let a, b = Sc.menu 8 in
+  let pa = gen a and pb = gen b in
+  check_bool "consistent" true (C.Consistency.consistent pa pb);
+  (* the menu annotation is an 8-way conjunction *)
+  check_int "annotation size" 8
+    (List.length (C.Formula.vars_list (A.annotation pa (A.start pa))));
+  (* removing one dish from B's pick breaks consistency *)
+  let b' =
+    C.Bpel.Process.with_body b
+      (C.Bpel.Activity.seq "menuB"
+         [
+           C.Bpel.Activity.pick "serve"
+             (List.init 7 (fun i ->
+                  C.Bpel.Activity.on_message ~partner:"A"
+                    ~op:(Printf.sprintf "alt%dOp" i) C.Bpel.Activity.Empty));
+         ])
+  in
+  check_bool "missing alternative breaks" false
+    (C.Consistency.consistent pa (gen b'))
+
+let test_service_loop () =
+  let a, b = Sc.service_loop 4 in
+  check_bool "consistent" true (C.Consistency.consistent (gen a) (gen b))
+
+let test_hub () =
+  let h, spokes = Sc.hub 5 in
+  check_int "spokes" 5 (List.length spokes);
+  let t = C.Choreography.Model.of_processes (h :: spokes) in
+  check_bool "all pairs consistent" true (C.Choreography.Consistency.consistent t);
+  check_int "hub interacts with all" 5
+    (List.length (C.Choreography.Model.pairs t))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "afsa",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_afsa_deterministic;
+          Alcotest.test_case "shape" `Quick test_gen_afsa_shape;
+          Alcotest.test_case "protocol live" `Quick test_gen_protocol_live;
+        ] );
+      ( "process pairs",
+        [
+          Alcotest.test_case "consistent across seeds" `Quick
+            test_gen_pair_consistent_many_seeds;
+          Alcotest.test_case "deterministic" `Quick test_gen_pair_deterministic;
+          Alcotest.test_case "changes apply" `Quick test_gen_change_applies;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "ladder" `Quick test_ladder;
+          Alcotest.test_case "menu" `Quick test_menu;
+          Alcotest.test_case "service loop" `Quick test_service_loop;
+          Alcotest.test_case "hub" `Quick test_hub;
+        ] );
+    ]
