@@ -81,7 +81,7 @@ let figure_tests =
 (* -------------------------- scale sweeps --------------------------- *)
 
 (* Process size: the ladder family, Θ(n) public states. *)
-let ladder_tests =
+let ladder_tests ns =
   List.concat_map
     (fun n ->
       let pa, pb = C.Workload.Scale.ladder n in
@@ -98,7 +98,7 @@ let ladder_tests =
         t (Printf.sprintf "scale_minimize_ladder_%03d" n) (fun () ->
             ignore (C.Minimize.minimize a));
       ])
-    [ 10; 50; 100; 200 ]
+    ns
 
 (* Annotation width: the menu family, conjunctions of n variables. *)
 let menu_tests =
@@ -256,13 +256,28 @@ let ablation_tests =
 
 (* ------------------------------ driver ----------------------------- *)
 
-let run_and_report tests =
+(* Pre-optimization measurements of the hot aFSA operations (seed
+   commit, same machine and harness family), in ms/run. The run header
+   reports the speedup of the current build against these so a
+   regression is visible in every bench run. *)
+let baseline_ms =
+  [
+    ("scale_intersect_ladder_200", 17.381);
+    ("scale_consistency_ladder_200", 17.722);
+    ("scale_difference_ladder_200", 197.962);
+    ("scale_minimize_ladder_200", 1041.973);
+    ("scale_intersect_ladder_400", 77.580);
+  ]
+
+(* Runs every test, prints the human-readable table, and returns the
+   [(name, time_ns, r²)] rows in run order for the JSON report. *)
+let run_and_report ~quota tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None
       ~stabilize:false ()
   in
   let raw =
@@ -274,6 +289,7 @@ let run_and_report tests =
   in
   Fmt.pr "@.%-34s %14s %10s %8s@." "benchmark" "time/run" "unit" "r²";
   Fmt.pr "%s@." (String.make 70 '-');
+  let rows = ref [] in
   List.iter
     (fun (_, results) ->
       let analyzed = Analyze.all ols Instance.monotonic_clock results in
@@ -289,6 +305,7 @@ let run_and_report tests =
             | Some r -> r
             | None -> nan
           in
+          rows := (name, est, r2) :: !rows;
           let time, unit =
             if est > 1e9 then (est /. 1e9, "s")
             else if est > 1e6 then (est /. 1e6, "ms")
@@ -297,20 +314,112 @@ let run_and_report tests =
           in
           Fmt.pr "%-34s %14.2f %10s %8.4f@." name time unit r2)
         analyzed)
-    raw
+    raw;
+  List.rev !rows
+
+let print_speedups rows =
+  let tracked =
+    List.filter_map
+      (fun (name, est, _) ->
+        Option.map
+          (fun base -> (name, base, est /. 1e6))
+          (List.assoc_opt name baseline_ms))
+      rows
+  in
+  if tracked <> [] then begin
+    Fmt.pr "@.%-34s %12s %12s %9s@." "hot operation" "seed ms" "now ms"
+      "speedup";
+    Fmt.pr "%s@." (String.make 70 '-');
+    List.iter
+      (fun (name, base, now) ->
+        Fmt.pr "%-34s %12.3f %12.3f %8.1fx@." name base now (base /. now))
+      tracked
+  end
+
+(* Hand-rolled JSON writer (no dependency): one row per benchmark with
+   the Bechamel OLS estimate, plus run metadata. *)
+let write_json ~quick ~file rows =
+  let buf = Buffer.create 4096 in
+  let escape s =
+    String.to_seq s
+    |> Seq.fold_left
+         (fun acc c ->
+           acc
+           ^
+           match c with
+           | '"' -> "\\\""
+           | '\\' -> "\\\\"
+           | '\n' -> "\\n"
+           | c when Char.code c < 0x20 -> Printf.sprintf "\\u%04x" (Char.code c)
+           | c -> String.make 1 c)
+         ""
+  in
+  let tm = Unix.gmtime (Unix.time ()) in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"chorev-bench/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
+       (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+       tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mode\": \"%s\",\n" (if quick then "quick" else "full"));
+  Buffer.add_string buf "  \"unit\": \"ns/run\",\n";
+  Buffer.add_string buf "  \"benchmarks\": [\n";
+  (* Bechamel can return nan estimates (e.g. r² on a degenerate fit);
+     JSON has no nan, so emit null. *)
+  let num fmt v = if Float.is_finite v then Printf.sprintf fmt v else "null" in
+  List.iteri
+    (fun i (name, est, r2) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": \"%s\", \"time_ns\": %s, \"r2\": %s}%s\n"
+           (escape name) (num "%.2f" est) (num "%.6f" r2)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "@.wrote %d benchmark estimates to %s@." (List.length rows) file
 
 let () =
+  let json_file = ref None in
+  let quick = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse rest
+    | [ "--json" ] ->
+        prerr_endline "--json requires a FILE argument";
+        exit 2
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument: %s\nusage: main.exe [--quick] [--json FILE]\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   Fmt.pr "==========================================================@.";
   Fmt.pr " chorev benchmark harness — paper artifact reproduction@.";
   Fmt.pr "==========================================================@.@.";
   let all_ok = C.Scenario.Report.print_all () in
   Fmt.pr "@.==========================================================@.";
-  Fmt.pr " timings (Bechamel, OLS estimate per run)@.";
+  Fmt.pr " timings (Bechamel, OLS estimate per run)%s@."
+    (if !quick then " — quick mode" else "");
   Fmt.pr "==========================================================@.";
-  run_and_report
-    (figure_tests @ ladder_tests @ menu_tests @ service_tests
-   @ propagation_tests @ protocol_tests @ runtime_tests @ discovery_tests
-   @ migration_tests @ global_tests @ ablation_tests);
+  let tests =
+    if !quick then figure_tests @ ladder_tests [ 10; 50 ]
+    else
+      figure_tests
+      @ ladder_tests [ 10; 50; 100; 200; 400 ]
+      @ menu_tests @ service_tests @ propagation_tests @ protocol_tests
+      @ runtime_tests @ discovery_tests @ migration_tests @ global_tests
+      @ ablation_tests
+  in
+  let rows = run_and_report ~quota:(if !quick then 0.05 else 0.25) tests in
+  print_speedups rows;
+  Option.iter (fun file -> write_json ~quick:!quick ~file rows) !json_file;
   Fmt.pr "@.reproduction status: %s@."
     (if all_ok then "ALL ARTIFACTS REPRODUCED" else "MISMATCHES PRESENT — see report above");
   exit (if all_ok then 0 else 1)

@@ -79,3 +79,153 @@ let tau_hidden_false ~observer a =
     ~alphabet:(List.filter keep (Afsa.alphabet a))
     ~start:(Afsa.start a) ~finals:(Afsa.finals a) ~edges ~ann ()
   |> Epsilon.eliminate
+
+(* ------------------------------------------------------------------ *)
+(* Seed reference implementations                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The algebra was rewritten over indexed worklist products and a
+   shared predecessor index; the functions below are the original
+   recursive, Map-based implementations kept verbatim so property
+   tests (test_perf_equiv) can check that the optimized operations
+   compute the same annotated languages and the emptiness fixpoint
+   converges in the same number of iterations. *)
+
+(* The seed's product: recursive pair-space exploration, sweeping the
+   whole product alphabet at every state. Overflows the stack on very
+   deep products — which is why the main implementation is a worklist. *)
+let product_ref (spec : Product.spec) a b =
+  let next = ref 0 in
+  let ids = ref Product.PMap.empty in
+  let edges = ref [] in
+  let finals = ref [] in
+  let anns = ref [] in
+  let alpha = Label.Set.of_list spec.alphabet in
+  let rec visit ((q1, q2) as p) =
+    match Product.PMap.find_opt p !ids with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        ids := Product.PMap.add p id !ids;
+        if spec.final p then finals := id :: !finals;
+        let ann =
+          Chorev_formula.Simplify.simplify
+            (spec.combine_ann (Afsa.annotation a q1) (Afsa.annotation b q2))
+        in
+        if not (F.equal ann F.True) then anns := (id, ann) :: !anns;
+        Label.Set.iter
+          (fun l ->
+            let t1s = Afsa.step a q1 (Sym.L l) in
+            let t2s = Afsa.step b q2 (Sym.L l) in
+            ISet.iter
+              (fun t1 ->
+                ISet.iter
+                  (fun t2 ->
+                    let tid = visit (t1, t2) in
+                    edges := (id, Sym.L l, tid) :: !edges)
+                  t2s)
+              t1s)
+          alpha;
+        ISet.iter
+          (fun t1 ->
+            let tid = visit (t1, q2) in
+            edges := (id, Sym.Eps, tid) :: !edges)
+          (Afsa.step a q1 Sym.Eps);
+        ISet.iter
+          (fun t2 ->
+            let tid = visit (q1, t2) in
+            edges := (id, Sym.Eps, tid) :: !edges)
+          (Afsa.step b q2 Sym.Eps);
+        id
+  in
+  let s0 = visit (Afsa.start a, Afsa.start b) in
+  Afsa.make ~alphabet:spec.alphabet ~start:s0 ~finals:!finals ~edges:!edges
+    ~ann:!anns ()
+
+let intersect_ref a b =
+  let spec =
+    {
+      Product.alphabet = Ops.inter_alphabet a b;
+      final = (fun (q1, q2) -> Afsa.is_final a q1 && Afsa.is_final b q2);
+      combine_ann = F.and_;
+    }
+  in
+  product_ref spec a b
+
+(* The seed's difference: materialize the complement of [b] (completed
+   over the union alphabet, |Q|·|Σ| sink edges) and intersect. *)
+let difference_ref a b =
+  let over = Ops.union_alphabet a b in
+  let cb = Ops.complement ~over b in
+  let spec =
+    {
+      Product.alphabet = over;
+      final = (fun (q1, q2) -> Afsa.is_final a q1 && Afsa.is_final cb q2);
+      combine_ann = (fun ann_a _ -> ann_a);
+    }
+  in
+  product_ref spec a cb |> Afsa.trim
+
+(* The seed's union: materialize both completions, full total product,
+   trim afterwards. *)
+let union_ref a b =
+  let over = Ops.union_alphabet a b in
+  let da = Complete.complete ~over (Determinize.determinize a) in
+  let db = Complete.complete ~over (Determinize.determinize b) in
+  let spec =
+    {
+      Product.alphabet = over;
+      final = (fun (q1, q2) -> Afsa.is_final da q1 || Afsa.is_final db q2);
+      combine_ann = F.and_;
+    }
+  in
+  product_ref spec da db |> Afsa.trim
+
+(* The seed's emptiness fixpoint: rebuilds the reverse-edge table from
+   the full edge list on every iteration. Returns the sat set, whether
+   the automaton is non-empty, and the number of fixpoint iterations
+   (same convention as {!Emptiness.analyze}: ≥ 1, counting the final
+   stable evaluation). *)
+let analyze_ref a =
+  let reach_final_through sat =
+    let rev = Hashtbl.create 16 in
+    List.iter
+      (fun (s, _, t) ->
+        if ISet.mem s sat && ISet.mem t sat then
+          Hashtbl.replace rev t
+            (s :: Option.value ~default:[] (Hashtbl.find_opt rev t)))
+      (Afsa.edges a);
+    let seeds = List.filter (fun f -> ISet.mem f sat) (Afsa.finals a) in
+    let rec go seen = function
+      | [] -> seen
+      | q :: rest ->
+          if ISet.mem q seen then go seen rest
+          else
+            let preds = Option.value ~default:[] (Hashtbl.find_opt rev q) in
+            go (ISet.add q seen) (preds @ rest)
+    in
+    go ISet.empty seeds
+  in
+  let holds sat q =
+    let assign v =
+      List.exists
+        (fun (sym, t) ->
+          match sym with
+          | Sym.Eps -> false
+          | Sym.L l -> String.equal (Label.to_string l) v && ISet.mem t sat)
+        (Afsa.out_edges a q)
+    in
+    Chorev_formula.Eval.eval ~assign (Afsa.annotation a q)
+  in
+  let rec fix n sat =
+    let reach = reach_final_through sat in
+    let sat' = ISet.filter (fun q -> ISet.mem q reach && holds sat q) sat in
+    if ISet.equal sat' sat then (sat, n) else fix (n + 1) sat'
+  in
+  let sat, iterations = fix 1 a.Afsa.states in
+  (sat, ISet.mem (Afsa.start a) sat, iterations)
+
+let is_empty_ref a =
+  let _, nonempty, _ = analyze_ref a in
+  not nonempty

@@ -15,3 +15,27 @@ val minimize_ignoring_annotations : Afsa.t -> Afsa.t
 val tau_hidden_false : observer:string -> Afsa.t -> Afsa.t
 (** Views substituting hidden variables with [false] — kills every
     protocol with multi-party obligations. *)
+
+(** {1 Seed reference implementations}
+
+    The original (pre-index) implementations of the algebra, kept
+    verbatim as differential-testing oracles for the optimized
+    operations. Slow on purpose; not part of the recommended API. *)
+
+val product_ref : Product.spec -> Afsa.t -> Afsa.t -> Afsa.t
+(** Recursive Map-based product sweeping the full alphabet per state.
+    May overflow the stack on very deep products. *)
+
+val intersect_ref : Afsa.t -> Afsa.t -> Afsa.t
+val difference_ref : Afsa.t -> Afsa.t -> Afsa.t
+(** Materializes the completed complement of the right argument. *)
+
+val union_ref : Afsa.t -> Afsa.t -> Afsa.t
+(** Materializes both completions and the full total product. *)
+
+val analyze_ref : Afsa.t -> Afsa.ISet.t * bool * int
+(** Seed emptiness fixpoint, rebuilding the reverse-edge table every
+    iteration: [(sat, nonempty, iterations)], same iteration-counting
+    convention as {!Emptiness.analyze}. *)
+
+val is_empty_ref : Afsa.t -> bool

@@ -12,6 +12,21 @@ module F = Chorev_formula.Syntax
 module ISet = Set.Make (Int)
 module IMap = Map.Make (Int)
 
+(* Derived indexes over [delta], built lazily on first use and cached
+   in the automaton (see {!index}). Purely derived data: every
+   constructor / modifier invalidates the cache, so the maps in [delta]
+   remain the single source of truth. Laziness is per component —
+   grouped rows materialize per *state* on demand (a product over a
+   huge completed automaton only ever touches the reachable fringe),
+   and the predecessor table is built in one O(|Δ|) pass the first time
+   a backward traversal asks for it. *)
+type index = {
+  rows : (int, (Sym.t * int list) list) Hashtbl.t;
+      (* outgoing edges grouped by symbol, filled per state on demand *)
+  mutable preds_tbl : (int, int list) Hashtbl.t option;
+      (* distinct predecessor states (any symbol), whole-automaton *)
+}
+
 type t = {
   states : ISet.t;
   alphabet : Label.Set.t;
@@ -19,6 +34,7 @@ type t = {
   start : int;
   finals : ISet.t;
   ann : F.t IMap.t; (* absent entry = True *)
+  mutable idx : index option; (* lazily-built cache, never set by hand *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -68,6 +84,7 @@ let make ?(alphabet = []) ~start ~finals ~edges ?(ann = []) () =
     start;
     finals = ISet.of_list finals;
     ann;
+    idx = None;
   }
 
 (** Convenience: edges given as [(s, "A#B#msg", t)] with ["" ] for ε. *)
@@ -154,48 +171,119 @@ let is_deterministic a =
     a.delta
 
 (* ------------------------------------------------------------------ *)
+(* Derived indexes                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** The cached index of [a], created empty on first use. Safe because
+    every constructor and modifier below produces a record with
+    [idx = None] — cached entries can never outlive the transition
+    relation they were derived from. *)
+let index a =
+  match a.idx with
+  | Some i -> i
+  | None ->
+      let i = { rows = Hashtbl.create 64; preds_tbl = None } in
+      a.idx <- Some i;
+      i
+
+(** Grouped outgoing edges of [q]: [(symbol, targets)] with each symbol
+    appearing once. Computed once per state, then O(1). *)
+let out_rows a q =
+  let ix = index a in
+  match Hashtbl.find_opt ix.rows q with
+  | Some r -> r
+  | None ->
+      let r =
+        match IMap.find_opt q a.delta with
+        | None -> []
+        | Some row ->
+            Sym.Map.fold
+              (fun sym tgts acc -> (sym, ISet.elements tgts) :: acc)
+              row []
+            |> List.rev
+      in
+      Hashtbl.replace ix.rows q r;
+      r
+
+(** Successors of [q] on [sym] as a list; [[]] when none. *)
+let succ_list a q sym =
+  match IMap.find_opt q a.delta with
+  | None -> []
+  | Some row -> (
+      match Sym.Map.find_opt sym row with
+      | None -> []
+      | Some tgts -> ISet.elements tgts)
+
+(** ε-successors of [q]. *)
+let eps_succs a q = succ_list a q Sym.Eps
+
+(* One O(|Δ|) backward pass: distinct predecessors per state. *)
+let build_preds a =
+  let preds = Hashtbl.create 256 in
+  let pred_seen = Hashtbl.create 256 in
+  IMap.iter
+    (fun s row ->
+      Sym.Map.iter
+        (fun _ tgts ->
+          ISet.iter
+            (fun t ->
+              if not (Hashtbl.mem pred_seen (s, t)) then begin
+                Hashtbl.replace pred_seen (s, t) ();
+                Hashtbl.replace preds t
+                  (s :: Option.value ~default:[] (Hashtbl.find_opt preds t))
+              end)
+            tgts)
+        row)
+    a.delta;
+  preds
+
+(** Distinct predecessor states of [q] over any symbol. The reverse
+    table is built once per automaton, on first call. *)
+let preds a q =
+  let ix = index a in
+  let tbl =
+    match ix.preds_tbl with
+    | Some t -> t
+    | None ->
+        let t = build_preds a in
+        ix.preds_tbl <- Some t;
+        t
+  in
+  Option.value ~default:[] (Hashtbl.find_opt tbl q)
+
+(* ------------------------------------------------------------------ *)
 (* Reachability and trimming                                           *)
 (* ------------------------------------------------------------------ *)
 
-let reachable_from a q0 =
-  let rec go seen = function
-    | [] -> seen
+(* Worklist closure over a neighbor function, using the index: O(V+E). *)
+let closure_over neighbors seeds =
+  let seen = Hashtbl.create 64 in
+  let stack = ref seeds in
+  let acc = ref ISet.empty in
+  List.iter (fun q -> Hashtbl.replace seen q ()) seeds;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
     | q :: rest ->
-        if ISet.mem q seen then go seen rest
-        else
-          let succs =
-            match IMap.find_opt q a.delta with
-            | None -> []
-            | Some row ->
-                Sym.Map.fold
-                  (fun _ tgts acc -> ISet.elements tgts @ acc)
-                  row []
-          in
-          go (ISet.add q seen) (succs @ rest)
-  in
-  go ISet.empty [ q0 ]
+        stack := rest;
+        acc := ISet.add q !acc;
+        List.iter
+          (fun t ->
+            if not (Hashtbl.mem seen t) then begin
+              Hashtbl.replace seen t ();
+              stack := t :: !stack
+            end)
+          (neighbors q)
+  done;
+  !acc
+
+let reachable_from a q0 =
+  closure_over
+    (fun q -> List.concat_map snd (out_rows a q))
+    [ q0 ]
 
 (** States from which some final state is reachable (co-reachable). *)
-let coreachable a =
-  (* reverse edges once *)
-  let rev =
-    List.fold_left
-      (fun acc (s, _, t) ->
-        let preds = Option.value ~default:ISet.empty (IMap.find_opt t acc) in
-        IMap.add t (ISet.add s preds) acc)
-      IMap.empty (edges a)
-  in
-  let rec go seen = function
-    | [] -> seen
-    | q :: rest ->
-        if ISet.mem q seen then go seen rest
-        else
-          let preds =
-            Option.value ~default:ISet.empty (IMap.find_opt q rev)
-          in
-          go (ISet.add q seen) (ISet.elements preds @ rest)
-  in
-  go ISet.empty (ISet.elements a.finals)
+let coreachable a = closure_over (preds a) (ISet.elements a.finals)
 
 let restrict_states a keep =
   let keep = ISet.add a.start keep in
@@ -220,6 +308,7 @@ let restrict_states a keep =
     delta;
     finals = ISet.inter a.finals keep;
     ann = IMap.filter (fun q _ -> ISet.mem q keep) a.ann;
+    idx = None;
   }
 
 (** Remove unreachable states. *)
@@ -272,6 +361,27 @@ let add_edge a (s, sym, t) =
     states = ISet.add s (ISet.add t a.states);
     alphabet;
     delta = add_edge_delta a.delta (s, sym, t);
+    idx = None;
+  }
+
+(** Bulk variant of {!add_edge}: one record (and one index
+    invalidation) for the whole batch. *)
+let add_edges a es =
+  let states, alphabet =
+    List.fold_left
+      (fun (states, alpha) (s, sym, t) ->
+        ( ISet.add s (ISet.add t states),
+          match sym with
+          | Sym.Eps -> alpha
+          | Sym.L l -> Label.Set.add l alpha ))
+      (a.states, a.alphabet) es
+  in
+  {
+    a with
+    states;
+    alphabet;
+    delta = List.fold_left add_edge_delta a.delta es;
+    idx = None;
   }
 
 let set_annotation a q f =
@@ -279,14 +389,18 @@ let set_annotation a q f =
   let ann =
     if F.equal f F.True then IMap.remove q a.ann else IMap.add q f a.ann
   in
-  { a with ann; states = ISet.add q a.states }
+  { a with ann; states = ISet.add q a.states; idx = None }
 
-let clear_annotations a = { a with ann = IMap.empty }
+let clear_annotations a = { a with ann = IMap.empty; idx = None }
 
-let set_finals a finals = { a with finals = ISet.of_list finals }
+let set_finals a finals = { a with finals = ISet.of_list finals; idx = None }
 
 let widen_alphabet a labels =
-  { a with alphabet = Label.Set.union a.alphabet (Label.Set.of_list labels) }
+  {
+    a with
+    alphabet = Label.Set.union a.alphabet (Label.Set.of_list labels);
+    idx = None;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Structural equality (same states/edges/finals/annotations)          *)

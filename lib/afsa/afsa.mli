@@ -9,6 +9,11 @@ module F = Chorev_formula.Syntax
 module ISet : Set.S with type elt = int
 module IMap : Map.S with type key = int
 
+type index
+(** Derived lookup structures over [delta] — see {!index}. Opaque:
+    access goes through {!out_rows}, {!succ_list}, {!eps_succs} and
+    {!preds}. *)
+
 type t = {
   states : ISet.t;
   alphabet : Label.Set.t;
@@ -16,6 +21,9 @@ type t = {
   start : int;
   finals : ISet.t;
   ann : F.t IMap.t;  (** absent entry = [True] *)
+  mutable idx : index option;
+      (** lazily-built index cache; derived data only — never set by
+          hand, always invalidated by the modifiers below *)
 }
 
 (** {1 Construction} *)
@@ -69,6 +77,35 @@ val has_eps : t -> bool
 val is_deterministic : t -> bool
 (** No ε-transition and at most one target per (state, symbol). *)
 
+(** {1 Derived indexes}
+
+    Lazily-built lookup structures over [delta], cached inside the
+    automaton; every constructor and modifier invalidates the cache, so
+    the indexes are always consistent with the transition relation.
+    Laziness is per component: grouped rows materialize per state on
+    demand (a product over a huge completed automaton only pays for the
+    states it actually reaches), and the predecessor table is one
+    O(|Δ|) pass on first backward traversal. The algebra's hot paths
+    (product, emptiness, ε-elimination, minimization) use these instead
+    of re-deriving edge lists. *)
+
+val index : t -> index
+(** The cached (initially empty) index. *)
+
+val out_rows : t -> int -> (Sym.t * int list) list
+(** Outgoing edges grouped by symbol; each symbol appears once.
+    Computed once per state, then O(1). *)
+
+val succ_list : t -> int -> Sym.t -> int list
+(** Successor list on one symbol; [[]] when none. *)
+
+val eps_succs : t -> int -> int list
+(** ε-successors. *)
+
+val preds : t -> int -> int list
+(** Distinct predecessor states over any symbol; the reverse table is
+    built once per automaton on first call. *)
+
 (** {1 Reachability and trimming} *)
 
 val reachable_from : t -> int -> ISet.t
@@ -87,6 +124,9 @@ val renumber : ?start_zero:bool -> t -> t * int IMap.t
 (** {1 Modification} *)
 
 val add_edge : t -> int * Sym.t * int -> t
+
+val add_edges : t -> (int * Sym.t * int) list -> t
+(** Bulk {!add_edge}: one new record for the whole batch. *)
 val set_annotation : t -> int -> F.t -> t
 val clear_annotations : t -> t
 val set_finals : t -> int list -> t

@@ -23,14 +23,9 @@ let complete ?(over = []) a =
   if missing = [] then a
   else
     let sink = 1 + List.fold_left max 0 (Afsa.states a) in
-    let a =
-      List.fold_left
-        (fun a (q, l) -> Afsa.add_edge a (q, Sym.L l, sink))
-        a missing
-    in
-    List.fold_left
-      (fun a l -> Afsa.add_edge a (sink, Sym.L l, sink))
-      a alpha
+    Afsa.add_edges a
+      (List.map (fun (q, l) -> (q, Sym.L l, sink)) missing
+      @ List.map (fun l -> (sink, Sym.L l, sink)) alpha)
 
 let is_complete a =
   let alpha = Label.Set.of_list (Afsa.alphabet a) in

@@ -45,12 +45,12 @@ let determinize a =
           in
           let ann = Chorev_formula.Simplify.simplify ann in
           if not (F.equal ann F.True) then anns := (id, ann) :: !anns;
-          (* group successors by symbol *)
+          (* group successors by symbol (via the shared index) *)
           let by_sym =
             ISet.fold
               (fun q acc ->
                 List.fold_left
-                  (fun acc (sym, t) ->
+                  (fun acc (sym, ts) ->
                     match sym with
                     | Sym.Eps -> acc
                     | Sym.L _ ->
@@ -58,8 +58,12 @@ let determinize a =
                           Option.value ~default:ISet.empty
                             (Sym.Map.find_opt sym acc)
                         in
-                        Sym.Map.add sym (ISet.add t cur) acc)
-                  acc (Afsa.out_edges a q))
+                        Sym.Map.add sym
+                          (List.fold_left
+                             (fun cur t -> ISet.add t cur)
+                             cur ts)
+                          acc)
+                  acc (Afsa.out_rows a q))
               set Sym.Map.empty
           in
           Sym.Map.iter

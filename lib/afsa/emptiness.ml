@@ -28,7 +28,13 @@
     is an approximation and the API reports a warning.
 
     The automaton is non-empty iff sat(q0) — equivalently, iff "the
-    annotation of the start state is true" in the paper's phrasing. *)
+    annotation of the start state is true" in the paper's phrasing.
+
+    Implementation notes: the reverse-edge table is the automaton's
+    shared {!Afsa.preds} index, built once per [analyze] call (not once
+    per fixpoint iteration), and each annotated state gets a
+    variable → targets table computed once up front, so an iteration is
+    O(V + E) with no per-iteration allocation of edge lists. *)
 
 module F = Chorev_formula.Syntax
 module ISet = Afsa.ISet
@@ -36,29 +42,36 @@ module ISet = Afsa.ISet
 type result = {
   sat : ISet.t;  (** states from which annotated acceptance is possible *)
   nonempty : bool;
+  iterations : int;
+      (** fixpoint iterations until convergence (≥ 1); exposed so tests
+          can assert parity with the reference implementation *)
   warning : string option;
       (** set when a non-positive annotation was encountered *)
 }
 
 (* States that can reach a final state of [sat] moving through [sat]
-   states only: backward closure from F ∩ sat inside sat. *)
+   states only: backward closure from F ∩ sat inside sat, over the
+   shared predecessor index. *)
 let reach_final_through a sat =
-  let rev = Hashtbl.create 16 in
-  List.iter
-    (fun (s, _, t) ->
-      if ISet.mem s sat && ISet.mem t sat then
-        Hashtbl.replace rev t (s :: Option.value ~default:[] (Hashtbl.find_opt rev t)))
-    (Afsa.edges a);
-  let seeds = List.filter (fun f -> ISet.mem f sat) (Afsa.finals a) in
-  let rec go seen = function
-    | [] -> seen
+  let seen = Hashtbl.create 64 in
+  let acc = ref ISet.empty in
+  let stack = ref (List.filter (fun f -> ISet.mem f sat) (Afsa.finals a)) in
+  List.iter (fun q -> Hashtbl.replace seen q ()) !stack;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
     | q :: rest ->
-        if ISet.mem q seen then go seen rest
-        else
-          let preds = Option.value ~default:[] (Hashtbl.find_opt rev q) in
-          go (ISet.add q seen) (preds @ rest)
-  in
-  go ISet.empty seeds
+        stack := rest;
+        acc := ISet.add q !acc;
+        List.iter
+          (fun p ->
+            if ISet.mem p sat && not (Hashtbl.mem seen p) then begin
+              Hashtbl.replace seen p ();
+              stack := p :: !stack
+            end)
+          (Afsa.preds a q)
+  done;
+  !acc
 
 let analyze a =
   let warning =
@@ -69,25 +82,46 @@ let analyze a =
         "annotation contains negation: emptiness fixpoint is an \
          approximation only"
   in
-  let holds sat q =
-    let assign v =
-      (* σ_q(v): some v-labeled edge to a sat state. *)
-      List.exists
-        (fun (sym, t) ->
+  (* For each annotated state, the targets of each variable's edges,
+     computed once: σ_q(v) then costs one lookup + membership checks. *)
+  let ann_tbl : (int, F.t * (string, int list) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (q, f) ->
+      let vt = Hashtbl.create 8 in
+      List.iter
+        (fun (sym, ts) ->
           match sym with
-          | Sym.Eps -> false
-          | Sym.L l -> String.equal (Label.to_string l) v && ISet.mem t sat)
-        (Afsa.out_edges a q)
-    in
-    Chorev_formula.Eval.eval ~assign (Afsa.annotation a q)
+          | Sym.Eps -> ()
+          | Sym.L l ->
+              let v = Label.to_string l in
+              Hashtbl.replace vt v
+                (ts @ Option.value ~default:[] (Hashtbl.find_opt vt v)))
+        (Afsa.out_rows a q);
+      Hashtbl.replace ann_tbl q (f, vt))
+    (Afsa.annotations a);
+  let holds sat q =
+    match Hashtbl.find_opt ann_tbl q with
+    | None -> true (* default annotation [True] *)
+    | Some (f, vt) ->
+        let assign v =
+          (* σ_q(v): some v-labeled edge to a sat state. *)
+          match Hashtbl.find_opt vt v with
+          | None -> false
+          | Some ts -> List.exists (fun t -> ISet.mem t sat) ts
+        in
+        Chorev_formula.Eval.eval ~assign f
   in
-  let rec fix sat =
+  let rec fix n sat =
     let reach = reach_final_through a sat in
-    let sat' = ISet.filter (fun q -> ISet.mem q reach && holds sat q) sat in
-    if ISet.equal sat' sat then sat else fix sat'
+    (* [reach ⊆ sat] by construction, so filtering [reach] by [holds]
+       equals the seed's [filter (reach ∧ holds) sat]. *)
+    let sat' = ISet.filter (fun q -> holds sat q) reach in
+    if ISet.equal sat' sat then (sat, n) else fix (n + 1) sat'
   in
-  let sat = fix a.Afsa.states in
-  { sat; nonempty = ISet.mem (Afsa.start a) sat; warning }
+  let sat, iterations = fix 1 a.Afsa.states in
+  { sat; nonempty = ISet.mem (Afsa.start a) sat; iterations; warning }
 
 (** An aFSA is empty when no message sequence satisfying all mandatory
     annotations leads from the start state to a final state. *)

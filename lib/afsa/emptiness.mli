@@ -8,6 +8,9 @@ type result = {
   sat : Afsa.ISet.t;
       (** states from which annotated acceptance is possible *)
   nonempty : bool;
+  iterations : int;
+      (** fixpoint iterations until convergence (≥ 1); the reverse-edge
+          index is built once per call, not once per iteration *)
   warning : string option;
       (** set when a non-positive annotation makes the fixpoint an
           approximation *)

@@ -15,54 +15,130 @@ let closure a set =
     | [] -> seen
     | q :: rest ->
         if ISet.mem q seen then go seen rest
-        else
-          let eps_succ = Afsa.step a q Sym.Eps in
-          go (ISet.add q seen) (ISet.elements eps_succ @ rest)
+        else go (ISet.add q seen) (Afsa.eps_succs a q @ rest)
   in
   go ISet.empty (ISet.elements set)
 
 let closure_of a q = closure a (ISet.singleton q)
 
+(* All ε-closures at once, memoized across states: states in the same
+   ε-SCC share one closure set (physically), and each SCC's closure is
+   the union of its members with the closures of its successor SCCs —
+   computed once, in reverse topological order. Tarjan's algorithm with
+   an explicit stack (views of long protocols produce ε-chains of
+   unbounded depth, so no recursion), O(V + E) overall where the naive
+   per-state closure is O(V · E). *)
+let all_closures a states =
+  let index = Hashtbl.create 64 in (* state -> DFS index *)
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let scc_stack = ref [] in
+  let closures : (int, ISet.t) Hashtbl.t = Hashtbl.create 64 in
+  let counter = ref 0 in
+  let visit root =
+    if not (Hashtbl.mem index root) then begin
+      (* call-stack frames: (state, remaining successors) *)
+      let enter q =
+        Hashtbl.replace index q !counter;
+        Hashtbl.replace lowlink q !counter;
+        incr counter;
+        scc_stack := q :: !scc_stack;
+        Hashtbl.replace on_stack q ();
+        (q, ref (Afsa.eps_succs a q))
+      in
+      let frames = ref [ enter root ] in
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (q, succs) :: rest -> (
+            match !succs with
+            | t :: ts ->
+                succs := ts;
+                if not (Hashtbl.mem index t) then frames := enter t :: !frames
+                else if Hashtbl.mem on_stack t then
+                  Hashtbl.replace lowlink q
+                    (min (Hashtbl.find lowlink q) (Hashtbl.find index t))
+            | [] ->
+                (* q finished: pop its SCC if it is a root, then fold its
+                   lowlink into the parent *)
+                if Hashtbl.find lowlink q = Hashtbl.find index q then begin
+                  (* collect the SCC *)
+                  let rec pop members = function
+                    | s :: tail ->
+                        Hashtbl.remove on_stack s;
+                        if s = q then (s :: members, tail)
+                        else pop (s :: members) tail
+                    | [] -> (members, [])
+                  in
+                  let members, tail = pop [] !scc_stack in
+                  scc_stack := tail;
+                  (* successors outside the SCC are already closed
+                     (Tarjan emits SCCs in reverse topological order) *)
+                  let cl =
+                    List.fold_left
+                      (fun acc s ->
+                        List.fold_left
+                          (fun acc t ->
+                            match Hashtbl.find_opt closures t with
+                            | Some c -> ISet.union c acc
+                            | None -> acc (* t inside this SCC *))
+                          (ISet.add s acc) (Afsa.eps_succs a s))
+                      ISet.empty members
+                  in
+                  List.iter (fun s -> Hashtbl.replace closures s cl) members
+                end;
+                frames := rest;
+                (match rest with
+                | (p, _) :: _ ->
+                    Hashtbl.replace lowlink p
+                      (min (Hashtbl.find lowlink p) (Hashtbl.find lowlink q))
+                | [] -> ()))
+      done
+    end
+  in
+  List.iter visit states;
+  closures
+
 (** Remove all ε-transitions, preserving the language. For each state
     [q], the new outgoing edges are the proper edges of all states in
     the ε-closure of [q]; [q] is final if its closure meets a final
     state; its annotation is the conjunction of the closure's
-    annotations. Unreachable states are dropped. *)
+    annotations. Unreachable states are dropped. ε-closures are
+    computed once per state per call (shared within ε-SCCs), not
+    re-explored per state. *)
 let eliminate a =
   if not (Afsa.has_eps a) then a
   else
     let states = Afsa.states a in
-    let cl = List.map (fun q -> (q, closure_of a q)) states in
-    let cl_tbl = List.to_seq cl |> Afsa.IMap.of_seq in
+    let cl_tbl = all_closures a states in
+    let closure_of q = Hashtbl.find cl_tbl q in
     let edges =
       List.concat_map
         (fun q ->
-          let c = Afsa.IMap.find q cl_tbl in
           ISet.fold
             (fun p acc ->
-              List.filter_map
-                (fun (sym, t) ->
+              List.fold_left
+                (fun acc (sym, ts) ->
                   match sym with
-                  | Sym.Eps -> None
-                  | Sym.L _ -> Some (q, sym, t))
-                (Afsa.out_edges a p)
-              @ acc)
-            c [])
+                  | Sym.Eps -> acc
+                  | Sym.L _ ->
+                      List.fold_left (fun acc t -> (q, sym, t) :: acc) acc ts)
+                acc (Afsa.out_rows a p))
+            (closure_of q) [])
         states
     in
     let finals =
       List.filter
-        (fun q ->
-          let c = Afsa.IMap.find q cl_tbl in
-          ISet.exists (Afsa.is_final a) c)
+        (fun q -> ISet.exists (Afsa.is_final a) (closure_of q))
         states
     in
     let ann =
       List.filter_map
         (fun q ->
-          let c = Afsa.IMap.find q cl_tbl in
           let f =
-            ISet.fold (fun p acc -> F.and_ (Afsa.annotation a p) acc) c F.True
+            ISet.fold
+              (fun p acc -> F.and_ (Afsa.annotation a p) acc)
+              (closure_of q) F.True
           in
           let f = Chorev_formula.Simplify.simplify f in
           if F.equal f F.True then None else Some (q, f))

@@ -98,37 +98,51 @@ let hopcroft ~n ~k ~succ ~init_class =
   block
 
 let rec minimize a =
-  let d = Complete.complete (Determinize.determinize a) in
-  let d, _ = Afsa.renumber d in
+  (* Hopcroft needs a complete DFA, but the completion stays virtual: a
+     sink column [n] in the arrays instead of |Q|·|Σ| materialized
+     edges. Transitions into the sink are dropped when rebuilding the
+     automaton — they lead to dead blocks that [Afsa.trim] would remove
+     anyway. *)
+  let d, _ = Afsa.renumber (Determinize.determinize a) in
   let n = Afsa.num_states d in
   if n = 0 then d
   else begin
     let alpha = Array.of_list (Afsa.alphabet d) in
     let k = Array.length alpha in
-    let succ = Array.make_matrix k n (-1) in
-    Array.iteri
-      (fun c l ->
-        for q = 0 to n - 1 do
-          match ISet.choose_opt (Afsa.step d q (Sym.L l)) with
-          | Some t -> succ.(c).(q) <- t
-          | None -> assert false (* complete *)
-        done)
-      alpha;
+    let col = Hashtbl.create (max 1 k) in
+    Array.iteri (fun c l -> Hashtbl.replace col l c) alpha;
+    let sink = n in
+    let m = n + 1 in
+    let succ = Array.make_matrix k m sink in
+    List.iter
+      (fun q ->
+        List.iter
+          (fun (sym, ts) ->
+            match (sym, ts) with
+            | Sym.L l, t :: _ -> succ.(Hashtbl.find col l).(q) <- t
+            | _ -> assert false (* deterministic, ε-free *))
+          (Afsa.out_rows d q))
+      (Afsa.states d);
     let init_class =
-      Array.init n (fun q ->
-          ( Afsa.is_final d q,
-            Chorev_formula.Pp.to_string
-              (Chorev_formula.Simplify.simplify (Afsa.annotation d q)) ))
+      Array.init m (fun q ->
+          if q = sink then (false, Chorev_formula.Pp.to_string F.True)
+          else
+            ( Afsa.is_final d q,
+              Chorev_formula.Pp.to_string
+                (Chorev_formula.Simplify.simplify (Afsa.annotation d q)) ))
     in
-    let block = hopcroft ~n ~k ~succ ~init_class in
+    let block = hopcroft ~n:m ~k ~succ ~init_class in
     let edges = ref [] in
     let seen = Hashtbl.create 16 in
     for q = 0 to n - 1 do
       for c = 0 to k - 1 do
-        let e = (block.(q), Sym.L alpha.(c), block.(succ.(c).(q))) in
-        if not (Hashtbl.mem seen e) then begin
-          Hashtbl.replace seen e ();
-          edges := e :: !edges
+        let t = succ.(c).(q) in
+        if t <> sink then begin
+          let e = (block.(q), Sym.L alpha.(c), block.(t)) in
+          if not (Hashtbl.mem seen e) then begin
+            Hashtbl.replace seen e ();
+            edges := e :: !edges
+          end
         end
       done
     done;

@@ -48,15 +48,21 @@ let complement ?(over = []) a =
     survives the difference with the old buyer process). *)
 let difference a b =
   let over = union_alphabet a b in
-  let cb = complement ~over b in
+  let db = Determinize.determinize b in
+  let sink = Product.sink_of db in
+  (* the right side is the complement of [db] completed over [over],
+     kept virtual: the sink and every non-final state of [db] are
+     final in the complement. *)
   let spec =
     {
       Product.alphabet = over;
-      final = (fun (q1, q2) -> Afsa.is_final a q1 && Afsa.is_final cb q2);
+      final =
+        (fun (q1, q2) ->
+          Afsa.is_final a q1 && (q2 = sink || not (Afsa.is_final db q2)));
       combine_ann = (fun ann_a _ -> ann_a);
     }
   in
-  fst (Product.run spec a cb) |> Afsa.trim
+  fst (Product.run_right_total spec ~sink a db) |> Afsa.trim
 
 (** Direct union: product of the two automata completed over the union
     alphabet, final when either side is final. Annotations are combined
@@ -67,8 +73,11 @@ let difference a b =
     new [cancelOp AND deliveryOp] annotation coexist). *)
 let union a b =
   let over = union_alphabet a b in
-  let da = Complete.complete ~over (Determinize.determinize a) in
-  let db = Complete.complete ~over (Determinize.determinize b) in
+  let da = Determinize.determinize a in
+  let db = Determinize.determinize b in
+  let sink_a = Product.sink_of da and sink_b = Product.sink_of db in
+  (* both sides virtually completed over [over]; a sink is never final,
+     so [is_final] on a sink id is safely [false]. *)
   let spec =
     {
       Product.alphabet = over;
@@ -76,7 +85,7 @@ let union a b =
       combine_ann = F.and_;
     }
   in
-  fst (Product.run spec da db) |> Afsa.trim
+  fst (Product.run_both_total spec ~sink_a ~sink_b da db) |> Afsa.trim
 
 (** Union by De Morgan, as the paper states it:
     [A ∪ B ≡ ¬(¬A ∩ ¬B)]. Language-equivalent to {!union} but

@@ -4,10 +4,15 @@
     products over the pair state space: the automata synchronize on
     shared proper labels, and either side may take its ε-transitions
     alone. The final-state predicate and the annotation combiner are
-    parameters. Only the reachable part is built. *)
+    parameters. Only the reachable part is built.
+
+    The construction is an explicit worklist over a hash table of pair
+    states (no recursion — deep products such as long ladder protocols
+    cannot overflow the stack), and it only iterates the *actual*
+    outgoing edges of the left state (via {!Afsa.out_rows}) instead of
+    sweeping the whole product alphabet per state. *)
 
 module F = Chorev_formula.Syntax
-module ISet = Afsa.ISet
 
 module PairKey = struct
   type t = int * int
@@ -24,58 +29,229 @@ type spec = {
 }
 
 (** [run spec a b] builds the product automaton; state pairs are
-    renumbered densely, the start is [(start a, start b)] = 0. Returns
-    the automaton together with the pair ↦ product-state map. *)
+    numbered densely in discovery (BFS) order, the start is
+    [(start a, start b)] = 0. Returns the automaton together with the
+    pair ↦ product-state map. *)
 let run spec a b =
   let next = ref 0 in
-  let ids = ref PMap.empty in
+  let ids : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
   let edges = ref [] in
   let finals = ref [] in
   let anns = ref [] in
-  let alpha = Label.Set.of_list spec.alphabet in
-  let rec visit ((q1, q2) as p) =
-    match PMap.find_opt p !ids with
+  let in_alpha =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun l -> Hashtbl.replace tbl l ()) spec.alphabet;
+    fun l -> Hashtbl.mem tbl l
+  in
+  let pending = Queue.create () in
+  let id_of ((q1, q2) as p) =
+    match Hashtbl.find_opt ids p with
     | Some id -> id
     | None ->
         let id = !next in
         incr next;
-        ids := PMap.add p id !ids;
+        Hashtbl.add ids p id;
         if spec.final p then finals := id :: !finals;
         let ann =
           Chorev_formula.Simplify.simplify
             (spec.combine_ann (Afsa.annotation a q1) (Afsa.annotation b q2))
         in
         if not (F.equal ann F.True) then anns := (id, ann) :: !anns;
-        (* synchronized moves on shared labels *)
-        Label.Set.iter
-          (fun l ->
-            let t1s = Afsa.step a q1 (Sym.L l) in
-            let t2s = Afsa.step b q2 (Sym.L l) in
-            ISet.iter
-              (fun t1 ->
-                ISet.iter
-                  (fun t2 ->
-                    let tid = visit (t1, t2) in
-                    edges := (id, Sym.L l, tid) :: !edges)
-                  t2s)
-              t1s)
-          alpha;
-        (* lone ε-moves of either side *)
-        ISet.iter
-          (fun t1 ->
-            let tid = visit (t1, q2) in
-            edges := (id, Sym.Eps, tid) :: !edges)
-          (Afsa.step a q1 Sym.Eps);
-        ISet.iter
-          (fun t2 ->
-            let tid = visit (q1, t2) in
-            edges := (id, Sym.Eps, tid) :: !edges)
-          (Afsa.step b q2 Sym.Eps);
+        Queue.add (p, id) pending;
         id
   in
-  let s0 = visit (Afsa.start a, Afsa.start b) in
+  let s0 = id_of (Afsa.start a, Afsa.start b) in
+  while not (Queue.is_empty pending) do
+    let (q1, q2), id = Queue.pop pending in
+    (* synchronized moves on shared labels, lone ε-moves of the left *)
+    List.iter
+      (fun (sym, t1s) ->
+        match sym with
+        | Sym.Eps ->
+            List.iter
+              (fun t1 -> edges := (id, Sym.Eps, id_of (t1, q2)) :: !edges)
+              t1s
+        | Sym.L l when in_alpha l -> (
+            match Afsa.succ_list b q2 sym with
+            | [] -> ()
+            | t2s ->
+                List.iter
+                  (fun t1 ->
+                    List.iter
+                      (fun t2 -> edges := (id, sym, id_of (t1, t2)) :: !edges)
+                      t2s)
+                  t1s)
+        | Sym.L _ -> ())
+      (Afsa.out_rows a q1);
+    (* lone ε-moves of the right *)
+    List.iter
+      (fun t2 -> edges := (id, Sym.Eps, id_of (q1, t2)) :: !edges)
+      (Afsa.eps_succs b q2)
+  done;
   let auto =
     Afsa.make ~alphabet:spec.alphabet ~start:s0 ~finals:!finals ~edges:!edges
       ~ann:!anns ()
   in
-  (auto, !ids)
+  let pmap = Hashtbl.fold (fun p id acc -> PMap.add p id acc) ids PMap.empty in
+  (auto, pmap)
+
+(* ------------------------------------------------------------------ *)
+(* Virtually-completed products                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Definition 4 (difference) and the direct union assume *complete*
+   automata. Materializing the completion adds |Q|·|Σ| sink edges —
+   160k edges for a 400-state protocol over a 400-label alphabet —
+   which used to dominate the cost of difference and union. The
+   variants below keep the completion virtual: a sink is just a
+   reserved integer outside the automaton's state space, a missing
+   (state, symbol) pair moves to it implicitly, and sink states carry
+   the default annotation [True]. Runs through an all-sink pair can
+   never accept (both sides are total and sink-trapped), so such edges
+   are pruned at generation time — exactly what [Afsa.trim] would do
+   afterwards. *)
+
+(** A state id guaranteed outside [a]'s state space. *)
+let sink_of a = 1 + List.fold_left max 0 (Afsa.states a)
+
+(** [run_right_total spec ~sink a b] is {!run} with the right automaton
+    implicitly completed over [spec.alphabet]: any missing (state,
+    proper symbol) moves to [sink], which traps. [b] must be ε-free
+    (determinize it first); [spec.final] and [spec.combine_ann] see
+    [sink] as a regular right-state with annotation [True]. *)
+let run_right_total spec ~sink a b =
+  let ann_b q2 = if q2 = sink then F.True else Afsa.annotation b q2 in
+  let next = ref 0 in
+  let ids : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let edges = ref [] in
+  let finals = ref [] in
+  let anns = ref [] in
+  let in_alpha =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun l -> Hashtbl.replace tbl l ()) spec.alphabet;
+    fun l -> Hashtbl.mem tbl l
+  in
+  let pending = Queue.create () in
+  let id_of ((q1, q2) as p) =
+    match Hashtbl.find_opt ids p with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.add ids p id;
+        if spec.final p then finals := id :: !finals;
+        let ann =
+          Chorev_formula.Simplify.simplify
+            (spec.combine_ann (Afsa.annotation a q1) (ann_b q2))
+        in
+        if not (F.equal ann F.True) then anns := (id, ann) :: !anns;
+        Queue.add (p, id) pending;
+        id
+  in
+  let succ_b q2 sym =
+    if q2 = sink then [ sink ]
+    else
+      match Afsa.succ_list b q2 sym with [] -> [ sink ] | ts -> ts
+  in
+  let s0 = id_of (Afsa.start a, Afsa.start b) in
+  while not (Queue.is_empty pending) do
+    let (q1, q2), id = Queue.pop pending in
+    List.iter
+      (fun (sym, t1s) ->
+        match sym with
+        | Sym.Eps ->
+            List.iter
+              (fun t1 -> edges := (id, Sym.Eps, id_of (t1, q2)) :: !edges)
+              t1s
+        | Sym.L l when in_alpha l ->
+            let t2s = succ_b q2 sym in
+            List.iter
+              (fun t1 ->
+                List.iter
+                  (fun t2 -> edges := (id, sym, id_of (t1, t2)) :: !edges)
+                  t2s)
+              t1s
+        | Sym.L _ -> ())
+      (Afsa.out_rows a q1)
+  done;
+  let auto =
+    Afsa.make ~alphabet:spec.alphabet ~start:s0 ~finals:!finals ~edges:!edges
+      ~ann:!anns ()
+  in
+  let pmap = Hashtbl.fold (fun p id acc -> PMap.add p id acc) ids PMap.empty in
+  (auto, pmap)
+
+(** [run_both_total spec ~sink_a ~sink_b a b] virtually completes both
+    sides over [spec.alphabet]. Both automata must be ε-free. Pairs
+    where both sides are trapped in their sink are pruned (they can
+    never accept). *)
+let run_both_total spec ~sink_a ~sink_b a b =
+  let ann_a q1 = if q1 = sink_a then F.True else Afsa.annotation a q1 in
+  let ann_b q2 = if q2 = sink_b then F.True else Afsa.annotation b q2 in
+  let next = ref 0 in
+  let ids : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let edges = ref [] in
+  let finals = ref [] in
+  let anns = ref [] in
+  let pending = Queue.create () in
+  let id_of ((q1, q2) as p) =
+    match Hashtbl.find_opt ids p with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.add ids p id;
+        if spec.final p then finals := id :: !finals;
+        let ann =
+          Chorev_formula.Simplify.simplify
+            (spec.combine_ann (ann_a q1) (ann_b q2))
+        in
+        if not (F.equal ann F.True) then anns := (id, ann) :: !anns;
+        Queue.add (p, id) pending;
+        id
+  in
+  let in_alpha =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun l -> Hashtbl.replace tbl l ()) spec.alphabet;
+    fun l -> Hashtbl.mem tbl l
+  in
+  let rows side sink q =
+    if q = sink then [] else Afsa.out_rows side q
+  in
+  let succ side sink q sym =
+    if q = sink then [ sink ]
+    else match Afsa.succ_list side q sym with [] -> [ sink ] | ts -> ts
+  in
+  let s0 = id_of (Afsa.start a, Afsa.start b) in
+  while not (Queue.is_empty pending) do
+    let (q1, q2), id = Queue.pop pending in
+    (* the union of both sides' real symbols; anything else moves both
+       sides to their sink — pruned *)
+    let syms = Hashtbl.create 8 in
+    let collect side sink q =
+      List.iter
+        (fun (sym, _) ->
+          match sym with
+          | Sym.Eps ->
+              invalid_arg "Product.run_both_total: automaton has ε-transitions"
+          | Sym.L l -> if in_alpha l then Hashtbl.replace syms sym ())
+        (rows side sink q)
+    in
+    collect a sink_a q1;
+    collect b sink_b q2;
+    Hashtbl.iter
+      (fun sym () ->
+        List.iter
+          (fun t1 ->
+            List.iter
+              (fun t2 -> edges := (id, sym, id_of (t1, t2)) :: !edges)
+              (succ b sink_b q2 sym))
+          (succ a sink_a q1 sym))
+      syms
+  done;
+  let auto =
+    Afsa.make ~alphabet:spec.alphabet ~start:s0 ~finals:!finals ~edges:!edges
+      ~ann:!anns ()
+  in
+  let pmap = Hashtbl.fold (fun p id acc -> PMap.add p id acc) ids PMap.empty in
+  (auto, pmap)

@@ -16,3 +16,22 @@ type spec = {
 
 val run : spec -> Afsa.t -> Afsa.t -> Afsa.t * int PMap.t
 (** Reachable part only; returns the pair ↦ product-state map. *)
+
+val sink_of : Afsa.t -> int
+(** A state id guaranteed outside the automaton's state space, for use
+    as a virtual completion sink below. *)
+
+val run_right_total : spec -> sink:int -> Afsa.t -> Afsa.t -> Afsa.t * int PMap.t
+(** Like {!run}, but the right automaton is implicitly completed over
+    [spec.alphabet]: a missing (state, proper symbol) pair moves to
+    [sink], which traps and carries annotation [True]. The right
+    automaton must be ε-free. Avoids materializing the |Q|·|Σ| sink
+    edges of {!Complete.complete} — this is what makes difference on
+    large alphabets cheap. *)
+
+val run_both_total :
+  spec -> sink_a:int -> sink_b:int -> Afsa.t -> Afsa.t -> Afsa.t * int PMap.t
+(** Both sides implicitly completed over [spec.alphabet]; both must be
+    ε-free. Edges where both sides fall into their sink are pruned —
+    such pairs can never reach a final state, so this is exactly what a
+    subsequent {!Afsa.trim} would remove. *)

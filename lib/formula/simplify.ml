@@ -43,7 +43,12 @@ let is_neg_of a b =
 let contains_complement fs =
   List.exists (fun a -> List.exists (fun b -> is_neg_of a b) fs) fs
 
+(* [compare] here is {!Syntax.compare}: a proper total order with a
+   physical fast path — on hash-consed operands the sort never recurses
+   into shared subterms. *)
 let sort_uniq fs = List.sort_uniq compare fs
+
+let mem g fs = List.exists (equal g) fs
 
 (* Absorption: in a conjunction, drop any disjunction that contains a
    conjunct as a member (a ∧ (a ∨ b) = a); dually for disjunction. *)
@@ -53,7 +58,7 @@ let absorb_and fs =
       match f with
       | Or _ ->
           let members = flat_or [] f in
-          not (List.exists (fun g -> (not (equal g f)) && List.mem g members) fs)
+          not (List.exists (fun g -> (not (equal g f)) && mem g members) fs)
       | _ -> true)
     fs
 
@@ -63,7 +68,7 @@ let absorb_or fs =
       match f with
       | And _ ->
           let members = flat_and [] f in
-          not (List.exists (fun g -> (not (equal g f)) && List.mem g members) fs)
+          not (List.exists (fun g -> (not (equal g f)) && mem g members) fs)
       | _ -> true)
     fs
 
@@ -73,29 +78,55 @@ let rec simp f =
   | Not g -> not_ (simp g)
   | And _ ->
       let fs = flat_and [] f |> List.map simp in
-      if List.mem False fs then False
+      if mem False fs then False
       else
-        let fs = List.filter (fun g -> g <> True) fs |> sort_uniq in
+        let fs = List.filter (fun g -> not (equal g True)) fs |> sort_uniq in
         if contains_complement fs then False
         else conj (absorb_and fs)
   | Or _ ->
       let fs = flat_or [] f |> List.map simp in
-      if List.mem True fs then True
+      if mem True fs then True
       else
-        let fs = List.filter (fun g -> g <> False) fs |> sort_uniq in
+        let fs = List.filter (fun g -> not (equal g False)) fs |> sort_uniq in
         if contains_complement fs then True
         else disj (absorb_or fs)
 
+(* Memo table for [simplify]: the algebra calls it once per product /
+   subset / ε-closure state, almost always on a formula it has already
+   seen (annotations are drawn from a small vocabulary). Results are
+   hash-consed, and the result is memoized to itself so that
+   re-simplifying an already-simplified formula is a single lookup.
+   Bounded: the table is dropped wholesale if it ever grows past
+   [memo_cap] (formula vocabularies in practice are tiny). *)
+module Memo = Hashtbl.Make (struct
+  type t = Syntax.t
+
+  let equal = Syntax.equal
+  let hash = Syntax.hash
+end)
+
+let memo : Syntax.t Memo.t = Memo.create 4096
+let memo_cap = 1 lsl 17
+
 (** Simplify to a stable form: NNF, then bottom-up local simplification,
-    iterated to a fixpoint (bounded). *)
+    iterated to a fixpoint (bounded). Memoized; the result is
+    hash-consed (see {!Syntax.share}). *)
 let simplify f =
-  let rec go n f =
-    if n = 0 then f
-    else
-      let f' = simp f in
-      if equal f' f then f else go (n - 1) f'
-  in
-  go 8 (nnf f)
+  match Memo.find_opt memo f with
+  | Some g -> g
+  | None ->
+      let rec go n f =
+        if n = 0 then f
+        else
+          let f' = simp f in
+          if equal f' f then f else go (n - 1) f'
+      in
+      let g = Syntax.share (go 8 (nnf f)) in
+      if Memo.length memo >= memo_cap then Memo.reset memo;
+      let f = Syntax.share f in
+      Memo.replace memo f g;
+      if not (g == f) then Memo.replace memo g g;
+      g
 
 (** Disjunctive normal form as a list of clauses, each clause a list of
     literals ([`Pos v] / [`Neg v]). Exponential in the worst case; guarded

@@ -14,33 +14,118 @@ type t =
   | Not of t
   | And of t * t
   | Or of t * t
-[@@deriving eq, ord, show]
+[@@deriving show]
+
+(* ------------------------------------------------------------------ *)
+(* Equality, ordering, hashing                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Equality with a physical fast path at every level: hash-consed
+   formulas (below) are physically shared, so the recursion usually
+   stops at the first node. *)
+let rec equal a b =
+  a == b
+  ||
+  match (a, b) with
+  | True, True | False, False -> true
+  | Var v, Var w -> String.equal v w
+  | Not f, Not g -> equal f g
+  | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) ->
+      equal a1 a2 && equal b1 b2
+  | _ -> false
+
+(* Constructor rank, matching the declaration order so the total order
+   agrees with the one the derived comparison used to produce (sorted
+   conjunctions/disjunctions in Simplify stay stable). *)
+let rank = function
+  | True -> 0
+  | False -> 1
+  | Var _ -> 2
+  | Not _ -> 3
+  | And _ -> 4
+  | Or _ -> 5
+
+(* Total order with the same physical fast path; never falls back to
+   polymorphic compare. *)
+let rec compare a b =
+  if a == b then 0
+  else
+    match (a, b) with
+    | True, True | False, False -> 0
+    | Var v, Var w -> String.compare v w
+    | Not f, Not g -> compare f g
+    | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) ->
+        let c = compare a1 a2 in
+        if c <> 0 then c else compare b1 b2
+    | _ -> Stdlib.compare (rank a) (rank b)
+
+(* Structural hash. [Hashtbl.hash] traverses a bounded number of
+   meaningful nodes, so this is O(1) on large formulas while remaining
+   deterministic for structurally equal values. *)
+let hash (f : t) = Hashtbl.hash f
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A weak set of canonical representatives: structurally equal formulas
+   built through the smart constructors (or [share]) are physically
+   equal, which makes [equal]/[compare] O(1) on the hot paths (product
+   annotation combination, Simplify's sort/absorption, the [True]
+   checks in the automata core). The table is weak, so representatives
+   no longer referenced elsewhere are collected. *)
+module HC = Weak.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+let hc_tbl = HC.create 1024
+let hc f = HC.merge hc_tbl f
+
+(** [share f] returns the canonical (hash-consed) representative of
+    [f], canonicalizing bottom-up. Structure-preserving: no rewriting
+    happens, only sharing. *)
+let rec share f =
+  match f with
+  | True | False -> f
+  | Var _ -> hc f
+  | Not g ->
+      let g' = share g in
+      hc (if g' == g then f else Not g')
+  | And (a, b) ->
+      let a' = share a and b' = share b in
+      hc (if a' == a && b' == b then f else And (a', b'))
+  | Or (a, b) ->
+      let a' = share a and b' = share b in
+      hc (if a' == a && b' == b then f else Or (a', b'))
 
 (* Smart constructors perform only local, constant-level rewrites so that
    formula construction never explodes; full simplification lives in
-   {!Simplify}. *)
+   {!Simplify}. They hash-cons every node they build. *)
 
 let tru = True
 let fls = False
-let var v = Var v
+let var v = hc (Var v)
 
 let not_ = function
   | True -> False
   | False -> True
   | Not f -> f
-  | f -> Not f
+  | f -> hc (Not f)
 
 let and_ a b =
   match (a, b) with
   | True, f | f, True -> f
   | False, _ | _, False -> False
-  | a, b -> And (a, b)
+  | a, b -> hc (And (a, b))
 
 let or_ a b =
   match (a, b) with
   | False, f | f, False -> f
   | True, _ | _, True -> True
-  | a, b -> Or (a, b)
+  | a, b -> hc (Or (a, b))
 
 (** [conj fs] is the conjunction of all formulas in [fs]; [True] if empty. *)
 let conj fs = List.fold_left and_ True fs
@@ -75,7 +160,7 @@ let rec map_vars f = function
   | Or (a, b) -> or_ (map_vars f a) (map_vars f b)
 
 (** [rename f phi] renames every variable through [f]. *)
-let rename f phi = map_vars (fun v -> Var (f v)) phi
+let rename f phi = map_vars (fun v -> var (f v)) phi
 
 (** A formula is positive when it contains no negation. The annotations
     the paper uses (conjunctions of mandatory messages) are all positive;

@@ -12,7 +12,22 @@ type t =
   | Or of t * t
 
 val equal : t -> t -> bool
+(** Structural equality with a physical-equality fast path at every
+    level — O(1) on hash-consed (shared) formulas. *)
+
 val compare : t -> t -> int
+(** Total order (constructor rank, then lexicographic) with the same
+    physical fast path; never uses polymorphic compare. *)
+
+val hash : t -> int
+(** Bounded-depth structural hash, compatible with {!equal}; suitable
+    for [Hashtbl.Make]. *)
+
+val share : t -> t
+(** Canonical (hash-consed) representative: structurally equal formulas
+    become physically equal. Structure-preserving. The smart
+    constructors below already hash-cons everything they build. *)
+
 val pp : Format.formatter -> t -> unit
 val show : t -> string
 

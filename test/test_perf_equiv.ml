@@ -1,0 +1,83 @@
+(* Differential tests for the indexed algebra: the worklist products,
+   virtual-completion difference/union and the shared-index emptiness
+   fixpoint must agree with the seed's recursive reference
+   implementations (kept verbatim in Ablation) on random automata. *)
+
+module C = Chorev
+module A = C.Afsa
+
+let check_bool = Alcotest.(check bool)
+let n_seeds = 120
+
+let pair_of_seed s =
+  ( C.Workload.Gen_afsa.random ~seed:(2 * s) ~states:5 ~ann_p:0.3 (),
+    C.Workload.Gen_afsa.random ~seed:((2 * s) + 1) ~states:5 ~ann_p:0.3 () )
+
+let agree name op reference =
+  List.iter
+    (fun s ->
+      let a, b = pair_of_seed s in
+      check_bool
+        (Printf.sprintf "%s agrees with reference (seed %d)" name s)
+        true
+        (C.Equiv.equal_annotated (op a b) (reference a b)))
+    (List.init n_seeds Fun.id)
+
+let test_intersect_agrees () =
+  agree "intersect" C.Ops.intersect C.Ablation.intersect_ref
+
+let test_difference_agrees () =
+  agree "difference" C.Ops.difference C.Ablation.difference_ref
+
+let test_union_agrees () = agree "union" C.Ops.union C.Ablation.union_ref
+
+(* The emptiness rewrite (shared predecessor index, per-state
+   variable→targets tables) must not change the fixpoint: same sat set,
+   same verdict, same number of iterations as the seed loop that
+   rebuilds its reverse table every round. *)
+let test_emptiness_parity () =
+  List.iter
+    (fun s ->
+      let x = C.Workload.Gen_afsa.random ~seed:s ~states:7 ~ann_p:0.5 () in
+      let r = C.Emptiness.analyze x in
+      let sat_ref, nonempty_ref, iter_ref = C.Ablation.analyze_ref x in
+      check_bool
+        (Printf.sprintf "verdict (seed %d)" s)
+        nonempty_ref r.C.Emptiness.nonempty;
+      check_bool
+        (Printf.sprintf "sat set (seed %d)" s)
+        true
+        (A.ISet.equal sat_ref r.C.Emptiness.sat);
+      Alcotest.(check int)
+        (Printf.sprintf "iterations (seed %d)" s)
+        iter_ref r.C.Emptiness.iterations)
+    (List.init n_seeds Fun.id)
+
+(* Regression: the seed's recursive product overflowed the stack on
+   deep products; the worklist must handle a 400-round ladder. *)
+let test_ladder_400_no_overflow () =
+  let pa, pb = C.Workload.Scale.ladder 400 in
+  let a = C.Public_gen.public pa and b = C.Public_gen.public pb in
+  let i = C.Ops.intersect a b in
+  check_bool "ladder-400 intersection inhabited" false
+    (C.Emptiness.is_empty_plain i);
+  check_bool "ladder-400 pair consistent" true (C.Consistency.consistent a b);
+  check_bool "ladder-400 self-difference empty" true
+    (C.Emptiness.is_empty_plain (C.Ops.difference a a))
+
+let () =
+  Alcotest.run "perf_equiv"
+    [
+      ( "algebra vs reference",
+        [
+          Alcotest.test_case "intersect" `Quick test_intersect_agrees;
+          Alcotest.test_case "difference" `Quick test_difference_agrees;
+          Alcotest.test_case "union" `Quick test_union_agrees;
+        ] );
+      ( "emptiness",
+        [ Alcotest.test_case "fixpoint parity" `Quick test_emptiness_parity ] );
+      ( "deep products",
+        [
+          Alcotest.test_case "ladder 400" `Quick test_ladder_400_no_overflow;
+        ] );
+    ]
