@@ -24,7 +24,10 @@ let view_cancel = C.View.tau ~observer:"B" pub_cancel
 let view_once = C.View.tau ~observer:"B" pub_once
 let procurement = C.Choreography.Model.of_processes (List.map snd P.parties)
 
-let t name f = Test.make ~name (Staged.stage f)
+(* Tests are kept as [(name, closure)] pairs rather than opaque
+   [Test.t] values so the counter-collection pass ([--profile]) can run
+   each workload once more outside Bechamel, with metrics enabled. *)
+let t name f = (name, f)
 
 (* ------------------------ per-figure benchmarks -------------------- *)
 
@@ -38,7 +41,7 @@ let figure_tests =
         ignore (C.Bpel.Validate.check P.buyer_process));
     t "fig04_pipeline" (fun () ->
         ignore
-          (C.Choreography.Evolution.evolve procurement ~owner:"A"
+          (C.Choreography.Evolution.run procurement ~owner:"A"
              ~changed:P.accounting_cancel));
     t "fig05_intersection" (fun () ->
         ignore (C.Emptiness.is_empty (C.Scenario.Fig5.intersection ())));
@@ -63,7 +66,7 @@ let figure_tests =
         ignore (C.Ops.union delta pub_buyer));
     t "fig14_private_adaptation" (fun () ->
         ignore
-          (C.Propagate.Engine.propagate ~direction:C.Propagate.Engine.Additive
+          (C.Propagate.Engine.run ~direction:C.Propagate.Engine.Additive
              ~a':pub_cancel ~partner_private:P.buyer_process ()));
     t "fig15_variant_subtractive" (fun () -> ignore (gen P.accounting_once));
     t "fig16_subtractive_check" (fun () ->
@@ -73,7 +76,7 @@ let figure_tests =
         ignore (C.Ops.difference pub_buyer removed));
     t "fig18_subtractive_adaptation" (fun () ->
         ignore
-          (C.Propagate.Engine.propagate
+          (C.Propagate.Engine.run
              ~direction:C.Propagate.Engine.Subtractive ~a':pub_once
              ~partner_private:P.buyer_process ()));
   ]
@@ -146,7 +149,7 @@ let propagation_tests =
       let a' = gen pa' in
       t (Printf.sprintf "scale_propagate_ladder_%03d" n) (fun () ->
           ignore
-            (C.Propagate.Engine.propagate
+            (C.Propagate.Engine.run
                ~direction:C.Propagate.Engine.Additive ~a'
                ~partner_private:pb ())))
     [ 10; 25; 50; 100 ]
@@ -282,7 +285,8 @@ let run_and_report ~quota tests =
   in
   let raw =
     List.map
-      (fun test ->
+      (fun (name, f) ->
+        let test = Test.make ~name (Staged.stage f) in
         let results = Benchmark.all cfg instances test in
         (test, results))
       tests
@@ -336,9 +340,45 @@ let print_speedups rows =
       tracked
   end
 
+(* ----------------------- counter collection ------------------------ *)
+
+(* The [--profile] pass: after timing (which runs with instrumentation
+   off, so the flags-off numbers stay honest), run every workload once
+   more with metrics enabled and snapshot the non-zero counters per
+   test. The spans of that single run feed a [Profile] aggregate (and a
+   JSON-lines trace when [--trace FILE] is given). *)
+let collect_counters ~trace_file tests =
+  let prof = C.Obs.Profile.create () in
+  let psink = C.Obs.Profile.sink prof in
+  let sink, cleanup =
+    match trace_file with
+    | None -> (psink, fun () -> ())
+    | Some file ->
+        let oc = open_out file in
+        ( C.Obs.Sink.tee psink (C.Obs.Sink.jsonl oc),
+          fun () ->
+            close_out_noerr oc;
+            Fmt.pr "wrote span trace to %s@." file )
+  in
+  C.Obs.Metrics.enabled := true;
+  let per_test =
+    List.map
+      (fun (name, f) ->
+        C.Obs.Metrics.reset ();
+        C.Obs.with_sink sink f;
+        (name, C.Obs.Metrics.nonzero_counters ()))
+      tests
+  in
+  C.Obs.Metrics.enabled := false;
+  cleanup ();
+  Fmt.pr "@.per-phase wall clock over one profiled run of every benchmark:@.";
+  Fmt.pr "%a@." C.Obs.Profile.pp prof;
+  per_test
+
 (* Hand-rolled JSON writer (no dependency): one row per benchmark with
-   the Bechamel OLS estimate, plus run metadata. *)
-let write_json ~quick ~file rows =
+   the Bechamel OLS estimate, per-op counters when the [--profile] pass
+   ran, plus run metadata. *)
+let write_json ~quick ~counters ~file rows =
   let buf = Buffer.create 4096 in
   let escape s =
     String.to_seq s
@@ -368,11 +408,23 @@ let write_json ~quick ~file rows =
   (* Bechamel can return nan estimates (e.g. r² on a degenerate fit);
      JSON has no nan, so emit null. *)
   let num fmt v = if Float.is_finite v then Printf.sprintf fmt v else "null" in
+  let counters_field name =
+    match Option.bind counters (List.assoc_opt name) with
+    | None | Some [] -> ""
+    | Some cs ->
+        Printf.sprintf ", \"counters\": {%s}"
+          (String.concat ", "
+             (List.map
+                (fun (c, v) -> Printf.sprintf "\"%s\": %d" (escape c) v)
+                cs))
+  in
   List.iteri
     (fun i (name, est, r2) ->
       Buffer.add_string buf
-        (Printf.sprintf "    {\"name\": \"%s\", \"time_ns\": %s, \"r2\": %s}%s\n"
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"time_ns\": %s, \"r2\": %s%s}%s\n"
            (escape name) (num "%.2f" est) (num "%.6f" r2)
+           (counters_field name)
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ]\n}\n";
@@ -384,6 +436,8 @@ let write_json ~quick ~file rows =
 let () =
   let json_file = ref None in
   let quick = ref false in
+  let profile = ref false in
+  let trace_file = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: file :: rest ->
@@ -395,8 +449,21 @@ let () =
     | "--quick" :: rest ->
         quick := true;
         parse rest
+    | "--profile" :: rest ->
+        profile := true;
+        parse rest
+    | "--trace" :: file :: rest ->
+        trace_file := Some file;
+        profile := true;
+        parse rest
+    | [ "--trace" ] ->
+        prerr_endline "--trace requires a FILE argument";
+        exit 2
     | arg :: _ ->
-        Printf.eprintf "unknown argument: %s\nusage: main.exe [--quick] [--json FILE]\n" arg;
+        Printf.eprintf
+          "unknown argument: %s\n\
+           usage: main.exe [--quick] [--json FILE] [--profile] [--trace FILE]\n"
+          arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -419,7 +486,13 @@ let () =
   in
   let rows = run_and_report ~quota:(if !quick then 0.05 else 0.25) tests in
   print_speedups rows;
-  Option.iter (fun file -> write_json ~quick:!quick ~file rows) !json_file;
+  let counters =
+    if !profile then Some (collect_counters ~trace_file:!trace_file tests)
+    else None
+  in
+  Option.iter
+    (fun file -> write_json ~quick:!quick ~counters ~file rows)
+    !json_file;
   Fmt.pr "@.reproduction status: %s@."
     (if all_ok then "ALL ARTIFACTS REPRODUCED" else "MISMATCHES PRESENT — see report above");
   exit (if all_ok then 0 else 1)

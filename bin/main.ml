@@ -14,13 +14,77 @@ open Cmdliner
 
 let gen = C.Public_gen.public
 
+(* --------------------------- observability -------------------------- *)
+
+(* Every subcommand takes [--trace[=FILE]], [--metrics] and
+   [--profile]. The setup runs as the first term argument, so it is
+   evaluated (and the ambient sink installed) before the command body —
+   the same idiom cmdliner uses for log-level setup. *)
+
+let obs_setup trace metrics profile =
+  if metrics || profile then C.Obs.Metrics.enabled := true;
+  let trace_sink =
+    match trace with
+    | None -> None
+    | Some "-" -> Some (C.Obs.Sink.pretty Fmt.stderr)
+    | Some file ->
+        let oc = open_out file in
+        at_exit (fun () -> close_out_noerr oc);
+        Some (C.Obs.Sink.jsonl oc)
+  in
+  let prof =
+    if profile then begin
+      let p = C.Obs.Profile.create () in
+      Some (p, C.Obs.Profile.sink p)
+    end
+    else None
+  in
+  (match (trace_sink, prof) with
+  | None, None -> ()
+  | Some s, None -> C.Obs.set_sink s
+  | None, Some (_, ps) -> C.Obs.set_sink ps
+  | Some s, Some (_, ps) -> C.Obs.set_sink (C.Obs.Sink.tee s ps));
+  at_exit (fun () ->
+      (C.Obs.current_sink ()).C.Obs.Sink.flush ();
+      (match prof with
+      | Some (p, _) -> Fmt.epr "@.%a@." C.Obs.Profile.pp p
+      | None -> ());
+      if metrics || profile then Fmt.epr "@.%a@." C.Obs.Metrics.pp ())
+
+let obs_term =
+  let trace_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Emit one trace span per pipeline step: pretty-printed to \
+             stderr, or as JSON lines to $(docv) when a file is given.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Collect and print the counter/histogram table on exit.")
+  in
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print a per-phase wall-clock table (plus the counter table) \
+             on exit.")
+  in
+  Term.(const obs_setup $ trace_arg $ metrics_arg $ profile_arg)
+
 (* ------------------------------- demo ------------------------------ *)
 
-let demo scenario =
+let demo () scenario =
   let t = C.Choreography.Model.of_processes (List.map snd P.parties) in
   let evolve changed =
-    let rep = C.Choreography.Evolution.evolve t ~owner:"A" ~changed in
-    Fmt.pr "%a@." C.Choreography.Evolution.pp_report rep
+    match C.Choreography.Evolution.run t ~owner:"A" ~changed with
+    | Ok rep -> Fmt.pr "%a@." C.Choreography.Evolution.pp_report rep
+    | Error (`Unknown_party p) -> Fmt.epr "unknown party %s@." p
   in
   (match scenario with
   | `Invariant ->
@@ -52,11 +116,11 @@ let scenario_arg =
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"Walk the paper's evolution scenarios (Sec. 5)")
-    Term.(const demo $ scenario_arg)
+    Term.(const demo $ obs_term $ scenario_arg)
 
 (* ------------------------------- check ----------------------------- *)
 
-let check () =
+let check () () =
   let t = C.Choreography.Model.of_processes (List.map snd P.parties) in
   List.iter
     (fun v ->
@@ -75,21 +139,21 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Check all bilateral consistencies of the procurement example")
-    Term.(const check $ const ())
+    Term.(const check $ obs_term $ const ())
 
 (* ---------------------------- experiments --------------------------- *)
 
-let experiments () = if C.Scenario.Report.print_all () then 0 else 1
+let experiments () () = if C.Scenario.Report.print_all () then 0 else 1
 
 let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Reproduce every figure/table of the paper and report the outcome")
-    Term.(const experiments $ const ())
+    Term.(const experiments $ obs_term $ const ())
 
 (* -------------------------------- dot ------------------------------ *)
 
-let dot dir =
+let dot () dir =
   let automata =
     [
       ("fig5_party_a", C.Scenario.Fig5.party_a);
@@ -134,11 +198,11 @@ let dir_arg =
 let dot_cmd =
   Cmd.v
     (Cmd.info "dot" ~doc:"Export the paper's automata as Graphviz files")
-    Term.(const dot $ dir_arg)
+    Term.(const dot $ obs_term $ dir_arg)
 
 (* -------------------------------- xml ------------------------------ *)
 
-let xml () =
+let xml () () =
   List.iter
     (fun p ->
       Fmt.pr "<!-- %s -->@.%s@." (C.Bpel.Process.name p) (C.Bpel.Pp.to_xml p))
@@ -148,11 +212,11 @@ let xml () =
 let xml_cmd =
   Cmd.v
     (Cmd.info "xml" ~doc:"Emit the scenario private processes as BPEL XML")
-    Term.(const xml $ const ())
+    Term.(const xml $ obs_term $ const ())
 
 (* -------------------------------- run ------------------------------ *)
 
-let run seed =
+let run () seed =
   let sys =
     C.Runtime.Exec.make
       (List.map (fun (p, proc) -> (p, gen proc)) P.parties)
@@ -177,24 +241,29 @@ let seed_arg =
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Execute the procurement choreography operationally")
-    Term.(const run $ seed_arg)
+    Term.(const run $ obs_term $ seed_arg)
 
 (* ------------------------------- global ---------------------------- *)
 
-let global () =
+let global () () =
   let t = C.Choreography.Model.of_processes (List.map snd P.parties) in
   Fmt.pr "=== original choreography ===@.%a@.@."
     C.Choreography.Global.pp_diagnosis
     (C.Choreography.Global.diagnose t);
-  let rep =
-    C.Choreography.Evolution.evolve t ~owner:"A" ~changed:P.accounting_cancel
-  in
-  Fmt.pr
-    "=== after the §5.2 cancel change (propagated, all pairs consistent) \
-     ===@.%a@."
-    C.Choreography.Global.pp_diagnosis
-    (C.Choreography.Global.diagnose rep.C.Choreography.Evolution.choreography);
-  0
+  match
+    C.Choreography.Evolution.run t ~owner:"A" ~changed:P.accounting_cancel
+  with
+  | Error (`Unknown_party p) ->
+      Fmt.epr "unknown party %s@." p;
+      1
+  | Ok rep ->
+      Fmt.pr
+        "=== after the §5.2 cancel change (propagated, all pairs consistent) \
+         ===@.%a@."
+        C.Choreography.Global.pp_diagnosis
+        (C.Choreography.Global.diagnose
+           rep.C.Choreography.Evolution.choreography);
+      0
 
 let global_cmd =
   Cmd.v
@@ -202,11 +271,11 @@ let global_cmd =
        ~doc:
          "Global (multi-lateral) diagnosis: conversation automaton, global \
           consistency, deadlock traces")
-    Term.(const global $ const ())
+    Term.(const global $ obs_term $ const ())
 
 (* ----------------------------- synthesize -------------------------- *)
 
-let synth party =
+let synth () party =
   let pub = gen P.accounting_process in
   let view = C.View.tau ~observer:party pub in
   match C.Skeleton.synthesize ~name:(party ^ "-stub") ~party view with
@@ -229,7 +298,7 @@ let synth_cmd =
   Cmd.v
     (Cmd.info "synth"
        ~doc:"Synthesize a private-process template from a public process")
-    Term.(const synth $ party_arg)
+    Term.(const synth $ obs_term $ party_arg)
 
 (* ------------------------- file-based commands --------------------- *)
 
@@ -241,7 +310,7 @@ let load_process path =
   | Error e -> Error (Printf.sprintf "%s: %s" path e)
 
 (* chorev public FILE — derive and print the public process + table *)
-let public_cmd_run path dot_out =
+let public_cmd_run () path dot_out =
   match load_process path with
   | Error e ->
       Fmt.epr "%s@." e;
@@ -269,11 +338,11 @@ let public_cmd =
        ~doc:
          "Derive the public process (and mapping table) of a private \
           process stored as an s-expression")
-    Term.(const public_cmd_run $ file_arg 0 "private process (.sexp)" $ dot_out_arg)
+    Term.(const public_cmd_run $ obs_term $ file_arg 0 "private process (.sexp)" $ dot_out_arg)
 
 (* chorev consistent FILE1 FILE2 — bilateral consistency of two private
    processes *)
-let consistent_cmd_run p1 p2 =
+let consistent_cmd_run () p1 p2 =
   match (load_process p1, load_process p2) with
   | Error e, _ | _, Error e ->
       Fmt.epr "%s@." e;
@@ -302,6 +371,7 @@ let consistent_cmd =
           s-expressions (exit code 1 when inconsistent)")
     Term.(
       const consistent_cmd_run
+      $ obs_term
       $ file_arg 0 "first private process (.sexp)"
       $ Arg.(
           required
@@ -310,7 +380,7 @@ let consistent_cmd =
 
 (* chorev save — write the scenario processes as .sexp files, so the
    file-based commands have inputs to start from *)
-let save_cmd_run dir =
+let save_cmd_run () dir =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   List.iter
     (fun p ->
@@ -331,6 +401,7 @@ let save_cmd =
        ~doc:"Write the paper's scenario processes as .sexp files")
     Term.(
       const save_cmd_run
+      $ obs_term
       $ Arg.(
           value & opt string "processes"
           & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory"))

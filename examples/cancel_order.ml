@@ -25,26 +25,26 @@ let () =
 
   (* It is variant — run the propagation pipeline (steps 1–5). *)
   let outcome =
-    C.Propagate.Engine.propagate ~direction:C.Propagate.Engine.Additive
+    C.Propagate.Engine.run ~direction:C.Propagate.Engine.Additive
       ~a':new_public ~partner_private:buyer_process ()
   in
 
   Fmt.pr "=== Step 1: added message sequences (Fig. 13a) ===@.%s@."
     (C.Afsa.Pp.to_string ~abbrev:true
-       (C.Minimize.minimize outcome.C.Propagate.Engine.delta));
+       (C.Minimize.minimize outcome.C.Propagate.Engine.analysis.C.Propagate.Engine.delta));
   Fmt.pr "=== Step 2: new buyer public process (Fig. 13b) ===@.%s@."
     (C.Afsa.Pp.to_string ~abbrev:true
-       (C.Minimize.minimize outcome.C.Propagate.Engine.target_public));
+       (C.Minimize.minimize outcome.C.Propagate.Engine.analysis.C.Propagate.Engine.target_public));
 
   Fmt.pr "=== Step 3: localization via the mapping table ===@.";
   List.iter
     (fun d -> Fmt.pr "%a@." C.Propagate.Localize.pp_divergence d)
-    outcome.C.Propagate.Engine.divergences;
+    outcome.C.Propagate.Engine.analysis.C.Propagate.Engine.divergences;
 
   Fmt.pr "@.=== Step 4: suggested private-process adaptations ===@.";
   List.iter
     (fun s -> Fmt.pr "  • %a@." C.Propagate.Suggest.pp s)
-    outcome.C.Propagate.Engine.suggestions;
+    outcome.C.Propagate.Engine.analysis.C.Propagate.Engine.suggestions;
 
   (match outcome.C.Propagate.Engine.adapted with
   | Some adapted ->

@@ -53,5 +53,9 @@ let () =
   (* Through the full pipeline: one round, nothing propagated,
      choreography stays consistent. *)
   let t = C.Choreography.Model.of_processes (List.map snd parties) in
-  let rep = C.Choreography.Evolution.evolve t ~owner:accounting ~changed in
+  let rep =
+    match C.Choreography.Evolution.run t ~owner:accounting ~changed with
+    | Ok r -> r
+    | Error (`Unknown_party p) -> failwith ("unknown party " ^ p)
+  in
   Fmt.pr "@.%a@." C.Choreography.Evolution.pp_report rep

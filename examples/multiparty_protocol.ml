@@ -45,7 +45,11 @@ let () =
     (M.parties t);
 
   (* Cross-check with the centralized pipeline. *)
-  let rep = C.Choreography.Evolution.evolve t ~owner:"HUB" ~changed in
+  let rep =
+    match C.Choreography.Evolution.run t ~owner:"HUB" ~changed with
+    | Ok r -> r
+    | Error (`Unknown_party p) -> failwith ("unknown party " ^ p)
+  in
   Fmt.pr "centralized pipeline agrees: %b@."
     (rep.C.Choreography.Evolution.consistent = r.C.Choreography.Protocol.agreed);
 

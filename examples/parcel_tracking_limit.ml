@@ -25,22 +25,22 @@ let () =
 
   (* Full subtractive propagation. *)
   let outcome =
-    C.Propagate.Engine.propagate ~direction:C.Propagate.Engine.Subtractive
+    C.Propagate.Engine.run ~direction:C.Propagate.Engine.Subtractive
       ~a':new_public ~partner_private:buyer_process ()
   in
   Fmt.pr "=== Removed sequences (Fig. 17a) ===@.%s@."
     (C.Afsa.Pp.to_string ~abbrev:true
-       (C.Minimize.minimize outcome.C.Propagate.Engine.delta));
+       (C.Minimize.minimize outcome.C.Propagate.Engine.analysis.C.Propagate.Engine.delta));
   Fmt.pr "=== New buyer public (Fig. 17b) ===@.%s@."
     (C.Afsa.Pp.to_string ~abbrev:true
-       (C.Minimize.minimize outcome.C.Propagate.Engine.target_public));
+       (C.Minimize.minimize outcome.C.Propagate.Engine.analysis.C.Propagate.Engine.target_public));
 
   List.iter
     (fun d -> Fmt.pr "localized: %a@." C.Propagate.Localize.pp_divergence d)
-    outcome.C.Propagate.Engine.divergences;
+    outcome.C.Propagate.Engine.analysis.C.Propagate.Engine.divergences;
   List.iter
     (fun s -> Fmt.pr "suggestion: %a@." C.Propagate.Suggest.pp s)
-    outcome.C.Propagate.Engine.suggestions;
+    outcome.C.Propagate.Engine.analysis.C.Propagate.Engine.suggestions;
 
   (match outcome.C.Propagate.Engine.adapted with
   | Some adapted ->

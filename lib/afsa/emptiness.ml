@@ -39,6 +39,11 @@
 module F = Chorev_formula.Syntax
 module ISet = Afsa.ISet
 
+(* Fixpoint-level instrumentation (DESIGN.md §7): number of [analyze]
+   runs and total iterations until convergence across them. *)
+let c_runs = Chorev_obs.Metrics.counter "afsa.emptiness.runs"
+let c_iterations = Chorev_obs.Metrics.counter "afsa.emptiness.iterations"
+
 type result = {
   sat : ISet.t;  (** states from which annotated acceptance is possible *)
   nonempty : bool;
@@ -121,6 +126,8 @@ let analyze a =
     if ISet.equal sat' sat then (sat, n) else fix (n + 1) sat'
   in
   let sat, iterations = fix 1 a.Afsa.states in
+  Chorev_obs.Metrics.incr c_runs;
+  Chorev_obs.Metrics.add c_iterations iterations;
   { sat; nonempty = ISet.mem (Afsa.start a) sat; iterations; warning }
 
 (** An aFSA is empty when no message sequence satisfying all mandatory

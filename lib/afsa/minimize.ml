@@ -15,6 +15,14 @@ module F = Chorev_formula.Syntax
 module ISet = Afsa.ISet
 module IMap = Afsa.IMap
 
+(* Instrumentation (DESIGN.md §7): minimization runs and the size of
+   the virtually-completed transition table each run fills (states ×
+   symbols — the "sink-completion size" the virtual sink avoids
+   materializing as edges). *)
+let c_runs = Chorev_obs.Metrics.counter "afsa.minimize.runs"
+let c_table_cells = Chorev_obs.Metrics.counter "afsa.minimize.table_cells"
+let h_states = Chorev_obs.Metrics.histogram "afsa.minimize.input_states"
+
 (* Hopcroft on a complete DFA given as arrays. [init_class.(q)] is the
    initial class of state [q] (finality × annotation); returns the
    final block id per state. *)
@@ -105,10 +113,13 @@ let rec minimize a =
      anyway. *)
   let d, _ = Afsa.renumber (Determinize.determinize a) in
   let n = Afsa.num_states d in
+  Chorev_obs.Metrics.incr c_runs;
+  Chorev_obs.Metrics.observe h_states (float_of_int n);
   if n = 0 then d
   else begin
     let alpha = Array.of_list (Afsa.alphabet d) in
     let k = Array.length alpha in
+    Chorev_obs.Metrics.add c_table_cells (k * (n + 1));
     let col = Hashtbl.create (max 1 k) in
     Array.iteri (fun c l -> Hashtbl.replace col l c) alpha;
     let sink = n in

@@ -3,6 +3,13 @@
 
 module F = Chorev_formula.Syntax
 
+(* Per-operation call counters (DESIGN.md §7). The worklist-level
+   counters (pairs/edges/sink pairs) live in {!Product}. *)
+let c_intersect = Chorev_obs.Metrics.counter "afsa.ops.intersect"
+let c_complement = Chorev_obs.Metrics.counter "afsa.ops.complement"
+let c_difference = Chorev_obs.Metrics.counter "afsa.ops.difference"
+let c_union = Chorev_obs.Metrics.counter "afsa.ops.union"
+
 let inter_alphabet a b =
   Label.Set.elements
     (Label.Set.inter
@@ -19,6 +26,7 @@ let union_alphabet a b =
     shared alphabet, finals are pairs of finals, annotations combined by
     conjunction. ε-transitions of either side are interleaved. *)
 let intersect a b =
+  Chorev_obs.Metrics.incr c_intersect;
   let spec =
     {
       Product.alphabet = inter_alphabet a b;
@@ -33,6 +41,7 @@ let intersect a b =
     mandatory-message semantics of annotations is not closed under
     complement — cf. DESIGN.md). *)
 let complement ?(over = []) a =
+  Chorev_obs.Metrics.incr c_complement;
   let d = Determinize.determinize a in
   let d = Complete.complete ~over d in
   let finals =
@@ -47,6 +56,7 @@ let complement ?(over = []) a =
     kept (as in the paper's Fig. 13a, where the new [cancelOp] message
     survives the difference with the old buyer process). *)
 let difference a b =
+  Chorev_obs.Metrics.incr c_difference;
   let over = union_alphabet a b in
   let db = Determinize.determinize b in
   let sink = Product.sink_of db in
@@ -72,6 +82,7 @@ let difference a b =
     the paper's Fig. 13b, where the buyer's original annotation and the
     new [cancelOp AND deliveryOp] annotation coexist). *)
 let union a b =
+  Chorev_obs.Metrics.incr c_union;
   let over = union_alphabet a b in
   let da = Determinize.determinize a in
   let db = Determinize.determinize b in

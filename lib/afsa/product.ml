@@ -28,6 +28,15 @@ type spec = {
   combine_ann : F.t -> F.t -> F.t;
 }
 
+(* Worklist-level instrumentation (DESIGN.md §7): pair states explored
+   across all product constructions, product edges generated, and pairs
+   involving a virtual completion sink. The [add]s run once per product
+   call (plus one branch per sink pair), so the counters are free on
+   the inner loop even when metrics collection is on. *)
+let c_pairs = Chorev_obs.Metrics.counter "afsa.product.pairs"
+let c_edges = Chorev_obs.Metrics.counter "afsa.product.edges"
+let c_sink_pairs = Chorev_obs.Metrics.counter "afsa.product.sink_pairs"
+
 (** [run spec a b] builds the product automaton; state pairs are
     numbered densely in discovery (BFS) order, the start is
     [(start a, start b)] = 0. Returns the automaton together with the
@@ -88,6 +97,9 @@ let run spec a b =
       (fun t2 -> edges := (id, Sym.Eps, id_of (q1, t2)) :: !edges)
       (Afsa.eps_succs b q2)
   done;
+  Chorev_obs.Metrics.add c_pairs !next;
+  if Chorev_obs.Metrics.is_enabled () then
+    Chorev_obs.Metrics.add c_edges (List.length !edges);
   let auto =
     Afsa.make ~alphabet:spec.alphabet ~start:s0 ~finals:!finals ~edges:!edges
       ~ann:!anns ()
@@ -139,6 +151,7 @@ let run_right_total spec ~sink a b =
         let id = !next in
         incr next;
         Hashtbl.add ids p id;
+        if q2 = sink then Chorev_obs.Metrics.incr c_sink_pairs;
         if spec.final p then finals := id :: !finals;
         let ann =
           Chorev_formula.Simplify.simplify
@@ -174,6 +187,9 @@ let run_right_total spec ~sink a b =
         | Sym.L _ -> ())
       (Afsa.out_rows a q1)
   done;
+  Chorev_obs.Metrics.add c_pairs !next;
+  if Chorev_obs.Metrics.is_enabled () then
+    Chorev_obs.Metrics.add c_edges (List.length !edges);
   let auto =
     Afsa.make ~alphabet:spec.alphabet ~start:s0 ~finals:!finals ~edges:!edges
       ~ann:!anns ()
@@ -201,6 +217,8 @@ let run_both_total spec ~sink_a ~sink_b a b =
         let id = !next in
         incr next;
         Hashtbl.add ids p id;
+        if q1 = sink_a || q2 = sink_b then
+          Chorev_obs.Metrics.incr c_sink_pairs;
         if spec.final p then finals := id :: !finals;
         let ann =
           Chorev_formula.Simplify.simplify
@@ -249,6 +267,9 @@ let run_both_total spec ~sink_a ~sink_b a b =
           (succ a sink_a q1 sym))
       syms
   done;
+  Chorev_obs.Metrics.add c_pairs !next;
+  if Chorev_obs.Metrics.is_enabled () then
+    Chorev_obs.Metrics.add c_edges (List.length !edges);
   let auto =
     Afsa.make ~alphabet:spec.alphabet ~start:s0 ~finals:!finals ~edges:!edges
       ~ann:!anns ()

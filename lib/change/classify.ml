@@ -49,17 +49,28 @@ let propagation ~new_public ~partner_public =
     Invariant
   else Variant
 
+let c_runs = Chorev_obs.Metrics.counter "change.classify.runs"
+let c_variant = Chorev_obs.Metrics.counter "change.classify.variant"
+
 (** Full classification of a change of [owner]'s public process against
     partner [partner] whose public process is [partner_public]. The
     views [τ_partner] are taken internally. *)
 let classify ~owner:_ ~partner ~old_public ~new_public ~partner_public =
+  Chorev_obs.Metrics.incr c_runs;
+  Chorev_obs.Obs.span "classify"
+    ~attrs:[ ("partner", Chorev_obs.Sink.Str partner) ]
+  @@ fun () ->
   let v_old = Chorev_afsa.View.tau ~observer:partner old_public in
   let v_new = Chorev_afsa.View.tau ~observer:partner new_public in
-  {
-    partner;
-    framework = framework ~old_public:v_old ~new_public:v_new;
-    propagation = propagation ~new_public:v_new ~partner_public;
-  }
+  let verdict =
+    {
+      partner;
+      framework = framework ~old_public:v_old ~new_public:v_new;
+      propagation = propagation ~new_public:v_new ~partner_public;
+    }
+  in
+  if verdict.propagation = Variant then Chorev_obs.Metrics.incr c_variant;
+  verdict
 
 (** Does the change touch the public level at all? (If the public views
     are language- and annotation-equal for every partner, the change is

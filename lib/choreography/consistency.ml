@@ -5,6 +5,7 @@
     message exchanges only"). *)
 
 module View = Chorev_afsa.View
+module Metrics = Chorev_obs.Metrics
 
 type pair_verdict = {
   party_a : string;
@@ -13,11 +14,14 @@ type pair_verdict = {
   witness : Chorev_afsa.Label.t list option;
 }
 
-(** Bilateral consistency of two parties of the choreography: each
-    side's view of the other is intersected. *)
-let check_pair t p1 p2 =
-  let v1 = View.tau ~observer:p2 (Model.public t p1) in
-  let v2 = View.tau ~observer:p1 (Model.public t p2) in
+let c_pairs = Metrics.counter "choreography.consistency.pairs"
+
+(* Bilateral consistency on two members whose names are already
+   resolved: each side's view of the other is intersected. *)
+let check_members p1 (m1 : Model.member) p2 (m2 : Model.member) =
+  Metrics.incr c_pairs;
+  let v1 = View.tau ~observer:p2 m1.Model.public_process in
+  let v2 = View.tau ~observer:p1 m2.Model.public_process in
   let r = Chorev_afsa.Consistency.check v1 v2 in
   {
     party_a = p1;
@@ -26,22 +30,37 @@ let check_pair t p1 p2 =
     witness = r.Chorev_afsa.Consistency.witness;
   }
 
-let consistent_pair t p1 p2 = (check_pair t p1 p2).consistent
+(** Bilateral consistency of two parties of the choreography. Total in
+    the party names: unknown names are reported, not raised. *)
+let check_pair t p1 p2 =
+  match (Model.find_party t p1, Model.find_party t p2) with
+  | Ok m1, Ok m2 -> Ok (check_members p1 m1 p2 m2)
+  | Error e, _ | _, Error e -> Error e
+
+let consistent_pair t p1 p2 = Result.map (fun v -> v.consistent) (check_pair t p1 p2)
 
 (** Verdicts for every interacting pair. *)
-let check_all t = List.map (fun (a, b) -> check_pair t a b) (Model.pairs t)
+let check_all t =
+  List.map
+    (fun (a, b) -> check_members a (Model.member_exn t a) b (Model.member_exn t b))
+    (Model.pairs t)
 
 (** The choreography is consistent iff all interacting pairs are. *)
-let consistent t = List.for_all (fun v -> v.consistent) (check_all t)
+let consistent t =
+  Chorev_obs.Obs.span "consistency.check_all" @@ fun () ->
+  List.for_all (fun v -> v.consistent) (check_all t)
 
 (** The protocol agreed between two parties — the paper's
     "A ∩ B ≠ ∅ … the protocol (choreography) between them" (Sec. 4.2):
     the annotated intersection of their mutual views. Empty iff the
-    pair is inconsistent. *)
+    pair is inconsistent. Total in the party names. *)
 let protocol t p1 p2 =
-  let v1 = View.tau ~observer:p2 (Model.public t p1) in
-  let v2 = View.tau ~observer:p1 (Model.public t p2) in
-  Chorev_afsa.Ops.intersect v1 v2
+  match (Model.find_party t p1, Model.find_party t p2) with
+  | Ok m1, Ok m2 ->
+      let v1 = View.tau ~observer:p2 m1.Model.public_process in
+      let v2 = View.tau ~observer:p1 m2.Model.public_process in
+      Ok (Chorev_afsa.Ops.intersect v1 v2)
+  | Error e, _ | _, Error e -> Error e
 
 let pp_verdict ppf v =
   Fmt.pf ppf "%s ↔ %s: %s" v.party_a v.party_b

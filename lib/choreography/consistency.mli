@@ -1,5 +1,7 @@
 (** Choreography-wide consistency: every interacting pair, compared on
-    mutual bilateral views (Sec. 3.4). *)
+    mutual bilateral views (Sec. 3.4). Functions taking user-supplied
+    party names are total: unknown parties surface as
+    [`Unknown_party]. *)
 
 type pair_verdict = {
   party_a : string;
@@ -8,12 +10,23 @@ type pair_verdict = {
   witness : Chorev_afsa.Label.t list option;
 }
 
-val check_pair : Model.t -> string -> string -> pair_verdict
-val consistent_pair : Model.t -> string -> string -> bool
+val check_pair :
+  Model.t ->
+  string ->
+  string ->
+  (pair_verdict, [ `Unknown_party of string ]) result
+
+val consistent_pair :
+  Model.t -> string -> string -> (bool, [ `Unknown_party of string ]) result
+
 val check_all : Model.t -> pair_verdict list
 val consistent : Model.t -> bool
 
-val protocol : Model.t -> string -> string -> Chorev_afsa.Afsa.t
+val protocol :
+  Model.t ->
+  string ->
+  string ->
+  (Chorev_afsa.Afsa.t, [ `Unknown_party of string ]) result
 (** The agreed protocol of two parties — the annotated intersection of
     their mutual views ("the protocol between them", Sec. 4.2); empty
     iff inconsistent. *)

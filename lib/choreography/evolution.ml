@@ -16,12 +16,29 @@
     Auto-applied partner adaptations themselves count as changes of
     those partners' private processes; the pipeline re-runs for them
     (transitive propagation) until the choreography is quiescent or
-    [max_rounds] is reached. *)
+    [config.max_rounds] is reached.
+
+    Tracing: one span per Fig. 4 step — [evolve] wraps the whole run,
+    each round is a [round] span containing [regenerate] (public aFSA
+    re-derivation) and one [partner] span per partner, which in turn
+    contains the [classify] span (from [Classify]) and, for variant
+    partners, the engine spans [view]/[delta]/[localize]/[suggest]/
+    [apply]/[re-check]. See DESIGN.md §7. *)
 
 module Afsa = Chorev_afsa.Afsa
 module Classify = Chorev_change.Classify
 module Engine = Chorev_propagate.Engine
+module Obs = Chorev_obs.Obs
+module Metrics = Chorev_obs.Metrics
 open Chorev_bpel
+
+type config = Engine.config = {
+  auto_apply : bool;
+  max_rounds : int;
+  obs : Chorev_obs.Sink.t option;
+}
+
+let default = Engine.default
 
 type partner_report = {
   partner : string;
@@ -41,6 +58,12 @@ type report = {
   consistent : bool;  (** all-pairs consistency afterwards *)
 }
 
+let c_rounds = Metrics.counter "evolution.rounds"
+let c_runs = Metrics.counter "evolution.runs"
+
+let str s = Chorev_obs.Sink.Str s
+let int i = Chorev_obs.Sink.Int i
+
 let classify_partner ~owner ~old_public ~new_public t partner =
   let partner_view =
     Chorev_afsa.View.tau ~observer:owner (Model.public t partner)
@@ -48,13 +71,46 @@ let classify_partner ~owner ~old_public ~new_public t partner =
   Classify.classify ~owner ~partner ~old_public ~new_public
     ~partner_public:partner_view
 
+(* Per-partner step of a round: classification (which emits its own
+   [classify] span) and, for variant partners, the propagation engine.
+   Returns the report, the possibly-updated choreography and the
+   adapted-processes accumulator. *)
+let run_partner (config : config) ~owner ~old_public ~new_public t_acc adapted
+    partner =
+  Obs.span "partner" ~attrs:[ ("partner", str partner) ] @@ fun () ->
+  let verdict = classify_partner ~owner ~old_public ~new_public t_acc partner in
+  if not (Classify.requires_propagation verdict) then
+    ({ partner; verdict; outcome = None }, t_acc, adapted)
+  else
+    let direction = Engine.direction_of_framework verdict.Classify.framework in
+    let outcome =
+      (* the evolve-level sink (if any) is already installed; the engine
+         must not re-install it *)
+      Engine.run
+        ~config:{ config with obs = None }
+        ~direction ~a':new_public
+        ~partner_private:(Model.private_ t_acc partner)
+        ()
+    in
+    let t_acc, adapted =
+      match outcome.Engine.adapted with
+      | Some p' -> (Model.update t_acc p', (partner, p') :: adapted)
+      | None -> (t_acc, adapted)
+    in
+    ({ partner; verdict; outcome = Some outcome }, t_acc, adapted)
+
 (* One round: [changed] replaces [owner]'s private process; returns the
    round report, the updated choreography, and the list of partners
    whose private processes were auto-adapted (next round's
    originators). *)
-let run_round ~auto_apply t owner (changed : Process.t) =
+let run_round (config : config) t owner (changed : Process.t) =
+  Metrics.incr c_rounds;
+  Obs.span "round" ~attrs:[ ("originator", str owner) ] @@ fun () ->
   let old_public = Model.public t owner in
-  let t' = Model.update t changed in
+  let t' =
+    Obs.span "regenerate" ~attrs:[ ("party", str owner) ] @@ fun () ->
+    Model.update t changed
+  in
   let new_public = Model.public t' owner in
   let public_changed =
     not (Classify.public_unchanged ~old_public ~new_public)
@@ -68,102 +124,140 @@ let run_round ~auto_apply t owner (changed : Process.t) =
     let reports, t'', adapted =
       List.fold_left
         (fun (reports, t_acc, adapted) partner ->
-          let verdict =
-            classify_partner ~owner ~old_public ~new_public t_acc partner
+          let report, t_acc, adapted =
+            run_partner config ~owner ~old_public ~new_public t_acc adapted
+              partner
           in
-          if not (Classify.requires_propagation verdict) then
-            ({ partner; verdict; outcome = None } :: reports, t_acc, adapted)
-          else
-            let direction =
-              Engine.direction_of_framework verdict.Classify.framework
-            in
-            let outcome =
-              Engine.propagate ~auto_apply ~direction ~a':new_public
-                ~partner_private:(Model.private_ t_acc partner) ()
-            in
-            let t_acc, adapted =
-              match outcome.Engine.adapted with
-              | Some p' -> (Model.update t_acc p', (partner, p') :: adapted)
-              | None -> (t_acc, adapted)
-            in
-            ( { partner; verdict; outcome = Some outcome } :: reports,
-              t_acc,
-              adapted ))
+          (report :: reports, t_acc, adapted))
         ([], t', []) partners
     in
     ( { originator = owner; public_changed = true; partners = List.rev reports },
       t'',
       adapted )
 
+let with_config_sink (config : config) f =
+  match config.obs with None -> f () | Some sink -> Obs.with_sink sink f
+
 (** Evolve the choreography by replacing [owner]'s private process with
-    [changed]. [auto_apply] (default true) lets the engine adapt
-    partners automatically; [max_rounds] bounds transitive propagation
-    (default 8). *)
-let evolve ?(auto_apply = true) ?(max_rounds = 8) t ~owner ~changed =
-  let rec go t rounds budget pending =
-    match pending with
-    | [] ->
-        {
-          rounds = List.rev rounds;
-          choreography = t;
-          consistent = Consistency.consistent t;
-        }
-    | _ when budget = 0 ->
-        {
-          rounds = List.rev rounds;
-          choreography = t;
-          consistent = Consistency.consistent t;
-        }
-    | (owner, proc) :: rest ->
-        let round, t', adapted = run_round ~auto_apply t owner proc in
-        (* partners adapted in this round propagate onward, except back
-           to processes already equal in the model *)
-        let new_pending =
-          List.filter
-            (fun (p, proc') ->
-              not
-                (Chorev_afsa.Equiv.equal_annotated
-                   (Chorev_mapping.Public_gen.public proc')
-                   (Model.public t p)))
-            adapted
-        in
-        go t' (round :: rounds) (budget - 1) (rest @ new_pending)
-  in
-  go t [] max_rounds [ (owner, changed) ]
+    [changed], under [config]. Total in [owner]. *)
+let run ?(config = default) t ~owner ~changed =
+  match Model.find_party t owner with
+  | Error e -> Error e
+  | Ok _ ->
+      Ok
+        ( with_config_sink config @@ fun () ->
+          Metrics.incr c_runs;
+          Obs.span "evolve"
+            ~attrs:
+              [
+                ("owner", str owner);
+                ("max_rounds", int config.max_rounds);
+              ]
+          @@ fun () ->
+          let finish t rounds =
+            {
+              rounds = List.rev rounds;
+              choreography = t;
+              consistent = Consistency.consistent t;
+            }
+          in
+          let rec go t rounds budget pending =
+            match pending with
+            | [] -> finish t rounds
+            | _ when budget = 0 -> finish t rounds
+            | (owner, proc) :: rest ->
+                let round, t', adapted = run_round config t owner proc in
+                (* partners adapted in this round propagate onward,
+                   except back to processes already equal in the model *)
+                let new_pending =
+                  List.filter
+                    (fun (p, proc') ->
+                      not
+                        (Chorev_afsa.Equiv.equal_annotated
+                           (Chorev_mapping.Public_gen.public proc')
+                           (Model.public t p)))
+                    adapted
+                in
+                go t' (round :: rounds) (budget - 1) (rest @ new_pending)
+          in
+          go t [] config.max_rounds [ (owner, changed) ] )
 
 (** Impact analysis: classify a proposed change against every partner
     without touching the choreography or anyone's private process — the
     report a process engineer reviews before committing (the decision
-    diamond of the paper's Fig. 4). *)
-let dry_run t ~owner ~changed : partner_report list =
-  let old_public = Model.public t owner in
-  let new_public = Chorev_mapping.Public_gen.public changed in
-  if Classify.public_unchanged ~old_public ~new_public then []
-  else
-    Model.parties t
-    |> List.filter (fun p -> (not (String.equal p owner)) && Model.interact t owner p)
-    |> List.map (fun partner ->
-           let verdict =
-             classify_partner ~owner ~old_public ~new_public t partner
-           in
-           let outcome =
-             if Classify.requires_propagation verdict then
-               Some
-                 (Engine.propagate ~auto_apply:false
-                    ~direction:
-                      (Engine.direction_of_framework verdict.Classify.framework)
-                    ~a':new_public
-                    ~partner_private:(Model.private_ t partner) ())
-             else None
-           in
-           { partner; verdict; outcome })
-
-(** Convenience: apply a change operation to [owner]'s private process
-    and evolve. *)
-let evolve_op ?auto_apply ?max_rounds t ~owner op =
-  match Chorev_change.Ops.apply op (Model.private_ t owner) with
+    diamond of the paper's Fig. 4). Total in [owner]. *)
+let dry_run ?(config = default) t ~owner ~changed =
+  match Model.find_party t owner with
   | Error e -> Error e
-  | Ok changed -> Ok (evolve ?auto_apply ?max_rounds t ~owner ~changed)
+  | Ok m ->
+      Ok
+        ( with_config_sink config @@ fun () ->
+          Obs.span "dry_run" ~attrs:[ ("owner", str owner) ] @@ fun () ->
+          let old_public = m.Model.public_process in
+          let new_public = Chorev_mapping.Public_gen.public changed in
+          if Classify.public_unchanged ~old_public ~new_public then []
+          else
+            Model.parties t
+            |> List.filter (fun p ->
+                   (not (String.equal p owner)) && Model.interact t owner p)
+            |> List.map (fun partner ->
+                   Obs.span "partner" ~attrs:[ ("partner", str partner) ]
+                   @@ fun () ->
+                   let verdict =
+                     classify_partner ~owner ~old_public ~new_public t partner
+                   in
+                   let outcome =
+                     if Classify.requires_propagation verdict then
+                       Some
+                         (Engine.run
+                            ~config:
+                              { config with auto_apply = false; obs = None }
+                            ~direction:
+                              (Engine.direction_of_framework
+                                 verdict.Classify.framework)
+                            ~a':new_public
+                            ~partner_private:(Model.private_ t partner)
+                            ())
+                     else None
+                   in
+                   { partner; verdict; outcome }) )
+
+(** Apply a change operation to [owner]'s private process, then evolve. *)
+let run_op ?config t ~owner op =
+  match Model.find_party t owner with
+  | Error (`Unknown_party _ as e) -> Error e
+  | Ok m -> (
+      match Chorev_change.Ops.apply op m.Model.private_process with
+      | Error e -> Error (`Op e)
+      | Ok changed -> (
+          match run ?config t ~owner ~changed with
+          | Ok r -> Ok r
+          | Error (`Unknown_party _ as e) -> Error e))
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated wrappers (one release): preserve the old raising
+   behaviour on unknown parties. *)
+
+let raise_unknown p =
+  invalid_arg ("Choreography.member_exn: unknown party " ^ p)
+
+let evolve ?(auto_apply = true) ?(max_rounds = 8) t ~owner ~changed =
+  match run ~config:{ default with auto_apply; max_rounds } t ~owner ~changed with
+  | Ok r -> r
+  | Error (`Unknown_party p) -> raise_unknown p
+
+let evolve_op ?auto_apply ?max_rounds t ~owner op =
+  let config =
+    {
+      default with
+      auto_apply = Option.value auto_apply ~default:default.auto_apply;
+      max_rounds = Option.value max_rounds ~default:default.max_rounds;
+    }
+  in
+  match run_op ~config t ~owner op with
+  | Ok r -> Ok r
+  | Error (`Op e) -> Error e
+  | Error (`Unknown_party p) -> raise_unknown p
 
 let pp_round ppf r =
   Fmt.pf ppf "@[<v>round by %s (public %s):@,%a@]" r.originator

@@ -1,7 +1,23 @@
 (** The controlled-evolution pipeline of the paper's Fig. 4 across all
     partners, with transitive propagation: auto-applied partner
     adaptations are themselves changes and re-enter the pipeline until
-    quiescence or [max_rounds]. *)
+    quiescence or [config.max_rounds]. Every Fig. 4 step runs inside a
+    trace span (see DESIGN.md §7). *)
+
+type config = Chorev_propagate.Engine.config = {
+  auto_apply : bool;
+      (** attempt the suggested private-process adaptations
+          (default [true]) *)
+  max_rounds : int;  (** transitive-propagation bound (default 8) *)
+  obs : Chorev_obs.Sink.t option;
+      (** trace sink installed for the duration of the run; [None]
+          (default) inherits the ambient {!Chorev_obs.Obs} sink *)
+}
+(** Alias of {!Chorev_propagate.Engine.config}: one record configures
+    both the per-partner engine and the whole-choreography pipeline. *)
+
+val default : config
+(** [{ auto_apply = true; max_rounds = 8; obs = None }] *)
 
 type partner_report = {
   partner : string;
@@ -22,6 +38,34 @@ type report = {
   consistent : bool;
 }
 
+val run :
+  ?config:config ->
+  Model.t ->
+  owner:string ->
+  changed:Chorev_bpel.Process.t ->
+  (report, [ `Unknown_party of string ]) result
+(** Evolve the choreography by replacing [owner]'s private process with
+    [changed]. Total in [owner]. *)
+
+val dry_run :
+  ?config:config ->
+  Model.t ->
+  owner:string ->
+  changed:Chorev_bpel.Process.t ->
+  (partner_report list, [ `Unknown_party of string ]) result
+(** Impact analysis: classification and (for variant partners)
+    propagation suggestions, with nothing applied anywhere. Empty when
+    the public view is unchanged. [config.auto_apply] is ignored. *)
+
+val run_op :
+  ?config:config ->
+  Model.t ->
+  owner:string ->
+  Chorev_change.Ops.t ->
+  (report, [ `Unknown_party of string | `Op of string ]) result
+(** Apply a change operation to the owner's private process, then
+    evolve. *)
+
 val evolve :
   ?auto_apply:bool ->
   ?max_rounds:int ->
@@ -29,15 +73,8 @@ val evolve :
   owner:string ->
   changed:Chorev_bpel.Process.t ->
   report
-
-val dry_run :
-  Model.t ->
-  owner:string ->
-  changed:Chorev_bpel.Process.t ->
-  partner_report list
-(** Impact analysis: classification and (for variant partners)
-    propagation suggestions, with nothing applied anywhere. Empty when
-    the public view is unchanged. *)
+  [@@deprecated "use Evolution.run with an Evolution.config instead"]
+(** Raising wrapper over {!run}, kept for one release. *)
 
 val evolve_op :
   ?auto_apply:bool ->
@@ -46,8 +83,8 @@ val evolve_op :
   owner:string ->
   Chorev_change.Ops.t ->
   (report, string) result
-(** Apply a change operation to the owner's private process, then
-    evolve. *)
+  [@@deprecated "use Evolution.run_op with an Evolution.config instead"]
+(** Raising wrapper over {!run_op}, kept for one release. *)
 
 val pp_round : Format.formatter -> round -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -39,6 +39,15 @@ let of_processes procs =
 let parties t = List.map fst (SMap.bindings t.members)
 let member t party = SMap.find_opt party t.members
 
+(** Total party lookup: callers that receive party names from the
+    outside ([Evolution], [Consistency], the CLI) route through this
+    instead of the raising accessors, so a typo'd owner name surfaces
+    as [`Unknown_party] rather than an exception. *)
+let find_party t party : (member, [ `Unknown_party of string ]) result =
+  match member t party with
+  | Some m -> Ok m
+  | None -> Error (`Unknown_party party)
+
 let member_exn t party =
   match member t party with
   | Some m -> m

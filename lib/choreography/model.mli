@@ -18,6 +18,12 @@ val of_processes : Chorev_bpel.Process.t list -> t
 
 val parties : t -> string list
 val member : t -> string -> member option
+
+val find_party : t -> string -> (member, [ `Unknown_party of string ]) result
+(** Total lookup: [Error (`Unknown_party p)] instead of raising.
+    Callers handling user-supplied party names should prefer this over
+    {!member_exn}/{!public}/{!private_}. *)
+
 val member_exn : t -> string -> member
 val public : t -> string -> Afsa.t
 val private_ : t -> string -> Chorev_bpel.Process.t

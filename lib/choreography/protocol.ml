@@ -143,7 +143,7 @@ let run ?(adapt = true) ?(max_rounds = 16) (t : Model.t) ~owner ~changed =
                   Chorev_propagate.Engine.direction_of_framework framework
                 in
                 let outcome =
-                  Chorev_propagate.Engine.propagate ~direction ~a':public
+                  Chorev_propagate.Engine.run ~direction ~a':public
                     ~partner_private:(Model.private_ !t to_) ()
                 in
                 match outcome.Chorev_propagate.Engine.adapted with

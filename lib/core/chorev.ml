@@ -32,7 +32,11 @@
     - {!Runtime} — a synchronous execution engine (deadlock-freeness)
     - {!Workload} — synthetic generators for benchmarks and property
       tests
-    - {!Scenario} — the paper's procurement example (Figs. 1–18) *)
+    - {!Scenario} — the paper's procurement example (Figs. 1–18)
+
+    {2 Observability}
+    - {!Obs} — trace spans, metrics counters and profiling sinks for
+      the whole pipeline (DESIGN.md §7) *)
 
 (* Formal substrate *)
 module Formula = struct
@@ -127,4 +131,12 @@ module Scenario = struct
   module Procurement = Chorev_scenario.Procurement
   module Fig5 = Chorev_scenario.Fig5
   module Report = Chorev_scenario.Report
+end
+
+(* Observability *)
+module Obs = struct
+  include Chorev_obs.Obs
+  module Sink = Chorev_obs.Sink
+  module Metrics = Chorev_obs.Metrics
+  module Profile = Chorev_obs.Profile
 end

@@ -108,13 +108,19 @@ end)
 let memo : Syntax.t Memo.t = Memo.create 4096
 let memo_cap = 1 lsl 17
 
+let c_hits = Chorev_obs.Metrics.counter "formula.simplify.hits"
+let c_misses = Chorev_obs.Metrics.counter "formula.simplify.misses"
+
 (** Simplify to a stable form: NNF, then bottom-up local simplification,
     iterated to a fixpoint (bounded). Memoized; the result is
     hash-consed (see {!Syntax.share}). *)
 let simplify f =
   match Memo.find_opt memo f with
-  | Some g -> g
+  | Some g ->
+      Chorev_obs.Metrics.incr c_hits;
+      g
   | None ->
+      Chorev_obs.Metrics.incr c_misses;
       let rec go n f =
         if n = 0 then f
         else

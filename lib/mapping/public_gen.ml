@@ -276,10 +276,20 @@ let bfs_order a =
   done;
   List.rev !order
 
+let c_runs = Chorev_obs.Metrics.counter "mapping.public_gen.runs"
+
 (** [generate p] compiles private process [p] to its public aFSA and
     mapping table. The automaton's alphabet is the full alphabet of the
     process. *)
 let generate (p : Process.t) : Afsa.t * Table.t =
+  Chorev_obs.Metrics.incr c_runs;
+  Chorev_obs.Obs.span "public_gen"
+    ~attrs:
+      [
+        ("process", Chorev_obs.Sink.Str (Process.name p));
+        ("party", Chorev_obs.Sink.Str (Process.party p));
+      ]
+  @@ fun () ->
   let b = new_builder () in
   let root_entry = fresh b ~ctx:None in
   b.table <-

@@ -1,0 +1,92 @@
+(** Metrics registry: named counters and histograms (see metrics.mli). *)
+
+type counter = { cname : string; mutable count : int }
+
+type histogram = {
+  hname : string;
+  mutable n : int;
+  mutable total : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+let enabled = ref false
+let is_enabled () = !enabled
+
+let counter_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
+let histogram_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counter_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { cname = name; count = 0 } in
+      Hashtbl.add counter_tbl name c;
+      c
+
+let histogram name =
+  match Hashtbl.find_opt histogram_tbl name with
+  | Some h -> h
+  | None ->
+      let h =
+        { hname = name; n = 0; total = 0.; minv = infinity; maxv = neg_infinity }
+      in
+      Hashtbl.add histogram_tbl name h;
+      h
+
+let incr c = if !enabled then c.count <- c.count + 1
+let add c n = if !enabled then c.count <- c.count + n
+
+let observe h v =
+  if !enabled then begin
+    h.n <- h.n + 1;
+    h.total <- h.total +. v;
+    if v < h.minv then h.minv <- v;
+    if v > h.maxv then h.maxv <- v
+  end
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counter_tbl;
+  Hashtbl.iter
+    (fun _ h ->
+      h.n <- 0;
+      h.total <- 0.;
+      h.minv <- infinity;
+      h.maxv <- neg_infinity)
+    histogram_tbl
+
+let counters () =
+  Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) counter_tbl []
+  |> List.sort compare
+
+let nonzero_counters () =
+  List.filter (fun (_, v) -> v <> 0) (counters ())
+
+let histograms () =
+  Hashtbl.fold
+    (fun name h acc -> if h.n > 0 then (name, h) :: acc else acc)
+    histogram_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf () =
+  let cs = nonzero_counters () in
+  let hs = histograms () in
+  if cs = [] && hs = [] then Fmt.pf ppf "(no metrics recorded)@."
+  else begin
+    if cs <> [] then begin
+      Fmt.pf ppf "%-42s %12s@." "counter" "value";
+      Fmt.pf ppf "%s@." (String.make 55 '-');
+      List.iter (fun (name, v) -> Fmt.pf ppf "%-42s %12d@." name v) cs
+    end;
+    if hs <> [] then begin
+      Fmt.pf ppf "@.%-34s %8s %10s %10s %10s@." "histogram" "n" "mean" "min"
+        "max";
+      Fmt.pf ppf "%s@." (String.make 76 '-');
+      List.iter
+        (fun (name, h) ->
+          Fmt.pf ppf "%-34s %8d %10.2f %10.2f %10.2f@." name h.n
+            (h.total /. float_of_int h.n)
+            h.minv h.maxv)
+        hs
+    end
+  end

@@ -1,0 +1,56 @@
+(** Metrics registry: named counters and histograms.
+
+    Instrumented modules create their instruments once, at module
+    initialization ([let c = Metrics.counter "afsa.product.pairs"]),
+    and bump them on the hot path. Collection is off by default:
+    {!incr}/{!add}/{!observe} are a single load-and-branch when
+    disabled, so instrumentation can stay in release builds (the
+    overhead guard in [test_obs] holds the algebra to this).
+
+    Counter names are dot-separated, [layer.module.what]; the full
+    catalogue lives in DESIGN.md §7. *)
+
+type counter = private { cname : string; mutable count : int }
+
+type histogram = private {
+  hname : string;
+  mutable n : int;
+  mutable total : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+val enabled : bool ref
+(** Master switch. [false] by default. *)
+
+val is_enabled : unit -> bool
+(** [!enabled], for guarding argument computation that would itself
+    cost something ([if Metrics.is_enabled () then Metrics.add c (…)]). *)
+
+val counter : string -> counter
+(** Find-or-create the counter with this name (idempotent). *)
+
+val histogram : string -> histogram
+(** Find-or-create the histogram with this name (idempotent). *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** No-ops while disabled. *)
+
+val observe : histogram -> float -> unit
+(** Records one sample (count, total, min, max). No-op while disabled. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument (registration is kept). *)
+
+val counters : unit -> (string * int) list
+(** All registered counters with their values, sorted by name. *)
+
+val nonzero_counters : unit -> (string * int) list
+(** Counters with a non-zero value, sorted by name. *)
+
+val histograms : unit -> (string * histogram) list
+(** All registered histograms with ≥ 1 sample, sorted by name. *)
+
+val pp : Format.formatter -> unit -> unit
+(** Table of non-zero counters and sampled histograms. *)

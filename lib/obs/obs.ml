@@ -1,0 +1,45 @@
+(** The ambient tracing context (see obs.mli). *)
+
+let tracing = ref false
+let sink = ref Sink.silent
+let next_id = ref 0
+let stack : Sink.span list ref = ref []
+
+let enabled () = !tracing
+
+let set_sink s =
+  sink := s;
+  tracing := not (s == Sink.silent)
+
+let current_sink () = !sink
+
+let with_sink s f =
+  let old_sink = !sink and old_tracing = !tracing in
+  sink := s;
+  tracing := not (s == Sink.silent);
+  Fun.protect
+    ~finally:(fun () ->
+      sink := old_sink;
+      tracing := old_tracing)
+    f
+
+let span ?(attrs = []) name f =
+  if not !tracing then f ()
+  else begin
+    incr next_id;
+    let parent, depth =
+      match !stack with
+      | [] -> (None, 0)
+      | p :: _ -> (Some p.Sink.id, p.Sink.depth + 1)
+    in
+    let sp = { Sink.id = !next_id; parent; depth; name; attrs } in
+    let t0 = Unix.gettimeofday () in
+    !sink.Sink.emit (Sink.Open (sp, t0));
+    stack := sp :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (stack := match !stack with _ :: rest -> rest | [] -> []);
+        let t1 = Unix.gettimeofday () in
+        !sink.Sink.emit (Sink.Close (sp, t0, t1 -. t0)))
+      f
+  end

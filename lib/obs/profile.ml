@@ -1,0 +1,52 @@
+(** Per-phase profiling sink (see profile.mli). *)
+
+type row = { name : string; count : int; total_s : float; max_s : float }
+
+type cell = { mutable c : int; mutable total : float; mutable max : float }
+
+type t = { cells : (string, cell) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 32 }
+
+let sink t =
+  {
+    Sink.emit =
+      (fun ev ->
+        match ev with
+        | Sink.Open _ -> ()
+        | Sink.Close (sp, _, elapsed) ->
+            let cell =
+              match Hashtbl.find_opt t.cells sp.Sink.name with
+              | Some c -> c
+              | None ->
+                  let c = { c = 0; total = 0.; max = 0. } in
+                  Hashtbl.add t.cells sp.Sink.name c;
+                  c
+            in
+            cell.c <- cell.c + 1;
+            cell.total <- cell.total +. elapsed;
+            if elapsed > cell.max then cell.max <- elapsed);
+    flush = (fun () -> ());
+  }
+
+let rows t =
+  Hashtbl.fold
+    (fun name cell acc ->
+      { name; count = cell.c; total_s = cell.total; max_s = cell.max } :: acc)
+    t.cells []
+  |> List.sort (fun a b -> compare b.total_s a.total_s)
+
+let pp ppf t =
+  match rows t with
+  | [] -> Fmt.pf ppf "(no spans recorded — is tracing enabled?)@."
+  | rs ->
+      Fmt.pf ppf "%-28s %8s %12s %12s %12s@." "phase" "calls" "total ms"
+        "mean ms" "max ms";
+      Fmt.pf ppf "%s@." (String.make 76 '-');
+      List.iter
+        (fun r ->
+          Fmt.pf ppf "%-28s %8d %12.3f %12.3f %12.3f@." r.name r.count
+            (1000. *. r.total_s)
+            (1000. *. r.total_s /. float_of_int r.count)
+            (1000. *. r.max_s))
+        rs

@@ -1,0 +1,25 @@
+(** Per-phase profiling: a sink that aggregates span timings by name.
+
+    The CLI's [--profile] flag and the bench harness install
+    [Profile.sink] (usually teed with a trace sink), run the workload,
+    then print {!pp} — a per-phase table of call counts and wall-clock
+    totals — alongside the {!Metrics} counters. *)
+
+type row = {
+  name : string;
+  count : int;
+  total_s : float;  (** summed elapsed wall-clock seconds *)
+  max_s : float;
+}
+
+type t
+
+val create : unit -> t
+val sink : t -> Sink.t
+(** Aggregates every [Close] event into the table; [Open]s are free. *)
+
+val rows : t -> row list
+(** Rows sorted by total time, descending. *)
+
+val pp : Format.formatter -> t -> unit
+(** [phase / calls / total ms / mean ms / max ms] table. *)

@@ -1,0 +1,119 @@
+(** Trace sinks: where span events go (see sink.mli). *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type span = {
+  id : int;
+  parent : int option;
+  depth : int;
+  name : string;
+  attrs : (string * value) list;
+}
+
+type event =
+  | Open of span * float
+  | Close of span * float * float
+
+type t = { emit : event -> unit; flush : unit -> unit }
+
+let silent = { emit = (fun _ -> ()); flush = (fun () -> ()) }
+
+let pp_value ppf = function
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.pf ppf "%.3f" f
+  | Str s -> Fmt.string ppf s
+  | Bool b -> Fmt.bool ppf b
+
+let pp_attrs ppf = function
+  | [] -> ()
+  | attrs ->
+      Fmt.pf ppf "  [%a]"
+        (Fmt.list ~sep:(Fmt.any " ") (fun ppf (k, v) ->
+             Fmt.pf ppf "%s=%a" k pp_value v))
+        attrs
+
+(* One line per close, indented by depth. Children print before their
+   parent (they close first); the indentation shows the nesting. *)
+let pretty ppf =
+  {
+    emit =
+      (fun ev ->
+        match ev with
+        | Open _ -> ()
+        | Close (sp, _, elapsed) ->
+            Fmt.pf ppf "%s%s %.3f ms%a@."
+              (String.make (2 * sp.depth) ' ')
+              sp.name (1000. *. elapsed) pp_attrs sp.attrs);
+    flush = (fun () -> Format.pp_print_flush ppf ());
+  }
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_value = function
+  | Int i -> string_of_int i
+  | Float f -> if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Bool b -> string_of_bool b
+
+let json_of_attrs attrs =
+  String.concat ","
+    (List.map
+       (fun (k, v) ->
+         Printf.sprintf "\"%s\":%s" (json_escape k) (json_of_value v))
+       attrs)
+
+let jsonl oc =
+  let line sp ev t elapsed =
+    let parent =
+      match sp.parent with None -> "null" | Some p -> string_of_int p
+    in
+    let elapsed_field =
+      match elapsed with
+      | None -> ""
+      | Some e -> Printf.sprintf ",\"elapsed_ms\":%.6f" (1000. *. e)
+    in
+    Printf.fprintf oc
+      "{\"ev\":\"%s\",\"id\":%d,\"parent\":%s,\"depth\":%d,\"name\":\"%s\",\"t\":%.6f%s,\"attrs\":{%s}}\n"
+      ev sp.id parent sp.depth (json_escape sp.name) t elapsed_field
+      (json_of_attrs sp.attrs)
+  in
+  {
+    emit =
+      (fun ev ->
+        match ev with
+        | Open (sp, t) -> line sp "open" t None
+        | Close (sp, t, elapsed) -> line sp "close" t (Some elapsed));
+    flush = (fun () -> flush oc);
+  }
+
+let memory () =
+  let events = ref [] in
+  ( {
+      emit = (fun ev -> events := ev :: !events);
+      flush = (fun () -> ());
+    },
+    fun () -> List.rev !events )
+
+let tee a b =
+  {
+    emit =
+      (fun ev ->
+        a.emit ev;
+        b.emit ev);
+    flush =
+      (fun () ->
+        a.flush ();
+        b.flush ());
+  }

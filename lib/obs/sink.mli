@@ -1,0 +1,47 @@
+(** Trace sinks: where span events go.
+
+    A sink is a pair of callbacks. The observability layer ({!Obs})
+    emits an [Open] event when a span starts and a [Close] event when it
+    ends; sinks render, aggregate or discard them. Sinks are plain
+    records, so callers can build their own (see {!Profile} for an
+    aggregating one). *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+(** Attribute values attached to spans. *)
+
+type span = {
+  id : int;  (** unique per process, 1-based *)
+  parent : int option;  (** enclosing span, [None] at top level *)
+  depth : int;  (** nesting depth, 0 at top level *)
+  name : string;
+  attrs : (string * value) list;
+}
+
+type event =
+  | Open of span * float  (** span start; wall-clock seconds since epoch *)
+  | Close of span * float * float  (** span end; start time and elapsed seconds *)
+
+type t = { emit : event -> unit; flush : unit -> unit }
+
+val silent : t
+(** Discards everything. Installing [silent] keeps tracing off. *)
+
+val pretty : Format.formatter -> t
+(** Human-readable console sink: one line per span close, indented by
+    nesting depth, with elapsed time and attributes. *)
+
+val jsonl : out_channel -> t
+(** JSON-lines sink: one JSON object per event
+    ([{"ev":"open"|"close", "id":…, "parent":…, "depth":…, "name":…,
+    "t":…, "elapsed_ms":…, "attrs":{…}}]). [flush] flushes the
+    channel; the caller closes it. *)
+
+val memory : unit -> t * (unit -> event list)
+(** In-memory sink for tests: returns the sink and a function yielding
+    all events recorded so far, in emission order. *)
+
+val tee : t -> t -> t
+(** Duplicates every event to both sinks. *)
+
+val pp_value : Format.formatter -> value -> unit
+val json_of_value : value -> string

@@ -21,24 +21,55 @@
 
     When the re-check fails the engine retries with the remaining
     applicable suggestion subsets (the paper's "go back to the previous
-    step and repeat it with a modified set of changes"). *)
+    step and repeat it with a modified set of changes").
+
+    Every pipeline step runs inside a trace span named after the
+    corresponding Fig. 4 step ([view], [delta], [localize], [suggest],
+    [apply], [re-check]); see DESIGN.md §7. *)
 
 module Afsa = Chorev_afsa.Afsa
+module Obs = Chorev_obs.Obs
+module Metrics = Chorev_obs.Metrics
 open Chorev_bpel
 
 type direction = Additive | Subtractive
 
-type outcome = {
-  direction : direction;
+type analysis = {
   view_new : Afsa.t;  (** τ_partner(A') *)
   delta : Afsa.t;  (** added or removed sequences *)
   target_public : Afsa.t;  (** computed B' *)
   divergences : Localize.divergence list;
   suggestions : Suggest.t list;
+}
+
+type outcome = {
+  direction : direction;
+  analysis : analysis;
   adapted : Process.t option;  (** auto-applied private process *)
   adapted_public : Afsa.t option;
   consistent_after : bool;
 }
+
+type config = {
+  auto_apply : bool;
+  max_rounds : int;
+  obs : Chorev_obs.Sink.t option;
+}
+
+let default = { auto_apply = true; max_rounds = 8; obs = None }
+
+let c_runs = Metrics.counter "propagate.runs"
+let c_suggestions = Metrics.counter "propagate.suggestions.generated"
+let c_applied = Metrics.counter "propagate.suggestions.applied"
+let c_retries = Metrics.counter "propagate.retries"
+let c_resynthesized = Metrics.counter "propagate.resynthesized"
+
+let str s = Chorev_obs.Sink.Str s
+let int i = Chorev_obs.Sink.Int i
+
+let direction_name = function
+  | Additive -> "additive"
+  | Subtractive -> "subtractive"
 
 (** Compute delta, target, divergences and suggestions for partner
     [partner_private] (whose current public process and table are
@@ -46,8 +77,13 @@ type outcome = {
     [a']. The [direction] decides additive vs subtractive treatment. *)
 let analyze ~direction ~a' ~partner_private ~public_b ~table_b =
   let me = Process.party partner_private in
-  let view_new = Chorev_afsa.View.tau ~observer:me a' in
+  let view_new =
+    Obs.span "view" ~attrs:[ ("observer", str me) ] @@ fun () ->
+    Chorev_afsa.View.tau ~observer:me a'
+  in
   let delta, target =
+    Obs.span "delta" ~attrs:[ ("direction", str (direction_name direction)) ]
+    @@ fun () ->
     match direction with
     | Additive ->
         let d = Chorev_afsa.Ops.difference view_new public_b in
@@ -59,9 +95,12 @@ let analyze ~direction ~a' ~partner_private ~public_b ~table_b =
         (d, t)
   in
   let divergences =
+    Obs.span "localize" @@ fun () ->
     Localize.diverge ~old_public:public_b ~new_public:target ~table:table_b
   in
   let suggestions =
+    Obs.span "suggest" ~attrs:[ ("divergences", int (List.length divergences)) ]
+    @@ fun () ->
     match direction with
     | Additive ->
         List.concat_map
@@ -71,7 +110,8 @@ let analyze ~direction ~a' ~partner_private ~public_b ~table_b =
     | Subtractive ->
         List.concat_map (fun d -> Suggest.subtractive partner_private d) divergences
   in
-  (view_new, delta, target, divergences, suggestions)
+  Metrics.add c_suggestions (List.length suggestions);
+  { view_new; delta; target_public = target; divergences; suggestions }
 
 (* Power-set-free retry order: all suggestions, then each prefix, then
    each single suggestion. Suggestion lists are short. *)
@@ -89,31 +129,31 @@ let apply_all set p =
     (fun acc s -> Result.bind acc (Suggest.apply s))
     (Ok p) set
 
-(** Run the full pipeline. [auto_apply] (default true) attempts the
-    suggested private-process adaptations and re-checks; with
-    [auto_apply:false] the outcome carries analysis and suggestions
-    only, as a process engineer would consume them. *)
-let propagate ?(auto_apply = true) ~direction ~a' ~partner_private () =
+(* The pipeline body, once a sink (if any) is installed. *)
+let run_body config ~direction ~a' ~partner_private =
+  Metrics.incr c_runs;
   let me = Process.party partner_private in
+  Obs.span "propagate"
+    ~attrs:
+      [ ("partner", str me); ("direction", str (direction_name direction)) ]
+  @@ fun () ->
   let public_b, table_b = Chorev_mapping.Public_gen.generate partner_private in
-  let view_new, delta, target, divergences, suggestions =
-    analyze ~direction ~a' ~partner_private ~public_b ~table_b
+  let analysis = analyze ~direction ~a' ~partner_private ~public_b ~table_b in
+  let consistent_with p' =
+    Obs.span "re-check" @@ fun () ->
+    Chorev_afsa.Consistency.consistent p' analysis.view_new
   in
-  let consistent_with p' = Chorev_afsa.Consistency.consistent p' view_new in
-  if not auto_apply then
+  if not config.auto_apply then
     {
       direction;
-      view_new;
-      delta;
-      target_public = target;
-      divergences;
-      suggestions;
+      analysis;
       adapted = None;
       adapted_public = None;
       consistent_after = consistent_with public_b;
     }
   else
     let attempt set =
+      Metrics.incr c_retries;
       match apply_all set partner_private with
       | Error _ -> None
       | Ok p' ->
@@ -129,27 +169,31 @@ let propagate ?(auto_apply = true) ~direction ~a' ~partner_private () =
       match
         Chorev_mapping.Skeleton.synthesize
           ~name:(Process.name partner_private ^ "-resynthesized")
-          ~party:me target
+          ~party:me analysis.target_public
       with
       | Error _ -> None
       | Ok p' ->
           let pub' = Chorev_mapping.Public_gen.public p' in
-          if consistent_with pub' then Some (p', pub') else None
+          if consistent_with pub' then begin
+            Metrics.incr c_resynthesized;
+            Some (p', pub')
+          end
+          else None
     in
     let result =
-      match List.find_map attempt (retry_sets suggestions) with
+      Obs.span "apply"
+        ~attrs:[ ("suggestions", int (List.length analysis.suggestions)) ]
+      @@ fun () ->
+      match List.find_map attempt (retry_sets analysis.suggestions) with
       | Some r -> Some r
       | None -> synthesized ()
     in
     match result with
     | Some (p', pub') ->
+        Metrics.incr c_applied;
         {
           direction;
-          view_new;
-          delta;
-          target_public = target;
-          divergences;
-          suggestions;
+          analysis;
           adapted = Some p';
           adapted_public = Some pub';
           consistent_after = true;
@@ -157,15 +201,23 @@ let propagate ?(auto_apply = true) ~direction ~a' ~partner_private () =
     | None ->
         {
           direction;
-          view_new;
-          delta;
-          target_public = target;
-          divergences;
-          suggestions;
+          analysis;
           adapted = None;
           adapted_public = None;
           consistent_after = consistent_with public_b;
         }
+
+(** Run the full pipeline for one partner under [config]. *)
+let run ?(config = default) ~direction ~a' ~partner_private () =
+  match config.obs with
+  | None -> run_body config ~direction ~a' ~partner_private
+  | Some sink ->
+      Obs.with_sink sink (fun () ->
+          run_body config ~direction ~a' ~partner_private)
+
+(** Deprecated wrapper over {!run} (one release). *)
+let propagate ?(auto_apply = true) ~direction ~a' ~partner_private () =
+  run ~config:{ default with auto_apply } ~direction ~a' ~partner_private ()
 
 (** Decide the direction from the classification verdict: a purely
     subtractive change propagates subtractively, anything that adds
@@ -179,8 +231,8 @@ let pp_outcome ppf o =
   Fmt.pf ppf
     "@[<v>%s propagation: %d divergence(s), %d suggestion(s), adapted=%b, \
      consistent_after=%b@]"
-    (match o.direction with Additive -> "additive" | Subtractive -> "subtractive")
-    (List.length o.divergences)
-    (List.length o.suggestions)
+    (direction_name o.direction)
+    (List.length o.analysis.divergences)
+    (List.length o.analysis.suggestions)
     (Option.is_some o.adapted)
     o.consistent_after

@@ -7,17 +7,41 @@ module Afsa = Chorev_afsa.Afsa
 
 type direction = Additive | Subtractive
 
-type outcome = {
-  direction : direction;
+type analysis = {
   view_new : Afsa.t;  (** τ_partner(A′) *)
   delta : Afsa.t;  (** added or removed sequences *)
   target_public : Afsa.t;  (** computed B′ *)
   divergences : Localize.divergence list;
   suggestions : Suggest.t list;
-  adapted : Chorev_bpel.Process.t option;
+}
+(** Steps 1–4 of the pipeline for one partner, as a named record (the
+    positional 5-tuple it replaces was error-prone to destructure). *)
+
+type outcome = {
+  direction : direction;
+  analysis : analysis;
+  adapted : Chorev_bpel.Process.t option;  (** auto-applied private process *)
   adapted_public : Afsa.t option;
   consistent_after : bool;
 }
+
+type config = {
+  auto_apply : bool;
+      (** attempt the suggested private-process adaptations (default
+          [true]); with [false] the outcome carries analysis and
+          suggestions only *)
+  max_rounds : int;
+      (** transitive-propagation bound, used by [Evolution] (default 8;
+          ignored by {!run}, which is single-partner) *)
+  obs : Chorev_obs.Sink.t option;
+      (** trace sink installed for the duration of the run; [None]
+          (default) inherits the ambient {!Chorev_obs.Obs} sink *)
+}
+(** The engine/evolution configuration record. [Evolution.config] is an
+    alias of this type, so one value configures the whole pipeline. *)
+
+val default : config
+(** [{ auto_apply = true; max_rounds = 8; obs = None }] *)
 
 val analyze :
   direction:direction ->
@@ -25,8 +49,17 @@ val analyze :
   partner_private:Chorev_bpel.Process.t ->
   public_b:Afsa.t ->
   table_b:Chorev_mapping.Table.t ->
-  Afsa.t * Afsa.t * Afsa.t * Localize.divergence list * Suggest.t list
-(** [(view_new, delta, target, divergences, suggestions)]. *)
+  analysis
+
+val run :
+  ?config:config ->
+  direction:direction ->
+  a':Afsa.t ->
+  partner_private:Chorev_bpel.Process.t ->
+  unit ->
+  outcome
+(** Run the full pipeline for one partner under [config]
+    (default {!default}). *)
 
 val propagate :
   ?auto_apply:bool ->
@@ -35,8 +68,8 @@ val propagate :
   partner_private:Chorev_bpel.Process.t ->
   unit ->
   outcome
-(** With [auto_apply:false] the outcome carries analysis and
-    suggestions only. *)
+  [@@deprecated "use Engine.run with a Engine.config instead"]
+(** Thin wrapper over {!run}, kept for one release. *)
 
 val direction_of_framework : Chorev_change.Classify.framework -> direction
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -97,10 +97,17 @@ type exploration = {
 
 let key (c : config) = List.map (fun ps -> (ps.party, ps.state)) c
 
+let c_explorations = Chorev_obs.Metrics.counter "runtime.explore.runs"
+let c_configurations = Chorev_obs.Metrics.counter "runtime.explore.configurations"
+
 (** Exhaustive BFS over the joint state space (bounded by
     [max_configs], default 100_000). Collects deadlocked
     configurations. *)
 let explore ?(max_configs = 100_000) (s : system) : exploration =
+  Chorev_obs.Metrics.incr c_explorations;
+  Chorev_obs.Obs.span "explore"
+    ~attrs:[ ("parties", Chorev_obs.Sink.Int (List.length s.parties)) ]
+  @@ fun () ->
   let seen = Hashtbl.create 256 in
   let q = Queue.create () in
   let c0 = initial s in
@@ -139,6 +146,7 @@ let explore ?(max_configs = 100_000) (s : system) : exploration =
             end)
         (enabled c)
   done;
+  Chorev_obs.Metrics.add c_configurations (Hashtbl.length seen);
   {
     configurations = Hashtbl.length seen;
     deadlocks = List.rev !deadlocks;

@@ -70,8 +70,12 @@ let all () : row list =
        "order, delivery, tracking loop with termination switch"
        "valid BPEL; all four blocks of the Fig. 3 inset present" ok);
     (let rep =
-       Chorev_choreography.Evolution.evolve choreo ~owner:"A"
-         ~changed:P.accounting_cancel
+       match
+         Chorev_choreography.Evolution.run choreo ~owner:"A"
+           ~changed:P.accounting_cancel
+       with
+       | Ok r -> r
+       | Error (`Unknown_party p) -> failwith ("unknown party " ^ p)
      in
      let ok = rep.Chorev_choreography.Evolution.consistent in
      row "fig4" "controlled-evolution pipeline (cancel change, end-to-end)"
@@ -167,7 +171,7 @@ let all () : row list =
           (Afsa.num_states delta) (Afsa.num_states b'))
        ok);
     (let o =
-       Chorev_propagate.Engine.propagate
+       Chorev_propagate.Engine.run
          ~direction:Chorev_propagate.Engine.Additive
          ~a':(gen P.accounting_cancel) ~partner_private:P.buyer_process ()
      in
@@ -236,7 +240,7 @@ let all () : row list =
           one_kept)
        (two_removed && one_kept));
     (let o =
-       Chorev_propagate.Engine.propagate
+       Chorev_propagate.Engine.run
          ~direction:Chorev_propagate.Engine.Subtractive
          ~a':(gen P.accounting_once) ~partner_private:P.buyer_process ()
      in

@@ -13,6 +13,12 @@ let check_int = Alcotest.(check int)
 
 let procurement () = M.of_processes (List.map snd P.parties)
 
+let ok_exn = function
+  | Ok v -> v
+  | Error (`Unknown_party p) -> failwith ("unknown party " ^ p)
+
+let evolve ?config t ~owner ~changed = ok_exn (Ev.run ?config t ~owner ~changed)
+
 (* ------------------------------ model ------------------------------ *)
 
 let test_model_basics () =
@@ -57,12 +63,12 @@ let test_consistency_broken_by_uncontrolled_change () =
   (* applying the cancel change without propagation breaks B *)
   let t = M.update (procurement ()) P.accounting_cancel in
   check_bool "now inconsistent" false (Cons.consistent t);
-  check_bool "A-B pair broken" false (Cons.consistent_pair t "A" "B");
-  check_bool "A-L pair fine" true (Cons.consistent_pair t "A" "L")
+  check_bool "A-B pair broken" false (ok_exn (Cons.consistent_pair t "A" "B"));
+  check_bool "A-L pair fine" true (ok_exn (Cons.consistent_pair t "A" "L"))
 
 let test_agreed_protocol () =
   let t = procurement () in
-  let p = Cons.protocol t "A" "B" in
+  let p = ok_exn (Cons.protocol t "A" "B") in
   check_bool "nonempty" true (C.Emptiness.is_nonempty p);
   check_bool "contains the happy conversation" true
     (C.Trace.accepts p
@@ -74,13 +80,13 @@ let test_agreed_protocol () =
   (* after an uncontrolled variant change the protocol is empty *)
   let t' = M.update t P.accounting_cancel in
   check_bool "broken protocol empty" true
-    (C.Emptiness.is_empty (Cons.protocol t' "A" "B"))
+    (C.Emptiness.is_empty (ok_exn (Cons.protocol t' "A" "B")))
 
 (* ---------------------------- evolution ---------------------------- *)
 
 let test_evolution_additive () =
   let t = procurement () in
-  let rep = Ev.evolve t ~owner:"A" ~changed:P.accounting_cancel in
+  let rep = evolve t ~owner:"A" ~changed:P.accounting_cancel in
   check_bool "consistent after" true rep.Ev.consistent;
   let r0 = List.hd rep.Ev.rounds in
   check_bool "public changed" true r0.Ev.public_changed;
@@ -99,7 +105,7 @@ let test_evolution_additive () =
 
 let test_evolution_subtractive () =
   let t = procurement () in
-  let rep = Ev.evolve t ~owner:"A" ~changed:P.accounting_once in
+  let rep = evolve t ~owner:"A" ~changed:P.accounting_once in
   check_bool "consistent after" true rep.Ev.consistent;
   check_bool "B adapted to fig18" true
     (C.Equiv.equal_language
@@ -114,34 +120,38 @@ let test_evolution_local_change_stops_early () =
          { path = []; pos = 0; act = C.Bpel.Activity.Assign "log" })
       P.accounting_process
   in
-  let rep = Ev.evolve t ~owner:"A" ~changed in
+  let rep = evolve t ~owner:"A" ~changed in
   check_int "one round" 1 (List.length rep.Ev.rounds);
   check_bool "no public change" false (List.hd rep.Ev.rounds).Ev.public_changed;
   check_bool "still consistent" true rep.Ev.consistent
 
 let test_evolution_no_auto_apply () =
   let t = procurement () in
-  let rep = Ev.evolve ~auto_apply:false t ~owner:"A" ~changed:P.accounting_cancel in
+  let rep =
+    evolve
+      ~config:{ Ev.default with Ev.auto_apply = false }
+      t ~owner:"A" ~changed:P.accounting_cancel
+  in
   (* without adaptation the choreography stays inconsistent *)
   check_bool "inconsistent" false rep.Ev.consistent;
   let r0 = List.hd rep.Ev.rounds in
   let b = List.find (fun p -> p.Ev.partner = "B") r0.Ev.partners in
   check_bool "suggestions available" true
     (match b.Ev.outcome with
-    | Some o -> o.C.Propagate.Engine.suggestions <> []
+    | Some o -> o.C.Propagate.Engine.analysis.C.Propagate.Engine.suggestions <> []
     | None -> false)
 
 let test_dry_run () =
   let t = procurement () in
   (* variant change: B flagged with suggestions, nothing applied *)
-  let reports = Ev.dry_run t ~owner:"A" ~changed:P.accounting_cancel in
+  let reports = ok_exn (Ev.dry_run t ~owner:"A" ~changed:P.accounting_cancel) in
   check_int "two partners" 2 (List.length reports);
   let b = List.find (fun r -> r.Ev.partner = "B") reports in
   check_bool "B variant" true (C.Change.Classify.requires_propagation b.Ev.verdict);
   (match b.Ev.outcome with
   | Some o ->
       check_bool "suggestions present" true
-        (o.C.Propagate.Engine.suggestions <> []);
+        (o.C.Propagate.Engine.analysis.C.Propagate.Engine.suggestions <> []);
       check_bool "nothing applied" true (o.C.Propagate.Engine.adapted = None)
   | None -> Alcotest.fail "expected analysis");
   (* the choreography itself is untouched *)
@@ -154,17 +164,75 @@ let test_dry_run () =
       P.accounting_process
   in
   check_int "local change: no reports" 0
-    (List.length (Ev.dry_run t ~owner:"A" ~changed:local))
+    (List.length (ok_exn (Ev.dry_run t ~owner:"A" ~changed:local)))
 
-let test_evolve_op () =
+let test_run_op () =
   let t = procurement () in
   match
-    Ev.evolve_op t ~owner:"B"
+    Ev.run_op t ~owner:"B"
       (C.Change.Ops.Insert_activity
          { path = []; pos = 0; act = C.Bpel.Activity.Assign "note" })
   with
   | Ok rep -> check_bool "consistent" true rep.Ev.consistent
-  | Error e -> Alcotest.fail e
+  | Error (`Op e) -> Alcotest.fail e
+  | Error (`Unknown_party p) -> Alcotest.fail ("unknown party " ^ p)
+
+let test_unknown_party_total () =
+  let t = procurement () in
+  check_bool "find_party unknown" true
+    (M.find_party t "X" = Error (`Unknown_party "X"));
+  check_bool "find_party known" true
+    (match M.find_party t "A" with Ok _ -> true | Error _ -> false);
+  check_bool "run rejects unknown owner" true
+    (match Ev.run t ~owner:"X" ~changed:P.accounting_cancel with
+    | Error (`Unknown_party "X") -> true
+    | _ -> false);
+  check_bool "dry_run rejects unknown owner" true
+    (match Ev.dry_run t ~owner:"X" ~changed:P.accounting_cancel with
+    | Error (`Unknown_party "X") -> true
+    | _ -> false);
+  check_bool "run_op rejects unknown owner" true
+    (match
+       Ev.run_op t ~owner:"X"
+         (C.Change.Ops.Insert_activity
+            { path = []; pos = 0; act = C.Bpel.Activity.Assign "note" })
+     with
+    | Error (`Unknown_party "X") -> true
+    | _ -> false);
+  check_bool "check_pair rejects unknown party" true
+    (match Cons.check_pair t "A" "X" with
+    | Error (`Unknown_party "X") -> true
+    | _ -> false);
+  check_bool "protocol rejects unknown party" true
+    (match Cons.protocol t "X" "B" with
+    | Error (`Unknown_party "X") -> true
+    | _ -> false)
+
+(* The deprecated wrappers stay behaviourally identical for one
+   release: same results on valid input, Invalid_argument on unknown
+   parties (the pre-record behaviour). *)
+let test_deprecated_wrappers () =
+  let t = procurement () in
+  let rep =
+    (Ev.evolve [@alert "-deprecated"]) t ~owner:"A"
+      ~changed:P.accounting_cancel
+  in
+  check_bool "evolve wrapper consistent" true rep.Ev.consistent;
+  check_bool "evolve wrapper raises on unknown party" true
+    (try
+       ignore
+         ((Ev.evolve [@alert "-deprecated"]) t ~owner:"X"
+            ~changed:P.accounting_cancel);
+       false
+     with Invalid_argument _ -> true);
+  let o =
+    (C.Propagate.Engine.propagate [@alert "-deprecated"])
+      ~direction:C.Propagate.Engine.Additive
+      ~a':(C.Public_gen.public P.accounting_cancel)
+      ~partner_private:P.buyer_process ()
+  in
+  check_bool "propagate wrapper adapted" true
+    (Option.is_some o.C.Propagate.Engine.adapted)
 
 (* ----------------------------- protocol ---------------------------- *)
 
@@ -222,7 +290,11 @@ let () =
           Alcotest.test_case "local change stops early" `Quick
             test_evolution_local_change_stops_early;
           Alcotest.test_case "no auto-apply" `Quick test_evolution_no_auto_apply;
-          Alcotest.test_case "evolve_op" `Quick test_evolve_op;
+          Alcotest.test_case "run_op" `Quick test_run_op;
+          Alcotest.test_case "unknown party is total" `Quick
+            test_unknown_party_total;
+          Alcotest.test_case "deprecated wrappers" `Quick
+            test_deprecated_wrappers;
           Alcotest.test_case "dry run" `Quick test_dry_run;
         ] );
       ( "protocol",

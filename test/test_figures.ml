@@ -8,6 +8,11 @@ module A = C.Afsa
 module F = C.Formula
 module P = C.Scenario.Procurement
 
+let evolve_ok t ~owner ~changed =
+  match C.Choreography.Evolution.run t ~owner ~changed with
+  | Ok r -> r
+  | Error (`Unknown_party p) -> failwith ("unknown party " ^ p)
+
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let gen = C.Public_gen.public
@@ -51,7 +56,7 @@ let fig4_pipeline () =
      consistency for the cancel change *)
   let t = C.Choreography.Model.of_processes (List.map snd P.parties) in
   let rep =
-    C.Choreography.Evolution.evolve t ~owner:"A" ~changed:P.accounting_cancel
+    evolve_ok t ~owner:"A" ~changed:P.accounting_cancel
   in
   check_bool "consistent after evolution" true rep.C.Choreography.Evolution.consistent
 
@@ -150,7 +155,7 @@ let fig13_propagation_delta () =
 
 let fig14_private_adaptation () =
   let o =
-    C.Propagate.Engine.propagate ~direction:C.Propagate.Engine.Additive
+    C.Propagate.Engine.run ~direction:C.Propagate.Engine.Additive
       ~a':(gen P.accounting_cancel) ~partner_private:P.buyer_process ()
   in
   check_bool "auto-adapted" true (Option.is_some o.C.Propagate.Engine.adapted);
@@ -240,7 +245,7 @@ let fig17_subtractive_delta () =
 
 let fig18_subtractive_adaptation () =
   let o =
-    C.Propagate.Engine.propagate ~direction:C.Propagate.Engine.Subtractive
+    C.Propagate.Engine.run ~direction:C.Propagate.Engine.Subtractive
       ~a':(gen P.accounting_once) ~partner_private:P.buyer_process ()
   in
   check_bool "auto-adapted" true (Option.is_some o.C.Propagate.Engine.adapted);

@@ -6,6 +6,11 @@ module M = C.Choreography.Model
 module G = C.Choreography.Global
 module P = C.Scenario.Procurement
 
+let evolve_ok t ~owner ~changed =
+  match C.Choreography.Evolution.run t ~owner ~changed with
+  | Ok r -> r
+  | Error (`Unknown_party p) -> failwith ("unknown party " ^ p)
+
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let gen = C.Public_gen.public
@@ -51,7 +56,7 @@ let test_bilateral_global_gap () =
      cancellation path strands logistics — the gap the paper's
      bilateral criterion cannot see *)
   let rep =
-    C.Choreography.Evolution.evolve (procurement ()) ~owner:"A"
+    evolve_ok (procurement ()) ~owner:"A"
       ~changed:P.accounting_cancel
   in
   let t = rep.C.Choreography.Evolution.choreography in

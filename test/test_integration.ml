@@ -7,6 +7,11 @@ module C = Chorev
 module M = C.Choreography.Model
 module P = C.Scenario.Procurement
 
+let evolve_ok t ~owner ~changed =
+  match C.Choreography.Evolution.run t ~owner ~changed with
+  | Ok r -> r
+  | Error (`Unknown_party p) -> failwith ("unknown party " ^ p)
+
 let check_bool = Alcotest.(check bool)
 let gen = C.Public_gen.public
 
@@ -17,7 +22,7 @@ let test_paper_story_in_sequence () =
   let t0 = M.of_processes (List.map snd P.parties) in
   (* Step 1: the cancel change (variant additive for B) *)
   let r1 =
-    C.Choreography.Evolution.evolve t0 ~owner:"A" ~changed:P.accounting_cancel
+    evolve_ok t0 ~owner:"A" ~changed:P.accounting_cancel
   in
   check_bool "after cancel: consistent" true r1.C.Choreography.Evolution.consistent;
   let t1 = r1.C.Choreography.Evolution.choreography in
@@ -59,7 +64,7 @@ let test_paper_story_in_sequence () =
          ])
   in
   let r2 =
-    C.Choreography.Evolution.evolve t1 ~owner:"A" ~changed:accounting_both
+    evolve_ok t1 ~owner:"A" ~changed:accounting_both
   in
   check_bool "after both changes: consistent" true
     r2.C.Choreography.Evolution.consistent;
@@ -93,7 +98,7 @@ let test_paper_story_in_sequence () =
 let test_protocol_agrees_with_pipeline () =
   let t = M.of_processes (List.map snd P.parties) in
   let central =
-    C.Choreography.Evolution.evolve t ~owner:"A" ~changed:P.accounting_cancel
+    evolve_ok t ~owner:"A" ~changed:P.accounting_cancel
   in
   let decentral = C.Choreography.Protocol.run t ~owner:"A" ~changed:P.accounting_cancel in
   check_bool "both consistent" true
@@ -124,7 +129,7 @@ let test_random_additive_evolutions () =
         | Error _ -> ()
         | Ok pa' ->
             incr total;
-            let rep = C.Choreography.Evolution.evolve t ~owner:"A" ~changed:pa' in
+            let rep = evolve_ok t ~owner:"A" ~changed:pa' in
             if rep.C.Choreography.Evolution.consistent then incr ok
             else begin
               (* honest failure: the verdicts must flag a variant change *)

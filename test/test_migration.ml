@@ -195,7 +195,7 @@ let test_migration_after_evolution () =
   (* evolve the choreography (cancel change), then migrate the buyer's
      running instances to the adapted buyer process *)
   let o =
-    C.Propagate.Engine.propagate ~direction:C.Propagate.Engine.Additive
+    C.Propagate.Engine.run ~direction:C.Propagate.Engine.Additive
       ~a':(gen P.accounting_cancel) ~partner_private:P.buyer_process ()
   in
   let new_buyer_pub = Option.get o.C.Propagate.Engine.adapted_public in

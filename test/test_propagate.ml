@@ -60,12 +60,12 @@ let test_localize_no_divergence () =
 
 let test_suggest_additive_receive_to_pick () =
   let o =
-    E.propagate ~auto_apply:false ~direction:E.Additive
+    E.run ~config:{ E.default with E.auto_apply = false } ~direction:E.Additive
       ~a':(gen P.accounting_cancel) ~partner_private:P.buyer_process ()
   in
-  check_bool "has suggestions" true (o.E.suggestions <> []);
+  check_bool "has suggestions" true (o.E.analysis.E.suggestions <> []);
   (* the preferred (first) suggestion is the paper's Fig. 14 edit *)
-  match o.E.suggestions with
+  match o.E.analysis.E.suggestions with
   | S.Apply { op = C.Change.Ops.Receive_to_pick { path; arms; _ }; _ } :: _ ->
       Alcotest.(check (list int)) "receive path" [ 1 ] path;
       check_int "one new arm" 1 (List.length arms);
@@ -76,12 +76,12 @@ let test_suggest_additive_receive_to_pick () =
 
 let test_suggest_subtractive_unroll () =
   let o =
-    E.propagate ~auto_apply:false ~direction:E.Subtractive
+    E.run ~config:{ E.default with E.auto_apply = false } ~direction:E.Subtractive
       ~a':(gen P.accounting_once) ~partner_private:P.buyer_process ()
   in
   check_bool "has applicable suggestion" true
-    (List.exists (fun s -> not (S.is_manual s)) o.E.suggestions);
-  match List.find (fun s -> not (S.is_manual s)) o.E.suggestions with
+    (List.exists (fun s -> not (S.is_manual s)) o.E.analysis.E.suggestions);
+  match List.find (fun s -> not (S.is_manual s)) o.E.analysis.E.suggestions with
   | S.Apply { op = C.Change.Ops.Unroll_loop_once { path; _ }; _ } ->
       Alcotest.(check (list int)) "loop path" [ 2 ] path
   | _ -> Alcotest.fail "expected an unroll suggestion"
@@ -99,7 +99,7 @@ let test_manual_suggestions_apply_as_noop () =
 
 let test_engine_additive_end_to_end () =
   let o =
-    E.propagate ~direction:E.Additive ~a':(gen P.accounting_cancel)
+    E.run ~direction:E.Additive ~a':(gen P.accounting_cancel)
       ~partner_private:P.buyer_process ()
   in
   check_bool "adapted" true (Option.is_some o.E.adapted);
@@ -111,12 +111,12 @@ let test_engine_additive_end_to_end () =
        (gen P.buyer_with_cancel));
   (* Fig. 13a: the delta contains the cancel conversation *)
   check_bool "delta has cancel" true
-    (C.Trace.accepts o.E.delta
+    (C.Trace.accepts o.E.analysis.E.delta
        [ lbl "B#A#orderOp"; lbl "A#B#cancelOp" ])
 
 let test_engine_subtractive_end_to_end () =
   let o =
-    E.propagate ~direction:E.Subtractive ~a':(gen P.accounting_once)
+    E.run ~direction:E.Subtractive ~a':(gen P.accounting_once)
       ~partner_private:P.buyer_process ()
   in
   check_bool "adapted" true (Option.is_some o.E.adapted);
@@ -125,7 +125,7 @@ let test_engine_subtractive_end_to_end () =
     (C.Equiv.equal_language (Option.get o.E.adapted_public) (gen P.buyer_once));
   (* Fig. 17a: two tracking rounds are in the removed sequences *)
   check_bool "removed contains double tracking" true
-    (C.Trace.accepts o.E.delta
+    (C.Trace.accepts o.E.analysis.E.delta
        [
          lbl "B#A#orderOp";
          lbl "A#B#deliveryOp";
@@ -137,7 +137,7 @@ let test_engine_subtractive_end_to_end () =
        ]);
   (* Fig. 17b: the target allows at most one round *)
   check_bool "target one round ok" true
-    (C.Trace.accepts o.E.target_public
+    (C.Trace.accepts o.E.analysis.E.target_public
        [
          lbl "B#A#orderOp";
          lbl "A#B#deliveryOp";
@@ -146,7 +146,7 @@ let test_engine_subtractive_end_to_end () =
          lbl "B#A#terminateOp";
        ]);
   check_bool "target two rounds gone" false
-    (C.Trace.accepts o.E.target_public
+    (C.Trace.accepts o.E.analysis.E.target_public
        [
          lbl "B#A#orderOp";
          lbl "A#B#deliveryOp";
@@ -159,18 +159,18 @@ let test_engine_subtractive_end_to_end () =
 
 let test_engine_no_auto_apply () =
   let o =
-    E.propagate ~auto_apply:false ~direction:E.Additive
+    E.run ~config:{ E.default with E.auto_apply = false } ~direction:E.Additive
       ~a':(gen P.accounting_cancel) ~partner_private:P.buyer_process ()
   in
   check_bool "not adapted" true (o.E.adapted = None);
-  check_bool "analysis delivered" true (o.E.suggestions <> []);
+  check_bool "analysis delivered" true (o.E.analysis.E.suggestions <> []);
   check_bool "inconsistent before adaptation" false o.E.consistent_after
 
 let test_engine_invariant_change_trivial () =
   (* propagating an invariant change: no divergence that matters; the
      engine still reports consistency *)
   let o =
-    E.propagate ~direction:E.Additive ~a':(gen P.accounting_order2)
+    E.run ~direction:E.Additive ~a':(gen P.accounting_order2)
       ~partner_private:P.buyer_process ()
   in
   check_bool "consistent (was already)" true o.E.consistent_after
@@ -205,10 +205,10 @@ let test_engine_skeleton_fallback () =
     C.Afsa.of_strings ~start:0 ~finals:[ 1 ] ~edges:[ (0, "R#Q#xOp", 1) ] ()
   in
   let o =
-    E.propagate ~direction:E.Subtractive ~a' ~partner_private:partner ()
+    E.run ~direction:E.Subtractive ~a' ~partner_private:partner ()
   in
   check_bool "suggestions are manual only" true
-    (List.for_all S.is_manual o.E.suggestions);
+    (List.for_all S.is_manual o.E.analysis.E.suggestions);
   check_bool "adapted via re-synthesis" true (Option.is_some o.E.adapted);
   check_bool "consistent after" true o.E.consistent_after
 
