@@ -16,12 +16,15 @@ let gen = C.Public_gen.public
 
 (* --------------------------- observability -------------------------- *)
 
-(* Every subcommand takes [--trace[=FILE]], [--metrics] and
-   [--profile]. The setup runs as the first term argument, so it is
+(* Every subcommand takes [--trace[=FILE]], [--metrics], [--profile]
+   and [--jobs]. The setup runs as the first term argument, so it is
    evaluated (and the ambient sink installed) before the command body —
    the same idiom cmdliner uses for log-level setup. *)
 
-let obs_setup trace metrics profile =
+let obs_setup trace metrics profile jobs =
+  (match jobs with
+  | Some n -> C.Parallel.Pool.set_default_size n
+  | None -> ());
   if metrics || profile then C.Obs.Metrics.enabled := true;
   let trace_sink =
     match trace with
@@ -75,7 +78,18 @@ let obs_term =
             "Print a per-phase wall-clock table (plus the counter table) \
              on exit.")
   in
-  Term.(const obs_setup $ trace_arg $ metrics_arg $ profile_arg)
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Size of the domain pool used for per-pair consistency checks \
+             and per-partner propagation (default 1, i.e. sequential; the \
+             $(b,CHOREV_DOMAINS) environment variable sets the same \
+             default). Results are identical for every value.")
+  in
+  Term.(const obs_setup $ trace_arg $ metrics_arg $ profile_arg $ jobs_arg)
 
 (* ------------------------------- demo ------------------------------ *)
 

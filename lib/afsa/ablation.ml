@@ -229,3 +229,150 @@ let analyze_ref a =
 let is_empty_ref a =
   let _, nonempty, _ = analyze_ref a in
   not nonempty
+
+(* The pre-PR3 minimization: list/Hashtbl Hopcroft (linked-list
+   predecessor arrays, List.filter splits, string class keys), the
+   unconditional determinize-and-renumber front end, and the separate
+   trim + canonical-renumber back end. Kept verbatim (minus metrics) as
+   the differential oracle for the refinable-partition rewrite. *)
+
+let hopcroft_ref ~n ~k ~succ ~init_class =
+  (* predecessor lists per symbol *)
+  let pred = Array.init k (fun _ -> Array.make n []) in
+  for c = 0 to k - 1 do
+    for q = 0 to n - 1 do
+      let t = succ.(c).(q) in
+      pred.(c).(t) <- q :: pred.(c).(t)
+    done
+  done;
+  (* blocks *)
+  let block = Array.make n 0 in
+  let members : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let next_block = ref 0 in
+  let by_class = Hashtbl.create 16 in
+  for q = 0 to n - 1 do
+    let id =
+      match Hashtbl.find_opt by_class init_class.(q) with
+      | Some id -> id
+      | None ->
+          let id = !next_block in
+          incr next_block;
+          Hashtbl.add by_class init_class.(q) id;
+          id
+    in
+    block.(q) <- id;
+    Hashtbl.replace members id
+      (q :: Option.value ~default:[] (Hashtbl.find_opt members id))
+  done;
+  (* worklist of (block, symbol) *)
+  let w = Queue.create () in
+  let in_w = Hashtbl.create 64 in
+  let push b c =
+    if not (Hashtbl.mem in_w (b, c)) then begin
+      Hashtbl.add in_w (b, c) ();
+      Queue.add (b, c) w
+    end
+  in
+  Hashtbl.iter (fun b _ -> for c = 0 to k - 1 do push b c done) members;
+  while not (Queue.is_empty w) do
+    let a, c = Queue.pop w in
+    Hashtbl.remove in_w (a, c);
+    (* X = c-preimage of block a *)
+    let x =
+      List.concat_map
+        (fun t -> pred.(c).(t))
+        (Option.value ~default:[] (Hashtbl.find_opt members a))
+    in
+    (* group X by current block *)
+    let touched = Hashtbl.create 8 in
+    List.iter
+      (fun q ->
+        Hashtbl.replace touched block.(q)
+          (q :: Option.value ~default:[] (Hashtbl.find_opt touched block.(q))))
+      x;
+    Hashtbl.iter
+      (fun y xs ->
+        let xs = List.sort_uniq compare xs in
+        let y_members = Hashtbl.find members y in
+        let y_size = List.length y_members in
+        let x_size = List.length xs in
+        if x_size > 0 && x_size < y_size then begin
+          (* split y into z (= xs) and the rest *)
+          let z = !next_block in
+          incr next_block;
+          let in_xs = Hashtbl.create x_size in
+          List.iter (fun q -> Hashtbl.replace in_xs q ()) xs;
+          let rest =
+            List.filter (fun q -> not (Hashtbl.mem in_xs q)) y_members
+          in
+          Hashtbl.replace members y rest;
+          Hashtbl.replace members z xs;
+          List.iter (fun q -> block.(q) <- z) xs;
+          let smaller = if x_size <= y_size - x_size then z else y in
+          for c' = 0 to k - 1 do
+            if Hashtbl.mem in_w (y, c') then push z c' else push smaller c'
+          done
+        end)
+      touched
+  done;
+  block
+
+let minimize_ref a =
+  let d, _ = Afsa.renumber (Determinize.determinize a) in
+  let n = Afsa.num_states d in
+  if n = 0 then d
+  else begin
+    let alpha = Array.of_list (Afsa.alphabet d) in
+    let k = Array.length alpha in
+    let col = Hashtbl.create (max 1 k) in
+    Array.iteri (fun c l -> Hashtbl.replace col l c) alpha;
+    let sink = n in
+    let m = n + 1 in
+    let succ = Array.make_matrix k m sink in
+    List.iter
+      (fun q ->
+        List.iter
+          (fun (sym, ts) ->
+            match (sym, ts) with
+            | Sym.L l, t :: _ -> succ.(Hashtbl.find col l).(q) <- t
+            | _ -> assert false (* deterministic, ε-free *))
+          (Afsa.out_rows d q))
+      (Afsa.states d);
+    let init_class =
+      Array.init m (fun q ->
+          if q = sink then (false, Chorev_formula.Pp.to_string F.True)
+          else
+            ( Afsa.is_final d q,
+              Chorev_formula.Pp.to_string
+                (Chorev_formula.Simplify.simplify (Afsa.annotation d q)) ))
+    in
+    let block = hopcroft_ref ~n:m ~k ~succ ~init_class in
+    let edges = ref [] in
+    let seen = Hashtbl.create 16 in
+    for q = 0 to n - 1 do
+      for c = 0 to k - 1 do
+        let t = succ.(c).(q) in
+        if t <> sink then begin
+          let e = (block.(q), Sym.L alpha.(c), block.(t)) in
+          if not (Hashtbl.mem seen e) then begin
+            Hashtbl.replace seen e ();
+            edges := e :: !edges
+          end
+        end
+      done
+    done;
+    let finals =
+      List.filter_map
+        (fun q -> if Afsa.is_final d q then Some block.(q) else None)
+        (Afsa.states d)
+      |> List.sort_uniq compare
+    in
+    let ann =
+      List.map (fun q -> (block.(q), Afsa.annotation d q)) (Afsa.states d)
+      |> List.sort_uniq compare
+    in
+    Afsa.make
+      ~alphabet:(Array.to_list alpha)
+      ~start:block.(Afsa.start d) ~finals ~edges:!edges ~ann ()
+    |> Afsa.trim |> Minimize.canonical_renumber
+  end

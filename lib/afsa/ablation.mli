@@ -39,3 +39,10 @@ val analyze_ref : Afsa.t -> Afsa.ISet.t * bool * int
     convention as {!Emptiness.analyze}. *)
 
 val is_empty_ref : Afsa.t -> bool
+
+val minimize_ref : Afsa.t -> Afsa.t
+(** The pre-rewrite minimization (list/Hashtbl Hopcroft, string class
+    keys, unconditional determinize + double renumbering), kept
+    verbatim as the oracle for the refinable-partition implementation:
+    [Minimize.minimize a] must be structurally equal to
+    [minimize_ref a] on every input. *)

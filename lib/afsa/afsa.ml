@@ -384,6 +384,12 @@ let add_edges a es =
     idx = None;
   }
 
+(** A handle on the same automaton with a private index cache. The
+    persistent fields are shared (they are immutable); only [idx] is
+    reset. Hand one to each parallel task that reads a shared automaton
+    so concurrent index builds never race on one Hashtbl. *)
+let copy a = { a with idx = None }
+
 let set_annotation a q f =
   let f = Chorev_formula.Simplify.simplify f in
   let ann =

@@ -123,6 +123,12 @@ val renumber : ?start_zero:bool -> t -> t * int IMap.t
 
 (** {1 Modification} *)
 
+val copy : t -> t
+(** Same automaton, private (empty) index cache. The persistent fields
+    are shared. Use one copy per parallel task when several domains
+    read the same automaton: the index Hashtbls are not thread-safe,
+    and a private handle keeps each domain's lazy index builds local. *)
+
 val add_edge : t -> int * Sym.t * int -> t
 
 val add_edges : t -> (int * Sym.t * int) list -> t

@@ -1,182 +1,64 @@
-(** Minimization of deterministic aFSAs by Hopcroft partition
-    refinement.
+(** Minimization of deterministic aFSAs by partition refinement.
 
     The initial partition distinguishes states by finality *and* by
     their simplified annotation, so states with different
-    mandatory-message obligations are never merged; refinement then
-    proceeds as for plain DFAs in O(|Σ|·n·log n). The input is
-    determinized and completed internally; dead states are trimmed from
-    the result and states are renumbered canonically (BFS from the
-    start in sorted-label order), so two automata with the same
-    annotated language minimize to structurally equal values — which is
-    what {!Equiv.equal_annotated} relies on. *)
+    mandatory-message obligations are never merged. Initial classes are
+    keyed by the hash-consed annotation itself ([Syntax.equal]/[hash],
+    physical fast path) instead of its printed string, and
+    already-deterministic ε-free inputs skip the determinization pass
+    entirely.
+
+    Refinement runs on Valmari-style refinable partitions over flat int
+    arrays: blocks are contiguous ranges of one element array, marking
+    moves an element to the front of its block in O(1) and a split is
+    two boundary updates. The main path trims first — only states that
+    are both reachable and co-reachable take part — and then refines
+    two partitions against each other: the live states, and the live
+    transitions grouped into cords by label (Valmari & Lehtinen's
+    two-partition scheme). That keeps the work proportional to the
+    *real* transitions, O(|T|·log|T|), instead of the |Q|·|Σ| cells of
+    the virtually-completed table — the difference between linear and
+    quadratic on workloads whose alphabet grows with the state count
+    (every scale family does). The result is the unique minimal
+    annotated DFA, renumbered canonically (BFS from the start in
+    sorted-label order), so two automata with the same annotated
+    language minimize to structurally equal values — which is what
+    {!Equiv.equal_annotated} relies on.
+
+    Empty-language inputs (no co-reachable start) fall back to
+    refinement over the virtually-completed table (one sink column
+    instead of |Q|·|Σ| edges): the single dead state the old trim used
+    to leave behind keeps exactly the self-loops and annotation that
+    its equivalence class under the *completed* relation had, and that
+    class is what the fallback computes. *)
 
 module F = Chorev_formula.Syntax
 module ISet = Afsa.ISet
 module IMap = Afsa.IMap
 
-(* Instrumentation (DESIGN.md §7): minimization runs and the size of
-   the virtually-completed transition table each run fills (states ×
-   symbols — the "sink-completion size" the virtual sink avoids
-   materializing as edges). *)
+(* Instrumentation (DESIGN.md §7): minimization runs, the size of the
+   virtually-completed transition table (states × symbols), and runs
+   that skipped determinization because the input was already
+   deterministic and ε-free. *)
 let c_runs = Chorev_obs.Metrics.counter "afsa.minimize.runs"
 let c_table_cells = Chorev_obs.Metrics.counter "afsa.minimize.table_cells"
+let c_det_fastpath = Chorev_obs.Metrics.counter "afsa.minimize.det_fastpath"
 let h_states = Chorev_obs.Metrics.histogram "afsa.minimize.input_states"
 
-(* Hopcroft on a complete DFA given as arrays. [init_class.(q)] is the
-   initial class of state [q] (finality × annotation); returns the
-   final block id per state. *)
-let hopcroft ~n ~k ~succ ~init_class =
-  (* predecessor lists per symbol *)
-  let pred = Array.init k (fun _ -> Array.make n []) in
-  for c = 0 to k - 1 do
-    for q = 0 to n - 1 do
-      let t = succ.(c).(q) in
-      pred.(c).(t) <- q :: pred.(c).(t)
-    done
-  done;
-  (* blocks *)
-  let block = Array.make n 0 in
-  let members : (int, int list) Hashtbl.t = Hashtbl.create 16 in
-  let next_block = ref 0 in
-  let by_class = Hashtbl.create 16 in
-  for q = 0 to n - 1 do
-    let id =
-      match Hashtbl.find_opt by_class init_class.(q) with
-      | Some id -> id
-      | None ->
-          let id = !next_block in
-          incr next_block;
-          Hashtbl.add by_class init_class.(q) id;
-          id
-    in
-    block.(q) <- id;
-    Hashtbl.replace members id
-      (q :: Option.value ~default:[] (Hashtbl.find_opt members id))
-  done;
-  (* worklist of (block, symbol) *)
-  let w = Queue.create () in
-  let in_w = Hashtbl.create 64 in
-  let push b c =
-    if not (Hashtbl.mem in_w (b, c)) then begin
-      Hashtbl.add in_w (b, c) ();
-      Queue.add (b, c) w
-    end
-  in
-  Hashtbl.iter (fun b _ -> for c = 0 to k - 1 do push b c done) members;
-  while not (Queue.is_empty w) do
-    let a, c = Queue.pop w in
-    Hashtbl.remove in_w (a, c);
-    (* X = c-preimage of block a *)
-    let x =
-      List.concat_map
-        (fun t -> pred.(c).(t))
-        (Option.value ~default:[] (Hashtbl.find_opt members a))
-    in
-    (* group X by current block *)
-    let touched = Hashtbl.create 8 in
-    List.iter
-      (fun q ->
-        Hashtbl.replace touched block.(q)
-          (q :: Option.value ~default:[] (Hashtbl.find_opt touched block.(q))))
-      x;
-    Hashtbl.iter
-      (fun y xs ->
-        let xs = List.sort_uniq compare xs in
-        let y_members = Hashtbl.find members y in
-        let y_size = List.length y_members in
-        let x_size = List.length xs in
-        if x_size > 0 && x_size < y_size then begin
-          (* split y into z (= xs) and the rest *)
-          let z = !next_block in
-          incr next_block;
-          let in_xs = Hashtbl.create x_size in
-          List.iter (fun q -> Hashtbl.replace in_xs q ()) xs;
-          let rest = List.filter (fun q -> not (Hashtbl.mem in_xs q)) y_members in
-          Hashtbl.replace members y rest;
-          Hashtbl.replace members z xs;
-          List.iter (fun q -> block.(q) <- z) xs;
-          let smaller = if x_size <= y_size - x_size then z else y in
-          for c' = 0 to k - 1 do
-            if Hashtbl.mem in_w (y, c') then push z c' else push smaller c'
-          done
-        end)
-      touched
-  done;
-  block
+(* Initial-class keys: finality × simplified annotation. Annotations
+   are hash-consed, so [F.equal] is usually one physical comparison. *)
+module ClassTbl = Hashtbl.Make (struct
+  type t = bool * F.t
 
-let rec minimize a =
-  (* Hopcroft needs a complete DFA, but the completion stays virtual: a
-     sink column [n] in the arrays instead of |Q|·|Σ| materialized
-     edges. Transitions into the sink are dropped when rebuilding the
-     automaton — they lead to dead blocks that [Afsa.trim] would remove
-     anyway. *)
-  let d, _ = Afsa.renumber (Determinize.determinize a) in
-  let n = Afsa.num_states d in
-  Chorev_obs.Metrics.incr c_runs;
-  Chorev_obs.Metrics.observe h_states (float_of_int n);
-  if n = 0 then d
-  else begin
-    let alpha = Array.of_list (Afsa.alphabet d) in
-    let k = Array.length alpha in
-    Chorev_obs.Metrics.add c_table_cells (k * (n + 1));
-    let col = Hashtbl.create (max 1 k) in
-    Array.iteri (fun c l -> Hashtbl.replace col l c) alpha;
-    let sink = n in
-    let m = n + 1 in
-    let succ = Array.make_matrix k m sink in
-    List.iter
-      (fun q ->
-        List.iter
-          (fun (sym, ts) ->
-            match (sym, ts) with
-            | Sym.L l, t :: _ -> succ.(Hashtbl.find col l).(q) <- t
-            | _ -> assert false (* deterministic, ε-free *))
-          (Afsa.out_rows d q))
-      (Afsa.states d);
-    let init_class =
-      Array.init m (fun q ->
-          if q = sink then (false, Chorev_formula.Pp.to_string F.True)
-          else
-            ( Afsa.is_final d q,
-              Chorev_formula.Pp.to_string
-                (Chorev_formula.Simplify.simplify (Afsa.annotation d q)) ))
-    in
-    let block = hopcroft ~n:m ~k ~succ ~init_class in
-    let edges = ref [] in
-    let seen = Hashtbl.create 16 in
-    for q = 0 to n - 1 do
-      for c = 0 to k - 1 do
-        let t = succ.(c).(q) in
-        if t <> sink then begin
-          let e = (block.(q), Sym.L alpha.(c), block.(t)) in
-          if not (Hashtbl.mem seen e) then begin
-            Hashtbl.replace seen e ();
-            edges := e :: !edges
-          end
-        end
-      done
-    done;
-    let finals =
-      List.filter_map
-        (fun q -> if Afsa.is_final d q then Some block.(q) else None)
-        (Afsa.states d)
-      |> List.sort_uniq compare
-    in
-    let ann =
-      List.map (fun q -> (block.(q), Afsa.annotation d q)) (Afsa.states d)
-      |> List.sort_uniq compare
-    in
-    Afsa.make
-      ~alphabet:(Array.to_list alpha)
-      ~start:block.(Afsa.start d) ~finals ~edges:!edges ~ann ()
-    |> Afsa.trim |> canonical_renumber
-  end
+  let equal (b1, f1) (b2, f2) = Bool.equal b1 b2 && F.equal f1 f2
+  let hash (b, f) = Hashtbl.hash (b, F.hash f)
+end)
 
 (** Canonical state numbering: BFS from the start, exploring outgoing
     edges in sorted label order. Two isomorphic deterministic automata
-    renumber to structurally equal ones. *)
-and canonical_renumber m =
+    renumber to structurally equal ones. Exposed for tests and kept as
+    the reference the fused pass inside {!minimize} must agree with. *)
+let canonical_renumber m =
   let order = ref [] in
   let seen = Hashtbl.create 16 in
   let q = Queue.create () in
@@ -213,3 +95,587 @@ and canonical_renumber m =
     ~edges:(List.map (fun (s, y, t) -> (f s, y, f t)) (Afsa.edges m))
     ~ann:(List.map (fun (s, e) -> (f s, e)) (Afsa.annotations m))
     ()
+
+(* A refinable partition of the dense ids [0..m-1] (used both for
+   states and for transitions).
+
+   [elems] lists the ids, grouped so each block occupies a contiguous
+   range [first.(b), past.(b)); [loc.(e)] is [e]'s position in [elems]
+   and [blk.(e)] its block. Marking an element swaps it into the marked
+   prefix of its block (O(1)); splitting a block with both marked and
+   unmarked elements moves one boundary and gives the *smaller* half
+   the fresh block id — the invariant the "process the smaller half"
+   amortization needs. *)
+type partition = {
+  elems : int array;
+  loc : int array;
+  blk : int array;
+  first : int array;
+  past : int array;
+  marked : int array;
+  touched : int array;  (* blocks with ≥1 marked element, this splitter *)
+  mutable ntouched : int;
+  mutable nblocks : int;
+}
+
+let mark p e =
+  let b = p.blk.(e) in
+  let i = p.loc.(e) in
+  let mstart = p.first.(b) + p.marked.(b) in
+  if i >= mstart then begin
+    let e' = p.elems.(mstart) in
+    p.elems.(i) <- e';
+    p.loc.(e') <- i;
+    p.elems.(mstart) <- e;
+    p.loc.(e) <- mstart;
+    if p.marked.(b) = 0 then begin
+      p.touched.(p.ntouched) <- b;
+      p.ntouched <- p.ntouched + 1
+    end;
+    p.marked.(b) <- p.marked.(b) + 1
+  end
+
+(* Split every touched block into marked/unmarked halves; [on_new z] is
+   called once per block created. *)
+let split_touched p on_new =
+  for ti = 0 to p.ntouched - 1 do
+    let y = p.touched.(ti) in
+    let mk = p.marked.(y) in
+    let sz = p.past.(y) - p.first.(y) in
+    p.marked.(y) <- 0;
+    if mk < sz then begin
+      let z = p.nblocks in
+      p.nblocks <- z + 1;
+      if mk <= sz - mk then begin
+        (* fresh block = marked prefix *)
+        p.first.(z) <- p.first.(y);
+        p.past.(z) <- p.first.(y) + mk;
+        p.first.(y) <- p.past.(z)
+      end
+      else begin
+        (* fresh block = unmarked suffix *)
+        p.first.(z) <- p.first.(y) + mk;
+        p.past.(z) <- p.past.(y);
+        p.past.(y) <- p.first.(z)
+      end;
+      for i = p.first.(z) to p.past.(z) - 1 do
+        p.blk.(p.elems.(i)) <- z
+      done;
+      on_new z
+    end
+  done;
+  p.ntouched <- 0
+
+(* Partition of [0..m-1] from a dense class assignment [cls] (classes
+   [0..ncls-1]), elements laid out block-contiguously by counting
+   sort. [cap] bounds how many blocks the partition can ever hold,
+   splits included. *)
+let partition_make ~cap m cls ncls =
+  let cap = max 1 cap in
+  let p =
+    {
+      elems = Array.make (max 1 m) 0;
+      loc = Array.make (max 1 m) 0;
+      blk = Array.make (max 1 m) 0;
+      first = Array.make cap 0;
+      past = Array.make cap 0;
+      marked = Array.make cap 0;
+      touched = Array.make cap 0;
+      ntouched = 0;
+      nblocks = ncls;
+    }
+  in
+  Array.blit cls 0 p.blk 0 m;
+  let sizes = Array.make (max 1 ncls) 0 in
+  for e = 0 to m - 1 do
+    sizes.(cls.(e)) <- sizes.(cls.(e)) + 1
+  done;
+  let off = ref 0 in
+  for b = 0 to ncls - 1 do
+    p.first.(b) <- !off;
+    off := !off + sizes.(b);
+    p.past.(b) <- !off;
+    sizes.(b) <- p.first.(b)
+  done;
+  for e = 0 to m - 1 do
+    let b = cls.(e) in
+    p.elems.(sizes.(b)) <- e;
+    p.loc.(e) <- sizes.(b);
+    sizes.(b) <- sizes.(b) + 1
+  done;
+  p
+
+(* Initial state classes by (finality, simplified annotation), densely
+   numbered in first-seen order. *)
+let initial_classes nstates final_of ann_of =
+  let class_ids = ClassTbl.create 16 in
+  let cls = Array.make (max 1 nstates) 0 in
+  let ncls = ref 0 in
+  for q = 0 to nstates - 1 do
+    let key = (final_of q, ann_of q) in
+    let b =
+      match ClassTbl.find_opt class_ids key with
+      | Some b -> b
+      | None ->
+          let b = !ncls in
+          incr ncls;
+          ClassTbl.add class_ids key b;
+          b
+    in
+    cls.(q) <- b
+  done;
+  (cls, !ncls)
+
+(* ------------------------------------------------------------------ *)
+(* Fallback: refinement over the virtually-completed table.           *)
+(* ------------------------------------------------------------------ *)
+
+(* Only empty-language inputs come here: the single state the result
+   keeps stands for the start's equivalence class under the
+   *completed* relation (dead states merge with the sink only when
+   their whole behaviour does), and its surviving self-loops and
+   annotation depend on that class — which the sparse live-core path
+   never computes. Inputs with a live start never reach this function;
+   size is whatever the automaton is, and empty-language automata are
+   small in practice, so the |Q|·|Σ| table is affordable here. *)
+let minimize_completed d state_ids n alpha k dense_of =
+  let sink = n in
+  let m = n + 1 in
+  let col = Hashtbl.create (max 1 k) in
+  Array.iteri (fun c l -> Hashtbl.replace col l c) alpha;
+  (* Transition table of the virtually-completed DFA: succ.(q*k + c),
+     missing transitions go to the sink column. *)
+  let succ = Array.make (max 1 (m * k)) sink in
+  Array.iteri
+    (fun qi q ->
+      List.iter
+        (fun (sym, ts) ->
+          match (sym, ts) with
+          | Sym.L l, [ t ] -> succ.((qi * k) + Hashtbl.find col l) <- dense_of t
+          | _ -> assert false (* deterministic, ε-free *))
+        (Afsa.out_rows d q))
+    state_ids;
+  (* Per-symbol CSR predecessor table: the c-predecessors of dense
+     state t are cdata.(c).(j) for coff.(c).(t) ≤ j < coff.(c).(t+1).
+     Exactly m entries per symbol (the DFA is complete). *)
+  let coff = Array.init k (fun _ -> Array.make (m + 1) 0) in
+  let cdata = Array.init k (fun _ -> Array.make m 0) in
+  for q = 0 to m - 1 do
+    for c = 0 to k - 1 do
+      let o = coff.(c) in
+      let t = succ.((q * k) + c) in
+      o.(t + 1) <- o.(t + 1) + 1
+    done
+  done;
+  for c = 0 to k - 1 do
+    let o = coff.(c) in
+    for t = 0 to m - 1 do
+      o.(t + 1) <- o.(t + 1) + o.(t)
+    done
+  done;
+  let cursor = Array.init k (fun c -> Array.copy coff.(c)) in
+  for q = 0 to m - 1 do
+    for c = 0 to k - 1 do
+      let t = succ.((q * k) + c) in
+      let cur = cursor.(c) in
+      cdata.(c).(cur.(t)) <- q;
+      cur.(t) <- cur.(t) + 1
+    done
+  done;
+  (* Finality and (simplified) annotation per dense id; the sink is a
+     non-final True state. *)
+  let final_d = Array.make m false in
+  let ann_d = Array.make m F.True in
+  Array.iteri
+    (fun qi q ->
+      final_d.(qi) <- Afsa.is_final d q;
+      ann_d.(qi) <- Chorev_formula.Simplify.simplify (Afsa.annotation d q))
+    state_ids;
+  let cls, ncls = initial_classes m (Array.get final_d) (Array.get ann_d) in
+  let p = partition_make ~cap:m m cls ncls in
+  (* Worklist of (block, symbol), encoded b*k+c. Each pair enters at
+     most once (at block creation), so m*k bounds the stack. *)
+  let wstack = Array.make (max 1 (m * k)) 0 in
+  let wtop = ref 0 in
+  let push b =
+    for c = 0 to k - 1 do
+      wstack.(!wtop) <- (b * k) + c;
+      incr wtop
+    done
+  in
+  for b = 0 to ncls - 1 do
+    push b
+  done;
+  let scratch = Array.make m 0 in
+  while !wtop > 0 do
+    decr wtop;
+    let code = wstack.(!wtop) in
+    let b = code / k and c = code mod k in
+    (* Copy the splitter's members first: marking reorders [elems]
+       inside other blocks — including b itself when a member's
+       c-successor lands back in b. *)
+    let f0 = p.first.(b) in
+    let cnt = p.past.(b) - f0 in
+    Array.blit p.elems f0 scratch 0 cnt;
+    let o = coff.(c) and data = cdata.(c) in
+    for i = 0 to cnt - 1 do
+      let t = scratch.(i) in
+      for j = o.(t) to o.(t + 1) - 1 do
+        mark p data.(j)
+      done
+    done;
+    split_touched p push
+  done;
+  (* Quotient, trimming and the canonical BFS renumbering, fused. *)
+  let nb = p.nblocks in
+  let rep b = p.elems.(p.first.(b)) in
+  let bsucc b c = p.blk.(succ.((rep b * k) + c)) in
+  (* Co-reachability on blocks: reverse BFS from the final blocks.
+     (Finality is uniform within a block by construction.) *)
+  let colive = Array.make nb false in
+  let stack = ref [] in
+  for b = 0 to nb - 1 do
+    if final_d.(rep b) then begin
+      colive.(b) <- true;
+      stack := b :: !stack
+    end
+  done;
+  let rpreds = Array.make nb [] in
+  for b = 0 to nb - 1 do
+    for c = 0 to k - 1 do
+      let t = bsucc b c in
+      rpreds.(t) <- b :: rpreds.(t)
+    done
+  done;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | b :: rest ->
+        stack := rest;
+        List.iter
+          (fun pb ->
+            if not colive.(pb) then begin
+              colive.(pb) <- true;
+              stack := pb :: !stack
+            end)
+          rpreds.(b);
+        drain ()
+  in
+  drain ();
+  let sb = p.blk.(dense_of (Afsa.start d)) in
+  let alpha_list = Array.to_list alpha in
+  if not colive.(sb) then begin
+    (* Dead start: the language is empty; keep one state, preserving
+       the start block's real self-loops and annotation (what trimming
+       the materialized quotient used to leave behind). *)
+    let edges = ref [] in
+    for c = k - 1 downto 0 do
+      if bsucc sb c = sb then begin
+        (* a self-loop survives only if backed by a non-sink target *)
+        let backed = ref false in
+        for i = p.first.(sb) to p.past.(sb) - 1 do
+          let q = p.elems.(i) in
+          if q <> sink && succ.((q * k) + c) <> sink then backed := true
+        done;
+        if !backed then edges := (0, Sym.L alpha.(c), 0) :: !edges
+      end
+    done;
+    let ann = if rep sb = sink then [] else [ (0, ann_d.(rep sb)) ] in
+    Afsa.make ~alphabet:alpha_list ~start:0 ~finals:[] ~edges:!edges ~ann ()
+  end
+  else begin
+    (* Canonical BFS from the start block over live targets, assigning
+       new ids in discovery order; symbols are already in sorted label
+       order, which is exactly the Sym order the reference
+       [canonical_renumber] sorts by. *)
+    let newid = Array.make nb (-1) in
+    let queue = Queue.create () in
+    newid.(sb) <- 0;
+    let next = ref 1 in
+    Queue.add sb queue;
+    let edges = ref [] in
+    let finals = ref [] in
+    let ann = ref [] in
+    while not (Queue.is_empty queue) do
+      let b = Queue.pop queue in
+      let id = newid.(b) in
+      if final_d.(rep b) then finals := id :: !finals;
+      let f = ann_d.(rep b) in
+      if not (F.equal f F.True) then ann := (id, f) :: !ann;
+      for c = 0 to k - 1 do
+        let t = bsucc b c in
+        if colive.(t) then begin
+          if newid.(t) < 0 then begin
+            newid.(t) <- !next;
+            incr next;
+            Queue.add t queue
+          end;
+          edges := (id, Sym.L alpha.(c), newid.(t)) :: !edges
+        end
+      done
+    done;
+    Afsa.make ~alphabet:alpha_list ~start:0 ~finals:!finals ~edges:!edges
+      ~ann:!ann ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Main path: trim first, then refine states against transition cords *)
+(* over the live core only.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let minimize a =
+  Chorev_obs.Metrics.incr c_runs;
+  (* A deterministic input (no ε, ≤1 target per symbol) goes straight
+     to refinement; determinization would only ε-eliminate (a no-op)
+     and renumber (the dense mapping below subsumes it). *)
+  let d =
+    if Afsa.is_deterministic a then begin
+      Chorev_obs.Metrics.incr c_det_fastpath;
+      a
+    end
+    else Determinize.determinize a
+  in
+  let state_ids = Array.of_list (Afsa.states d) in
+  let n = Array.length state_ids in
+  Chorev_obs.Metrics.observe h_states (float_of_int n);
+  let alpha = Array.of_list (Afsa.alphabet d) in
+  let k = Array.length alpha in
+  Chorev_obs.Metrics.add c_table_cells (k * (n + 1));
+  (* Dense ids: state_ids.(i) ↔ i. Determinize output is already dense
+     from 0; the fast path may see sparse ids. *)
+  let dense_of =
+    if n > 0 && state_ids.(0) = 0 && state_ids.(n - 1) = n - 1 then fun q -> q
+    else begin
+      let tbl = Hashtbl.create (2 * n) in
+      Array.iteri (fun i q -> Hashtbl.replace tbl q i) state_ids;
+      fun q -> Hashtbl.find tbl q
+    end
+  in
+  if n = 0 then minimize_completed d state_ids n alpha k dense_of
+  else begin
+    (* Real transitions with dense endpoints and label column ids. *)
+    let col = Hashtbl.create (max 1 k) in
+    Array.iteri (fun c l -> Hashtbl.replace col l c) alpha;
+    let nt = ref 0 in
+    Array.iter
+      (fun q -> nt := !nt + List.length (Afsa.out_rows d q))
+      state_ids;
+    let t0 = !nt in
+    let tt = Array.make (max 1 t0) 0 in
+    let tl = Array.make (max 1 t0) 0 in
+    let th = Array.make (max 1 t0) 0 in
+    let ti = ref 0 in
+    Array.iteri
+      (fun qi q ->
+        List.iter
+          (fun (sym, ts) ->
+            match (sym, ts) with
+            | Sym.L l, [ t ] ->
+                tt.(!ti) <- qi;
+                tl.(!ti) <- Hashtbl.find col l;
+                th.(!ti) <- dense_of t;
+                incr ti
+            | _ -> assert false (* deterministic, ε-free *))
+          (Afsa.out_rows d q))
+      state_ids;
+    (* Reachability from the start and co-reachability from the finals
+       over the real edges; only their intersection (the live core)
+       takes part in refinement. Any path from the start to a live
+       state runs through live states, so the quotient stays connected. *)
+    let csr key =
+      let off = Array.make (n + 1) 0 in
+      for t = 0 to t0 - 1 do
+        off.(key.(t) + 1) <- off.(key.(t) + 1) + 1
+      done;
+      for q = 0 to n - 1 do
+        off.(q + 1) <- off.(q + 1) + off.(q)
+      done;
+      let data = Array.make (max 1 t0) 0 in
+      let cur = Array.copy off in
+      for t = 0 to t0 - 1 do
+        data.(cur.(key.(t))) <- t;
+        cur.(key.(t)) <- cur.(key.(t)) + 1
+      done;
+      (off, data)
+    in
+    let aoff, adata = csr tt in
+    let ioff, idata = csr th in
+    let queue = Array.make n 0 in
+    let bfs roots ends_of off data =
+      let seen = Array.make n false in
+      let qe = ref 0 in
+      let enq v =
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          queue.(!qe) <- v;
+          incr qe
+        end
+      in
+      List.iter enq roots;
+      let qh = ref 0 in
+      while !qh < !qe do
+        let s = queue.(!qh) in
+        incr qh;
+        for j = off.(s) to off.(s + 1) - 1 do
+          enq (ends_of data.(j))
+        done
+      done;
+      seen
+    in
+    let start_d = dense_of (Afsa.start d) in
+    let reach = bfs [ start_d ] (fun t -> th.(t)) aoff adata in
+    let final_roots =
+      List.filter_map
+        (fun q -> if Afsa.is_final d q then Some (dense_of q) else None)
+        (Afsa.finals d)
+    in
+    let coreach = bfs final_roots (fun t -> tt.(t)) ioff idata in
+    if not (reach.(start_d) && coreach.(start_d)) then
+      minimize_completed d state_ids n alpha k dense_of
+    else begin
+      let live q = reach.(q) && coreach.(q) in
+      let lid = Array.make n (-1) in
+      let nl = ref 0 in
+      for q = 0 to n - 1 do
+        if live q then begin
+          lid.(q) <- !nl;
+          incr nl
+        end
+      done;
+      let nl = !nl in
+      let lstate = Array.make nl 0 in
+      for q = 0 to n - 1 do
+        if lid.(q) >= 0 then lstate.(lid.(q)) <- q
+      done;
+      (* Live transitions in ascending label order (counting sort);
+         edges into dead states disappear — a dead successor is
+         indistinguishable from a missing one. *)
+      let lcnt = Array.make (k + 1) 0 in
+      for t = 0 to t0 - 1 do
+        lcnt.(tl.(t) + 1) <- lcnt.(tl.(t) + 1) + 1
+      done;
+      for c = 0 to k - 1 do
+        lcnt.(c + 1) <- lcnt.(c + 1) + lcnt.(c)
+      done;
+      let ord = Array.make (max 1 t0) 0 in
+      let cur = Array.copy lcnt in
+      for t = 0 to t0 - 1 do
+        ord.(cur.(tl.(t))) <- t;
+        cur.(tl.(t)) <- cur.(tl.(t)) + 1
+      done;
+      let ft = Array.make (max 1 t0) 0 in
+      let fl = Array.make (max 1 t0) 0 in
+      let fh = Array.make (max 1 t0) 0 in
+      let tn = ref 0 in
+      for i = 0 to t0 - 1 do
+        let t = ord.(i) in
+        if live tt.(t) && live th.(t) then begin
+          ft.(!tn) <- lid.(tt.(t));
+          fl.(!tn) <- tl.(t);
+          fh.(!tn) <- lid.(th.(t));
+          incr tn
+        end
+      done;
+      let tn = !tn in
+      (* Out-CSR by tail: stable over the label order, so each state's
+         transitions come out label-ascending — the order the canonical
+         BFS needs. In-CSR by head drives cord marking. *)
+      let lcsr key =
+        let off = Array.make (nl + 1) 0 in
+        for t = 0 to tn - 1 do
+          off.(key.(t) + 1) <- off.(key.(t) + 1) + 1
+        done;
+        for q = 0 to nl - 1 do
+          off.(q + 1) <- off.(q + 1) + off.(q)
+        done;
+        let data = Array.make (max 1 tn) 0 in
+        let cur = Array.copy off in
+        for t = 0 to tn - 1 do
+          data.(cur.(key.(t))) <- t;
+          cur.(key.(t)) <- cur.(key.(t)) + 1
+        done;
+        (off, data)
+      in
+      let ooff, oidx = lcsr ft in
+      let inoff, inidx = lcsr fh in
+      let final_l = Array.make (max 1 nl) false in
+      let ann_l = Array.make (max 1 nl) F.True in
+      for li = 0 to nl - 1 do
+        let q = state_ids.(lstate.(li)) in
+        final_l.(li) <- Afsa.is_final d q;
+        ann_l.(li) <- Chorev_formula.Simplify.simplify (Afsa.annotation d q)
+      done;
+      let cls, ncls = initial_classes nl (Array.get final_l) (Array.get ann_l) in
+      let pb = partition_make ~cap:nl nl cls ncls in
+      (* Cords: one initial set per label in use (fl is label-sorted,
+         so classes appear contiguously). *)
+      let ccls = Array.make (max 1 tn) 0 in
+      let ncc = ref 0 in
+      let last_lab = ref (-1) in
+      for t = 0 to tn - 1 do
+        if fl.(t) <> !last_lab then begin
+          last_lab := fl.(t);
+          incr ncc
+        end;
+        ccls.(t) <- !ncc - 1
+      done;
+      let pc = partition_make ~cap:(max 1 tn) tn ccls !ncc in
+      (* Valmari & Lehtinen's loop: each cord set splits state blocks
+         by its tails, each state block (except the first) splits cords
+         by its members' incoming transitions; every set created is
+         processed exactly once, in creation order. *)
+      let no_new = fun (_ : int) -> () in
+      let bi = ref 1 and ci = ref 0 in
+      while !ci < pc.nblocks do
+        for i = pc.first.(!ci) to pc.past.(!ci) - 1 do
+          mark pb ft.(pc.elems.(i))
+        done;
+        split_touched pb no_new;
+        incr ci;
+        while !bi < pb.nblocks do
+          for i = pb.first.(!bi) to pb.past.(!bi) - 1 do
+            let s = pb.elems.(i) in
+            for j = inoff.(s) to inoff.(s + 1) - 1 do
+              mark pc inidx.(j)
+            done
+          done;
+          split_touched pc no_new;
+          incr bi
+        done
+      done;
+      (* Quotient + canonical BFS renumbering in one pass: every block
+         is live and reachable from the start block, and each rep's
+         out-transitions are already label-ascending. *)
+      let nb = pb.nblocks in
+      let rep b = pb.elems.(pb.first.(b)) in
+      let sb = pb.blk.(lid.(start_d)) in
+      let newid = Array.make nb (-1) in
+      let bqueue = Queue.create () in
+      newid.(sb) <- 0;
+      let next = ref 1 in
+      Queue.add sb bqueue;
+      let edges = ref [] in
+      let finals = ref [] in
+      let ann = ref [] in
+      while not (Queue.is_empty bqueue) do
+        let b = Queue.pop bqueue in
+        let id = newid.(b) in
+        let r = rep b in
+        if final_l.(r) then finals := id :: !finals;
+        let f = ann_l.(r) in
+        if not (F.equal f F.True) then ann := (id, f) :: !ann;
+        for j = ooff.(r) to ooff.(r + 1) - 1 do
+          let t = oidx.(j) in
+          let tb = pb.blk.(fh.(t)) in
+          if newid.(tb) < 0 then begin
+            newid.(tb) <- !next;
+            incr next;
+            Queue.add tb bqueue
+          end;
+          edges := (id, Sym.L alpha.(fl.(t)), newid.(tb)) :: !edges
+        done
+      done;
+      Afsa.make ~alphabet:(Array.to_list alpha) ~start:0 ~finals:!finals
+        ~edges:!edges ~ann:!ann ()
+    end
+  end

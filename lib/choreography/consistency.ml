@@ -6,6 +6,7 @@
 
 module View = Chorev_afsa.View
 module Metrics = Chorev_obs.Metrics
+module Pool = Chorev_parallel.Pool
 
 type pair_verdict = {
   party_a : string;
@@ -39,16 +40,34 @@ let check_pair t p1 p2 =
 
 let consistent_pair t p1 p2 = Result.map (fun v -> v.consistent) (check_pair t p1 p2)
 
-(** Verdicts for every interacting pair. *)
-let check_all t =
-  List.map
-    (fun (a, b) -> check_members a (Model.member_exn t a) b (Model.member_exn t b))
-    (Model.pairs t)
+(** Verdicts for every interacting pair, in [Model.pairs] order. Total
+    like {!check_pair}: a pair whose member entry has vanished is
+    skipped rather than raising. Pairs fan out over the domain pool
+    ([?pool], default {!Pool.default}); each task works on a private
+    {!Chorev_afsa.Afsa.copy} of the public processes so concurrent
+    index builds stay domain-local, and order preservation makes the
+    result structurally equal to the sequential one. *)
+let check_all ?pool t =
+  let tasks =
+    List.filter_map
+      (fun (a, b) ->
+        match (Model.find_party t a, Model.find_party t b) with
+        | Ok m1, Ok m2 -> Some (a, m1, b, m2)
+        | Error _, _ | _, Error _ -> None)
+      (Model.pairs t)
+  in
+  Pool.map ?pool
+    (fun (a, (m1 : Model.member), b, (m2 : Model.member)) ->
+      check_members a
+        { m1 with public_process = Chorev_afsa.Afsa.copy m1.public_process }
+        b
+        { m2 with public_process = Chorev_afsa.Afsa.copy m2.public_process })
+    tasks
 
 (** The choreography is consistent iff all interacting pairs are. *)
-let consistent t =
+let consistent ?pool t =
   Chorev_obs.Obs.span "consistency.check_all" @@ fun () ->
-  List.for_all (fun v -> v.consistent) (check_all t)
+  List.for_all (fun v -> v.consistent) (check_all ?pool t)
 
 (** The protocol agreed between two parties — the paper's
     "A ∩ B ≠ ∅ … the protocol (choreography) between them" (Sec. 4.2):

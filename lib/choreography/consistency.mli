@@ -19,8 +19,15 @@ val check_pair :
 val consistent_pair :
   Model.t -> string -> string -> (bool, [ `Unknown_party of string ]) result
 
-val check_all : Model.t -> pair_verdict list
-val consistent : Model.t -> bool
+val check_all : ?pool:Chorev_parallel.Pool.t -> Model.t -> pair_verdict list
+(** One verdict per interacting pair, in [Model.pairs] order. Total:
+    broken member entries are skipped, never raised on. The per-pair
+    checks fan out over the pool (default {!Chorev_parallel.Pool.default},
+    which is sequential unless [--jobs]/[CHOREV_DOMAINS] say otherwise);
+    the result is structurally equal to the sequential one for every
+    pool size. *)
+
+val consistent : ?pool:Chorev_parallel.Pool.t -> Model.t -> bool
 
 val protocol :
   Model.t ->

@@ -30,12 +30,14 @@ module Classify = Chorev_change.Classify
 module Engine = Chorev_propagate.Engine
 module Obs = Chorev_obs.Obs
 module Metrics = Chorev_obs.Metrics
+module Pool = Chorev_parallel.Pool
 open Chorev_bpel
 
 type config = Engine.config = {
   auto_apply : bool;
   max_rounds : int;
   obs : Chorev_obs.Sink.t option;
+  jobs : int;
 }
 
 let default = Engine.default
@@ -73,14 +75,20 @@ let classify_partner ~owner ~old_public ~new_public t partner =
 
 (* Per-partner step of a round: classification (which emits its own
    [classify] span) and, for variant partners, the propagation engine.
-   Returns the report, the possibly-updated choreography and the
-   adapted-processes accumulator. *)
-let run_partner (config : config) ~owner ~old_public ~new_public t_acc adapted
-    partner =
+   The step reads only the partner's own public/private processes and
+   the owner's old/new publics — never another partner's state — which
+   is what makes the per-partner fan-out below sound. Returns the
+   report and the partner's auto-adapted private process, if any. *)
+let run_partner_step (config : config) ~owner ~old_public ~new_public
+    ~partner_public ~partner_private partner =
   Obs.span "partner" ~attrs:[ ("partner", str partner) ] @@ fun () ->
-  let verdict = classify_partner ~owner ~old_public ~new_public t_acc partner in
+  let partner_view = Chorev_afsa.View.tau ~observer:owner partner_public in
+  let verdict =
+    Classify.classify ~owner ~partner ~old_public ~new_public
+      ~partner_public:partner_view
+  in
   if not (Classify.requires_propagation verdict) then
-    ({ partner; verdict; outcome = None }, t_acc, adapted)
+    ({ partner; verdict; outcome = None }, None)
   else
     let direction = Engine.direction_of_framework verdict.Classify.framework in
     let outcome =
@@ -88,21 +96,27 @@ let run_partner (config : config) ~owner ~old_public ~new_public t_acc adapted
          must not re-install it *)
       Engine.run
         ~config:{ config with obs = None }
-        ~direction ~a':new_public
-        ~partner_private:(Model.private_ t_acc partner)
-        ()
+        ~direction ~a':new_public ~partner_private ()
     in
-    let t_acc, adapted =
-      match outcome.Engine.adapted with
-      | Some p' -> (Model.update t_acc p', (partner, p') :: adapted)
-      | None -> (t_acc, adapted)
-    in
-    ({ partner; verdict; outcome = Some outcome }, t_acc, adapted)
+    ({ partner; verdict; outcome = Some outcome }, outcome.Engine.adapted)
+
+(* The pool a round fans out over: [config.jobs] if positive, else the
+   process default ([--jobs] / [CHOREV_DOMAINS], sequential when
+   unset). *)
+let round_pool (config : config) =
+  Pool.sized (if config.jobs > 0 then config.jobs else Pool.default_size ())
 
 (* One round: [changed] replaces [owner]'s private process; returns the
    round report, the updated choreography, and the list of partners
    whose private processes were auto-adapted (next round's
-   originators). *)
+   originators).
+
+   The per-partner steps are independent (see [run_partner_step]), so
+   they run as an order-preserving parallel map — each task on private
+   {!Afsa.copy} handles of the shared automata — followed by a
+   sequential in-partner-order fold applying the model updates, making
+   the result structurally identical to the old sequential loop for
+   every pool size. *)
 let run_round (config : config) t owner (changed : Process.t) =
   Metrics.incr c_rounds;
   Obs.span "round" ~attrs:[ ("originator", str owner) ] @@ fun () ->
@@ -121,15 +135,29 @@ let run_round (config : config) t owner (changed : Process.t) =
     let partners =
       List.filter (fun p -> Model.interact t' owner p) (Model.parties t')
     in
+    let tasks =
+      List.map (fun p -> (p, Model.public t' p, Model.private_ t' p)) partners
+    in
+    let results =
+      Pool.map ~pool:(round_pool config)
+        (fun (partner, partner_public, partner_private) ->
+          run_partner_step config ~owner
+            ~old_public:(Afsa.copy old_public)
+            ~new_public:(Afsa.copy new_public)
+            ~partner_public:(Afsa.copy partner_public)
+            ~partner_private partner)
+        tasks
+    in
     let reports, t'', adapted =
       List.fold_left
-        (fun (reports, t_acc, adapted) partner ->
-          let report, t_acc, adapted =
-            run_partner config ~owner ~old_public ~new_public t_acc adapted
-              partner
-          in
-          (report :: reports, t_acc, adapted))
-        ([], t', []) partners
+        (fun (reports, t_acc, adapted) (report, adapted_proc) ->
+          match adapted_proc with
+          | Some p' ->
+              ( report :: reports,
+                Model.update t_acc p',
+                (report.partner, p') :: adapted )
+          | None -> (report :: reports, t_acc, adapted))
+        ([], t', []) results
     in
     ( { originator = owner; public_changed = true; partners = List.rev reports },
       t'',
@@ -158,7 +186,7 @@ let run ?(config = default) t ~owner ~changed =
             {
               rounds = List.rev rounds;
               choreography = t;
-              consistent = Consistency.consistent t;
+              consistent = Consistency.consistent ~pool:(round_pool config) t;
             }
           in
           let rec go t rounds budget pending =

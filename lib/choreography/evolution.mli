@@ -12,12 +12,18 @@ type config = Chorev_propagate.Engine.config = {
   obs : Chorev_obs.Sink.t option;
       (** trace sink installed for the duration of the run; [None]
           (default) inherits the ambient {!Chorev_obs.Obs} sink *)
+  jobs : int;
+      (** domain-pool size for the per-partner fan-out of each round
+          and the final consistency sweep; [0] (default) defers to
+          [Chorev_parallel.Pool.default_size] ([--jobs] /
+          [CHOREV_DOMAINS]). Results are structurally identical for
+          every pool size. *)
 }
 (** Alias of {!Chorev_propagate.Engine.config}: one record configures
     both the per-partner engine and the whole-choreography pipeline. *)
 
 val default : config
-(** [{ auto_apply = true; max_rounds = 8; obs = None }] *)
+(** [{ auto_apply = true; max_rounds = 8; obs = None; jobs = 0 }] *)
 
 type partner_report = {
   partner : string;

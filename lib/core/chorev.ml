@@ -140,3 +140,8 @@ module Obs = struct
   module Metrics = Chorev_obs.Metrics
   module Profile = Chorev_obs.Profile
 end
+
+(* Multicore fan-out *)
+module Parallel = struct
+  module Pool = Chorev_parallel.Pool
+end

@@ -105,7 +105,11 @@ module Memo = Hashtbl.Make (struct
   let hash = Syntax.hash
 end)
 
-let memo : Syntax.t Memo.t = Memo.create 4096
+(* Per-domain, like the hash-consing table: worker domains build their
+   own (equally hot) memo instead of racing on one Hashtbl. *)
+let memo_key : Syntax.t Memo.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Memo.create 4096)
+
 let memo_cap = 1 lsl 17
 
 let c_hits = Chorev_obs.Metrics.counter "formula.simplify.hits"
@@ -115,6 +119,7 @@ let c_misses = Chorev_obs.Metrics.counter "formula.simplify.misses"
     iterated to a fixpoint (bounded). Memoized; the result is
     hash-consed (see {!Syntax.share}). *)
 let simplify f =
+  let memo = Domain.DLS.get memo_key in
   match Memo.find_opt memo f with
   | Some g ->
       Chorev_obs.Metrics.incr c_hits;

@@ -81,8 +81,13 @@ module HC = Weak.Make (struct
   let hash = hash
 end)
 
-let hc_tbl = HC.create 1024
-let hc f = HC.merge hc_tbl f
+(* One table per domain: Weak.Make tables are not thread-safe, and the
+   parallel pool runs formula-heavy tasks on worker domains. Losing
+   physical sharing *across* domains is benign — [equal]/[compare] fall
+   back to one structural step — while sharing stays maximal within
+   each domain. *)
+let hc_tbl_key = Domain.DLS.new_key (fun () -> HC.create 1024)
+let hc f = HC.merge (Domain.DLS.get hc_tbl_key) f
 
 (** [share f] returns the canonical (hash-consed) representative of
     [f], canonicalizing bottom-up. Structure-preserving: no rewriting

@@ -16,23 +16,37 @@ let is_enabled () = !enabled
 let counter_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
 let histogram_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
+(* Registration can happen from worker domains (a module initialized
+   lazily inside a pool task); the table itself must stay consistent.
+   Bumps on the instruments are deliberately unlocked — a lost count
+   under contention is acceptable, a mutex on the hot path is not. *)
+let registry_lock = Mutex.create ()
+
 let counter name =
-  match Hashtbl.find_opt counter_tbl name with
-  | Some c -> c
-  | None ->
-      let c = { cname = name; count = 0 } in
-      Hashtbl.add counter_tbl name c;
-      c
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt counter_tbl name with
+      | Some c -> c
+      | None ->
+          let c = { cname = name; count = 0 } in
+          Hashtbl.add counter_tbl name c;
+          c)
 
 let histogram name =
-  match Hashtbl.find_opt histogram_tbl name with
-  | Some h -> h
-  | None ->
-      let h =
-        { hname = name; n = 0; total = 0.; minv = infinity; maxv = neg_infinity }
-      in
-      Hashtbl.add histogram_tbl name h;
-      h
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt histogram_tbl name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              hname = name;
+              n = 0;
+              total = 0.;
+              minv = infinity;
+              maxv = neg_infinity;
+            }
+          in
+          Hashtbl.add histogram_tbl name h;
+          h)
 
 let incr c = if !enabled then c.count <- c.count + 1
 let add c n = if !enabled then c.count <- c.count + n

@@ -1,45 +1,63 @@
-(** The ambient tracing context (see obs.mli). *)
+(** The ambient tracing context (see obs.mli).
 
-let tracing = ref false
-let sink = ref Sink.silent
-let next_id = ref 0
-let stack : Sink.span list ref = ref []
+    Domain safety: the installed sink and the open-span stack are
+    per-domain (DLS), so spans opened on different domains nest
+    independently and never contend. Span ids come from one atomic
+    counter so they stay unique process-wide. A worker domain starts
+    with the silent sink; the parallel pool hands it the caller's sink
+    (wrapped in {!Sink.synchronized}) for the extent of each task. *)
 
-let enabled () = !tracing
+type ctx = {
+  mutable tracing : bool;
+  mutable sink : Sink.t;
+  mutable stack : Sink.span list;
+}
+
+let ctx_key =
+  Domain.DLS.new_key (fun () ->
+      { tracing = false; sink = Sink.silent; stack = [] })
+
+let ctx () = Domain.DLS.get ctx_key
+let next_id = Atomic.make 0
+
+let enabled () = (ctx ()).tracing
 
 let set_sink s =
-  sink := s;
-  tracing := not (s == Sink.silent)
+  let c = ctx () in
+  c.sink <- s;
+  c.tracing <- not (s == Sink.silent)
 
-let current_sink () = !sink
+let current_sink () = (ctx ()).sink
 
 let with_sink s f =
-  let old_sink = !sink and old_tracing = !tracing in
-  sink := s;
-  tracing := not (s == Sink.silent);
+  let c = ctx () in
+  let old_sink = c.sink and old_tracing = c.tracing in
+  c.sink <- s;
+  c.tracing <- not (s == Sink.silent);
   Fun.protect
     ~finally:(fun () ->
-      sink := old_sink;
-      tracing := old_tracing)
+      c.sink <- old_sink;
+      c.tracing <- old_tracing)
     f
 
 let span ?(attrs = []) name f =
-  if not !tracing then f ()
+  let c = ctx () in
+  if not c.tracing then f ()
   else begin
-    incr next_id;
+    let id = Atomic.fetch_and_add next_id 1 + 1 in
     let parent, depth =
-      match !stack with
+      match c.stack with
       | [] -> (None, 0)
       | p :: _ -> (Some p.Sink.id, p.Sink.depth + 1)
     in
-    let sp = { Sink.id = !next_id; parent; depth; name; attrs } in
+    let sp = { Sink.id; parent; depth; name; attrs } in
     let t0 = Unix.gettimeofday () in
-    !sink.Sink.emit (Sink.Open (sp, t0));
-    stack := sp :: !stack;
+    c.sink.Sink.emit (Sink.Open (sp, t0));
+    c.stack <- sp :: c.stack;
     Fun.protect
       ~finally:(fun () ->
-        (stack := match !stack with _ :: rest -> rest | [] -> []);
+        (c.stack <- (match c.stack with _ :: rest -> rest | [] -> []));
         let t1 = Unix.gettimeofday () in
-        !sink.Sink.emit (Sink.Close (sp, t0, t1 -. t0)))
+        c.sink.Sink.emit (Sink.Close (sp, t0, t1 -. t0)))
       f
   end

@@ -106,6 +106,11 @@ let memory () =
     },
     fun () -> List.rev !events )
 
+let synchronized t =
+  let m = Mutex.create () in
+  let locked f x = Mutex.protect m (fun () -> f x) in
+  { emit = locked t.emit; flush = locked t.flush }
+
 let tee a b =
   {
     emit =

@@ -43,5 +43,11 @@ val memory : unit -> t * (unit -> event list)
 val tee : t -> t -> t
 (** Duplicates every event to both sinks. *)
 
+val synchronized : t -> t
+(** Wraps [emit]/[flush] in a mutex so several domains can share one
+    underlying sink (the console, a file). Events from concurrent spans
+    interleave at event granularity; the parent/id fields still
+    reconstruct each domain's tree. *)
+
 val pp_value : Format.formatter -> value -> unit
 val json_of_value : value -> string

@@ -54,9 +54,13 @@ type config = {
   auto_apply : bool;
   max_rounds : int;
   obs : Chorev_obs.Sink.t option;
+  jobs : int;
+      (** domain-pool size for per-partner fan-out in [Evolution];
+          [0] (the default) defers to [Chorev_parallel.Pool.default_size]
+          (the [--jobs] flag / [CHOREV_DOMAINS]). *)
 }
 
-let default = { auto_apply = true; max_rounds = 8; obs = None }
+let default = { auto_apply = true; max_rounds = 8; obs = None; jobs = 0 }
 
 let c_runs = Metrics.counter "propagate.runs"
 let c_suggestions = Metrics.counter "propagate.suggestions.generated"

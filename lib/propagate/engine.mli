@@ -36,12 +36,17 @@ type config = {
   obs : Chorev_obs.Sink.t option;
       (** trace sink installed for the duration of the run; [None]
           (default) inherits the ambient {!Chorev_obs.Obs} sink *)
+  jobs : int;
+      (** domain-pool size for [Evolution]'s per-partner fan-out;
+          [0] (default) defers to [Chorev_parallel.Pool.default_size]
+          ([--jobs] / [CHOREV_DOMAINS]); ignored by {!run}, which is
+          single-partner *)
 }
 (** The engine/evolution configuration record. [Evolution.config] is an
     alias of this type, so one value configures the whole pipeline. *)
 
 val default : config
-(** [{ auto_apply = true; max_rounds = 8; obs = None }] *)
+(** [{ auto_apply = true; max_rounds = 8; obs = None; jobs = 0 }] *)
 
 val analyze :
   direction:direction ->

@@ -185,3 +185,12 @@ let service_loop ?(party_a = "A") ?(party_b = "B") n =
   in
   ( Process.make ~name:"server" ~party:party_a ~registry:reg a_body,
     Process.make ~name:"client" ~party:party_b ~registry:reg b_body )
+
+(** Public processes of a whole family at once, derived over the domain
+    pool ([?pool], default {!Chorev_parallel.Pool.default}). Public
+    derivation is per-process independent and is the dominant cost when
+    preparing large sweeps (hub spokes, consistency services), so this
+    is the natural fan-out point; the map preserves order, so the
+    result pairs up with the input list. *)
+let publics ?pool procs =
+  Chorev_parallel.Pool.map ?pool Chorev_mapping.Public_gen.public procs

@@ -20,3 +20,10 @@ val service_loop :
   Chorev_bpel.Process.t * Chorev_bpel.Process.t
 (** An [n]-armed service loop — cyclic automata for view/emptiness
     stress. *)
+
+val publics :
+  ?pool:Chorev_parallel.Pool.t ->
+  Chorev_bpel.Process.t list ->
+  Chorev_afsa.Afsa.t list
+(** Public processes of a family, derived over the domain pool
+    (order-preserving; sequential by default). *)

@@ -53,6 +53,151 @@ let test_emptiness_parity () =
         iter_ref r.C.Emptiness.iterations)
     (List.init n_seeds Fun.id)
 
+(* The trim-first cords minimize must agree with the seed's
+   list/Hashtbl Hopcroft kept in Ablation. The new algorithm is
+   strictly more canonical — the reference can keep duplicate live
+   states apart when they differ only in edges into distinct dead
+   classes — so on arbitrary inputs we check annotated-language
+   equality plus "never more states"; structural equality is asserted
+   on the dead-state-free protocol family, where both must produce the
+   identical minimal DFA. *)
+let minimize_agrees name inputs =
+  List.iter
+    (fun (s, x) ->
+      let m = C.Minimize.minimize x in
+      let r = C.Ablation.minimize_ref x in
+      check_bool
+        (Printf.sprintf "%s: same annotated language (seed %d)" name s)
+        true
+        (C.Equiv.equal_annotated m r);
+      check_bool
+        (Printf.sprintf "%s: no more states than reference (seed %d)" name s)
+        true
+        (List.length (A.states m) <= List.length (A.states r));
+      check_bool
+        (Printf.sprintf "%s: idempotent (seed %d)" name s)
+        true
+        (A.structurally_equal (C.Minimize.minimize m) m))
+    inputs
+
+let test_minimize_random_agrees () =
+  minimize_agrees "random"
+    (List.init n_seeds (fun s ->
+         (s, C.Workload.Gen_afsa.random ~seed:s ~states:6 ~ann_p:0.4 ())))
+
+let test_minimize_protocol_structural () =
+  List.iter
+    (fun s ->
+      let x = C.Workload.Gen_afsa.random_protocol ~seed:s ~states:8 () in
+      check_bool
+        (Printf.sprintf "protocol: structurally equal to reference (seed %d)" s)
+        true
+        (A.structurally_equal (C.Minimize.minimize x)
+           (C.Ablation.minimize_ref x)))
+    (List.init n_seeds Fun.id)
+
+(* Deterministic annotated inputs exercise the det fast path together
+   with annotation-keyed initial classes. *)
+let test_minimize_annotated_det () =
+  minimize_agrees "annotated-det"
+    (List.init n_seeds (fun s ->
+         let x = C.Workload.Gen_afsa.random_protocol ~seed:s ~states:7 () in
+         let states = A.states x in
+         let q = List.nth states (s mod List.length states) in
+         (s, A.set_annotation x q (C.Formula.var "m"))))
+
+(* Empty-language and degenerate inputs take the completed-table
+   fallback; they must still agree with the reference. *)
+let test_minimize_edge_cases () =
+  let no_finals =
+    A.make ~start:0 ~finals:[]
+      ~edges:[ (0, C.Sym.L (C.Label.make ~sender:"A" ~receiver:"B" "x"), 1) ]
+      ()
+  in
+  let single = A.make ~start:0 ~finals:[ 0 ] ~edges:[] () in
+  let dead_branch =
+    (* a final state plus a branch that can never reach it *)
+    let l n = C.Sym.L (C.Label.make ~sender:"A" ~receiver:"B" n) in
+    A.make ~start:0 ~finals:[ 1 ]
+      ~edges:[ (0, l "a", 1); (0, l "b", 2); (2, l "c", 2) ]
+      ()
+  in
+  minimize_agrees "edge-case"
+    [ (0, no_finals); (1, single); (2, dead_branch) ]
+
+(* The domain-pool fan-out must be invisible in results: check_all and
+   the evolution pipeline produce identical output for every pool
+   size. Verdicts are plain data, so (=) is safe; evolved models are
+   compared by projection ((=) on Afsa.t would look at mutable
+   indexes). *)
+let test_check_all_pool_invariant () =
+  let hub_p, spokes = C.Workload.Scale.hub 5 in
+  let model = C.Choreography.Model.of_processes (hub_p :: spokes) in
+  let seq = C.Choreography.Consistency.check_all model in
+  List.iter
+    (fun n ->
+      let pool = C.Parallel.Pool.sized n in
+      let par = C.Choreography.Consistency.check_all ~pool model in
+      C.Parallel.Pool.shutdown pool;
+      check_bool
+        (Printf.sprintf "check_all equal for pool size %d" n)
+        true (par = seq))
+    [ 1; 2; 8 ]
+
+let test_evolution_pool_invariant () =
+  let model =
+    C.Choreography.Model.of_processes
+      (List.map snd C.Scenario.Procurement.parties)
+  in
+  let run jobs =
+    let config = { C.Choreography.Evolution.default with jobs } in
+    match
+      C.Choreography.Evolution.run ~config model ~owner:"A"
+        ~changed:C.Scenario.Procurement.accounting_cancel
+    with
+    | Ok r -> r
+    | Error (`Unknown_party p) -> Alcotest.failf "unknown party %s" p
+  in
+  let project (r : C.Choreography.Evolution.report) =
+    ( r.consistent,
+      List.map
+        (fun (rd : C.Choreography.Evolution.round) ->
+          ( rd.originator,
+            rd.public_changed,
+            List.map
+              (fun (p : C.Choreography.Evolution.partner_report) ->
+                (p.partner, p.verdict, Option.is_some p.outcome))
+              rd.partners ))
+        r.rounds )
+  in
+  let publics_of (r : C.Choreography.Evolution.report) =
+    List.map
+      (fun p -> C.Choreography.Model.public r.choreography p)
+      (C.Choreography.Model.parties r.choreography)
+  in
+  let seq = run 1 in
+  List.iter
+    (fun jobs ->
+      let par = run jobs in
+      check_bool
+        (Printf.sprintf "evolution report equal for jobs=%d" jobs)
+        true
+        (project par = project seq);
+      check_bool
+        (Printf.sprintf "evolved publics equal for jobs=%d" jobs)
+        true
+        (List.for_all2 A.structurally_equal (publics_of par) (publics_of seq));
+      check_bool
+        (Printf.sprintf "evolved privates equal for jobs=%d" jobs)
+        true
+        (List.map
+           (C.Choreography.Model.private_ par.choreography)
+           (C.Choreography.Model.parties par.choreography)
+        = List.map
+            (C.Choreography.Model.private_ seq.choreography)
+            (C.Choreography.Model.parties seq.choreography)))
+    [ 2; 8 ]
+
 (* Regression: the seed's recursive product overflowed the stack on
    deep products; the worklist must handle a 400-round ladder. *)
 let test_ladder_400_no_overflow () =
@@ -76,6 +221,20 @@ let () =
         ] );
       ( "emptiness",
         [ Alcotest.test_case "fixpoint parity" `Quick test_emptiness_parity ] );
+      ( "minimize vs reference",
+        [
+          Alcotest.test_case "random" `Quick test_minimize_random_agrees;
+          Alcotest.test_case "protocols structural" `Quick
+            test_minimize_protocol_structural;
+          Alcotest.test_case "annotated deterministic" `Quick
+            test_minimize_annotated_det;
+          Alcotest.test_case "edge cases" `Quick test_minimize_edge_cases;
+        ] );
+      ( "pool invariance",
+        [
+          Alcotest.test_case "check_all" `Quick test_check_all_pool_invariant;
+          Alcotest.test_case "evolution" `Quick test_evolution_pool_invariant;
+        ] );
       ( "deep products",
         [
           Alcotest.test_case "ladder 400" `Quick test_ladder_400_no_overflow;
