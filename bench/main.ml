@@ -197,6 +197,21 @@ let protocol_tests () =
             ignore (C.Choreography.Consistency.check_all tchor));
       ])
     [ 2; 4; 8 ]
+  @
+  (* The same protocol driven asynchronously over a faulty network:
+     event-queue + retransmission overhead of the simulator. *)
+  let tproc =
+    C.Choreography.Model.of_processes
+      (List.map snd C.Scenario.Procurement.parties)
+  in
+  [
+    t "scale_protocol_sim" (fun () ->
+        ignore
+          (C.Sim.run ~seed:7
+             ~profile:(C.Sim.Fault.chaos ())
+             tproc ~owner:"A"
+             ~changed:C.Scenario.Procurement.accounting_cancel));
+  ]
 
 (* Runtime exploration of the joint state space. *)
 let runtime_tests () =

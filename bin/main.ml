@@ -257,6 +257,128 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute the procurement choreography operationally")
     Term.(const run $ obs_term $ seed_arg)
 
+(* -------------------------------- sim ------------------------------ *)
+
+let sim_scenario = function
+  | `Invariant -> P.accounting_order2
+  | `Cancel -> P.accounting_cancel
+  | `Tracking -> P.accounting_once
+
+let sim () scenario fault party seed soak record max_ticks =
+  let t = C.Choreography.Model.of_processes (List.map snd P.parties) in
+  let changed = sim_scenario scenario in
+  match C.Sim.Fault.of_name ~party fault with
+  | Error e ->
+      Fmt.epr "%s@." e;
+      2
+  | Ok profile -> (
+      match soak with
+      | Some seeds ->
+          let checks =
+            C.Sim.Soak.run
+              ~seeds:(List.init seeds Fun.id)
+              ?max_ticks t ~owner:"A" ~changed
+          in
+          let s = C.Sim.Soak.summarize checks in
+          Fmt.pr "%a@." C.Sim.Soak.pp_summary s;
+          if C.Sim.Soak.all_ok checks then 0 else 1
+      | None ->
+          let r =
+            C.Sim.run ~profile ~seed ?max_ticks ~trace:(record <> None) t
+              ~owner:"A" ~changed
+          in
+          let oracle = C.Choreography.Protocol.run t ~owner:"A" ~changed in
+          (match record with
+          | Some file ->
+              Out_channel.with_open_text file (fun oc ->
+                  Out_channel.output_string oc r.C.Sim.trace);
+              Fmt.pr "wrote %s@." file
+          | None -> ());
+          Fmt.pr "profile: %a@." C.Sim.Fault.pp profile;
+          Fmt.pr "%a@." C.Sim.pp_stats r.C.Sim.stats;
+          Fmt.pr "converged: %b  agreed: %b (oracle: %b)  final matches \
+                  oracle: %b@."
+            r.C.Sim.converged r.C.Sim.agreed oracle.C.Choreography.Protocol.agreed
+            (C.Sim.Soak.models_match r.C.Sim.final
+               oracle.C.Choreography.Protocol.final);
+          if
+            r.C.Sim.converged
+            && r.C.Sim.agreed = oracle.C.Choreography.Protocol.agreed
+            && C.Sim.Soak.models_match r.C.Sim.final
+                 oracle.C.Choreography.Protocol.final
+          then 0
+          else 1)
+
+let scenario_sim_arg =
+  let scenario_conv =
+    Arg.enum
+      [ ("invariant", `Invariant); ("cancel", `Cancel); ("tracking", `Tracking) ]
+  in
+  Arg.(
+    value & pos 0 scenario_conv `Cancel
+    & info [] ~docv:"SCENARIO"
+        ~doc:
+          "Which Sec. 5 change party A announces: $(b,invariant), \
+           $(b,cancel) (default) or $(b,tracking).")
+
+let sim_cmd =
+  let fault_arg =
+    Arg.(
+      value
+      & opt string "chaos"
+      & info [ "fault" ] ~docv:"PROFILE"
+          ~doc:
+            (Printf.sprintf
+               "Fault profile for the simulated transport; one of %s."
+               (String.concat ", " C.Sim.Fault.names)))
+  in
+  let party_arg =
+    Arg.(
+      value & opt string "B"
+      & info [ "party" ] ~docv:"PARTY"
+          ~doc:
+            "Party isolated/crashed by the $(b,partitioned) and \
+             $(b,crashy) profiles.")
+  in
+  let soak_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "soak" ] ~docv:"N"
+          ~doc:
+            "Soak mode: run seeds 0..N-1 across the stock \
+             lossy/jittery/chaos profiles (fanned over the domain pool, \
+             see $(b,--jobs)) and check every run against the \
+             synchronous oracle. Exit 1 on any mismatch.")
+  in
+  let record_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's deterministic JSONL event trace to $(docv) \
+             — rerunning with the same seed and profile reproduces it \
+             byte for byte.")
+  in
+  let max_ticks_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-ticks" ] ~docv:"T"
+          ~doc:"Abort (converged: false) after virtual time $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Simulate the decentralized evolution protocol (Sec. 6) over a \
+          faulty network: seeded discrete-event execution with message \
+          loss, duplication, delay, partitions and crashes, checked \
+          against the synchronous oracle")
+    Term.(
+      const sim $ obs_term $ scenario_sim_arg $ fault_arg $ party_arg
+      $ seed_arg $ soak_arg $ record_arg $ max_ticks_arg)
+
 (* ------------------------------- global ---------------------------- *)
 
 let global () () =
@@ -434,5 +556,6 @@ let () =
        (Cmd.group info
           [
             demo_cmd; check_cmd; experiments_cmd; dot_cmd; xml_cmd; run_cmd;
-            global_cmd; synth_cmd; public_cmd; consistent_cmd; save_cmd;
+            sim_cmd; global_cmd; synth_cmd; public_cmd; consistent_cmd;
+            save_cmd;
           ]))

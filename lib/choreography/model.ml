@@ -68,6 +68,20 @@ let update t (p : Process.t) =
         t.members;
   }
 
+(** A structurally fresh model: every member's public process goes
+    through {!Chorev_afsa.Afsa.copy}, so the copy can be handed to
+    another domain (the lazy out-row/predecessor indexes of a shared
+    automaton must not be built concurrently — see
+    [Chorev_parallel.Pool]). Private processes and tables are immutable
+    and stay shared. *)
+let copy t =
+  {
+    members =
+      SMap.map
+        (fun m -> { m with public_process = Afsa.copy m.public_process })
+        t.members;
+  }
+
 (** Do two parties interact (share at least one label)? *)
 let interact t p1 p2 =
   (not (String.equal p1 p2))

@@ -32,6 +32,11 @@ val table : t -> string -> Chorev_mapping.Table.t
 val update : t -> Chorev_bpel.Process.t -> t
 (** Replace one party's private process; public and table re-derived. *)
 
+val copy : t -> t
+(** Structurally fresh: public processes pass through
+    {!Chorev_afsa.Afsa.copy} so the result is safe to hand to another
+    domain (used by the simulator's multi-seed soak fan-out). *)
+
 val interact : t -> string -> string -> bool
 val pairs : t -> (string * string) list
 (** All interacting unordered pairs. *)

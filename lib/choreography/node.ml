@@ -1,0 +1,154 @@
+(** Node-local step logic of the decentralized evolution protocol
+    (Sec. 6, after Wombacher et al., EEE 2005).
+
+    One value of {!t} is the *durable* state a party keeps between
+    protocol messages: its own private and public process, the last
+    public process each partner announced, and which partners it has
+    (n)acked. The step functions are pure in the network: they never
+    send anything themselves — they return a list of {!effect_}s for
+    the driver to realize. Two drivers share this module:
+
+    - {!Protocol.run}, the synchronous round-based runner (a global
+      FIFO, lock-step rounds, reliable delivery);
+    - [Chorev_sim.Sim.run], the asynchronous discrete-event simulator
+      (per-link faults, retries, crash/restart).
+
+    Keeping the announce/check/adapt/ack logic here guarantees the two
+    runners cannot drift: under reliable in-order delivery they produce
+    exactly the same message sequence.
+
+    Everything is computed from node-local knowledge only: a node's
+    partner set is derived from its own alphabet intersected with the
+    publics it has been told about — no global model is consulted. *)
+
+module Afsa = Chorev_afsa.Afsa
+module Label = Chorev_afsa.Label
+
+type payload =
+  | Announce of { public : Afsa.t }
+      (** the sender's new public process — the only process data that
+          ever travels *)
+  | Ack  (** the sender considers itself consistent with the receiver *)
+  | Nack  (** the sender saw an inconsistency (it may adapt and re-ack) *)
+
+type effect_ =
+  | Send of { to_ : string; payload : payload }
+  | Adapted of Chorev_bpel.Process.t
+      (** this node replaced its own private process (the driver
+          mirrors the update into its choreography model) *)
+
+type t = {
+  party : string;
+  mutable private_process : Chorev_bpel.Process.t;
+  mutable public : Afsa.t;
+  mutable known_publics : (string * Afsa.t) list;
+      (** last public process announced by each partner *)
+  mutable acked : (string * bool) list;  (** partner -> agreed *)
+}
+
+let kind = function Announce _ -> `Announce | Ack -> `Ack | Nack -> `Nack
+
+let find_known n p = List.assoc_opt p n.known_publics
+
+let set_known n p pub =
+  n.known_publics <- (p, pub) :: List.remove_assoc p n.known_publics
+
+let set_acked n p v = n.acked <- (p, v) :: List.remove_assoc p n.acked
+
+(** The node for [party]: private and public process from [current]
+    (the owner's node is created after its change is applied), partner
+    publics as known *before* the change. *)
+let of_model ~(before : Model.t) ~(current : Model.t) party =
+  let known =
+    List.filter_map
+      (fun q ->
+        if Model.interact before party q then Some (q, Model.public before q)
+        else None)
+      (Model.parties before)
+  in
+  {
+    party;
+    private_process = Model.private_ current party;
+    public = Model.public current party;
+    known_publics = known;
+    acked = [];
+  }
+
+let shares_label a b =
+  let sa = Label.Set.of_list (Afsa.alphabet a) in
+  let sb = Label.Set.of_list (Afsa.alphabet b) in
+  not (Label.Set.is_empty (Label.Set.inter sa sb))
+
+(** Partners by node-local knowledge: parties whose last announced
+    public shares a label with my current public, in lexicographic
+    order (so announce fan-out is deterministic). *)
+let partners n =
+  n.known_publics
+  |> List.filter (fun (_, pub) -> shares_label n.public pub)
+  |> List.map fst
+  |> List.sort_uniq String.compare
+
+let announce_all n =
+  List.map
+    (fun q -> Send { to_ = q; payload = Announce { public = n.public } })
+    (partners n)
+
+(** Has this node mutually agreed with every partner it knows of? Used
+    by the simulator's timeout-driven round termination; the
+    synchronous runner instead detects the drained queue. *)
+let settled n =
+  List.for_all (fun q -> List.assoc_opt q n.acked = Some true) (partners n)
+
+(** One protocol step: what [n] does on receiving [payload] from
+    [from_]. [adapt:false] disables the local propagation engine, so an
+    inconsistency is only nacked. *)
+let handle ?(adapt = true) n ~from_ payload : effect_ list =
+  match payload with
+  | Ack ->
+      set_acked n from_ true;
+      []
+  | Nack ->
+      set_acked n from_ false;
+      []
+  | Announce { public } ->
+      let previous = find_known n from_ in
+      set_known n from_ public;
+      (* local bilateral check on views *)
+      let my_view = Chorev_afsa.View.tau ~observer:from_ n.public in
+      let their_view = Chorev_afsa.View.tau ~observer:n.party public in
+      if Chorev_afsa.Consistency.consistent my_view their_view then begin
+        set_acked n from_ true;
+        [ Send { to_ = from_; payload = Ack } ]
+      end
+      else begin
+        let nack = Send { to_ = from_; payload = Nack } in
+        if not adapt then [ nack ]
+        else
+          (* run the local propagation engine; on success, adopt the
+             adaptation and announce it *)
+          let framework =
+            Chorev_change.Classify.framework
+              ~old_public:
+                (Chorev_afsa.View.tau ~observer:n.party
+                   (Option.value ~default:public previous))
+              ~new_public:their_view
+          in
+          let direction =
+            Chorev_propagate.Engine.direction_of_framework framework
+          in
+          let outcome =
+            Chorev_propagate.Engine.run ~direction ~a':public
+              ~partner_private:n.private_process ()
+          in
+          match outcome.Chorev_propagate.Engine.adapted with
+          | Some p' ->
+              n.private_process <- p';
+              (* re-derive the public process exactly as [Model.update]
+                 would, so both drivers see the same automaton *)
+              n.public <- Chorev_mapping.Public_gen.public p';
+              set_acked n from_ true;
+              (nack :: Adapted p'
+               :: Send { to_ = from_; payload = Ack }
+               :: announce_all n)
+          | None -> [ nack ]
+      end

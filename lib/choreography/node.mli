@@ -1,0 +1,50 @@
+(** Node-local step logic of the decentralized evolution protocol
+    (Sec. 6): the durable per-party state machine — announce new public
+    process, check bilateral views locally, ack/nack, adapt — shared by
+    the synchronous runner {!Protocol.run} and the asynchronous
+    discrete-event simulator [Chorev_sim.Sim]. Step functions return
+    {!effect_}s instead of touching a network, so drivers decide
+    delivery semantics (lock-step FIFO vs. faulty links). *)
+
+module Afsa = Chorev_afsa.Afsa
+
+type payload =
+  | Announce of { public : Afsa.t }
+      (** only public processes ever travel *)
+  | Ack
+  | Nack
+
+type effect_ =
+  | Send of { to_ : string; payload : payload }
+  | Adapted of Chorev_bpel.Process.t
+      (** the node replaced its own private process; drivers mirror
+          this into their choreography model *)
+
+type t = {
+  party : string;
+  mutable private_process : Chorev_bpel.Process.t;
+  mutable public : Afsa.t;
+  mutable known_publics : (string * Afsa.t) list;
+  mutable acked : (string * bool) list;
+}
+
+val kind : payload -> [ `Ack | `Announce | `Nack ]
+
+val of_model : before:Model.t -> current:Model.t -> string -> t
+(** Private/public process from [current], partner publics from
+    [before] (every party knows the pre-change protocol of its
+    partners). *)
+
+val partners : t -> string list
+(** Parties whose last announced public shares a label with this
+    node's current public — node-local knowledge only, sorted. *)
+
+val announce_all : t -> effect_ list
+(** Announce this node's current public process to every partner. *)
+
+val handle : ?adapt:bool -> t -> from_:string -> payload -> effect_ list
+(** One protocol step. [adapt:false] only nacks on inconsistency. *)
+
+val settled : t -> bool
+(** Mutually agreed with every known partner (used for timeout-driven
+    termination in the simulator). *)

@@ -5,29 +5,15 @@
     calculation as well as the necessary adaptations of the own public
     and private processes can be accomplished locally."
 
-    This module simulates that protocol as explicit message passing
-    between party agents over an in-memory network:
-
-    - [`Announce]: the change originator sends its *new public process*
-      to every partner it interacts with;
-    - each partner locally takes its view, checks bilateral consistency
-      against its own public process, and replies [`Ack] (invariant for
-      it) or [`Nack] (variant — it must adapt before agreeing);
-    - a partner that adapts announces its own new public process in
-      turn (transitive propagation), and re-replies;
-    - the protocol converges when every interacting pair has mutually
-      acknowledged; the originator can then commit the change.
+    This module is the *synchronous* driver of the per-party state
+    machine in {!Node}: all agents share one reliable FIFO network and
+    advance in lock-step rounds until the queue drains (or
+    [max_rounds] is hit). The asynchronous counterpart over unreliable
+    links — same {!Node}, different driver — is [Chorev_sim.Sim].
 
     The simulation counts messages and rounds so benchmarks can report
     the decentralization cost; no party ever reads another party's
     private process — only public processes travel. *)
-
-module Afsa = Chorev_afsa.Afsa
-
-type message =
-  | Announce of { sender : string; public : Afsa.t }
-  | Ack of { sender : string; about : string }
-  | Nack of { sender : string; about : string }
 
 type stats = {
   rounds : int;
@@ -43,20 +29,6 @@ type result = {
   final : Model.t;  (** choreography after local adaptations *)
 }
 
-(* Local state of one party agent. *)
-type agent = {
-  party : string;
-  mutable known_publics : (string * Afsa.t) list;  (** last announced *)
-  mutable acked : (string * bool) list;  (** partner -> agreed *)
-}
-
-let find_known a p = List.assoc_opt p a.known_publics
-
-let set_known a p pub =
-  a.known_publics <- (p, pub) :: List.remove_assoc p a.known_publics
-
-let set_acked a p v = a.acked <- (p, v) :: List.remove_assoc p a.acked
-
 (** Run the protocol for a change of [owner]'s private process to
     [changed]. [adapt] controls whether nacking partners run the local
     propagation engine to adapt (default true). *)
@@ -64,44 +36,31 @@ let run ?(adapt = true) ?(max_rounds = 16) (t : Model.t) ~owner ~changed =
   let before = t in
   let t = ref (Model.update t changed) in
   let parties = Model.parties !t in
-  let agents =
-    List.map
-      (fun p ->
-        (* every party knows the pre-change protocol of its partners *)
-        let known =
-          List.filter_map
-            (fun q ->
-              if Model.interact before p q then Some (q, Model.public before q)
-              else None)
-            (Model.parties before)
-        in
-        (p, { party = p; known_publics = known; acked = [] }))
-      parties
+  let nodes =
+    List.map (fun p -> (p, Node.of_model ~before ~current:!t p)) parties
   in
-  let agent p = List.assoc p agents in
-  let inbox : (string * message) Queue.t = Queue.create () in
+  let node p = List.assoc p nodes in
+  (* the global FIFO: (recipient, sender, payload) *)
+  let inbox : (string * string * Node.payload) Queue.t = Queue.create () in
   let messages = ref 0
   and announcements = ref 0
   and acks = ref 0
   and nacks = ref 0 in
-  let send ~to_ msg =
-    incr messages;
-    (match msg with
-    | Announce _ -> incr announcements
-    | Ack _ -> incr acks
-    | Nack _ -> incr nacks);
-    Queue.add (to_, msg) inbox
-  in
-  let partners_of p =
-    List.filter (fun q -> Model.interact !t p q) parties
-  in
-  let announce p =
-    let pub = Model.public !t p in
-    List.iter (fun q -> send ~to_:q (Announce { sender = p; public = pub }))
-      (partners_of p)
+  let apply_effects p effects =
+    List.iter
+      (function
+        | Node.Send { to_; payload } ->
+            incr messages;
+            (match Node.kind payload with
+            | `Announce -> incr announcements
+            | `Ack -> incr acks
+            | `Nack -> incr nacks);
+            Queue.add (to_, p, payload) inbox
+        | Node.Adapted p' -> t := Model.update !t p')
+      effects
   in
   (* originator announces its new public process *)
-  announce owner;
+  apply_effects owner (Node.announce_all (node owner));
   let rounds = ref 0 in
   let continue = ref true in
   while !continue && !rounds < max_rounds do
@@ -110,51 +69,8 @@ let run ?(adapt = true) ?(max_rounds = 16) (t : Model.t) ~owner ~changed =
     if batch = 0 then continue := false
     else
       for _ = 1 to batch do
-        let to_, msg = Queue.pop inbox in
-        let me = agent to_ in
-        match msg with
-        | Ack { sender; _ } -> set_acked me sender true
-        | Nack { sender; _ } -> set_acked me sender false
-        | Announce { sender; public } ->
-            let previous = find_known me sender in
-            set_known me sender public;
-            (* local bilateral check on views *)
-            let my_view =
-              Chorev_afsa.View.tau ~observer:sender (Model.public !t to_)
-            in
-            let their_view = Chorev_afsa.View.tau ~observer:to_ public in
-            if Chorev_afsa.Consistency.consistent my_view their_view then begin
-              set_acked me sender true;
-              send ~to_:sender (Ack { sender = to_; about = sender })
-            end
-            else begin
-              send ~to_:sender (Nack { sender = to_; about = sender });
-              if adapt then begin
-                (* run the local propagation engine; on success, adopt
-                   the adaptation and announce it *)
-                let framework =
-                  Chorev_change.Classify.framework
-                    ~old_public:
-                      (Chorev_afsa.View.tau ~observer:to_
-                         (Option.value ~default:public previous))
-                    ~new_public:their_view
-                in
-                let direction =
-                  Chorev_propagate.Engine.direction_of_framework framework
-                in
-                let outcome =
-                  Chorev_propagate.Engine.run ~direction ~a':public
-                    ~partner_private:(Model.private_ !t to_) ()
-                in
-                match outcome.Chorev_propagate.Engine.adapted with
-                | Some p' ->
-                    t := Model.update !t p';
-                    set_acked me sender true;
-                    send ~to_:sender (Ack { sender = to_; about = sender });
-                    announce to_
-                | None -> ()
-              end
-            end
+        let to_, from_, payload = Queue.pop inbox in
+        apply_effects to_ (Node.handle ~adapt (node to_) ~from_ payload)
       done
   done;
   (* agreement: every interacting pair is mutually consistent now *)

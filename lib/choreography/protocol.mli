@@ -1,14 +1,10 @@
 (** Decentralized consistency checking (Sec. 6, after Wombacher et al.
     EEE 2005): parties exchange only announcements of their new public
     processes and ack/nack verdicts; views, checks and adaptations
-    happen locally. The simulation counts rounds and messages. *)
-
-module Afsa = Chorev_afsa.Afsa
-
-type message =
-  | Announce of { sender : string; public : Afsa.t }
-  | Ack of { sender : string; about : string }
-  | Nack of { sender : string; about : string }
+    happen locally (the per-party step logic lives in {!Node}). This is
+    the synchronous lock-step driver with reliable FIFO delivery; the
+    asynchronous faulty-network driver is [Chorev_sim.Sim]. The
+    simulation counts rounds and messages. *)
 
 type stats = {
   rounds : int;

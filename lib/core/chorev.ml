@@ -100,8 +100,17 @@ module Choreography = struct
   module Model = Chorev_choreography.Model
   module Consistency = Chorev_choreography.Consistency
   module Evolution = Chorev_choreography.Evolution
+  module Node = Chorev_choreography.Node
   module Protocol = Chorev_choreography.Protocol
   module Global = Chorev_choreography.Global
+end
+
+(* Distributed simulation of the Sec. 6 protocol over faulty links *)
+module Sim = struct
+  include Chorev_sim.Sim
+  module Fault = Chorev_sim.Fault
+  module Eventq = Chorev_sim.Eventq
+  module Soak = Chorev_sim.Soak
 end
 
 (* Validation and evaluation substrate *)

@@ -174,9 +174,14 @@ type run = {
   outcome : status;  (** [Running] when [max_steps] was hit *)
 }
 
-(** One random run with a seeded PRNG (deterministic per seed). *)
-let random_run ?(max_steps = 1_000) ~seed (s : system) : run =
-  let rng = Random.State.make [| seed |] in
+(** One random run with a seeded PRNG (deterministic per seed). An
+    explicit [?rng] overrides the seed-derived state so composed soaks
+    (e.g. sim workloads fanned over the domain pool) can thread one
+    stream deterministically. *)
+let random_run ?rng ?(max_steps = 1_000) ~seed (s : system) : run =
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| seed |]
+  in
   let rec go c trace steps =
     if steps >= max_steps then { trace = List.rev trace; outcome = Running }
     else

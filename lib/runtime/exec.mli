@@ -33,7 +33,11 @@ val deadlock_free : ?max_configs:int -> system -> bool
 
 type run = { trace : Label.t list; outcome : status }
 
-val random_run : ?max_steps:int -> seed:int -> system -> run
-(** Deterministic per seed. *)
+val random_run :
+  ?rng:Random.State.t -> ?max_steps:int -> seed:int -> system -> run
+(** Deterministic per seed. [?rng] overrides the seed-derived state:
+    pass a caller-owned [Random.State] to thread one stream through
+    composed runs (each domain of a pool fan-out must own its own
+    state). *)
 
 val pp_config : Format.formatter -> config -> unit

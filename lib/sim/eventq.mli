@@ -1,0 +1,18 @@
+(** Priority event queue over virtual time: events pop in [(time,
+    insertion-seq)] order, so a simulation's schedule is a pure
+    function of what was pushed — the backbone of replay determinism. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val add : 'a t -> at:int -> 'a -> int
+(** Schedule at virtual time [at]; returns the unique insertion
+    sequence number (a deterministic event id). *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** Earliest [(time, seq, event)], removed. *)
+
+val next_time : 'a t -> int option

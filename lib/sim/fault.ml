@@ -1,0 +1,131 @@
+(** Fault profiles for the simulated transport.
+
+    A profile describes everything unreliable about the network the
+    protocol runs over: per-link loss, duplication and delay (a delay
+    *range* makes reordering possible), transient partitions, and node
+    crash/restart schedules. Profiles are plain data — the random draws
+    happen in the simulator against its seeded RNG, so one [(seed,
+    profile)] pair pins down the entire execution.
+
+    The stock profiles keep links {e fair-loss} (drop probability < 1):
+    a retried message is eventually delivered, which is what the
+    convergence guarantee of the protocol needs (cf. Bravetti's dynamic
+    update setting — progress under arbitrary finite message loss). *)
+
+type link = {
+  drop_p : float;  (** per-transmission loss probability, in [0, 1) *)
+  dup_p : float;  (** per-transmission duplication probability *)
+  delay_min : int;  (** minimum link latency, virtual ticks *)
+  delay_max : int;
+      (** maximum link latency; [delay_max > delay_min] lets messages
+          overtake each other (reordering) *)
+}
+
+type partition = {
+  from_tick : int;
+  until_tick : int;  (** exclusive *)
+  isolated : string list;
+      (** messages to or from these parties are dropped while the
+          partition lasts *)
+}
+
+type crash = {
+  party : string;
+  at : int;  (** crash tick: the node stops processing and loses its
+                 in-flight timers; durable state survives *)
+  restart_at : int;  (** the node comes back, re-announcing its state *)
+}
+
+type profile = {
+  name : string;
+  link : link;
+  partitions : partition list;
+  crashes : crash list;
+}
+
+let perfect_link = { drop_p = 0.0; dup_p = 0.0; delay_min = 0; delay_max = 0 }
+
+let none = { name = "none"; link = perfect_link; partitions = []; crashes = [] }
+
+(** Fair-loss links with duplication and a small reordering window. *)
+let lossy ?(drop = 0.2) () =
+  {
+    name = Printf.sprintf "lossy(drop=%.2f)" drop;
+    link = { drop_p = drop; dup_p = 0.1; delay_min = 1; delay_max = 6 };
+    partitions = [];
+    crashes = [];
+  }
+
+(** Everything at once: loss near the acceptance bound, duplication,
+    wide reordering, one transient partition of the given party early
+    in the run. *)
+let chaos ?(isolated = []) () =
+  {
+    name = "chaos";
+    link = { drop_p = 0.3; dup_p = 0.2; delay_min = 1; delay_max = 12 };
+    partitions =
+      (match isolated with
+      | [] -> []
+      | ps -> [ { from_tick = 4; until_tick = 40; isolated = ps } ]);
+    crashes = [];
+  }
+
+(** Delay/reordering only — no loss, so no retransmission should ever
+    be needed beyond timer noise. *)
+let jittery =
+  {
+    name = "jittery";
+    link = { drop_p = 0.0; dup_p = 0.15; delay_min = 1; delay_max = 10 };
+    partitions = [];
+    crashes = [];
+  }
+
+(** One transient partition isolating [party] during [[from_tick,
+    until_tick)], on otherwise lossy links. *)
+let partitioned ?(from_tick = 4) ?(until_tick = 60) party =
+  {
+    name = Printf.sprintf "partitioned(%s)" party;
+    link = { drop_p = 0.1; dup_p = 0.05; delay_min = 1; delay_max = 4 };
+    partitions = [ { from_tick; until_tick; isolated = [ party ] } ];
+    crashes = [];
+  }
+
+(** [party] crashes at [at] and restarts at [restart_at] with its
+    durable state intact, on lossy links. *)
+let crashy ?(at = 3) ?(restart_at = 30) party =
+  {
+    name = Printf.sprintf "crashy(%s)" party;
+    link = { drop_p = 0.1; dup_p = 0.05; delay_min = 1; delay_max = 4 };
+    partitions = [];
+    crashes = [ { party; at; restart_at } ];
+  }
+
+(** Profiles by CLI name. [isolated]/[party] parameterize the
+    partition and crash profiles (typically the change originator's
+    busiest partner). *)
+let of_name ?(party = "B") name =
+  match name with
+  | "none" -> Ok none
+  | "lossy" -> Ok (lossy ())
+  | "jittery" -> Ok jittery
+  | "chaos" -> Ok (chaos ~isolated:[ party ] ())
+  | "partitioned" -> Ok (partitioned party)
+  | "crashy" -> Ok (crashy party)
+  | s -> Error (Printf.sprintf "unknown fault profile %S" s)
+
+let names = [ "none"; "lossy"; "jittery"; "chaos"; "partitioned"; "crashy" ]
+
+(** Is the link between [a] and [b] cut at [tick]? *)
+let partitioned_at p ~tick a b =
+  List.exists
+    (fun part ->
+      tick >= part.from_tick && tick < part.until_tick
+      && (List.mem a part.isolated || List.mem b part.isolated))
+    p.partitions
+
+let pp ppf p =
+  Fmt.pf ppf
+    "%s (drop=%.2f dup=%.2f delay=[%d,%d] partitions=%d crashes=%d)" p.name
+    p.link.drop_p p.link.dup_p p.link.delay_min p.link.delay_max
+    (List.length p.partitions)
+    (List.length p.crashes)

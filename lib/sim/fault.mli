@@ -1,0 +1,46 @@
+(** Fault profiles for the simulated transport: per-link
+    drop/duplicate/delay-range (reordering), transient partitions, node
+    crash+restart. Plain data — all random draws happen in the
+    simulator against its seeded RNG, so [(seed, profile)] pins down
+    the whole execution. Stock profiles keep links fair-loss. *)
+
+type link = {
+  drop_p : float;
+  dup_p : float;
+  delay_min : int;
+  delay_max : int;
+}
+
+type partition = {
+  from_tick : int;
+  until_tick : int;
+  isolated : string list;
+}
+
+type crash = { party : string; at : int; restart_at : int }
+
+type profile = {
+  name : string;
+  link : link;
+  partitions : partition list;
+  crashes : crash list;
+}
+
+val perfect_link : link
+
+val none : profile
+(** Reliable, instantaneous, in-order — the oracle profile under which
+    the simulator reproduces {!Chorev_choreography.Protocol.run}
+    exactly. *)
+
+val lossy : ?drop:float -> unit -> profile
+val jittery : profile
+val chaos : ?isolated:string list -> unit -> profile
+val partitioned : ?from_tick:int -> ?until_tick:int -> string -> profile
+val crashy : ?at:int -> ?restart_at:int -> string -> profile
+
+val of_name : ?party:string -> string -> (profile, string) result
+val names : string list
+
+val partitioned_at : profile -> tick:int -> string -> string -> bool
+val pp : Format.formatter -> profile -> unit

@@ -1,0 +1,55 @@
+(** Seeded, deterministic discrete-event simulation of the
+    decentralized evolution protocol (Sec. 6) over an unreliable
+    asynchronous network: each party runs the
+    {!Chorev_choreography.Node} state machine as an event-driven node
+    over a transport with a {!Fault.profile}, hardened with epochs,
+    idempotent redelivery, retransmission with exponential backoff +
+    seeded jitter, and crash/restart with durable node state.
+
+    Under {!Fault.none} the run reproduces
+    {!Chorev_choreography.Protocol.run}'s verdict and message counts
+    exactly; replaying any [(seed, profile)] reproduces the run and its
+    JSON-lines trace byte-for-byte. *)
+
+module Model = Chorev_choreography.Model
+
+type stats = {
+  ticks : int;  (** virtual time of the last effective event *)
+  sent : int;  (** transmissions, including retries *)
+  delivered : int;
+  dropped : int;
+  duplicated : int;
+  deduplicated : int;
+  retries : int;
+  stale : int;  (** discarded for a superseded epoch *)
+  crashes : int;
+  announcements : int;
+      (** first transmissions only — comparable with [Protocol.stats]
+          under the zero-fault profile *)
+  acks : int;
+  nacks : int;
+}
+
+type result = {
+  agreed : bool;
+  converged : bool;  (** quiescent within [max_ticks] *)
+  stats : stats;
+  final : Model.t;
+  trace : string;  (** deterministic JSON-lines log; [""] if disabled *)
+}
+
+val run :
+  ?adapt:bool ->
+  ?profile:Fault.profile ->
+  ?max_ticks:int ->
+  ?trace:bool ->
+  seed:int ->
+  Model.t ->
+  owner:string ->
+  changed:Chorev_bpel.Process.t ->
+  result
+(** Simulate a change of [owner]'s private process to [changed].
+    Defaults: [adapt:true], [profile:Fault.none], [max_ticks:10_000],
+    [trace:true]. *)
+
+val pp_stats : Format.formatter -> stats -> unit

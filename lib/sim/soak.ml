@@ -1,0 +1,123 @@
+(** Multi-seed soak: fan a seed × fault-profile sweep of {!Sim.run}
+    out over the domain pool and check every run against the
+    synchronous oracle ({!Chorev_choreography.Protocol.run}): same
+    [agreed] verdict, and a language-equal final public process for
+    every party. The oracle is computed once; each pool task works on a
+    {!Chorev_choreography.Model.copy} of the choreography so the shared
+    automata's lazy indexes are never built concurrently. *)
+
+module Model = Chorev_choreography.Model
+module Protocol = Chorev_choreography.Protocol
+module Pool = Chorev_parallel.Pool
+
+type check = {
+  seed : int;
+  profile : string;
+  converged : bool;
+  agreed_match : bool;  (** sim verdict equals the oracle's *)
+  final_match : bool;
+      (** every party's final public is language-equal to the oracle's *)
+  ticks : int;
+  sent : int;
+  dropped : int;
+  retries : int;
+}
+
+let ok c = c.converged && c.agreed_match && c.final_match
+
+type summary = {
+  runs : int;
+  failures : check list;
+  max_ticks_seen : int;
+  total_sent : int;
+  total_dropped : int;
+  total_retries : int;
+}
+
+let models_match a b =
+  let pa = Model.parties a and pb = Model.parties b in
+  pa = pb
+  && List.for_all
+       (fun p ->
+         Chorev_afsa.Equiv.equal_language (Model.public a p) (Model.public b p))
+       pa
+
+(** Run [seeds] × [profiles] simulations against the oracle. The runs
+    fan out over [?pool] (default {!Chorev_parallel.Pool.default});
+    results are in deterministic [profiles]-major order regardless of
+    pool size. Traces are disabled — replay a failing [(seed, profile)]
+    with {!Sim.run} to get one. *)
+let run ?pool ?(profiles = [ Fault.lossy (); Fault.jittery; Fault.chaos () ])
+    ?(seeds = List.init 50 Fun.id) ?max_ticks (model : Model.t) ~owner
+    ~changed =
+  Chorev_obs.Obs.span "sim.soak"
+    ~attrs:
+      [
+        ("seeds", Chorev_obs.Sink.Int (List.length seeds));
+        ("profiles", Chorev_obs.Sink.Int (List.length profiles));
+      ]
+  @@ fun () ->
+  let oracle = Protocol.run model ~owner ~changed in
+  let jobs =
+    List.concat_map
+      (fun profile -> List.map (fun seed -> (profile, seed)) seeds)
+      profiles
+  in
+  Pool.map ?pool
+    (fun (profile, seed) ->
+      let m = Model.copy model in
+      let r =
+        Sim.run ~seed ~profile ?max_ticks ~trace:false m ~owner ~changed
+      in
+      {
+        seed;
+        profile = profile.Fault.name;
+        converged = r.Sim.converged;
+        agreed_match = r.Sim.agreed = oracle.Protocol.agreed;
+        final_match = models_match r.Sim.final oracle.Protocol.final;
+        ticks = r.Sim.stats.Sim.ticks;
+        sent = r.Sim.stats.Sim.sent;
+        dropped = r.Sim.stats.Sim.dropped;
+        retries = r.Sim.stats.Sim.retries;
+      })
+    jobs
+
+let summarize checks =
+  List.fold_left
+    (fun acc c ->
+      {
+        runs = acc.runs + 1;
+        failures = (if ok c then acc.failures else c :: acc.failures);
+        max_ticks_seen = max acc.max_ticks_seen c.ticks;
+        total_sent = acc.total_sent + c.sent;
+        total_dropped = acc.total_dropped + c.dropped;
+        total_retries = acc.total_retries + c.retries;
+      })
+    {
+      runs = 0;
+      failures = [];
+      max_ticks_seen = 0;
+      total_sent = 0;
+      total_dropped = 0;
+      total_retries = 0;
+    }
+    checks
+  |> fun s -> { s with failures = List.rev s.failures }
+
+let all_ok checks = List.for_all ok checks
+
+let pp_check ppf c =
+  Fmt.pf ppf
+    "seed=%d profile=%s converged=%b agreed_match=%b final_match=%b ticks=%d \
+     sent=%d dropped=%d retries=%d"
+    c.seed c.profile c.converged c.agreed_match c.final_match c.ticks c.sent
+    c.dropped c.retries
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "%d runs, %d failures; max convergence %d ticks; %d sent / %d dropped / \
+     %d retried"
+    s.runs
+    (List.length s.failures)
+    s.max_ticks_seen s.total_sent s.total_dropped s.total_retries;
+  List.iter (fun c -> Fmt.pf ppf "@.  FAIL %a" pp_check c) s.failures

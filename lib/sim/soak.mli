@@ -1,0 +1,47 @@
+(** Multi-seed soak of the simulator against the synchronous oracle:
+    seeds × fault profiles fan out over the domain pool; every run must
+    converge to the oracle's [agreed] verdict and a language-equal
+    final model. *)
+
+module Model = Chorev_choreography.Model
+
+type check = {
+  seed : int;
+  profile : string;
+  converged : bool;
+  agreed_match : bool;
+  final_match : bool;
+  ticks : int;
+  sent : int;
+  dropped : int;
+  retries : int;
+}
+
+val ok : check -> bool
+
+type summary = {
+  runs : int;
+  failures : check list;
+  max_ticks_seen : int;
+  total_sent : int;
+  total_dropped : int;
+  total_retries : int;
+}
+
+val run :
+  ?pool:Chorev_parallel.Pool.t ->
+  ?profiles:Fault.profile list ->
+  ?seeds:int list ->
+  ?max_ticks:int ->
+  Model.t ->
+  owner:string ->
+  changed:Chorev_bpel.Process.t ->
+  check list
+(** Deterministic profiles-major order for every pool size. Defaults:
+    lossy/jittery/chaos profiles, seeds 0–49. *)
+
+val summarize : check list -> summary
+val all_ok : check list -> bool
+val models_match : Model.t -> Model.t -> bool
+val pp_check : Format.formatter -> check -> unit
+val pp_summary : Format.formatter -> summary -> unit

@@ -27,9 +27,11 @@ let pick rng l = List.nth l (Random.State.int rng (List.length l))
     [density] × [states] random edges, each state final with
     probability [final_p], annotated with a random conjunction with
     probability [ann_p]. *)
-let random ?(party_a = "A") ?(party_b = "B") ~seed ~states
+let random ?rng ?(party_a = "A") ?(party_b = "B") ~seed ~states
     ?(labels = 6) ?(density = 2.0) ?(final_p = 0.3) ?(ann_p = 0.2) () =
-  let rng = Random.State.make [| seed |] in
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| seed |]
+  in
   let vocab = vocabulary ~party_a ~party_b labels in
   let n_edges = int_of_float (density *. float_of_int states) in
   let edges =
@@ -63,9 +65,11 @@ let random ?(party_a = "A") ?(party_b = "B") ~seed ~states
     final) with [extra] × n additional forward/backward edges on fresh
     labels where determinism allows, so every state reaches the final
     state. These resemble generated public processes. *)
-let random_protocol ?(party_a = "A") ?(party_b = "B") ~seed ~states
+let random_protocol ?rng ?(party_a = "A") ?(party_b = "B") ~seed ~states
     ?(labels = 8) ?(extra = 0.5) () =
-  let rng = Random.State.make [| seed |] in
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| seed |]
+  in
   let vocab = vocabulary ~party_a ~party_b labels in
   let backbone =
     List.init (states - 1) (fun i ->
@@ -95,7 +99,9 @@ let random_protocol ?(party_a = "A") ?(party_b = "B") ~seed ~states
 (** A consistent pair of protocol automata: the second is the first
     with some optional alternatives pruned — they share the backbone,
     so their intersection is non-empty. *)
-let consistent_pair ~seed ~states () =
-  let a = random_protocol ~seed ~states () in
-  let b = random_protocol ~seed ~states ~extra:0.0 () in
+let consistent_pair ?rng ~seed ~states () =
+  let a = random_protocol ?rng ~seed ~states () in
+  (* without a caller-supplied stream the two draws are intentionally
+     replayed from the same seed so [b] prunes [a]'s own extras *)
+  let b = random_protocol ?rng ~seed ~states ~extra:0.0 () in
   (a, b)

@@ -8,6 +8,7 @@ val vocabulary : ?party_a:string -> ?party_b:string -> int -> Label.t list
 (** [n] labels between two parties, alternating directions. *)
 
 val random :
+  ?rng:Random.State.t ->
   ?party_a:string ->
   ?party_b:string ->
   seed:int ->
@@ -19,9 +20,12 @@ val random :
   unit ->
   Afsa.t
 (** Arbitrary (possibly nondeterministic, possibly annotated) automata
-    — stress input for the algebra. *)
+    — stress input for the algebra. [?rng] overrides the seed-derived
+    state so callers can thread one stream through composed generators;
+    under pool fan-out each domain must own its own state. *)
 
 val random_protocol :
+  ?rng:Random.State.t ->
   ?party_a:string ->
   ?party_b:string ->
   seed:int ->
@@ -33,6 +37,7 @@ val random_protocol :
 (** Connected protocol-shaped DFAs whose every state reaches the final
     state. *)
 
-val consistent_pair : seed:int -> states:int -> unit -> Afsa.t * Afsa.t
+val consistent_pair :
+  ?rng:Random.State.t -> seed:int -> states:int -> unit -> Afsa.t * Afsa.t
 (** Two protocol automata sharing a backbone — consistent by
     construction. *)

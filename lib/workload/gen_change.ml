@@ -37,8 +37,11 @@ let pick_one rng = function
 
 (** A random additive change: insert a fresh send, add a pick arm for a
     fresh receive, or add a switch branch with a fresh send. *)
-let additive ?(fresh_op = "freshOp") ~seed (p : Process.t) : Ops.t option =
-  let rng = Random.State.make [| seed |] in
+let additive ?rng ?(fresh_op = "freshOp") ~seed (p : Process.t) : Ops.t option
+    =
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| seed |]
+  in
   let partner =
     match Process.partners p with [] -> None | ps -> pick_one rng ps
   in
@@ -91,8 +94,10 @@ let additive ?(fresh_op = "freshOp") ~seed (p : Process.t) : Ops.t option =
 
 (** A random subtractive change: delete a sequence child or unroll a
     loop. *)
-let subtractive ~seed (p : Process.t) : Ops.t option =
-  let rng = Random.State.make [| seed |] in
+let subtractive ?rng ~seed (p : Process.t) : Ops.t option =
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| seed |]
+  in
   let choices =
     List.filter_map Fun.id
       [

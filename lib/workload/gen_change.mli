@@ -2,11 +2,16 @@
     deterministic per seed. *)
 
 val additive :
+  ?rng:Random.State.t ->
   ?fresh_op:string -> seed:int -> Chorev_bpel.Process.t ->
   Chorev_change.Ops.t option
 (** Insert a fresh send, add a pick arm, extend a switch — [None] when
-    the process offers no site. *)
+    the process offers no site. [?rng] overrides the seed-derived
+    state (thread one stream through composed generators; one state per
+    domain under pool fan-out). *)
 
 val subtractive :
+  ?rng:Random.State.t ->
   seed:int -> Chorev_bpel.Process.t -> Chorev_change.Ops.t option
-(** Unroll a loop or delete a sequence child. *)
+(** Unroll a loop or delete a sequence child. [?rng] as in
+    {!additive}. *)

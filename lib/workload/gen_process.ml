@@ -148,9 +148,13 @@ let registry_for (acts : Activity.t list) ~party_a ~party_b =
     ]
 
 (** Generate a consistent requester/responder pair of private
-    processes. [size] grows with [params.depth] and [params.width]. *)
-let pair ?(party_a = "A") ?(party_b = "B") ?(params = default) ~seed () =
-  let rng = Random.State.make [| seed |] in
+    processes. [size] grows with [params.depth] and [params.width].
+    [?rng] overrides the seed-derived state for callers threading one
+    stream through composed generators. *)
+let pair ?rng ?(party_a = "A") ?(party_b = "B") ?(params = default) ~seed () =
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| seed |]
+  in
   let counter = ref 0 in
   let conv = gen_conv rng params ~depth:params.depth ~counter in
   let c1 = ref 0 and c2 = ref 0 in

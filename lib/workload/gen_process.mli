@@ -13,9 +13,13 @@ type params = {
 val default : params
 
 val pair :
+  ?rng:Random.State.t ->
   ?party_a:string ->
   ?party_b:string ->
   ?params:params ->
   seed:int ->
   unit ->
   Chorev_bpel.Process.t * Chorev_bpel.Process.t
+(** [?rng] overrides the seed-derived state so a caller can thread one
+    stream through composed generators; under pool fan-out give each
+    domain its own state. *)

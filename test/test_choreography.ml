@@ -265,6 +265,45 @@ let test_protocol_message_economy () =
   check_bool "bounded messages" true (r.Pr.stats.Pr.messages <= 20);
   check_bool "bounded rounds" true (r.Pr.stats.Pr.rounds <= 16)
 
+let test_protocol_lonely_owner () =
+  (* an owner with no interacting partners announces to nobody and
+     trivially agrees *)
+  let t = M.of_processes [ P.accounting_process ] in
+  let r = Pr.run t ~owner:"A" ~changed:P.accounting_cancel in
+  check_bool "agreed" true r.Pr.agreed;
+  check_int "no messages" 0 r.Pr.stats.Pr.messages;
+  check_int "no announcements" 0 r.Pr.stats.Pr.announcements;
+  check_bool "change applied" false
+    (C.Equiv.equal_language (M.public t "A") (M.public r.Pr.final "A"))
+
+let test_protocol_no_adaptation_preserves_partner () =
+  (* a nacking partner that refuses to adapt keeps its processes *)
+  let t = procurement () in
+  let r = Pr.run ~adapt:false t ~owner:"A" ~changed:P.accounting_cancel in
+  check_bool "no agreement" false r.Pr.agreed;
+  check_bool "B public untouched" true
+    (C.Equiv.equal_language (M.public t "B") (M.public r.Pr.final "B"));
+  check_bool "L still acks the invariant view" true (r.Pr.stats.Pr.acks >= 1);
+  check_bool "owner change still applied" false
+    (C.Equiv.equal_language (M.public t "A") (M.public r.Pr.final "A"))
+
+let test_protocol_max_rounds_exhaustion () =
+  let t = procurement () in
+  (* zero rounds: announcements are queued but never processed *)
+  let r0 = Pr.run ~max_rounds:0 t ~owner:"A" ~changed:P.accounting_cancel in
+  check_int "rounds" 0 r0.Pr.stats.Pr.rounds;
+  check_int "only the initial announcements" 2 r0.Pr.stats.Pr.announcements;
+  check_int "no replies" 0 (r0.Pr.stats.Pr.acks + r0.Pr.stats.Pr.nacks);
+  check_bool "not agreed" false r0.Pr.agreed;
+  (* one round is enough for B's adaptation but cuts off the replies to
+     its re-announcement *)
+  let r1 = Pr.run ~max_rounds:1 t ~owner:"A" ~changed:P.accounting_cancel in
+  check_int "one round" 1 r1.Pr.stats.Pr.rounds;
+  check_bool "B adapted within the round" true r1.Pr.agreed;
+  let full = Pr.run t ~owner:"A" ~changed:P.accounting_cancel in
+  check_bool "cut short of the full exchange" true
+    (r1.Pr.stats.Pr.messages < full.Pr.stats.Pr.messages)
+
 let () =
   Alcotest.run "choreography"
     [
@@ -304,5 +343,10 @@ let () =
           Alcotest.test_case "no adaptation" `Quick test_protocol_no_adaptation;
           Alcotest.test_case "message economy" `Quick
             test_protocol_message_economy;
+          Alcotest.test_case "lonely owner" `Quick test_protocol_lonely_owner;
+          Alcotest.test_case "no adaptation preserves partner" `Quick
+            test_protocol_no_adaptation_preserves_partner;
+          Alcotest.test_case "max_rounds exhaustion" `Quick
+            test_protocol_max_rounds_exhaustion;
         ] );
     ]

@@ -1,0 +1,250 @@
+(* The discrete-event simulator of the decentralized protocol
+   (lib/sim): zero-fault oracle equality against Protocol.run, faulty
+   convergence to the same outcome, replay determinism, and pool
+   invariance of the soak. *)
+
+module C = Chorev
+module M = C.Choreography.Model
+module Pr = C.Choreography.Protocol
+module Sim = C.Sim
+module Fault = C.Sim.Fault
+module Soak = C.Sim.Soak
+module P = C.Scenario.Procurement
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let procurement () = M.of_processes (List.map snd P.parties)
+
+(* ------------------------- zero-fault oracle ------------------------ *)
+
+(* Under Fault.none the sim's event order degenerates to the
+   synchronous driver's global FIFO, so verdict and message counts must
+   match exactly. *)
+let assert_oracle_equal ?(adapt = true) name t ~owner ~changed =
+  let oracle = Pr.run ~adapt t ~owner ~changed in
+  let sim = Sim.run ~adapt ~profile:Fault.none ~seed:0 t ~owner ~changed in
+  check_bool (name ^ ": converged") true sim.Sim.converged;
+  check_bool (name ^ ": agreed") oracle.Pr.agreed sim.Sim.agreed;
+  check_int (name ^ ": messages") oracle.Pr.stats.Pr.messages
+    sim.Sim.stats.Sim.sent;
+  check_int (name ^ ": announcements") oracle.Pr.stats.Pr.announcements
+    sim.Sim.stats.Sim.announcements;
+  check_int (name ^ ": acks") oracle.Pr.stats.Pr.acks sim.Sim.stats.Sim.acks;
+  check_int (name ^ ": nacks") oracle.Pr.stats.Pr.nacks
+    sim.Sim.stats.Sim.nacks;
+  check_int (name ^ ": retries") 0 sim.Sim.stats.Sim.retries;
+  check_int (name ^ ": dropped") 0 sim.Sim.stats.Sim.dropped;
+  check_bool (name ^ ": final model") true
+    (Soak.models_match sim.Sim.final oracle.Pr.final)
+
+let test_oracle_procurement () =
+  let t = procurement () in
+  assert_oracle_equal "invariant order2" t ~owner:"A"
+    ~changed:P.accounting_order2;
+  assert_oracle_equal "variant cancel" t ~owner:"A"
+    ~changed:P.accounting_cancel;
+  assert_oracle_equal "subtractive once" t ~owner:"A"
+    ~changed:P.accounting_once;
+  assert_oracle_equal ~adapt:false "cancel without adaptation" t ~owner:"A"
+    ~changed:P.accounting_cancel
+
+let test_oracle_hub () =
+  let hub, spokes = C.Workload.Scale.hub 4 in
+  let t = M.of_processes (hub :: spokes) in
+  let changed =
+    C.Change.Ops.apply_exn
+      (C.Change.Ops.Insert_activity
+         {
+           path = [];
+           pos = 0;
+           act = C.Bpel.Activity.invoke ~partner:"P0" ~op:"noticeOp";
+         })
+      hub
+  in
+  assert_oracle_equal "hub-4 notice" t ~owner:"HUB" ~changed
+
+(* 50 random two-party workloads: generated consistent pair, then a
+   random additive change by A. *)
+let random_case seed =
+  let pa, pb = C.Workload.Gen_process.pair ~seed () in
+  let t = M.of_processes [ pa; pb ] in
+  let changed =
+    match C.Workload.Gen_change.additive ~seed pa with
+    | Some op -> C.Change.Ops.apply_exn op pa
+    | None -> pa
+  in
+  (t, changed)
+
+let test_oracle_random_workloads () =
+  for seed = 0 to 49 do
+    let t, changed = random_case seed in
+    assert_oracle_equal (Printf.sprintf "workload seed %d" seed) t ~owner:"A"
+      ~changed
+  done
+
+(* --------------------------- fault profiles ------------------------- *)
+
+(* 200 seeded runs (50 seeds x 4 profiles: fair loss at the acceptance
+   bound, duplication, delay/reorder, one transient partition) must all
+   converge to the synchronous oracle's agreed/final outcome. *)
+let test_faulty_convergence_200 () =
+  let t = procurement () in
+  let checks =
+    Soak.run
+      ~profiles:
+        [
+          Fault.lossy ~drop:0.3 ();
+          Fault.jittery;
+          Fault.chaos ();
+          Fault.partitioned "B";
+        ]
+      ~seeds:(List.init 50 Fun.id) t ~owner:"A" ~changed:P.accounting_cancel
+  in
+  check_int "200 runs" 200 (List.length checks);
+  let s = Soak.summarize checks in
+  if s.Soak.failures <> [] then
+    Alcotest.failf "soak failures:@.%a" Soak.pp_summary s;
+  (* faults actually happened: some run lost or retried something *)
+  check_bool "faults injected" true (s.Soak.total_dropped > 0);
+  check_bool "retries happened" true (s.Soak.total_retries > 0)
+
+let test_crash_restart () =
+  let t = procurement () in
+  let oracle = Pr.run t ~owner:"A" ~changed:P.accounting_cancel in
+  List.iter
+    (fun seed ->
+      let r =
+        Sim.run ~seed
+          ~profile:(Fault.crashy ~at:2 ~restart_at:40 "B")
+          t ~owner:"A" ~changed:P.accounting_cancel
+      in
+      check_bool (Printf.sprintf "seed %d converged" seed) true r.Sim.converged;
+      check_bool
+        (Printf.sprintf "seed %d agreed" seed)
+        oracle.Pr.agreed r.Sim.agreed;
+      check_bool
+        (Printf.sprintf "seed %d final" seed)
+        true
+        (Soak.models_match r.Sim.final oracle.Pr.final))
+    [ 0; 1; 2; 3; 4 ]
+
+(* A nacking, non-adapting partner under faults: the sim must settle on
+   the same disagreement as the oracle. *)
+let test_faulty_no_adapt () =
+  let t = procurement () in
+  let oracle = Pr.run ~adapt:false t ~owner:"A" ~changed:P.accounting_cancel in
+  check_bool "oracle disagrees" false oracle.Pr.agreed;
+  List.iter
+    (fun seed ->
+      let r =
+        Sim.run ~adapt:false ~seed
+          ~profile:(Fault.lossy ~drop:0.25 ())
+          t ~owner:"A" ~changed:P.accounting_cancel
+      in
+      check_bool (Printf.sprintf "seed %d converged" seed) true r.Sim.converged;
+      check_bool (Printf.sprintf "seed %d agreed" seed) false r.Sim.agreed)
+    [ 0; 1; 2 ]
+
+(* ---------------------------- determinism --------------------------- *)
+
+let test_replay_determinism () =
+  let t = procurement () in
+  List.iter
+    (fun (profile : Fault.profile) ->
+      let go () =
+        Sim.run ~seed:42 ~profile t ~owner:"A" ~changed:P.accounting_cancel
+      in
+      let a = go () and b = go () in
+      check_bool
+        (profile.Fault.name ^ ": trace nonempty")
+        true (a.Sim.trace <> "");
+      check_string (profile.Fault.name ^ ": byte-identical trace") a.Sim.trace
+        b.Sim.trace;
+      check_int (profile.Fault.name ^ ": same sent") a.Sim.stats.Sim.sent
+        b.Sim.stats.Sim.sent)
+    [ Fault.none; Fault.lossy (); Fault.chaos (); Fault.crashy "B" ]
+
+let test_seed_sensitivity () =
+  (* different seeds draw different faults — traces differ (over 8
+     seeds at 30% drop at least one pair must diverge) *)
+  let t = procurement () in
+  let traces =
+    List.map
+      (fun seed ->
+        (Sim.run ~seed
+           ~profile:(Fault.lossy ~drop:0.3 ())
+           t ~owner:"A" ~changed:P.accounting_cancel)
+          .Sim.trace)
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  check_bool "some seeds differ" true
+    (List.length (List.sort_uniq compare traces) > 1)
+
+let test_soak_pool_invariance () =
+  let t = procurement () in
+  let go pool_size =
+    Soak.run
+      ~pool:(C.Parallel.Pool.sized pool_size)
+      ~profiles:[ Fault.lossy () ]
+      ~seeds:(List.init 8 Fun.id) t ~owner:"A" ~changed:P.accounting_cancel
+  in
+  let seq = go 1 and par = go 2 in
+  check_bool "pool size 1 = pool size 2" true (seq = par);
+  check_bool "all ok" true (Soak.all_ok seq)
+
+(* ------------------------------ eventq ------------------------------ *)
+
+let test_eventq_order () =
+  let q = C.Sim.Eventq.create () in
+  ignore (C.Sim.Eventq.add q ~at:5 "e");
+  ignore (C.Sim.Eventq.add q ~at:1 "a");
+  ignore (C.Sim.Eventq.add q ~at:1 "b");
+  ignore (C.Sim.Eventq.add q ~at:3 "c");
+  check_int "length" 4 (C.Sim.Eventq.length q);
+  Alcotest.(check (option int)) "next_time" (Some 1) (C.Sim.Eventq.next_time q);
+  let order = ref [] in
+  let rec drain () =
+    match C.Sim.Eventq.pop q with
+    | None -> ()
+    | Some (_, _, v) ->
+        order := v :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list string))
+    "time then insertion order" [ "a"; "b"; "c"; "e" ]
+    (List.rev !order);
+  check_bool "empty" true (C.Sim.Eventq.is_empty q)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "procurement scenarios" `Quick
+            test_oracle_procurement;
+          Alcotest.test_case "hub" `Quick test_oracle_hub;
+          Alcotest.test_case "50 random workloads" `Slow
+            test_oracle_random_workloads;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "200 seeded runs converge" `Slow
+            test_faulty_convergence_200;
+          Alcotest.test_case "crash and restart" `Quick test_crash_restart;
+          Alcotest.test_case "no-adapt disagreement" `Quick
+            test_faulty_no_adapt;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "byte-identical replay" `Quick
+            test_replay_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "soak pool invariance" `Quick
+            test_soak_pool_invariance;
+        ] );
+      ( "eventq",
+        [ Alcotest.test_case "priority order" `Quick test_eventq_order ] );
+    ]
