@@ -312,6 +312,36 @@ let ablation_tests () =
         ignore (C.Ablation.minimize_ref pub_buyer));
   ]
 
+(* Resource governance (PR 5): the same product hot path under (a) the
+   ambient unlimited budget — the default everywhere, priced against
+   BENCH_PR4 by --compare — (b) an explicit finite-fuel budget, which
+   exercises the full tick slow path (decrement + trip check +
+   amortized deadline poll), and (c) the adversarial blowup workload:
+   a triple product of dense random publics that runs for seconds
+   unbounded but returns `Exceeded within its deadline under guard. *)
+let guard_tests () =
+  let module B = C.Guard.Budget in
+  let pa, pb = C.Workload.Scale.ladder 200 in
+  let a, b = publics2 pa pb in
+  let d1 = C.Workload.Gen_afsa.random ~seed:11 ~states:400 ~labels:4 ~density:30.0 ()
+  and d2 = C.Workload.Gen_afsa.random ~seed:12 ~states:400 ~labels:4 ~density:30.0 ()
+  and d3 = C.Workload.Gen_afsa.random ~seed:13 ~states:400 ~labels:4 ~density:30.0 () in
+  [
+    t "guard_overhead_unlimited_ladder_200" (fun () ->
+        ignore (C.Ops.intersect ~budget:B.unlimited a b));
+    t "guard_overhead_fueled_ladder_200" (fun () ->
+        let budget = B.create ~fuel:max_int () in
+        ignore (C.Ops.intersect ~budget a b));
+    t "guard_blowup_deadline_50ms" (fun () ->
+        let budget = B.create ~timeout_s:0.05 () in
+        match
+          B.run budget (fun () ->
+              C.Ops.intersect ~budget (C.Ops.intersect ~budget d1 d2) d3)
+        with
+        | `Done _ -> failwith "blowup workload unexpectedly completed"
+        | `Exceeded _ -> ());
+  ]
+
 (* ------------------------------ driver ----------------------------- *)
 
 (* Pre-optimization measurements of the hot aFSA operations (seed
@@ -735,6 +765,7 @@ let () =
       @ menu_tests () @ service_tests () @ propagation_tests ()
       @ protocol_tests () @ runtime_tests () @ discovery_tests ()
       @ migration_tests () @ global_tests () @ ablation_tests ()
+      @ guard_tests ()
   in
   let quota = if !quick then 0.05 else 0.25 in
   let rows = run_and_report ~quota tests in

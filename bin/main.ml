@@ -91,10 +91,78 @@ let obs_term =
   in
   Term.(const obs_setup $ trace_arg $ metrics_arg $ profile_arg $ jobs_arg)
 
+(* ----------------------------- budgets ------------------------------ *)
+
+(* [--op-fuel]/[--op-timeout]/[--round-fuel]/[--round-timeout] build a
+   config updater applied to [Evolution.default]. *)
+let budget_term =
+  let op_fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "op-fuel" ] ~docv:"N"
+          ~doc:
+            "Fuel budget per algebra step (worklist iterations); a step \
+             that runs out degrades per policy instead of completing \
+             (DESIGN.md §9). Deterministic across $(b,--jobs) values.")
+  in
+  let op_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "op-timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock deadline per algebra step (not deterministic).")
+  in
+  let round_fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "round-fuel" ] ~docv:"N"
+          ~doc:
+            "Fuel budget for one whole partner pipeline; op budgets draw \
+             from its remainder.")
+  in
+  let round_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "round-timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock deadline for one whole partner pipeline.")
+  in
+  let make of_ ot rf rt (config : C.Choreography.Evolution.config) =
+    {
+      config with
+      op_budget = { C.Guard.Budget.fuel = of_; timeout_s = ot };
+      round_budget = { C.Guard.Budget.fuel = rf; timeout_s = rt };
+    }
+  in
+  Term.(const make $ op_fuel $ op_timeout $ round_fuel $ round_timeout)
+
+(* ---------------------------- validation ---------------------------- *)
+
+(* Pre-flight [Model.validate] before pipeline work: warnings go to
+   stderr, errors are fatal (exit 2). *)
+let validate_or_fail t =
+  match C.Choreography.Model.validate t with
+  | Ok () -> true
+  | Error issues ->
+      let fatal = ref false in
+      List.iter
+        (fun i ->
+          match C.Choreography.Model.issue_severity i with
+          | `Error ->
+              fatal := true;
+              Fmt.epr "error: %a@." C.Choreography.Model.pp_issue i
+          | `Warning -> Fmt.epr "warning: %a@." C.Choreography.Model.pp_issue i)
+        issues;
+      not !fatal
+
 (* ------------------------------- demo ------------------------------ *)
 
 let demo () scenario =
   let t = C.Choreography.Model.of_processes (List.map snd P.parties) in
+  if not (validate_or_fail t) then 2
+  else begin
   let evolve changed =
     match C.Choreography.Evolution.run t ~owner:"A" ~changed with
     | Ok rep -> Fmt.pr "%a@." C.Choreography.Evolution.pp_report rep
@@ -118,6 +186,7 @@ let demo () scenario =
       Fmt.pr "@.=== §5.3 Variant subtractive change: tracking limit ===@.";
       evolve P.accounting_once);
   0
+  end
 
 let scenario_arg =
   let scenario_conv =
@@ -136,6 +205,8 @@ let demo_cmd =
 
 let check () () =
   let t = C.Choreography.Model.of_processes (List.map snd P.parties) in
+  if not (validate_or_fail t) then 2
+  else begin
   List.iter
     (fun v ->
       Fmt.pr "%a@." C.Choreography.Consistency.pp_verdict v;
@@ -148,6 +219,7 @@ let check () () =
       | None -> ())
     (C.Choreography.Consistency.check_all t);
   if C.Choreography.Consistency.consistent t then 0 else 1
+  end
 
 let check_cmd =
   Cmd.v
@@ -266,6 +338,8 @@ let sim_scenario = function
 
 let sim () scenario fault party seed soak record max_ticks =
   let t = C.Choreography.Model.of_processes (List.map snd P.parties) in
+  if not (validate_or_fail t) then 2
+  else
   let changed = sim_scenario scenario in
   match C.Sim.Fault.of_name ~party fault with
   | Error e ->
@@ -383,6 +457,8 @@ let sim_cmd =
 
 let global () () =
   let t = C.Choreography.Model.of_processes (List.map snd P.parties) in
+  if not (validate_or_fail t) then 2
+  else begin
   Fmt.pr "=== original choreography ===@.%a@.@."
     C.Choreography.Global.pp_diagnosis
     (C.Choreography.Global.diagnose t);
@@ -400,6 +476,7 @@ let global () () =
         (C.Choreography.Global.diagnose
            rep.C.Choreography.Evolution.choreography);
       0
+  end
 
 let global_cmd =
   Cmd.v
@@ -435,6 +512,102 @@ let synth_cmd =
     (Cmd.info "synth"
        ~doc:"Synthesize a private-process template from a public process")
     Term.(const synth $ obs_term $ party_arg)
+
+(* ------------------------------ evolve ----------------------------- *)
+
+let evolve_run () scenario journal crash_after budgets =
+  let t = C.Choreography.Model.of_processes (List.map snd P.parties) in
+  if not (validate_or_fail t) then 2
+  else
+    let config = budgets C.Choreography.Evolution.default in
+    let changed = sim_scenario scenario in
+    match journal with
+    | None ->
+        if crash_after <> None then begin
+          Fmt.epr "--crash-after requires --journal@.";
+          2
+        end
+        else (
+          match C.Choreography.Evolution.run ~config t ~owner:"A" ~changed with
+          | Ok rep ->
+              Fmt.pr "%a@." C.Choreography.Evolution.pp_report rep;
+              if rep.C.Choreography.Evolution.consistent then 0 else 1
+          | Error (`Unknown_party p) ->
+              Fmt.epr "unknown party %s@." p;
+              2)
+    | Some dir -> (
+        match
+          C.Journal.Evolve.run ~config ?crash_after ~dir t ~owner:"A" ~changed
+        with
+        | Ok o ->
+            Fmt.pr "%a@." C.Journal.Evolve.pp_outcome o;
+            if o.C.Journal.Evolve.consistent then 0 else 1
+        | Error e ->
+            Fmt.epr "%s@." e;
+            2
+        | exception C.Journal.Evolve.Simulated_crash k ->
+            Fmt.epr "simulated crash after round %d@." k;
+            3)
+
+let evolve_cmd =
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Journal the run into $(docv): snapshot the choreography, \
+             then commit one checksummed record per round, so a killed \
+             run finishes with $(b,chorev resume) $(docv) — with output \
+             byte-identical to the uninterrupted run.")
+  in
+  let crash_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-after" ] ~docv:"K"
+          ~doc:
+            "Test hook: abort (exit 3) right after committing round \
+             $(docv) to the journal, as a hard kill at that point would.")
+  in
+  Cmd.v
+    (Cmd.info "evolve"
+       ~doc:
+         "Evolve the procurement choreography through a Sec. 5 change, \
+          optionally journaled ($(b,--journal)) for crash-safe resume and \
+          bounded by fuel/deadline budgets ($(b,--op-fuel), ...)")
+    Term.(
+      const evolve_run $ obs_term $ scenario_sim_arg $ journal_arg
+      $ crash_after_arg $ budget_term)
+
+(* ------------------------------ resume ----------------------------- *)
+
+let resume_run () dir budgets =
+  let config = budgets C.Choreography.Evolution.default in
+  match C.Journal.Evolve.resume ~config ~dir () with
+  | Ok o ->
+      Fmt.epr "replayed %d round(s) from %s@." o.C.Journal.Evolve.replayed dir;
+      Fmt.pr "%a@." C.Journal.Evolve.pp_outcome o;
+      if o.C.Journal.Evolve.consistent then 0 else 1
+  | Error e ->
+      Fmt.epr "%s@." e;
+      2
+
+let resume_cmd =
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Finish a journaled $(b,chorev evolve) run: replay the committed \
+          rounds from the journal, run the remaining rounds live, and \
+          print the same outcome the uninterrupted run would have \
+          printed (the replay note goes to stderr)")
+    Term.(
+      const resume_run $ obs_term
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"DIR" ~doc:"Journal directory")
+      $ budget_term)
 
 (* ------------------------- file-based commands --------------------- *)
 
@@ -557,5 +730,5 @@ let () =
           [
             demo_cmd; check_cmd; experiments_cmd; dot_cmd; xml_cmd; run_cmd;
             sim_cmd; global_cmd; synth_cmd; public_cmd; consistent_cmd;
-            save_cmd;
+            save_cmd; evolve_cmd; resume_cmd;
           ]))

@@ -8,12 +8,18 @@ module ISet = Afsa.ISet
 (** [complete ?over a] completes [a] over its own alphabet unioned with
     [over]. No-op when already complete. The automaton must be
     ε-free (determinize first if needed). *)
-let complete ?(over = []) a =
+let complete ?budget ?(over = []) a =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> Chorev_guard.Budget.ambient ()
+  in
   let a = Afsa.widen_alphabet a over in
   if Afsa.has_eps a then
     invalid_arg "Complete.complete: automaton has ε-transitions";
   let alpha = Afsa.alphabet a in
   let needs q =
+    Chorev_guard.Budget.tick budget;
     let out = Afsa.out_symbols a q in
     List.filter (fun l -> not (Label.Set.mem l out)) alpha
   in

@@ -1,7 +1,7 @@
 (** Completion with a non-final sink (Definition 4 of the paper assumes
     complete automata). *)
 
-val complete : ?over:Label.t list -> Afsa.t -> Afsa.t
+val complete : ?budget:Chorev_guard.Budget.t -> ?over:Label.t list -> Afsa.t -> Afsa.t
 (** Complete over the automaton's alphabet unioned with [over]. The
     input must be ε-free. *)
 

@@ -12,11 +12,24 @@ type verdict = {
       (** a deadlock-free conversation, when consistent *)
 }
 
-let check a b =
-  let i = Ops.intersect a b in
-  let consistent = Emptiness.is_nonempty i in
-  let witness = if consistent then Emptiness.witness i else None in
+let check ?budget a b =
+  let i = Ops.intersect ?budget a b in
+  let consistent = Emptiness.is_nonempty ?budget i in
+  let witness = if consistent then Emptiness.witness ?budget i else None in
   { consistent; intersection = i; witness }
 
 (** [consistent a b] — the paper's bilateral consistency predicate. *)
-let consistent a b = Emptiness.is_nonempty (Ops.intersect a b)
+let consistent ?budget a b =
+  Emptiness.is_nonempty ?budget (Ops.intersect ?budget a b)
+
+(** Three-valued consistency under an explicit budget: [`Unknown] when
+    the budget trips before a verdict is reached — the conservative
+    answer the engine degrades to instead of hanging. *)
+let decide ~budget a b =
+  match
+    Chorev_guard.Budget.run budget (fun () ->
+        Emptiness.is_nonempty ~budget (Ops.intersect ~budget a b))
+  with
+  | `Done true -> `Consistent
+  | `Done false -> `Inconsistent
+  | `Exceeded info -> `Unknown info

@@ -8,5 +8,15 @@ type verdict = {
       (** a deadlock-free conversation, when consistent *)
 }
 
-val check : Afsa.t -> Afsa.t -> verdict
-val consistent : Afsa.t -> Afsa.t -> bool
+val check : ?budget:Chorev_guard.Budget.t -> Afsa.t -> Afsa.t -> verdict
+val consistent : ?budget:Chorev_guard.Budget.t -> Afsa.t -> Afsa.t -> bool
+
+val decide :
+  budget:Chorev_guard.Budget.t ->
+  Afsa.t ->
+  Afsa.t ->
+  [ `Consistent | `Inconsistent | `Unknown of Chorev_guard.Budget.info ]
+(** Three-valued consistency under an explicit budget: [`Unknown]
+    carries the trip info when fuel/deadline ran out before a verdict
+    was reached. Never raises {!Chorev_guard.Budget.Expired} for the
+    given budget. *)

@@ -9,6 +9,7 @@
     builds on. *)
 
 module F = Chorev_formula.Syntax
+module Budget = Chorev_guard.Budget
 module ISet = Afsa.ISet
 
 module SetKey = struct
@@ -22,8 +23,11 @@ module SMap = Map.Make (SetKey)
 (** Determinize; the result has no ε-transitions and at most one
     transition per (state, label). State numbering is dense from 0
     (start = 0). *)
-let determinize a =
-  let a = Epsilon.eliminate a in
+let determinize ?budget a =
+  let budget =
+    match budget with Some b -> b | None -> Budget.ambient ()
+  in
+  let a = Epsilon.eliminate ~budget a in
   if Afsa.is_deterministic a then fst (Afsa.renumber a)
   else
     let start_set = ISet.singleton (Afsa.start a) in
@@ -36,6 +40,8 @@ let determinize a =
       match SMap.find_opt set !ids with
       | Some id -> id
       | None ->
+          (* one fuel unit per discovered subset — the exponential axis *)
+          Budget.tick budget;
           let id = !next_id in
           incr next_id;
           ids := SMap.add set id !ids;

@@ -3,5 +3,5 @@
     following the annotated deterministic FSAs of Wombacher et al.
     (ICWS 2004). *)
 
-val determinize : Afsa.t -> Afsa.t
+val determinize : ?budget:Chorev_guard.Budget.t -> Afsa.t -> Afsa.t
 (** ε-free, deterministic, densely numbered from the start. *)

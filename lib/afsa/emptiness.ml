@@ -37,6 +37,7 @@
     O(V + E) with no per-iteration allocation of edge lists. *)
 
 module F = Chorev_formula.Syntax
+module Budget = Chorev_guard.Budget
 module ISet = Afsa.ISet
 
 (* Fixpoint-level instrumentation (DESIGN.md §7): number of [analyze]
@@ -57,7 +58,7 @@ type result = {
 (* States that can reach a final state of [sat] moving through [sat]
    states only: backward closure from F ∩ sat inside sat, over the
    shared predecessor index. *)
-let reach_final_through a sat =
+let reach_final_through budget a sat =
   let seen = Hashtbl.create 64 in
   let acc = ref ISet.empty in
   let stack = ref (List.filter (fun f -> ISet.mem f sat) (Afsa.finals a)) in
@@ -66,6 +67,7 @@ let reach_final_through a sat =
     match !stack with
     | [] -> ()
     | q :: rest ->
+        Budget.tick budget;
         stack := rest;
         acc := ISet.add q !acc;
         List.iter
@@ -78,7 +80,10 @@ let reach_final_through a sat =
   done;
   !acc
 
-let analyze a =
+let analyze ?budget a =
+  let budget =
+    match budget with Some b -> b | None -> Budget.ambient ()
+  in
   let warning =
     if List.for_all (fun (_, f) -> F.is_positive f) (Afsa.annotations a) then
       None
@@ -119,7 +124,8 @@ let analyze a =
         Chorev_formula.Eval.eval ~assign f
   in
   let rec fix n sat =
-    let reach = reach_final_through a sat in
+    Budget.tick budget;
+    let reach = reach_final_through budget a sat in
     (* [reach ⊆ sat] by construction, so filtering [reach] by [holds]
        equals the seed's [filter (reach ∧ holds) sat]. *)
     let sat' = ISet.filter (fun q -> holds sat q) reach in
@@ -132,9 +138,9 @@ let analyze a =
 
 (** An aFSA is empty when no message sequence satisfying all mandatory
     annotations leads from the start state to a final state. *)
-let is_empty a = not (analyze a).nonempty
+let is_empty ?budget a = not (analyze ?budget a).nonempty
 
-let is_nonempty a = (analyze a).nonempty
+let is_nonempty ?budget a = (analyze ?budget a).nonempty
 
 (** Plain (annotation-oblivious) emptiness: no final state reachable. *)
 let is_empty_plain a =
@@ -143,8 +149,8 @@ let is_empty_plain a =
 
 (** Shortest witness of annotated non-emptiness: a label sequence along
     sat-states from the start to a final sat-state. [None] if empty. *)
-let witness a =
-  let { sat; nonempty; _ } = analyze a in
+let witness ?budget a =
+  let { sat; nonempty; _ } = analyze ?budget a in
   if not nonempty then None
   else
     let module Q = Queue in

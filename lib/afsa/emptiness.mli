@@ -16,14 +16,14 @@ type result = {
           approximation *)
 }
 
-val analyze : Afsa.t -> result
+val analyze : ?budget:Chorev_guard.Budget.t -> Afsa.t -> result
 
-val is_empty : Afsa.t -> bool
-val is_nonempty : Afsa.t -> bool
+val is_empty : ?budget:Chorev_guard.Budget.t -> Afsa.t -> bool
+val is_nonempty : ?budget:Chorev_guard.Budget.t -> Afsa.t -> bool
 
 val is_empty_plain : Afsa.t -> bool
 (** Annotation-oblivious: no final state reachable. *)
 
-val witness : Afsa.t -> Label.t list option
+val witness : ?budget:Chorev_guard.Budget.t -> Afsa.t -> Label.t list option
 (** A shortest accepted conversation through sat-states; [None] when
     empty. *)

@@ -7,6 +7,7 @@
     is already an obligation at [q]. *)
 
 module F = Chorev_formula.Syntax
+module Budget = Chorev_guard.Budget
 module ISet = Afsa.ISet
 
 (** ε-closure of a state set. *)
@@ -106,7 +107,10 @@ let all_closures a states =
     annotations. Unreachable states are dropped. ε-closures are
     computed once per state per call (shared within ε-SCCs), not
     re-explored per state. *)
-let eliminate a =
+let eliminate ?budget a =
+  let budget =
+    match budget with Some b -> b | None -> Budget.ambient ()
+  in
   if not (Afsa.has_eps a) then a
   else
     let states = Afsa.states a in
@@ -115,6 +119,7 @@ let eliminate a =
     let edges =
       List.concat_map
         (fun q ->
+          Budget.tick budget;
           ISet.fold
             (fun p acc ->
               List.fold_left

@@ -4,6 +4,6 @@
 val closure : Afsa.t -> Afsa.ISet.t -> Afsa.ISet.t
 val closure_of : Afsa.t -> int -> Afsa.ISet.t
 
-val eliminate : Afsa.t -> Afsa.t
+val eliminate : ?budget:Chorev_guard.Budget.t -> Afsa.t -> Afsa.t
 (** Remove all ε-transitions, preserving the language; unreachable
     states are dropped. *)

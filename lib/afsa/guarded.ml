@@ -1,0 +1,27 @@
+(** Non-raising budgeted wrappers over the algebra (see guarded.mli). *)
+
+module Budget = Chorev_guard.Budget
+
+type 'a outcome = [ `Done of 'a | `Exceeded of Budget.info ]
+
+let intersect ~budget a b =
+  Budget.run budget (fun () -> Ops.intersect ~budget a b)
+
+let difference ~budget a b =
+  Budget.run budget (fun () -> Ops.difference ~budget a b)
+
+let union ~budget a b = Budget.run budget (fun () -> Ops.union ~budget a b)
+
+let determinize ~budget a =
+  Budget.run budget (fun () -> Determinize.determinize ~budget a)
+
+let minimize ~budget a =
+  Budget.run budget (fun () -> Minimize.minimize ~budget a)
+
+let emptiness ~budget a =
+  Budget.run budget (fun () -> Emptiness.analyze ~budget a)
+
+let minimize_or_self ~budget a =
+  match minimize ~budget a with
+  | `Done m -> (m, None)
+  | `Exceeded info -> (a, Some info)

@@ -1,0 +1,20 @@
+(** Total (non-raising) entry points into the algebra: each wraps an
+    operation in {!Chorev_guard.Budget.run} so callers get a typed
+    [`Done]/[`Exceeded] instead of having to catch
+    {!Chorev_guard.Budget.Expired} themselves. *)
+
+module Budget = Chorev_guard.Budget
+
+type 'a outcome = [ `Done of 'a | `Exceeded of Budget.info ]
+
+val intersect : budget:Budget.t -> Afsa.t -> Afsa.t -> Afsa.t outcome
+val difference : budget:Budget.t -> Afsa.t -> Afsa.t -> Afsa.t outcome
+val union : budget:Budget.t -> Afsa.t -> Afsa.t -> Afsa.t outcome
+val determinize : budget:Budget.t -> Afsa.t -> Afsa.t outcome
+val minimize : budget:Budget.t -> Afsa.t -> Afsa.t outcome
+val emptiness : budget:Budget.t -> Afsa.t -> Emptiness.result outcome
+
+val minimize_or_self : budget:Budget.t -> Afsa.t -> Afsa.t * Budget.info option
+(** Graceful degradation: the minimized automaton, or the input
+    unchanged (language-equal, just larger) with the trip info when the
+    budget ran out. *)

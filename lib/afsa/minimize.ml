@@ -33,6 +33,7 @@
     class is what the fallback computes. *)
 
 module F = Chorev_formula.Syntax
+module Budget = Chorev_guard.Budget
 module ISet = Afsa.ISet
 module IMap = Afsa.IMap
 
@@ -238,7 +239,7 @@ let initial_classes nstates final_of ann_of =
    never computes. Inputs with a live start never reach this function;
    size is whatever the automaton is, and empty-language automata are
    small in practice, so the |Q|·|Σ| table is affordable here. *)
-let minimize_completed d state_ids n alpha k dense_of =
+let minimize_completed budget d state_ids n alpha k dense_of =
   let sink = n in
   let m = n + 1 in
   let col = Hashtbl.create (max 1 k) in
@@ -308,6 +309,7 @@ let minimize_completed d state_ids n alpha k dense_of =
   done;
   let scratch = Array.make m 0 in
   while !wtop > 0 do
+    Budget.tick budget;
     decr wtop;
     let code = wstack.(!wtop) in
     let b = code / k and c = code mod k in
@@ -423,7 +425,10 @@ let minimize_completed d state_ids n alpha k dense_of =
 (* over the live core only.                                           *)
 (* ------------------------------------------------------------------ *)
 
-let minimize a =
+let minimize ?budget a =
+  let budget =
+    match budget with Some b -> b | None -> Budget.ambient ()
+  in
   Chorev_obs.Metrics.incr c_runs;
   (* A deterministic input (no ε, ≤1 target per symbol) goes straight
      to refinement; determinization would only ε-eliminate (a no-op)
@@ -433,7 +438,7 @@ let minimize a =
       Chorev_obs.Metrics.incr c_det_fastpath;
       a
     end
-    else Determinize.determinize a
+    else Determinize.determinize ~budget a
   in
   let state_ids = Array.of_list (Afsa.states d) in
   let n = Array.length state_ids in
@@ -451,7 +456,7 @@ let minimize a =
       fun q -> Hashtbl.find tbl q
     end
   in
-  if n = 0 then minimize_completed d state_ids n alpha k dense_of
+  if n = 0 then minimize_completed budget d state_ids n alpha k dense_of
   else begin
     (* Real transitions with dense endpoints and label column ids. *)
     let col = Hashtbl.create (max 1 k) in
@@ -531,7 +536,7 @@ let minimize a =
     in
     let coreach = bfs final_roots (fun t -> tt.(t)) ioff idata in
     if not (reach.(start_d) && coreach.(start_d)) then
-      minimize_completed d state_ids n alpha k dense_of
+      minimize_completed budget d state_ids n alpha k dense_of
     else begin
       let live q = reach.(q) && coreach.(q) in
       let lid = Array.make n (-1) in
@@ -627,12 +632,14 @@ let minimize a =
       let no_new = fun (_ : int) -> () in
       let bi = ref 1 and ci = ref 0 in
       while !ci < pc.nblocks do
+        Budget.tick budget;
         for i = pc.first.(!ci) to pc.past.(!ci) - 1 do
           mark pb ft.(pc.elems.(i))
         done;
         split_touched pb no_new;
         incr ci;
         while !bi < pb.nblocks do
+          Budget.tick budget;
           for i = pb.first.(!bi) to pb.past.(!bi) - 1 do
             let s = pb.elems.(i) in
             for j = inoff.(s) to inoff.(s + 1) - 1 do

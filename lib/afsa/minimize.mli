@@ -2,7 +2,7 @@
     partition distinguishes finality and the simplified annotation —
     states with different mandatory obligations never merge. *)
 
-val minimize : Afsa.t -> Afsa.t
+val minimize : ?budget:Chorev_guard.Budget.t -> Afsa.t -> Afsa.t
 (** Determinizes and completes internally; trims dead states; numbers
     states canonically (BFS in sorted-label order), so equal annotated
     languages yield structurally equal automata. *)

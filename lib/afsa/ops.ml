@@ -25,7 +25,7 @@ let union_alphabet a b =
 (** Intersection of two aFSAs (Definition 3): cross product over the
     shared alphabet, finals are pairs of finals, annotations combined by
     conjunction. ε-transitions of either side are interleaved. *)
-let intersect a b =
+let intersect ?budget a b =
   Chorev_obs.Metrics.incr c_intersect;
   let spec =
     {
@@ -34,16 +34,16 @@ let intersect a b =
       combine_ann = F.and_;
     }
   in
-  fst (Product.run spec a b)
+  fst (Product.run ?budget spec a b)
 
 (** Complement over an explicit alphabet (the automaton is determinized
     and completed first; the result is annotation-free since the
     mandatory-message semantics of annotations is not closed under
     complement — cf. DESIGN.md). *)
-let complement ?(over = []) a =
+let complement ?budget ?(over = []) a =
   Chorev_obs.Metrics.incr c_complement;
-  let d = Determinize.determinize a in
-  let d = Complete.complete ~over d in
+  let d = Determinize.determinize ?budget a in
+  let d = Complete.complete ?budget ~over d in
   let finals =
     List.filter (fun q -> not (Afsa.is_final d q)) (Afsa.states d)
   in
@@ -55,10 +55,10 @@ let complement ?(over = []) a =
     alphabet so that sequences of [a] using messages unknown to [b] are
     kept (as in the paper's Fig. 13a, where the new [cancelOp] message
     survives the difference with the old buyer process). *)
-let difference a b =
+let difference ?budget a b =
   Chorev_obs.Metrics.incr c_difference;
   let over = union_alphabet a b in
-  let db = Determinize.determinize b in
+  let db = Determinize.determinize ?budget b in
   let sink = Product.sink_of db in
   (* the right side is the complement of [db] completed over [over],
      kept virtual: the sink and every non-final state of [db] are
@@ -72,7 +72,7 @@ let difference a b =
       combine_ann = (fun ann_a _ -> ann_a);
     }
   in
-  fst (Product.run_right_total spec ~sink a db) |> Afsa.trim
+  fst (Product.run_right_total ?budget spec ~sink a db) |> Afsa.trim
 
 (** Direct union: product of the two automata completed over the union
     alphabet, final when either side is final. Annotations are combined
@@ -81,11 +81,11 @@ let difference a b =
     the other side's obligations pass through unchanged (this matches
     the paper's Fig. 13b, where the buyer's original annotation and the
     new [cancelOp AND deliveryOp] annotation coexist). *)
-let union a b =
+let union ?budget a b =
   Chorev_obs.Metrics.incr c_union;
   let over = union_alphabet a b in
-  let da = Determinize.determinize a in
-  let db = Determinize.determinize b in
+  let da = Determinize.determinize ?budget a in
+  let db = Determinize.determinize ?budget b in
   let sink_a = Product.sink_of da and sink_b = Product.sink_of db in
   (* both sides virtually completed over [over]; a sink is never final,
      so [is_final] on a sink id is safely [false]. *)
@@ -96,11 +96,14 @@ let union a b =
       combine_ann = F.and_;
     }
   in
-  fst (Product.run_both_total spec ~sink_a ~sink_b da db) |> Afsa.trim
+  fst (Product.run_both_total ?budget spec ~sink_a ~sink_b da db) |> Afsa.trim
 
 (** Union by De Morgan, as the paper states it:
     [A ∪ B ≡ ¬(¬A ∩ ¬B)]. Language-equivalent to {!union} but
     annotation-free; kept for fidelity and cross-checked in tests. *)
-let union_de_morgan a b =
+let union_de_morgan ?budget a b =
   let over = union_alphabet a b in
-  complement ~over (intersect (complement ~over a) (complement ~over b))
+  complement ?budget ~over
+    (intersect ?budget
+       (complement ?budget ~over a)
+       (complement ?budget ~over b))

@@ -3,24 +3,24 @@
 val inter_alphabet : Afsa.t -> Afsa.t -> Label.t list
 val union_alphabet : Afsa.t -> Afsa.t -> Label.t list
 
-val intersect : Afsa.t -> Afsa.t -> Afsa.t
+val intersect : ?budget:Chorev_guard.Budget.t -> Afsa.t -> Afsa.t -> Afsa.t
 (** Definition 3: product over the shared alphabet, finals are pairs of
     finals, annotations conjoined; ε-moves of either side interleave. *)
 
-val complement : ?over:Label.t list -> Afsa.t -> Afsa.t
+val complement : ?budget:Chorev_guard.Budget.t -> ?over:Label.t list -> Afsa.t -> Afsa.t
 (** Determinize + complete + flip finals. Annotation-free: the
     mandatory-message semantics is not closed under complement. *)
 
-val difference : Afsa.t -> Afsa.t -> Afsa.t
+val difference : ?budget:Chorev_guard.Budget.t -> Afsa.t -> Afsa.t -> Afsa.t
 (** Definition 4, [a ∖ b]: sequences of [a] not accepted by [b], with
     [a]'s annotations retained. Completion is over the union alphabet
     so sequences using messages unknown to [b] survive (the paper's
     Fig. 13a). *)
 
-val union : Afsa.t -> Afsa.t -> Afsa.t
+val union : ?budget:Chorev_guard.Budget.t -> Afsa.t -> Afsa.t -> Afsa.t
 (** Direct product union preserving annotations by conjunction where
     behaviours overlap (matches Fig. 13b). *)
 
-val union_de_morgan : Afsa.t -> Afsa.t -> Afsa.t
+val union_de_morgan : ?budget:Chorev_guard.Budget.t -> Afsa.t -> Afsa.t -> Afsa.t
 (** The paper's formulation [¬(¬A ∩ ¬B)] — language-equivalent to
     {!union} but annotation-free; kept for fidelity. *)

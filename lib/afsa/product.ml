@@ -13,6 +13,11 @@
     sweeping the whole product alphabet per state. *)
 
 module F = Chorev_formula.Syntax
+module Budget = Chorev_guard.Budget
+
+(* Every product loop ticks its budget once per popped pair state, so
+   a fuel bound translates directly into a bound on explored pairs. *)
+let resolve = function Some b -> b | None -> Budget.ambient ()
 
 module PairKey = struct
   type t = int * int
@@ -41,7 +46,8 @@ let c_sink_pairs = Chorev_obs.Metrics.counter "afsa.product.sink_pairs"
     numbered densely in discovery (BFS) order, the start is
     [(start a, start b)] = 0. Returns the automaton together with the
     pair ↦ product-state map. *)
-let run spec a b =
+let run ?budget spec a b =
+  let budget = resolve budget in
   let next = ref 0 in
   let ids : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
   let edges = ref [] in
@@ -71,6 +77,7 @@ let run spec a b =
   in
   let s0 = id_of (Afsa.start a, Afsa.start b) in
   while not (Queue.is_empty pending) do
+    Budget.tick budget;
     let (q1, q2), id = Queue.pop pending in
     (* synchronized moves on shared labels, lone ε-moves of the left *)
     List.iter
@@ -131,7 +138,8 @@ let sink_of a = 1 + List.fold_left max 0 (Afsa.states a)
     proper symbol) moves to [sink], which traps. [b] must be ε-free
     (determinize it first); [spec.final] and [spec.combine_ann] see
     [sink] as a regular right-state with annotation [True]. *)
-let run_right_total spec ~sink a b =
+let run_right_total ?budget spec ~sink a b =
+  let budget = resolve budget in
   let ann_b q2 = if q2 = sink then F.True else Afsa.annotation b q2 in
   let next = ref 0 in
   let ids : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
@@ -168,6 +176,7 @@ let run_right_total spec ~sink a b =
   in
   let s0 = id_of (Afsa.start a, Afsa.start b) in
   while not (Queue.is_empty pending) do
+    Budget.tick budget;
     let (q1, q2), id = Queue.pop pending in
     List.iter
       (fun (sym, t1s) ->
@@ -201,7 +210,8 @@ let run_right_total spec ~sink a b =
     sides over [spec.alphabet]. Both automata must be ε-free. Pairs
     where both sides are trapped in their sink are pruned (they can
     never accept). *)
-let run_both_total spec ~sink_a ~sink_b a b =
+let run_both_total ?budget spec ~sink_a ~sink_b a b =
+  let budget = resolve budget in
   let ann_a q1 = if q1 = sink_a then F.True else Afsa.annotation a q1 in
   let ann_b q2 = if q2 = sink_b then F.True else Afsa.annotation b q2 in
   let next = ref 0 in
@@ -242,6 +252,7 @@ let run_both_total spec ~sink_a ~sink_b a b =
   in
   let s0 = id_of (Afsa.start a, Afsa.start b) in
   while not (Queue.is_empty pending) do
+    Budget.tick budget;
     let (q1, q2), id = Queue.pop pending in
     (* the union of both sides' real symbols; anything else moves both
        sides to their sink — pruned *)

@@ -40,11 +40,12 @@ let relabel ~observer a =
     ~start:(Afsa.start a) ~finals:(Afsa.finals a) ~edges ~ann ()
 
 (** Un-minimized view: relabel + ε-elimination only. *)
-let tau_raw ~observer a = Epsilon.eliminate (relabel ~observer a)
+let tau_raw ?budget ~observer a =
+  Epsilon.eliminate ?budget (relabel ~observer a)
 
 (** The view of [observer] on [a], minimized (as the paper's figures
     present it). *)
-let tau ~observer a = Minimize.minimize (relabel ~observer a)
+let tau ?budget ~observer a = Minimize.minimize ?budget (relabel ~observer a)
 
 (** Parties mentioned by the automaton's alphabet. *)
 let parties a =

@@ -3,8 +3,8 @@
     [true] in annotations; ε-eliminate (and minimize, for {!tau}). *)
 
 val relabel : observer:string -> Afsa.t -> Afsa.t
-val tau_raw : observer:string -> Afsa.t -> Afsa.t
-val tau : observer:string -> Afsa.t -> Afsa.t
+val tau_raw : ?budget:Chorev_guard.Budget.t -> observer:string -> Afsa.t -> Afsa.t
+val tau : ?budget:Chorev_guard.Budget.t -> observer:string -> Afsa.t -> Afsa.t
 
 val parties : Afsa.t -> string list
 (** Parties mentioned by the alphabet. *)

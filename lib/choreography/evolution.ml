@@ -31,6 +31,8 @@ module Engine = Chorev_propagate.Engine
 module Obs = Chorev_obs.Obs
 module Metrics = Chorev_obs.Metrics
 module Pool = Chorev_parallel.Pool
+module Budget = Chorev_guard.Budget
+module Degrade = Chorev_guard.Degrade
 open Chorev_bpel
 
 type config = Engine.config = {
@@ -38,6 +40,9 @@ type config = Engine.config = {
   max_rounds : int;
   obs : Chorev_obs.Sink.t option;
   jobs : int;
+  op_budget : Budget.spec;
+  round_budget : Budget.spec;
+  cancel : Budget.Cancel.t option;
 }
 
 let default = Engine.default
@@ -46,6 +51,9 @@ type partner_report = {
   partner : string;
   verdict : Classify.verdict;
   outcome : Engine.outcome option;  (** [None] for invariant changes *)
+  degraded : Degrade.t list;
+      (** classification-level budget trips; engine-level ones are on
+          [outcome.degraded] *)
 }
 
 type round = {
@@ -82,23 +90,58 @@ let classify_partner ~owner ~old_public ~new_public t partner =
 let run_partner_step (config : config) ~owner ~old_public ~new_public
     ~partner_public ~partner_private partner =
   Obs.span "partner" ~attrs:[ ("partner", str partner) ] @@ fun () ->
-  let partner_view = Chorev_afsa.View.tau ~observer:owner partner_public in
-  let verdict =
-    Classify.classify ~owner ~partner ~old_public ~new_public
-      ~partner_public:partner_view
-  in
-  if not (Classify.requires_propagation verdict) then
-    ({ partner; verdict; outcome = None }, None)
-  else
-    let direction = Engine.direction_of_framework verdict.Classify.framework in
-    let outcome =
-      (* the evolve-level sink (if any) is already installed; the engine
-         must not re-install it *)
-      Engine.run
-        ~config:{ config with obs = None }
-        ~direction ~a':new_public ~partner_private ()
-    in
-    ({ partner; verdict; outcome = Some outcome }, outcome.Engine.adapted)
+  (* Classification runs under its own op budget, minted here — inside
+     the pool task — so the same (input, fuel) pair trips identically
+     at every pool size. *)
+  let class_budget = Budget.of_spec ?cancel:config.cancel config.op_budget in
+  match
+    Budget.run class_budget (fun () ->
+        let partner_view =
+          Chorev_afsa.View.tau ~observer:owner partner_public
+        in
+        Classify.classify ~owner ~partner ~old_public ~new_public
+          ~partner_public:partner_view)
+  with
+  | `Exceeded info ->
+      (* Unclassifiable within budget: conservatively leave the partner
+         untouched and mark the report as degraded. *)
+      let empty = Afsa.make ~alphabet:[] ~start:0 ~finals:[] ~edges:[] ~ann:[] () in
+      let verdict =
+        {
+          Classify.partner;
+          framework =
+            {
+              Classify.additive = false;
+              subtractive = false;
+              added = empty;
+              removed = empty;
+            };
+          propagation = Classify.Invariant;
+        }
+      in
+      ( {
+          partner;
+          verdict;
+          outcome = None;
+          degraded = [ Degrade.Aborted_step { step = "classify"; info } ];
+        },
+        None )
+  | `Done verdict ->
+      if not (Classify.requires_propagation verdict) then
+        ({ partner; verdict; outcome = None; degraded = [] }, None)
+      else
+        let direction =
+          Engine.direction_of_framework verdict.Classify.framework
+        in
+        let outcome =
+          (* the evolve-level sink (if any) is already installed; the engine
+             must not re-install it *)
+          Engine.run
+            ~config:{ config with obs = None }
+            ~direction ~a':new_public ~partner_private ()
+        in
+        ( { partner; verdict; outcome = Some outcome; degraded = [] },
+          outcome.Engine.adapted )
 
 (* The pool a round fans out over: [config.jobs] if positive, else the
    process default ([--jobs] / [CHOREV_DOMAINS], sequential when
@@ -166,6 +209,19 @@ let run_round (config : config) t owner (changed : Process.t) =
 let with_config_sink (config : config) f =
   match config.obs with None -> f () | Some sink -> Obs.with_sink sink f
 
+(* Which of a round's auto-adapted partners still propagate: those
+   whose regenerated public differs from what the *pre-round* model [t]
+   records for them. Shared with the journal's replay, which must
+   reconstruct pending work exactly as the live loop computed it. *)
+let surviving_pending t adapted =
+  List.filter
+    (fun (p, proc') ->
+      not
+        (Chorev_afsa.Equiv.equal_annotated
+           (Chorev_mapping.Public_gen.public proc')
+           (Model.public t p)))
+    adapted
+
 (** Evolve the choreography by replacing [owner]'s private process with
     [changed], under [config]. Total in [owner]. *)
 let run ?(config = default) t ~owner ~changed =
@@ -189,24 +245,16 @@ let run ?(config = default) t ~owner ~changed =
               consistent = Consistency.consistent ~pool:(round_pool config) t;
             }
           in
-          let rec go t rounds budget pending =
+          let rec go t rounds remaining pending =
             match pending with
             | [] -> finish t rounds
-            | _ when budget = 0 -> finish t rounds
+            | _ when remaining = 0 -> finish t rounds
             | (owner, proc) :: rest ->
                 let round, t', adapted = run_round config t owner proc in
                 (* partners adapted in this round propagate onward,
                    except back to processes already equal in the model *)
-                let new_pending =
-                  List.filter
-                    (fun (p, proc') ->
-                      not
-                        (Chorev_afsa.Equiv.equal_annotated
-                           (Chorev_mapping.Public_gen.public proc')
-                           (Model.public t p)))
-                    adapted
-                in
-                go t' (round :: rounds) (budget - 1) (rest @ new_pending)
+                let new_pending = surviving_pending t adapted in
+                go t' (round :: rounds) (remaining - 1) (rest @ new_pending)
           in
           go t [] config.max_rounds [ (owner, changed) ] )
 
@@ -248,7 +296,7 @@ let dry_run ?(config = default) t ~owner ~changed =
                             ())
                      else None
                    in
-                   { partner; verdict; outcome }) )
+                   { partner; verdict; outcome; degraded = [] }) )
 
 (** Apply a change operation to [owner]'s private process, then evolve. *)
 let run_op ?config t ~owner op =
@@ -291,10 +339,14 @@ let pp_round ppf r =
   Fmt.pf ppf "@[<v>round by %s (public %s):@,%a@]" r.originator
     (if r.public_changed then "changed" else "unchanged")
     (Fmt.list ~sep:Fmt.cut (fun ppf pr ->
-         Fmt.pf ppf "  %a%a" Classify.pp_verdict pr.verdict
+         Fmt.pf ppf "  %a%a%a" Classify.pp_verdict pr.verdict
            (Fmt.option (fun ppf o ->
                 Fmt.pf ppf " → %a" Engine.pp_outcome o))
-           pr.outcome))
+           pr.outcome
+           (fun ppf -> function
+             | [] -> ()
+             | ds -> Fmt.pf ppf " [degraded: %a]" Degrade.pp_list ds)
+           pr.degraded))
     r.partners
 
 let pp_report ppf rep =

@@ -18,18 +18,33 @@ type config = Chorev_propagate.Engine.config = {
           [Chorev_parallel.Pool.default_size] ([--jobs] /
           [CHOREV_DOMAINS]). Results are structurally identical for
           every pool size. *)
+  op_budget : Chorev_guard.Budget.spec;
+      (** bound on each algebra step (classification, view, delta,
+          re-check); budgets are minted inside the pool tasks, so
+          fuel-only budgets trip identically at every pool size
+          (default: unlimited) *)
+  round_budget : Chorev_guard.Budget.spec;
+      (** bound on one whole partner pipeline (default: unlimited) *)
+  cancel : Chorev_guard.Budget.Cancel.t option;
+      (** cooperative cancellation token shared by every budget minted
+          from this config (default: [None]) *)
 }
 (** Alias of {!Chorev_propagate.Engine.config}: one record configures
     both the per-partner engine and the whole-choreography pipeline. *)
 
 val default : config
-(** [{ auto_apply = true; max_rounds = 8; obs = None; jobs = 0 }] *)
+(** [auto_apply = true], [max_rounds = 8], no sink, [jobs = 0],
+    unlimited budgets, no cancellation token. *)
 
 type partner_report = {
   partner : string;
   verdict : Chorev_change.Classify.verdict;
   outcome : Chorev_propagate.Engine.outcome option;
       (** [None] for invariant changes *)
+  degraded : Chorev_guard.Degrade.t list;
+      (** classification-level budget trips (the partner is then
+          conservatively treated as invariant); engine-level trips are
+          on [outcome.degraded] *)
 }
 
 type round = {
@@ -52,6 +67,27 @@ val run :
   (report, [ `Unknown_party of string ]) result
 (** Evolve the choreography by replacing [owner]'s private process with
     [changed]. Total in [owner]. *)
+
+val run_round :
+  config ->
+  Model.t ->
+  string ->
+  Chorev_bpel.Process.t ->
+  round * Model.t * (string * Chorev_bpel.Process.t) list
+(** One round of {!run}: replace the originator's private process,
+    classify + propagate to every interacting partner, and return the
+    round report, the updated choreography, and the auto-adapted
+    partners (next rounds' originators). Exposed for the journal's
+    resumable driver; most callers want {!run}. *)
+
+val surviving_pending :
+  Model.t ->
+  (string * Chorev_bpel.Process.t) list ->
+  (string * Chorev_bpel.Process.t) list
+(** Which of a round's adapted partners still need their own round:
+    those whose regenerated public differs from the {e pre-round} model.
+    This is exactly the filter {!run}'s loop applies — replay must use
+    the same one to reconstruct pending work byte-identically. *)
 
 val dry_run :
   ?config:config ->

@@ -82,6 +82,78 @@ let copy t =
         t.members;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Pre-flight validation                                               *)
+(* ------------------------------------------------------------------ *)
+
+type issue_kind =
+  | Unknown_party_ref of { label : Label.t; missing : string }
+  | Dangling_channel of { label : Label.t; counterparty : string }
+  | Foreign_label of Label.t
+  | No_final_state
+  | Empty_language
+
+type issue = { party : string; kind : issue_kind }
+
+let issue_severity i =
+  match i.kind with Dangling_channel _ -> `Warning | _ -> `Error
+
+let pp_issue ppf i =
+  match i.kind with
+  | Unknown_party_ref { label; missing } ->
+      Fmt.pf ppf "%s: message %a references party %s, which is not a member"
+        i.party Label.pp label missing
+  | Dangling_channel { label; counterparty } ->
+      Fmt.pf ppf
+        "%s: message %a is never matched by %s's public process (dangling \
+         channel)"
+        i.party Label.pp label counterparty
+  | Foreign_label label ->
+      Fmt.pf ppf "%s: public alphabet contains %a, which does not involve %s"
+        i.party Label.pp label i.party
+  | No_final_state ->
+      Fmt.pf ppf "%s: public process has no final state" i.party
+  | Empty_language ->
+      Fmt.pf ppf
+        "%s: public process accepts no conversation (no final state is \
+         reachable)"
+        i.party
+
+(** Well-formedness pre-flight: every message endpoint is a member,
+    every channel is matched by the counterparty's public alphabet,
+    every public automaton can accept something. Issues are in party
+    order; dangling channels are {!issue_severity} [`Warning] (a legal
+    but suspicious choreography), everything else [`Error]. *)
+let validate t =
+  let issues = ref [] in
+  let add party kind = issues := { party; kind } :: !issues in
+  SMap.iter
+    (fun party m ->
+      let a = m.public_process in
+      List.iter
+        (fun (l : Label.t) ->
+          if not (Label.involves party l) then add party (Foreign_label l)
+          else
+            match Label.counterparty party l with
+            | None -> ()
+            | Some other -> (
+                match SMap.find_opt other t.members with
+                | None ->
+                    add party (Unknown_party_ref { label = l; missing = other })
+                | Some peer ->
+                    if
+                      not
+                        (List.exists (Label.equal l)
+                           (Afsa.alphabet peer.public_process))
+                    then
+                      add party
+                        (Dangling_channel { label = l; counterparty = other })))
+        (Afsa.alphabet a);
+      if Afsa.finals a = [] then add party No_final_state
+      else if Chorev_afsa.Emptiness.is_empty_plain a then add party Empty_language)
+    t.members;
+  match List.rev !issues with [] -> Ok () | is -> Error is
+
 (** Do two parties interact (share at least one label)? *)
 let interact t p1 p2 =
   (not (String.equal p1 p2))

@@ -40,3 +40,29 @@ val copy : t -> t
 val interact : t -> string -> string -> bool
 val pairs : t -> (string * string) list
 (** All interacting unordered pairs. *)
+
+(** {2 Pre-flight validation} *)
+
+type issue_kind =
+  | Unknown_party_ref of { label : Chorev_afsa.Label.t; missing : string }
+      (** a message endpoint names a party that is not a member *)
+  | Dangling_channel of {
+      label : Chorev_afsa.Label.t;
+      counterparty : string;
+    }  (** the counterparty's public alphabet never mentions the message *)
+  | Foreign_label of Chorev_afsa.Label.t
+      (** a public alphabet contains a label not involving its party *)
+  | No_final_state
+  | Empty_language  (** no final state reachable from the start *)
+
+type issue = { party : string; kind : issue_kind }
+
+val issue_severity : issue -> [ `Error | `Warning ]
+(** Dangling channels are warnings (legal but suspicious); everything
+    else is an error. *)
+
+val validate : t -> (unit, issue list) result
+(** Well-formedness pre-flight, run by every [chorev] subcommand before
+    pipeline work. Issues come out in party order. *)
+
+val pp_issue : Format.formatter -> issue -> unit

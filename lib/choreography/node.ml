@@ -23,6 +23,8 @@
 
 module Afsa = Chorev_afsa.Afsa
 module Label = Chorev_afsa.Label
+module Budget = Chorev_guard.Budget
+module Engine = Chorev_propagate.Engine
 
 type payload =
   | Announce of { public : Afsa.t }
@@ -101,8 +103,13 @@ let settled n =
 
 (** One protocol step: what [n] does on receiving [payload] from
     [from_]. [adapt:false] disables the local propagation engine, so an
-    inconsistency is only nacked. *)
-let handle ?(adapt = true) n ~from_ payload : effect_ list =
+    inconsistency is only nacked. [config] supplies the budgets: the
+    bilateral view check runs under one op budget (a trip means the
+    verdict is unknown — the node conservatively nacks and never adapts
+    on an unaffordable check), and the propagation engine inherits
+    [config]'s own budgets. *)
+let handle ?(adapt = true) ?(config = Engine.default) n ~from_ payload :
+    effect_ list =
   match payload with
   | Ack ->
       set_acked n from_ true;
@@ -113,42 +120,59 @@ let handle ?(adapt = true) n ~from_ payload : effect_ list =
   | Announce { public } ->
       let previous = find_known n from_ in
       set_known n from_ public;
-      (* local bilateral check on views *)
-      let my_view = Chorev_afsa.View.tau ~observer:from_ n.public in
-      let their_view = Chorev_afsa.View.tau ~observer:n.party public in
-      if Chorev_afsa.Consistency.consistent my_view their_view then begin
-        set_acked n from_ true;
-        [ Send { to_ = from_; payload = Ack } ]
-      end
-      else begin
-        let nack = Send { to_ = from_; payload = Nack } in
-        if not adapt then [ nack ]
-        else
-          (* run the local propagation engine; on success, adopt the
-             adaptation and announce it *)
-          let framework =
-            Chorev_change.Classify.framework
-              ~old_public:
-                (Chorev_afsa.View.tau ~observer:n.party
-                   (Option.value ~default:public previous))
-              ~new_public:their_view
-          in
-          let direction =
-            Chorev_propagate.Engine.direction_of_framework framework
-          in
-          let outcome =
-            Chorev_propagate.Engine.run ~direction ~a':public
-              ~partner_private:n.private_process ()
-          in
-          match outcome.Chorev_propagate.Engine.adapted with
-          | Some p' ->
-              n.private_process <- p';
-              (* re-derive the public process exactly as [Model.update]
-                 would, so both drivers see the same automaton *)
-              n.public <- Chorev_mapping.Public_gen.public p';
-              set_acked n from_ true;
-              (nack :: Adapted p'
-               :: Send { to_ = from_; payload = Ack }
-               :: announce_all n)
-          | None -> [ nack ]
-      end
+      (* local bilateral check on views, under an op budget *)
+      let budget = Budget.of_spec ?cancel:config.Engine.cancel config.Engine.op_budget in
+      let checked =
+        Budget.run budget (fun () ->
+            let my_view = Chorev_afsa.View.tau ~budget ~observer:from_ n.public in
+            let their_view =
+              Chorev_afsa.View.tau ~budget ~observer:n.party public
+            in
+            ( Chorev_afsa.Consistency.consistent ~budget my_view their_view,
+              their_view ))
+      in
+      match checked with
+      | `Exceeded _ ->
+          (* unknown verdict: treat as inconsistent but do not adapt —
+             an adaptation computed against an unverified view could
+             diverge between runs *)
+          [ Send { to_ = from_; payload = Nack } ]
+      | `Done (true, _) ->
+          set_acked n from_ true;
+          [ Send { to_ = from_; payload = Ack } ]
+      | `Done (false, their_view) -> (
+          let nack = Send { to_ = from_; payload = Nack } in
+          if not adapt then [ nack ]
+          else
+            (* run the local propagation engine; on success, adopt the
+               adaptation and announce it *)
+            let fb =
+              Budget.of_spec ?cancel:config.Engine.cancel config.Engine.op_budget
+            in
+            match
+              Budget.run fb (fun () ->
+                  Chorev_change.Classify.framework
+                    ~old_public:
+                      (Chorev_afsa.View.tau ~budget:fb ~observer:n.party
+                         (Option.value ~default:public previous))
+                    ~new_public:their_view)
+            with
+            | `Exceeded _ -> [ nack ]
+            | `Done framework -> (
+                let direction = Engine.direction_of_framework framework in
+                let outcome =
+                  Engine.run ~config ~direction ~a':public
+                    ~partner_private:n.private_process ()
+                in
+                match outcome.Engine.adapted with
+                | Some p' ->
+                    n.private_process <- p';
+                    (* re-derive the public process exactly as
+                       [Model.update] would, so both drivers see the
+                       same automaton *)
+                    n.public <- Chorev_mapping.Public_gen.public p';
+                    set_acked n from_ true;
+                    (nack :: Adapted p'
+                     :: Send { to_ = from_; payload = Ack }
+                     :: announce_all n)
+                | None -> [ nack ]))

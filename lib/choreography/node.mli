@@ -42,8 +42,19 @@ val partners : t -> string list
 val announce_all : t -> effect_ list
 (** Announce this node's current public process to every partner. *)
 
-val handle : ?adapt:bool -> t -> from_:string -> payload -> effect_ list
-(** One protocol step. [adapt:false] only nacks on inconsistency. *)
+val handle :
+  ?adapt:bool ->
+  ?config:Chorev_propagate.Engine.config ->
+  t ->
+  from_:string ->
+  payload ->
+  effect_ list
+(** One protocol step. [adapt:false] only nacks on inconsistency.
+    [config] (default {!Chorev_propagate.Engine.default}) bounds the
+    work: the bilateral view check runs under one [config.op_budget]
+    budget — if it trips, the verdict is unknown and the node nacks
+    without adapting — and the propagation engine runs under [config]'s
+    budgets with its usual degrade policies. *)
 
 val settled : t -> bool
 (** Mutually agreed with every known partner (used for timeout-driven

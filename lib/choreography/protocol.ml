@@ -31,8 +31,11 @@ type result = {
 
 (** Run the protocol for a change of [owner]'s private process to
     [changed]. [adapt] controls whether nacking partners run the local
-    propagation engine to adapt (default true). *)
-let run ?(adapt = true) ?(max_rounds = 16) (t : Model.t) ~owner ~changed =
+    propagation engine to adapt (default true); [engine_config]
+    (default [Engine.default]) carries the per-op budgets each node
+    works under. *)
+let run ?(adapt = true) ?(engine_config = Chorev_propagate.Engine.default)
+    ?(max_rounds = 16) (t : Model.t) ~owner ~changed =
   let before = t in
   let t = ref (Model.update t changed) in
   let parties = Model.parties !t in
@@ -70,7 +73,8 @@ let run ?(adapt = true) ?(max_rounds = 16) (t : Model.t) ~owner ~changed =
     else
       for _ = 1 to batch do
         let to_, from_, payload = Queue.pop inbox in
-        apply_effects to_ (Node.handle ~adapt (node to_) ~from_ payload)
+        apply_effects to_
+          (Node.handle ~adapt ~config:engine_config (node to_) ~from_ payload)
       done
   done;
   (* agreement: every interacting pair is mutually consistent now *)

@@ -22,11 +22,14 @@ type result = {
 
 val run :
   ?adapt:bool ->
+  ?engine_config:Chorev_propagate.Engine.config ->
   ?max_rounds:int ->
   Model.t ->
   owner:string ->
   changed:Chorev_bpel.Process.t ->
   result
-(** [adapt:false] disables local adaptation by nacking partners. *)
+(** [adapt:false] disables local adaptation by nacking partners.
+    [engine_config] bounds each node's local work (see {!Node.handle});
+    default {!Chorev_propagate.Engine.default}, i.e. unlimited. *)
 
 val pp_stats : Format.formatter -> stats -> unit

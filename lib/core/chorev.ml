@@ -34,6 +34,13 @@
       tests
     - {!Scenario} — the paper's procurement example (Figs. 1–18)
 
+    {2 Robustness}
+    - {!Guard} — fuel/deadline budgets, cooperative cancellation and
+      graceful-degradation markers for the algebra hot loops
+      (DESIGN.md §9)
+    - {!Journal} — checksummed write-ahead journal and the resumable
+      crash-safe evolution driver (DESIGN.md §9)
+
     {2 Observability}
     - {!Obs} — trace spans, metrics counters and profiling sinks for
       the whole pipeline (DESIGN.md §7) *)
@@ -60,6 +67,7 @@ module Complete = Chorev_afsa.Complete
 module Minimize = Chorev_afsa.Minimize
 module Ops = Chorev_afsa.Ops
 module Emptiness = Chorev_afsa.Emptiness
+module Guarded = Chorev_afsa.Guarded
 module Ablation = Chorev_afsa.Ablation
 module Consistency = Chorev_afsa.Consistency
 module View = Chorev_afsa.View
@@ -103,6 +111,18 @@ module Choreography = struct
   module Node = Chorev_choreography.Node
   module Protocol = Chorev_choreography.Protocol
   module Global = Chorev_choreography.Global
+end
+
+(* Resource governance: budgets, cancellation, degrade markers *)
+module Guard = struct
+  module Budget = Chorev_guard.Budget
+  module Degrade = Chorev_guard.Degrade
+end
+
+(* Crash-safe evolution: write-ahead journal + resumable driver *)
+module Journal = struct
+  include Chorev_journal.Journal
+  module Evolve = Chorev_journal.Evolve
 end
 
 (* Distributed simulation of the Sec. 6 protocol over faulty links *)

@@ -1,0 +1,18 @@
+(** Degradation markers (see degrade.mli). *)
+
+type t =
+  | Skipped_minimization of Budget.info
+  | Unknown_verdict of { step : string; info : Budget.info }
+  | Aborted_step of { step : string; info : Budget.info }
+
+let pp ppf = function
+  | Skipped_minimization info ->
+      Fmt.pf ppf "skipped minimization (%a)" Budget.pp_info info
+  | Unknown_verdict { step; info } ->
+      Fmt.pf ppf "unknown verdict at %s (%a)" step Budget.pp_info info
+  | Aborted_step { step; info } ->
+      Fmt.pf ppf "aborted %s (%a)" step Budget.pp_info info
+
+let pp_list ppf = function
+  | [] -> Fmt.string ppf "none"
+  | ds -> Fmt.(list ~sep:(any "; ") pp) ppf ds

@@ -1,0 +1,14 @@
+(** Degradation markers: what the engine gave up on when a budget
+    tripped, and why. Carried on analyses/outcomes so callers can tell
+    a full answer from a best-effort one. *)
+
+type t =
+  | Skipped_minimization of Budget.info
+      (** a view was produced without minimization (bisimilar, larger) *)
+  | Unknown_verdict of { step : string; info : Budget.info }
+      (** a consistency decision could not be reached in budget *)
+  | Aborted_step of { step : string; info : Budget.info }
+      (** a pipeline step was abandoned; conservative fallback used *)
+
+val pp : t Fmt.t
+val pp_list : t list Fmt.t

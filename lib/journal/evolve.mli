@@ -1,0 +1,62 @@
+(** Crash-safe evolution: {!Chorev_choreography.Evolution.run}'s loop,
+    journaled round-by-round so a killed run can {!resume} to the exact
+    round where the process died and finish with a byte-identical
+    outcome.
+
+    Recovery invariants (DESIGN.md §9):
+
+    - a [Round] record is the commit point of its round: it is appended
+      (and fsynced) {e before} the loop moves on, so on restart every
+      journaled round is replayed from the record and every
+      non-journaled round is recomputed live;
+    - replay never re-runs the algebra: the journal stores the
+      originator's changed process and each adapted partner's new
+      private process as exact-round-tripping sexps, and pending work
+      is reconstructed with [Evolution.surviving_pending] against the
+      same pre-round model the live loop used;
+    - a torn final line (the partial write of the crash) is dropped and
+      truncated away before the resumed writer appends. *)
+
+exception Simulated_crash of int
+(** Raised by {!run} after committing round [k] when
+    [crash_after = Some k] — the test hook for kill-and-resume
+    round-trips. The journal is left exactly as a hard kill at that
+    point would leave it (minus the torn tail, which {!resume} also
+    tolerates). *)
+
+type outcome = {
+  round_logs : string list;
+      (** rendered [Evolution.pp_round], one per executed round *)
+  consistent : bool;
+  digest : string;  (** {!Journal.model_digest} of the final model *)
+  choreography : Chorev_choreography.Model.t;
+  replayed : int;  (** rounds restored from the journal (0 = fresh run) *)
+}
+
+val run :
+  ?config:Chorev_choreography.Evolution.config ->
+  ?crash_after:int ->
+  dir:string ->
+  Chorev_choreography.Model.t ->
+  owner:string ->
+  changed:Chorev_bpel.Process.t ->
+  (outcome, string) result
+(** Journaled evolution into [dir] (which must not already hold a
+    journal). Snapshot first, then one [Round] record per round, then
+    [Done]. *)
+
+val resume :
+  ?config:Chorev_choreography.Evolution.config ->
+  dir:string ->
+  unit ->
+  (outcome, string) result
+(** Finish a (possibly interrupted) journaled run. Completed rounds are
+    replayed from the journal; remaining rounds run live and are
+    journaled; a run whose [Done] record is present just reports it.
+    [config] must match the original run's ([max_rounds], budgets,
+    [jobs] do not affect results but [auto_apply] and budgets do). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** The stable textual form both [chorev evolve --journal] and
+    [chorev resume] print — byte-identical between an uninterrupted run
+    and a kill + resume. *)

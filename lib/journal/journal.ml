@@ -1,0 +1,521 @@
+(** Checksummed append-only journal + atomic snapshots for evolution
+    runs. See journal.mli for the on-disk layout and durability
+    contract. *)
+
+module Model = Chorev_choreography.Model
+module Sexp = Chorev_bpel.Sexp
+module Process = Chorev_bpel.Process
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape_to buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Str s ->
+        Buffer.add_char buf '"';
+        escape_to buf s;
+        Buffer.add_char buf '"'
+    | Arr xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            escape_to buf k;
+            Buffer.add_string buf "\":";
+            emit buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    emit buf j;
+    Buffer.contents buf
+
+  exception Bad of string
+
+  (* Recursive-descent parser over a cursor. Integers only (the journal
+     never writes floats); [\uXXXX] escapes decode to UTF-8. *)
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then (
+        pos := !pos + String.length word;
+        v)
+      else fail ("expected " ^ word)
+    in
+    let hex4 () =
+      if !pos + 4 > n then fail "truncated \\u escape";
+      let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+      pos := !pos + 4;
+      v
+    in
+    let add_utf8 buf cp =
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then (
+        Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F))))
+      else (
+        Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F))))
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 32 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | None -> fail "unterminated escape"
+            | Some c ->
+                advance ();
+                (match c with
+                | '"' -> Buffer.add_char buf '"'
+                | '\\' -> Buffer.add_char buf '\\'
+                | '/' -> Buffer.add_char buf '/'
+                | 'b' -> Buffer.add_char buf '\b'
+                | 'f' -> Buffer.add_char buf '\012'
+                | 'n' -> Buffer.add_char buf '\n'
+                | 'r' -> Buffer.add_char buf '\r'
+                | 't' -> Buffer.add_char buf '\t'
+                | 'u' -> add_utf8 buf (hex4 ())
+                | _ -> fail "bad escape");
+                go ())
+        | Some c ->
+            advance ();
+            Buffer.add_char buf c;
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> Str (parse_string ())
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then (
+            advance ();
+            Arr [])
+          else
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (items [])
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then (
+            advance ();
+            Obj [])
+          else
+            let field () =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              (k, v)
+            in
+            let rec fields acc =
+              let kv = field () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields (kv :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev (kv :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (fields [])
+      | Some ('-' | '0' .. '9') ->
+          let start = !pos in
+          if peek () = Some '-' then advance ();
+          while
+            !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false
+          do
+            advance ()
+          done;
+          if !pos = start then fail "bad number";
+          Int (int_of_string (String.sub s start (!pos - start)))
+      | Some _ -> fail "unexpected character"
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+    | exception Failure msg -> Error msg
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Records                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type record =
+  | Start of { owner : string; parties : string list; digest : string }
+  | Round of {
+      index : int;
+      originator : string;
+      changed : string;
+      adapted : (string * string) list;
+      summary : string;
+    }
+  | Done of { consistent : bool; digest : string }
+
+let record_to_json = function
+  | Start { owner; parties; digest } ->
+      Json.Obj
+        [
+          ("rec", Json.Str "start");
+          ("owner", Json.Str owner);
+          ("parties", Json.Arr (List.map (fun p -> Json.Str p) parties));
+          ("digest", Json.Str digest);
+        ]
+  | Round { index; originator; changed; adapted; summary } ->
+      Json.Obj
+        [
+          ("rec", Json.Str "round");
+          ("index", Json.Int index);
+          ("originator", Json.Str originator);
+          ("changed", Json.Str changed);
+          ( "adapted",
+            Json.Arr
+              (List.map
+                 (fun (p, s) -> Json.Arr [ Json.Str p; Json.Str s ])
+                 adapted) );
+          ("summary", Json.Str summary);
+        ]
+  | Done { consistent; digest } ->
+      Json.Obj
+        [
+          ("rec", Json.Str "done");
+          ("consistent", Json.Bool consistent);
+          ("digest", Json.Str digest);
+        ]
+
+let record_of_json j =
+  let str = function Some (Json.Str s) -> Some s | _ -> None in
+  let field k = Json.member k j in
+  match str (field "rec") with
+  | Some "start" -> (
+      match (str (field "owner"), field "parties", str (field "digest")) with
+      | Some owner, Some (Json.Arr ps), Some digest -> (
+          let parties =
+            List.filter_map (function Json.Str p -> Some p | _ -> None) ps
+          in
+          match List.length parties = List.length ps with
+          | true -> Ok (Start { owner; parties; digest })
+          | false -> Error "start: non-string party")
+      | _ -> Error "start: missing field")
+  | Some "round" -> (
+      match
+        ( field "index",
+          str (field "originator"),
+          str (field "changed"),
+          field "adapted",
+          str (field "summary") )
+      with
+      | Some (Json.Int index), Some originator, Some changed,
+        Some (Json.Arr pairs), Some summary -> (
+          let adapted =
+            List.filter_map
+              (function
+                | Json.Arr [ Json.Str p; Json.Str s ] -> Some (p, s)
+                | _ -> None)
+              pairs
+          in
+          match List.length adapted = List.length pairs with
+          | true -> Ok (Round { index; originator; changed; adapted; summary })
+          | false -> Error "round: malformed adapted entry")
+      | _ -> Error "round: missing field")
+  | Some "done" -> (
+      match (field "consistent", str (field "digest")) with
+      | Some (Json.Bool consistent), Some digest ->
+          Ok (Done { consistent; digest })
+      | _ -> Error "done: missing field")
+  | _ -> Error "unknown record type"
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let journal_file dir = Filename.concat dir "journal.jsonl"
+let snapshot_dir dir = Filename.concat dir "snapshot"
+let changed_file dir = Filename.concat dir "changed.sexp"
+
+let mkdir_p path =
+  if not (Sys.file_exists path) then (
+    let parent = Filename.dirname path in
+    if parent <> path && not (Sys.file_exists parent) then
+      (* one level of recursion is enough for DIR/snapshot *)
+      (try Unix.mkdir parent 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+let fsync_dir path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+(* Atomic file write: tmp + fsync + rename + directory fsync. *)
+let write_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc contents;
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc);
+  close_out oc;
+  Unix.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type writer = { oc : out_channel }
+
+let create ~dir =
+  mkdir_p dir;
+  mkdir_p (snapshot_dir dir);
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (journal_file dir)
+  in
+  { oc }
+
+let reopen ~dir ~valid_bytes =
+  let path = journal_file dir in
+  Unix.truncate path valid_bytes;
+  fsync_dir dir;
+  { oc = open_out_gen [ Open_append; Open_binary ] 0o644 path }
+
+let append w r =
+  let body = Json.to_string (record_to_json r) in
+  let crc = Digest.to_hex (Digest.string body) in
+  output_string w.oc {|{"crc":"|};
+  output_string w.oc crc;
+  output_string w.oc {|","body":|};
+  output_string w.oc body;
+  output_string w.oc "}\n";
+  flush w.oc;
+  Unix.fsync (Unix.descr_of_out_channel w.oc)
+
+let close w = close_out w.oc
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type read_result = { records : record list; torn : bool; valid_bytes : int }
+
+(* Writer lines have the exact shape {"crc":"<32 hex>","body":...}\n —
+   the prefix is fixed, so the body text the checksum covers is
+   recovered by stripping prefix and the final '}'. *)
+let parse_line line =
+  let prefix = {|{"crc":"|} in
+  let plen = String.length prefix in
+  let ll = String.length line in
+  if ll < plen + 32 + String.length {|","body":|} + 1 then Error "short line"
+  else if String.sub line 0 plen <> prefix then Error "bad line prefix"
+  else
+    let crc = String.sub line plen 32 in
+    let mid = String.sub line (plen + 32) (String.length {|","body":|}) in
+    if mid <> {|","body":|} then Error "bad line shape"
+    else if line.[ll - 1] <> '}' then Error "unterminated line"
+    else
+      let body_off = plen + 32 + String.length mid in
+      let body = String.sub line body_off (ll - 1 - body_off) in
+      if Digest.to_hex (Digest.string body) <> crc then Error "checksum mismatch"
+      else
+        match Json.of_string body with
+        | Error e -> Error ("bad body: " ^ e)
+        | Ok j -> record_of_json j
+
+let read ~dir =
+  let path = journal_file dir in
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "no journal at %s" path)
+  else
+    let contents = read_file path in
+    (* split into (line, end-offset-including-newline) *)
+    let lines = ref [] in
+    let start = ref 0 in
+    String.iteri
+      (fun i c ->
+        if c = '\n' then (
+          lines := (String.sub contents !start (i - !start), i + 1) :: !lines;
+          start := i + 1))
+      contents;
+    (* a final chunk without '\n' is by construction torn *)
+    let tail_torn = !start < String.length contents in
+    let lines = List.rev !lines in
+    let total = List.length lines in
+    let rec go acc valid idx = function
+      | [] -> Ok { records = List.rev acc; torn = tail_torn; valid_bytes = valid }
+      | (line, endoff) :: rest -> (
+          match parse_line line with
+          | Ok r -> go (r :: acc) endoff (idx + 1) rest
+          | Error e ->
+              if idx = total - 1 && rest = [] then
+                (* torn tail: the crashed writer's partial last line *)
+                Ok { records = List.rev acc; torn = true; valid_bytes = valid }
+              else
+                Error
+                  (Printf.sprintf "%s: corrupt record on line %d: %s" path
+                     (idx + 1) e))
+    in
+    go [] 0 0 lines
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Party names become file names; escape anything outside [A-Za-z0-9_-]
+   (the party name itself is recovered from the process, not the file
+   name, so the escaping need not be invertible). *)
+let sanitize name =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> String.make 1 c
+         | c -> Printf.sprintf "%%%02x" (Char.code c))
+       (List.init (String.length name) (String.get name)))
+
+let write_snapshot ~dir (t : Model.t) ~changed =
+  mkdir_p dir;
+  mkdir_p (snapshot_dir dir);
+  List.iter
+    (fun p ->
+      write_atomic
+        (Filename.concat (snapshot_dir dir) (sanitize p ^ ".sexp"))
+        (Sexp.process_to_string (Model.private_ t p)))
+    (Model.parties t);
+  write_atomic (changed_file dir) (Sexp.process_to_string changed)
+
+let read_snapshot ~dir =
+  let sdir = snapshot_dir dir in
+  if not (Sys.file_exists sdir) then
+    Error (Printf.sprintf "no snapshot directory at %s" sdir)
+  else
+    let files =
+      Sys.readdir sdir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".sexp")
+      |> List.sort String.compare
+    in
+    let rec load acc = function
+      | [] -> Ok (List.rev acc)
+      | f :: rest -> (
+          match Sexp.process_of_string (read_file (Filename.concat sdir f)) with
+          | Ok p -> load (p :: acc) rest
+          | Error e -> Error (Printf.sprintf "snapshot %s: %s" f e))
+    in
+    match load [] files with
+    | Error e -> Error e
+    | Ok [] -> Error (Printf.sprintf "empty snapshot directory %s" sdir)
+    | Ok procs -> (
+        match Sexp.process_of_string (read_file (changed_file dir)) with
+        | Error e -> Error (Printf.sprintf "changed.sexp: %s" e)
+        | Ok changed -> (
+            match Model.of_processes procs with
+            | t -> Ok (t, changed)
+            | exception Invalid_argument e -> Error e))
+
+let model_digest (t : Model.t) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf p;
+      Buffer.add_char buf '\000';
+      Buffer.add_string buf (Sexp.process_to_string (Model.private_ t p));
+      Buffer.add_char buf '\000')
+    (Model.parties t);
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -30,6 +30,8 @@
 module Afsa = Chorev_afsa.Afsa
 module Obs = Chorev_obs.Obs
 module Metrics = Chorev_obs.Metrics
+module Budget = Chorev_guard.Budget
+module Degrade = Chorev_guard.Degrade
 open Chorev_bpel
 
 type direction = Additive | Subtractive
@@ -40,6 +42,8 @@ type analysis = {
   target_public : Afsa.t;  (** computed B' *)
   divergences : Localize.divergence list;
   suggestions : Suggest.t list;
+  degraded : Degrade.t list;
+      (** budget trips during steps 1–4 and the fallbacks taken *)
 }
 
 type outcome = {
@@ -48,6 +52,8 @@ type outcome = {
   adapted : Process.t option;  (** auto-applied private process *)
   adapted_public : Afsa.t option;
   consistent_after : bool;
+  degraded : Degrade.t list;
+      (** everything in [analysis.degraded] plus re-check/round trips *)
 }
 
 type config = {
@@ -58,9 +64,25 @@ type config = {
       (** domain-pool size for per-partner fan-out in [Evolution];
           [0] (the default) defers to [Chorev_parallel.Pool.default_size]
           (the [--jobs] flag / [CHOREV_DOMAINS]). *)
+  op_budget : Budget.spec;
+      (** bound on each algebra step (view, delta, re-check, ...);
+          a fresh budget is minted per step *)
+  round_budget : Budget.spec;
+      (** bound on one whole partner pipeline; op budgets draw from it *)
+  cancel : Budget.Cancel.t option;
+      (** cooperative cancellation, shared by every budget minted *)
 }
 
-let default = { auto_apply = true; max_rounds = 8; obs = None; jobs = 0 }
+let default =
+  {
+    auto_apply = true;
+    max_rounds = 8;
+    obs = None;
+    jobs = 0;
+    op_budget = Budget.spec_unlimited;
+    round_budget = Budget.spec_unlimited;
+    cancel = None;
+  }
 
 let c_runs = Metrics.counter "propagate.runs"
 let c_suggestions = Metrics.counter "propagate.suggestions.generated"
@@ -75,47 +97,106 @@ let direction_name = function
   | Additive -> "additive"
   | Subtractive -> "subtractive"
 
+(* One algebra step under its own budget, drawn from the round budget:
+   the child's spend is charged back, so round fuel bounds the sum of
+   all steps. [Budget.charge] re-raises at round level when the round
+   itself trips — caught by the [`Round]-level run in {!run_body}. *)
+let op_run ~round ~op_spec f =
+  let b = Budget.sub round op_spec in
+  let r = Budget.run b f in
+  Budget.charge round (Budget.spent b);
+  r
+
+let empty_like alphabet =
+  Afsa.make ~alphabet ~start:0 ~finals:[] ~edges:[] ~ann:[] ()
+
 (** Compute delta, target, divergences and suggestions for partner
     [partner_private] (whose current public process and table are
     [public_b]/[table_b]) facing the originator's new public process
     [a']. The [direction] decides additive vs subtractive treatment. *)
-let analyze ~direction ~a' ~partner_private ~public_b ~table_b =
+let analyze ?(round = Budget.unlimited) ?(op_budget = Budget.spec_unlimited)
+    ~direction ~a' ~partner_private ~public_b ~table_b () =
+  let op_spec = op_budget in
   let me = Process.party partner_private in
-  let view_new =
+  let view_new, deg_view =
     Obs.span "view" ~attrs:[ ("observer", str me) ] @@ fun () ->
-    Chorev_afsa.View.tau ~observer:me a'
+    match op_run ~round ~op_spec (fun () -> Chorev_afsa.View.tau ~observer:me a')
+    with
+    | `Done v -> (v, [])
+    | `Exceeded info -> (
+        (* degrade: the un-minimized view is language-equal, just larger *)
+        match
+          op_run ~round ~op_spec (fun () ->
+              Chorev_afsa.View.tau_raw ~observer:me a')
+        with
+        | `Done v -> (v, [ Degrade.Skipped_minimization info ])
+        | `Exceeded info2 ->
+            ( Chorev_afsa.View.relabel ~observer:me a',
+              [
+                Degrade.Skipped_minimization info;
+                Degrade.Aborted_step { step = "view"; info = info2 };
+              ] ))
   in
-  let delta, target =
+  let (delta, target), deg_delta =
     Obs.span "delta" ~attrs:[ ("direction", str (direction_name direction)) ]
     @@ fun () ->
-    match direction with
-    | Additive ->
-        let d = Chorev_afsa.Ops.difference view_new public_b in
-        let t = Afsa.trim (Chorev_afsa.Ops.union d public_b) in
-        (d, t)
-    | Subtractive ->
-        let d = Chorev_afsa.Ops.difference public_b view_new in
-        let t = Afsa.trim (Chorev_afsa.Ops.difference public_b d) in
-        (d, t)
+    match
+      op_run ~round ~op_spec (fun () ->
+          match direction with
+          | Additive ->
+              let d = Chorev_afsa.Ops.difference view_new public_b in
+              let t = Afsa.trim (Chorev_afsa.Ops.union d public_b) in
+              (d, t)
+          | Subtractive ->
+              let d = Chorev_afsa.Ops.difference public_b view_new in
+              let t = Afsa.trim (Chorev_afsa.Ops.difference public_b d) in
+              (d, t))
+    with
+    | `Done dt -> (dt, [])
+    | `Exceeded info ->
+        (* conservative: no computable delta — keep the partner as-is *)
+        ( (empty_like (Afsa.alphabet public_b), public_b),
+          [ Degrade.Aborted_step { step = "delta"; info } ] )
   in
-  let divergences =
-    Obs.span "localize" @@ fun () ->
-    Localize.diverge ~old_public:public_b ~new_public:target ~table:table_b
-  in
-  let suggestions =
-    Obs.span "suggest" ~attrs:[ ("divergences", int (List.length divergences)) ]
-    @@ fun () ->
-    match direction with
-    | Additive ->
-        List.concat_map
-          (fun d ->
-            Suggest.additive partner_private ~old_public:public_b ~target d)
-          divergences
-    | Subtractive ->
-        List.concat_map (fun d -> Suggest.subtractive partner_private d) divergences
+  let (divergences, suggestions), deg_local =
+    match
+      op_run ~round ~op_spec (fun () ->
+          let divergences =
+            Obs.span "localize" @@ fun () ->
+            Localize.diverge ~old_public:public_b ~new_public:target
+              ~table:table_b
+          in
+          let suggestions =
+            Obs.span "suggest"
+              ~attrs:[ ("divergences", int (List.length divergences)) ]
+            @@ fun () ->
+            match direction with
+            | Additive ->
+                List.concat_map
+                  (fun d ->
+                    Suggest.additive partner_private ~old_public:public_b
+                      ~target d)
+                  divergences
+            | Subtractive ->
+                List.concat_map
+                  (fun d -> Suggest.subtractive partner_private d)
+                  divergences
+          in
+          (divergences, suggestions))
+    with
+    | `Done r -> (r, [])
+    | `Exceeded info ->
+        (([], []), [ Degrade.Aborted_step { step = "localize"; info } ])
   in
   Metrics.add c_suggestions (List.length suggestions);
-  { view_new; delta; target_public = target; divergences; suggestions }
+  {
+    view_new;
+    delta;
+    target_public = target;
+    divergences;
+    suggestions;
+    degraded = deg_view @ deg_delta @ deg_local;
+  }
 
 (* Power-set-free retry order: all suggestions, then each prefix, then
    each single suggestion. Suggestion lists are short. *)
@@ -142,74 +223,111 @@ let run_body config ~direction ~a' ~partner_private =
       [ ("partner", str me); ("direction", str (direction_name direction)) ]
   @@ fun () ->
   let public_b, table_b = Chorev_mapping.Public_gen.generate partner_private in
-  let analysis = analyze ~direction ~a' ~partner_private ~public_b ~table_b in
-  let consistent_with p' =
-    Obs.span "re-check" @@ fun () ->
-    Chorev_afsa.Consistency.consistent p' analysis.view_new
+  let round = Budget.of_spec ?cancel:config.cancel config.round_budget in
+  let op_spec = config.op_budget in
+  let pipeline () =
+    let analysis =
+      analyze ~round ~op_budget:op_spec ~direction ~a' ~partner_private
+        ~public_b ~table_b ()
+    in
+    (* Re-check under an op budget: `Unknown is treated as inconsistent
+       — a partner is never adapted on a verdict we could not afford. *)
+    let recheck_deg = ref [] in
+    let consistent_with p' =
+      Obs.span "re-check" @@ fun () ->
+      let b = Budget.sub round op_spec in
+      let r = Chorev_afsa.Consistency.decide ~budget:b p' analysis.view_new in
+      Budget.charge round (Budget.spent b);
+      match r with
+      | `Consistent -> true
+      | `Inconsistent -> false
+      | `Unknown info ->
+          recheck_deg :=
+            Degrade.Unknown_verdict { step = "re-check"; info }
+            :: !recheck_deg;
+          false
+    in
+    let finish ~adapted ~adapted_public ~consistent_after =
+      {
+        direction;
+        analysis;
+        adapted;
+        adapted_public;
+        consistent_after;
+        degraded = analysis.degraded @ List.rev !recheck_deg;
+      }
+    in
+    if not config.auto_apply then
+      finish ~adapted:None ~adapted_public:None
+        ~consistent_after:(consistent_with public_b)
+    else
+      let attempt set =
+        Metrics.incr c_retries;
+        match apply_all set partner_private with
+        | Error _ -> None
+        | Ok p' ->
+            let pub' = Chorev_mapping.Public_gen.public p' in
+            if consistent_with pub' then Some (p', pub') else None
+      in
+      (* last resort: re-synthesize the whole private process from the
+         computed target public process (Skeleton) — guaranteed
+         consistent whenever the target is synthesizable, at the price of
+         discarding the private structure (hence tried only after every
+         targeted edit failed) *)
+      let synthesized () =
+        match
+          Chorev_mapping.Skeleton.synthesize
+            ~name:(Process.name partner_private ^ "-resynthesized")
+            ~party:me analysis.target_public
+        with
+        | Error _ -> None
+        | Ok p' ->
+            let pub' = Chorev_mapping.Public_gen.public p' in
+            if consistent_with pub' then begin
+              Metrics.incr c_resynthesized;
+              Some (p', pub')
+            end
+            else None
+      in
+      let result =
+        Obs.span "apply"
+          ~attrs:[ ("suggestions", int (List.length analysis.suggestions)) ]
+        @@ fun () ->
+        match List.find_map attempt (retry_sets analysis.suggestions) with
+        | Some r -> Some r
+        | None -> synthesized ()
+      in
+      match result with
+      | Some (p', pub') ->
+          Metrics.incr c_applied;
+          finish ~adapted:(Some p') ~adapted_public:(Some pub')
+            ~consistent_after:true
+      | None ->
+          finish ~adapted:None ~adapted_public:None
+            ~consistent_after:(consistent_with public_b)
   in
-  if not config.auto_apply then
-    {
-      direction;
-      analysis;
-      adapted = None;
-      adapted_public = None;
-      consistent_after = consistent_with public_b;
-    }
-  else
-    let attempt set =
-      Metrics.incr c_retries;
-      match apply_all set partner_private with
-      | Error _ -> None
-      | Ok p' ->
-          let pub' = Chorev_mapping.Public_gen.public p' in
-          if consistent_with pub' then Some (p', pub') else None
-    in
-    (* last resort: re-synthesize the whole private process from the
-       computed target public process (Skeleton) — guaranteed
-       consistent whenever the target is synthesizable, at the price of
-       discarding the private structure (hence tried only after every
-       targeted edit failed) *)
-    let synthesized () =
-      match
-        Chorev_mapping.Skeleton.synthesize
-          ~name:(Process.name partner_private ^ "-resynthesized")
-          ~party:me analysis.target_public
-      with
-      | Error _ -> None
-      | Ok p' ->
-          let pub' = Chorev_mapping.Public_gen.public p' in
-          if consistent_with pub' then begin
-            Metrics.incr c_resynthesized;
-            Some (p', pub')
-          end
-          else None
-    in
-    let result =
-      Obs.span "apply"
-        ~attrs:[ ("suggestions", int (List.length analysis.suggestions)) ]
-      @@ fun () ->
-      match List.find_map attempt (retry_sets analysis.suggestions) with
-      | Some r -> Some r
-      | None -> synthesized ()
-    in
-    match result with
-    | Some (p', pub') ->
-        Metrics.incr c_applied;
-        {
-          direction;
-          analysis;
-          adapted = Some p';
-          adapted_public = Some pub';
-          consistent_after = true;
-        }
-    | None ->
-        {
-          direction;
-          analysis;
-          adapted = None;
-          adapted_public = None;
-          consistent_after = consistent_with public_b;
-        }
+  match Budget.run round pipeline with
+  | `Done outcome -> outcome
+  | `Exceeded info ->
+      (* The whole round ran dry: report the partner untouched, with
+         enough analysis for the caller to see what was attempted. *)
+      let degraded = [ Degrade.Aborted_step { step = "round"; info } ] in
+      {
+        direction;
+        analysis =
+          {
+            view_new = Chorev_afsa.View.relabel ~observer:me a';
+            delta = empty_like (Afsa.alphabet public_b);
+            target_public = public_b;
+            divergences = [];
+            suggestions = [];
+            degraded;
+          };
+        adapted = None;
+        adapted_public = None;
+        consistent_after = false;
+        degraded;
+      }
 
 (** Run the full pipeline for one partner under [config]. *)
 let run ?(config = default) ~direction ~a' ~partner_private () =
@@ -234,9 +352,13 @@ let direction_of_framework (f : Chorev_change.Classify.framework) =
 let pp_outcome ppf o =
   Fmt.pf ppf
     "@[<v>%s propagation: %d divergence(s), %d suggestion(s), adapted=%b, \
-     consistent_after=%b@]"
+     consistent_after=%b%a@]"
     (direction_name o.direction)
     (List.length o.analysis.divergences)
     (List.length o.analysis.suggestions)
     (Option.is_some o.adapted)
     o.consistent_after
+    (fun ppf -> function
+      | [] -> ()
+      | ds -> Fmt.pf ppf ", degraded: %a" Degrade.pp_list ds)
+    o.degraded

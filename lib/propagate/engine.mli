@@ -4,6 +4,8 @@
     re-check loop over suggestion subsets. *)
 
 module Afsa = Chorev_afsa.Afsa
+module Budget = Chorev_guard.Budget
+module Degrade = Chorev_guard.Degrade
 
 type direction = Additive | Subtractive
 
@@ -13,6 +15,9 @@ type analysis = {
   target_public : Afsa.t;  (** computed B′ *)
   divergences : Localize.divergence list;
   suggestions : Suggest.t list;
+  degraded : Degrade.t list;
+      (** budget trips during steps 1–4 and the fallbacks taken:
+          skipped minimization, abandoned delta (partner kept as-is) *)
 }
 (** Steps 1–4 of the pipeline for one partner, as a named record (the
     positional 5-tuple it replaces was error-prone to destructure). *)
@@ -23,6 +28,11 @@ type outcome = {
   adapted : Chorev_bpel.Process.t option;  (** auto-applied private process *)
   adapted_public : Afsa.t option;
   consistent_after : bool;
+      (** [false] also covers an [`Unknown] re-check verdict — see
+          [degraded] to distinguish "inconsistent" from "out of budget" *)
+  degraded : Degrade.t list;
+      (** everything in [analysis.degraded] plus re-check and
+          whole-round trips; empty = full-fidelity result *)
 }
 
 type config = {
@@ -41,20 +51,40 @@ type config = {
           [0] (default) defers to [Chorev_parallel.Pool.default_size]
           ([--jobs] / [CHOREV_DOMAINS]); ignored by {!run}, which is
           single-partner *)
+  op_budget : Budget.spec;
+      (** bound on each algebra step (view, delta, re-check, ...); a
+          fresh budget is minted per step, so fuel here is deterministic
+          per step regardless of pool size (default: unlimited) *)
+  round_budget : Budget.spec;
+      (** bound on one whole partner pipeline; op budgets draw from its
+          remaining fuel and the earlier deadline wins (default:
+          unlimited) *)
+  cancel : Budget.Cancel.t option;
+      (** cooperative cancellation token shared by every budget minted
+          from this config (default: [None]) *)
 }
 (** The engine/evolution configuration record. [Evolution.config] is an
     alias of this type, so one value configures the whole pipeline. *)
 
 val default : config
-(** [{ auto_apply = true; max_rounds = 8; obs = None; jobs = 0 }] *)
+(** [auto_apply = true], [max_rounds = 8], no sink, [jobs = 0],
+    unlimited budgets, no cancellation token. *)
 
 val analyze :
+  ?round:Budget.t ->
+  ?op_budget:Budget.spec ->
   direction:direction ->
   a':Afsa.t ->
   partner_private:Chorev_bpel.Process.t ->
   public_b:Afsa.t ->
   table_b:Chorev_mapping.Table.t ->
+  unit ->
   analysis
+(** Steps 1–4 under budgets: each step gets a fresh budget minted from
+    [op_budget] capped by [round]'s remainder, and degrades per policy
+    (view → unminimized view; delta → keep the partner unchanged;
+    localize/suggest → no suggestions) instead of raising. Only a trip
+    of [round] itself escapes, as [Budget.Expired]. *)
 
 val run :
   ?config:config ->

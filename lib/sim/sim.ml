@@ -123,8 +123,9 @@ let kind_name = function
   | `Ack -> "ack"
   | `Nack -> "nack"
 
-let run ?(adapt = true) ?(profile = Fault.none) ?(max_ticks = 10_000)
-    ?(trace = true) ~seed (model : Model.t) ~owner ~changed =
+let run ?(adapt = true) ?(engine_config = Chorev_propagate.Engine.default)
+    ?(profile = Fault.none) ?(max_ticks = 10_000) ?(trace = true) ~seed
+    (model : Model.t) ~owner ~changed =
   Metrics.incr c_runs;
   Chorev_obs.Obs.span "sim.run"
     ~attrs:
@@ -295,7 +296,9 @@ let run ?(adapt = true) ?(profile = Fault.none) ?(max_ticks = 10_000)
                 (fun pd ->
                   not (pd.p_to = env.env_from && pd.p_epoch = env.epoch))
                 pn.pending;
-            ignore (Node.handle ~adapt pn.node ~from_:env.env_from env.payload)
+            ignore
+              (Node.handle ~adapt ~config:engine_config pn.node
+                 ~from_:env.env_from env.payload)
           end
       | `Announce ->
           let last =
@@ -319,7 +322,8 @@ let run ?(adapt = true) ?(profile = Fault.none) ?(max_ticks = 10_000)
           else begin
             Hashtbl.replace pn.last_epoch env.env_from env.epoch;
             let effects =
-              Node.handle ~adapt pn.node ~from_:env.env_from env.payload
+              Node.handle ~adapt ~config:engine_config pn.node
+                ~from_:env.env_from env.payload
             in
             let replies =
               List.filter_map

@@ -40,6 +40,7 @@ type result = {
 
 val run :
   ?adapt:bool ->
+  ?engine_config:Chorev_propagate.Engine.config ->
   ?profile:Fault.profile ->
   ?max_ticks:int ->
   ?trace:bool ->
@@ -50,6 +51,9 @@ val run :
   result
 (** Simulate a change of [owner]'s private process to [changed].
     Defaults: [adapt:true], [profile:Fault.none], [max_ticks:10_000],
-    [trace:true]. *)
+    [trace:true]. [engine_config] (default
+    {!Chorev_propagate.Engine.default}, unlimited) bounds each node's
+    local algebra work — see {!Chorev_choreography.Node.handle}. Only
+    fuel budgets keep runs deterministic; wall-clock deadlines do not. *)
 
 val pp_stats : Format.formatter -> stats -> unit

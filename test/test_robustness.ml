@@ -1,0 +1,215 @@
+(* Degenerate-input hardening: the algebra must neither raise nor loop
+   on empty / final-less / unreachable-annotation automata (handcrafted
+   and random), and [Model.validate] must flag malformed choreographies
+   before the pipeline sees them. *)
+
+module C = Chorev
+module B = C.Guard.Budget
+module M = C.Choreography.Model
+module W = C.Workload.Gen_afsa
+module P = C.Scenario.Procurement
+
+let check_bool = Alcotest.(check bool)
+
+let lab msg = C.Label.make ~sender:"A" ~receiver:"B" msg
+let sym msg = C.Sym.label (lab msg)
+
+(* ------------------------- degenerate inputs ------------------------ *)
+
+let empty_lang = C.Afsa.make ~start:0 ~finals:[] ~edges:[] ()
+let single_final = C.Afsa.make ~start:0 ~finals:[ 0 ] ~edges:[] ()
+
+(* edges but no final state: every run is doomed *)
+let no_final =
+  C.Afsa.make ~start:0 ~finals:[]
+    ~edges:[ (0, sym "x", 1); (1, sym "y", 0) ]
+    ()
+
+(* a final state that is unreachable from the start *)
+let unreachable_final =
+  C.Afsa.make ~start:0 ~finals:[ 2 ]
+    ~edges:[ (0, sym "x", 1); (3, sym "y", 2) ]
+    ()
+
+(* an annotated state nothing can reach; the annotation names a label
+   the reachable part never fires *)
+let unreachable_annotation =
+  C.Afsa.make ~start:0 ~finals:[ 1 ]
+    ~edges:[ (0, sym "x", 1); (5, sym "y", 6) ]
+    ~ann:[ (6, C.Formula.var (C.Label.to_string (lab "y"))) ]
+    ()
+
+(* epsilon-only cycle *)
+let eps_cycle =
+  C.Afsa.make ~start:0 ~finals:[ 1 ]
+    ~edges:[ (0, C.Sym.eps, 0); (0, sym "x", 1) ]
+    ()
+
+let degenerates =
+  [
+    ("empty", empty_lang);
+    ("single final", single_final);
+    ("no final", no_final);
+    ("unreachable final", unreachable_final);
+    ("unreachable annotation", unreachable_annotation);
+    ("eps cycle", eps_cycle);
+  ]
+
+(* Every unary/binary op over the degenerate zoo: must terminate within
+   a generous fuel bound (no unbounded loop) and must not raise. *)
+let test_degenerate_zoo () =
+  let fuel = 2_000_000 in
+  let guard name f =
+    let b = B.create ~fuel () in
+    match B.run b f with
+    | `Done _ -> ()
+    | `Exceeded info ->
+        Alcotest.failf "%s: fuel exhausted (%a) — unbounded loop?" name
+          B.pp_info info
+    | exception e ->
+        Alcotest.failf "%s: raised %s" name (Printexc.to_string e)
+  in
+  List.iter
+    (fun (na, a) ->
+      guard (na ^ " determinize") (fun () ->
+          C.Determinize.determinize ~budget:(B.ambient ()) a);
+      guard (na ^ " minimize") (fun () ->
+          C.Minimize.minimize ~budget:(B.ambient ()) a);
+      guard (na ^ " emptiness") (fun () ->
+          C.Emptiness.analyze ~budget:(B.ambient ()) a);
+      (* [Complete.complete] documents a no-ε precondition *)
+      guard (na ^ " complete") (fun () ->
+          C.Complete.complete ~budget:(B.ambient ())
+            (C.Epsilon.eliminate ~budget:(B.ambient ()) a));
+      List.iter
+        (fun (nb, b) ->
+          let name = na ^ " × " ^ nb in
+          guard (name ^ " intersect") (fun () ->
+              C.Ops.intersect ~budget:(B.ambient ()) a b);
+          guard (name ^ " difference") (fun () ->
+              C.Ops.difference ~budget:(B.ambient ()) a b);
+          guard (name ^ " union") (fun () ->
+              C.Ops.union ~budget:(B.ambient ()) a b))
+        degenerates)
+    degenerates
+
+(* Algebraic sanity on the same zoo. *)
+let test_degenerate_laws () =
+  List.iter
+    (fun (name, a) ->
+      check_bool (name ^ ": a ∩ ∅ empty") true
+        (C.Emptiness.is_empty_plain (C.Ops.intersect a empty_lang));
+      check_bool (name ^ ": a − a empty") true
+        (C.Emptiness.is_empty_plain (C.Ops.difference a a));
+      check_bool (name ^ ": a ∪ ∅ = a") true
+        (C.Equiv.equal_language (C.Ops.union a empty_lang) a);
+      check_bool (name ^ ": minimize preserves language") true
+        (C.Equiv.equal_language (C.Minimize.minimize a) a))
+    degenerates;
+  check_bool "no-final is empty" true (C.Emptiness.is_empty_plain no_final);
+  check_bool "unreachable final is empty" true
+    (C.Emptiness.is_empty_plain unreachable_final);
+  check_bool "unreachable annotation is harmless" true
+    (C.Emptiness.is_nonempty unreachable_annotation)
+
+(* Random sweep: arbitrary (dense, sparse, final-less, annotated)
+   automata through every op — no exception, bounded work. *)
+let test_random_degenerates () =
+  let qcheck_seed = ref 0 in
+  let gen_case () =
+    incr qcheck_seed;
+    let seed = !qcheck_seed in
+    let rng = Random.State.make [| seed; 0xdead |] in
+    let states = 1 + Random.State.int rng 12 in
+    (* edges per state: empty, sparse, moderate, dense *)
+    let density = [| 0.0; 0.3; 2.0; 8.0 |].(Random.State.int rng 4) in
+    let final_p = [| 0.0; 0.2; 1.0 |].(Random.State.int rng 3) in
+    W.random ~seed ~states ~labels:4 ~density ~final_p ()
+  in
+  for _ = 1 to 60 do
+    let a = gen_case () and b = gen_case () in
+    let budget = B.create ~fuel:5_000_000 () in
+    match
+      B.run budget (fun () ->
+          let i = C.Ops.intersect ~budget a b in
+          let d = C.Ops.difference ~budget a b in
+          let u = C.Ops.union ~budget a b in
+          let m = C.Minimize.minimize ~budget u in
+          ignore (C.Emptiness.analyze ~budget i);
+          ignore (C.Emptiness.analyze ~budget d);
+          (* union of the parts is language-equal to the union input *)
+          C.Equiv.equal_language m u)
+    with
+    | `Done true -> ()
+    | `Done false -> Alcotest.fail "minimize changed the language"
+    | `Exceeded info ->
+        Alcotest.failf "random case exhausted fuel: %a" B.pp_info info
+    | exception e -> Alcotest.failf "random case raised %s" (Printexc.to_string e)
+  done
+
+(* --------------------------- Model.validate ------------------------- *)
+
+let test_validate_ok () =
+  let t = M.of_processes (List.map snd P.parties) in
+  match M.validate t with
+  | Ok () -> ()
+  | Error issues ->
+      Alcotest.failf "procurement flagged:@.%a"
+        (Fmt.list ~sep:Fmt.cut M.pp_issue)
+        issues
+
+let test_validate_unknown_party () =
+  (* the buyer alone references accounting ("A"), which is absent *)
+  let t = M.of_processes [ P.buyer_process ] in
+  match M.validate t with
+  | Ok () -> Alcotest.fail "missing counterparty must be flagged"
+  | Error issues ->
+      check_bool "unknown party ref" true
+        (List.exists
+           (fun (i : M.issue) ->
+             match i.M.kind with
+             | M.Unknown_party_ref { missing; _ } -> missing = "A"
+             | _ -> false)
+           issues);
+      check_bool "it is an error" true
+        (List.exists (fun i -> M.issue_severity i = `Error) issues)
+
+let test_validate_dangling_channel () =
+  (* buyer_with_cancel sends cancel messages the original accounting
+     process never mentions: dangling channels, flagged as warnings *)
+  let t =
+    M.of_processes [ P.buyer_with_cancel; P.accounting_process; P.logistics_process ]
+  in
+  match M.validate t with
+  | Ok () -> Alcotest.fail "dangling cancel channel must be flagged"
+  | Error issues ->
+      check_bool "dangling channel found" true
+        (List.exists
+           (fun (i : M.issue) ->
+             match i.M.kind with M.Dangling_channel _ -> true | _ -> false)
+           issues);
+      check_bool "dangling channels are warnings" true
+        (List.for_all
+           (fun (i : M.issue) ->
+             match i.M.kind with
+             | M.Dangling_channel _ -> M.issue_severity i = `Warning
+             | _ -> true)
+           issues)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "degenerate",
+        [
+          Alcotest.test_case "handcrafted zoo" `Quick test_degenerate_zoo;
+          Alcotest.test_case "algebraic laws" `Quick test_degenerate_laws;
+          Alcotest.test_case "random sweep" `Slow test_random_degenerates;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "procurement is clean" `Quick test_validate_ok;
+          Alcotest.test_case "unknown party" `Quick test_validate_unknown_party;
+          Alcotest.test_case "dangling channel" `Quick
+            test_validate_dangling_channel;
+        ] );
+    ]
