@@ -129,14 +129,25 @@ let budget_term =
       & info [ "round-timeout" ] ~docv:"SECONDS"
           ~doc:"Wall-clock deadline for one whole partner pipeline.")
   in
-  let make of_ ot rf rt (config : C.Choreography.Evolution.config) =
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the fingerprint-keyed memoization and cross-round \
+             reuse of DESIGN.md §10; results are identical either way, \
+             so this exists for A/B timing and differential testing.")
+  in
+  let make of_ ot rf rt nc (config : C.Choreography.Evolution.config) =
     {
       config with
       op_budget = { C.Guard.Budget.fuel = of_; timeout_s = ot };
       round_budget = { C.Guard.Budget.fuel = rf; timeout_s = rt };
+      cache = not nc;
     }
   in
-  Term.(const make $ op_fuel $ op_timeout $ round_fuel $ round_timeout)
+  Term.(
+    const make $ op_fuel $ op_timeout $ round_fuel $ round_timeout $ no_cache)
 
 (* ---------------------------- validation ---------------------------- *)
 
@@ -528,7 +539,14 @@ let evolve_run () scenario journal crash_after budgets =
           2
         end
         else (
-          match C.Choreography.Evolution.run ~config t ~owner:"A" ~changed with
+          let cache =
+            if config.C.Choreography.Evolution.cache then
+              Some (C.Choreography.Evolution.Cache.create ())
+            else None
+          in
+          match
+            C.Choreography.Evolution.run ~config ?cache t ~owner:"A" ~changed
+          with
           | Ok rep ->
               Fmt.pr "%a@." C.Choreography.Evolution.pp_report rep;
               if rep.C.Choreography.Evolution.consistent then 0 else 1

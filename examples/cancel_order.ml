@@ -20,6 +20,7 @@ let () =
     C.Change.Classify.classify ~owner:accounting ~partner:buyer ~old_public
       ~new_public
       ~partner_public:(C.Public_gen.public buyer_process)
+      ()
   in
   Fmt.pr "classification: %a@.@." C.Change.Classify.pp_verdict verdict;
 

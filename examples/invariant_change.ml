@@ -34,7 +34,7 @@ let () =
     (C.Afsa.Pp.to_string ~abbrev:true v_new);
 
   (* Def. 5: the change is additive. *)
-  let fw = C.Change.Classify.framework ~old_public:v_old ~new_public:v_new in
+  let fw = C.Change.Classify.framework ~old_public:v_old ~new_public:v_new () in
   Fmt.pr "additive=%b subtractive=%b@." fw.C.Change.Classify.additive
     fw.C.Change.Classify.subtractive;
 
@@ -43,7 +43,7 @@ let () =
   let buyer_public = C.Public_gen.public buyer_process in
   let verdict =
     C.Change.Classify.propagation ~new_public:v_new
-      ~partner_public:buyer_public
+      ~partner_public:buyer_public ()
   in
   Fmt.pr "verdict: %s@."
     (match verdict with

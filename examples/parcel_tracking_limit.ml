@@ -56,5 +56,6 @@ let () =
       ~old_public:(C.Public_gen.public accounting_process)
       ~new_public
       ~partner_public:(C.Public_gen.public logistics_process)
+      ()
   in
   Fmt.pr "logistics: %a@." C.Change.Classify.pp_verdict v_log

@@ -35,6 +35,10 @@ type t = {
   finals : ISet.t;
   ann : F.t IMap.t; (* absent entry = True *)
   mutable idx : index option; (* lazily-built cache, never set by hand *)
+  mutable fp : string option;
+      (* cached structural fingerprint (see {!Fingerprint}); like [idx]
+         purely derived, so every structural modifier resets it — but
+         [copy] keeps it, the structure being shared *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -85,6 +89,7 @@ let make ?(alphabet = []) ~start ~finals ~edges ?(ann = []) () =
     finals = ISet.of_list finals;
     ann;
     idx = None;
+    fp = None;
   }
 
 (** Convenience: edges given as [(s, "A#B#msg", t)] with ["" ] for ε. *)
@@ -309,6 +314,7 @@ let restrict_states a keep =
     finals = ISet.inter a.finals keep;
     ann = IMap.filter (fun q _ -> ISet.mem q keep) a.ann;
     idx = None;
+    fp = None;
   }
 
 (** Remove unreachable states. *)
@@ -362,6 +368,7 @@ let add_edge a (s, sym, t) =
     alphabet;
     delta = add_edge_delta a.delta (s, sym, t);
     idx = None;
+    fp = None;
   }
 
 (** Bulk variant of {!add_edge}: one record (and one index
@@ -382,12 +389,15 @@ let add_edges a es =
     alphabet;
     delta = List.fold_left add_edge_delta a.delta es;
     idx = None;
+    fp = None;
   }
 
 (** A handle on the same automaton with a private index cache. The
     persistent fields are shared (they are immutable); only [idx] is
     reset. Hand one to each parallel task that reads a shared automaton
-    so concurrent index builds never race on one Hashtbl. *)
+    so concurrent index builds never race on one Hashtbl. The
+    fingerprint [fp] is kept: it describes the shared structure, and a
+    cached digest is an immutable string safe to read from any domain. *)
 let copy a = { a with idx = None }
 
 let set_annotation a q f =
@@ -395,17 +405,19 @@ let set_annotation a q f =
   let ann =
     if F.equal f F.True then IMap.remove q a.ann else IMap.add q f a.ann
   in
-  { a with ann; states = ISet.add q a.states; idx = None }
+  { a with ann; states = ISet.add q a.states; idx = None; fp = None }
 
-let clear_annotations a = { a with ann = IMap.empty; idx = None }
+let clear_annotations a = { a with ann = IMap.empty; idx = None; fp = None }
 
-let set_finals a finals = { a with finals = ISet.of_list finals; idx = None }
+let set_finals a finals =
+  { a with finals = ISet.of_list finals; idx = None; fp = None }
 
 let widen_alphabet a labels =
   {
     a with
     alphabet = Label.Set.union a.alphabet (Label.Set.of_list labels);
     idx = None;
+    fp = None;
   }
 
 (* ------------------------------------------------------------------ *)

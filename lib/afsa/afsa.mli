@@ -24,6 +24,10 @@ type t = {
   mutable idx : index option;
       (** lazily-built index cache; derived data only — never set by
           hand, always invalidated by the modifiers below *)
+  mutable fp : string option;
+      (** cached structural fingerprint; derived data only — computed
+          and read through {!Fingerprint}, invalidated by the modifiers
+          below, preserved by {!copy} (the structure is shared) *)
 }
 
 (** {1 Construction} *)
@@ -127,7 +131,9 @@ val copy : t -> t
 (** Same automaton, private (empty) index cache. The persistent fields
     are shared. Use one copy per parallel task when several domains
     read the same automaton: the index Hashtbls are not thread-safe,
-    and a private handle keeps each domain's lazy index builds local. *)
+    and a private handle keeps each domain's lazy index builds local.
+    An already-computed fingerprint is kept (it is an immutable string
+    describing the shared structure). *)
 
 val add_edge : t -> int * Sym.t * int -> t
 

@@ -13,8 +13,16 @@ let equal_language a b = included a b && included b a
     BFS numbering from the start state, structural equality of the two
     minimized automata decides annotated equivalence. *)
 let equal_annotated a b =
-  let ma = Minimize.minimize a and mb = Minimize.minimize b in
-  Afsa.structurally_equal ma mb
+  (* Fast paths: physically equal handles (common once the cache layer
+     interns results) and already-computed equal fingerprints are
+     structurally equal, hence annotated-equal, without minimizing. An
+     undecided or negative fingerprint comparison falls through — equal
+     languages can have structurally different presentations. *)
+  match Fingerprint.cached_equal a b with
+  | Some true -> true
+  | Some false | None ->
+      let ma = Minimize.minimize a and mb = Minimize.minimize b in
+      Afsa.structurally_equal ma mb
 
 (** Convenience: is the (plain) language of [a] strictly larger? *)
 let strictly_includes a b = included b a && not (included a b)

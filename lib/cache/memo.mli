@@ -1,0 +1,42 @@
+(** Memoized aFSA algebra entry points, keyed by canonical fingerprints
+    in per-domain bounded {!Lru} tables. Results are interned (and so
+    carry pre-computed fingerprints). Every wrapper degrades to the raw
+    operation when the ambient {!Chorev_guard.Budget} is limited, so
+    fuel accounting under finite budgets is byte-identical with and
+    without the cache (budgets tick on misses only — and under a
+    limited budget everything is a miss). *)
+
+module Afsa = Chorev_afsa.Afsa
+module Label = Chorev_afsa.Label
+
+val active : unit -> bool
+(** Is memoization in force right now (ambient budget unlimited)? *)
+
+val tau : observer:string -> Afsa.t -> Afsa.t
+(** Memoized {!Chorev_afsa.View.tau}. *)
+
+val intersect : Afsa.t -> Afsa.t -> Afsa.t
+val difference : Afsa.t -> Afsa.t -> Afsa.t
+val union : Afsa.t -> Afsa.t -> Afsa.t
+(** Memoized {!Chorev_afsa.Ops}. *)
+
+val minimize : Afsa.t -> Afsa.t
+val determinize : Afsa.t -> Afsa.t
+
+val generate : Chorev_bpel.Process.t -> Afsa.t * Chorev_mapping.Table.t
+(** Memoized {!Chorev_mapping.Public_gen.generate}, keyed by
+    {!Intern.process_digest}. *)
+
+val public : Chorev_bpel.Process.t -> Afsa.t
+
+val check_verdict : Afsa.t -> Afsa.t -> bool * Label.t list option
+(** Memoized bilateral consistency verdict (consistent?, witness) —
+    the intersection automaton is not retained. *)
+
+val consistent : Afsa.t -> Afsa.t -> bool
+
+val stats : unit -> (string * Lru.stats) list
+(** This domain's per-table hit/miss/eviction statistics. *)
+
+val reset : unit -> unit
+(** Clear this domain's tables (stats kept). *)

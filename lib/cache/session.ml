@@ -1,0 +1,25 @@
+(** The shared round-level cache of an evolution session: bilateral
+    consistency verdicts keyed by the fingerprints of the two public
+    processes involved. Owned by the sequential coordinator
+    ([Evolution.run] / [Consistency.check_all]) — it is {e not}
+    thread-safe and must never be touched from inside a pool task; the
+    coordinator fingerprints inputs before fanning out and stores
+    results after the barrier, which is what makes unchanged partners'
+    verdicts reusable verbatim across rounds (dirty-region tracking:
+    a pair is re-checked only when one of its fingerprints moved). *)
+
+module Label = Chorev_afsa.Label
+
+type verdict = bool * Label.t list option (* consistent?, witness *)
+
+type t = { pairs : (string * string, verdict) Lru.t }
+
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) () =
+  { pairs = Lru.create ~capacity }
+
+let find_pair t ~fp_a ~fp_b = Lru.find t.pairs (fp_a, fp_b)
+let set_pair t ~fp_a ~fp_b v = Lru.add t.pairs (fp_a, fp_b) v
+let stats t = Lru.stats t.pairs
+let clear t = Lru.clear t.pairs

@@ -1,0 +1,16 @@
+(** Round-level cache of bilateral consistency verdicts, keyed by
+    public-process fingerprints. Coordinator-confined (not thread-safe):
+    look up before fanning out, store after the barrier. *)
+
+type verdict = bool * Chorev_afsa.Label.t list option
+(** (consistent?, witness) — plain data, safe to share. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 4096 pairs. *)
+
+val find_pair : t -> fp_a:string -> fp_b:string -> verdict option
+val set_pair : t -> fp_a:string -> fp_b:string -> verdict -> unit
+val stats : t -> Lru.stats
+val clear : t -> unit

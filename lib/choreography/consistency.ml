@@ -18,18 +18,24 @@ type pair_verdict = {
 let c_pairs = Metrics.counter "choreography.consistency.pairs"
 
 (* Bilateral consistency on two members whose names are already
-   resolved: each side's view of the other is intersected. *)
-let check_members p1 (m1 : Model.member) p2 (m2 : Model.member) =
+   resolved: each side's view of the other is intersected. With [cache]
+   the views and the verdict go through [Chorev_cache.Memo]'s
+   fingerprint-keyed tables (inert under a limited ambient budget). *)
+let check_members ?(cache = false) p1 (m1 : Model.member) p2
+    (m2 : Model.member) =
   Metrics.incr c_pairs;
-  let v1 = View.tau ~observer:p2 m1.Model.public_process in
-  let v2 = View.tau ~observer:p1 m2.Model.public_process in
-  let r = Chorev_afsa.Consistency.check v1 v2 in
-  {
-    party_a = p1;
-    party_b = p2;
-    consistent = r.Chorev_afsa.Consistency.consistent;
-    witness = r.Chorev_afsa.Consistency.witness;
-  }
+  let consistent, witness =
+    if cache then
+      let v1 = Chorev_cache.Memo.tau ~observer:p2 m1.Model.public_process in
+      let v2 = Chorev_cache.Memo.tau ~observer:p1 m2.Model.public_process in
+      Chorev_cache.Memo.check_verdict v1 v2
+    else
+      let v1 = View.tau ~observer:p2 m1.Model.public_process in
+      let v2 = View.tau ~observer:p1 m2.Model.public_process in
+      let r = Chorev_afsa.Consistency.check v1 v2 in
+      (r.Chorev_afsa.Consistency.consistent, r.Chorev_afsa.Consistency.witness)
+  in
+  { party_a = p1; party_b = p2; consistent; witness }
 
 (** Bilateral consistency of two parties of the choreography. Total in
     the party names: unknown names are reported, not raised. *)
@@ -47,7 +53,7 @@ let consistent_pair t p1 p2 = Result.map (fun v -> v.consistent) (check_pair t p
     {!Chorev_afsa.Afsa.copy} of the public processes so concurrent
     index builds stay domain-local, and order preservation makes the
     result structurally equal to the sequential one. *)
-let check_all ?pool t =
+let check_all ?pool ?(cache = false) ?session t =
   let tasks =
     List.filter_map
       (fun (a, b) ->
@@ -56,18 +62,59 @@ let check_all ?pool t =
         | Error _, _ | _, Error _ -> None)
       (Model.pairs t)
   in
-  Pool.map ?pool
-    (fun (a, (m1 : Model.member), b, (m2 : Model.member)) ->
-      check_members a
-        { m1 with public_process = Chorev_afsa.Afsa.copy m1.public_process }
-        b
-        { m2 with public_process = Chorev_afsa.Afsa.copy m2.public_process })
-    tasks
+  let compute tasks =
+    Pool.map ?pool
+      (fun (a, (m1 : Model.member), b, (m2 : Model.member)) ->
+        check_members ~cache a
+          { m1 with public_process = Chorev_afsa.Afsa.copy m1.public_process }
+          b
+          { m2 with public_process = Chorev_afsa.Afsa.copy m2.public_process })
+      tasks
+  in
+  match session with
+  | None -> compute tasks
+  | Some s ->
+      (* Dirty-region pre-pass, in the coordinator: fingerprint each
+         pair's publics (cached digests after the first round) and
+         reuse the session verdict when both fingerprints are
+         unchanged; only dirty pairs fan out. The stitch preserves
+         [Model.pairs] order, so the result is structurally equal to
+         the uncached one. *)
+      let keyed =
+        List.map
+          (fun ((_, (m1 : Model.member), _, (m2 : Model.member)) as task) ->
+            let fp_a = Chorev_afsa.Fingerprint.digest m1.Model.public_process
+            and fp_b = Chorev_afsa.Fingerprint.digest m2.Model.public_process in
+            (task, fp_a, fp_b, Chorev_cache.Session.find_pair s ~fp_a ~fp_b))
+          tasks
+      in
+      let miss_tasks =
+        List.filter_map
+          (fun (task, _, _, hit) ->
+            if Option.is_none hit then Some task else None)
+          keyed
+      in
+      let computed = compute miss_tasks in
+      let rec stitch keyed computed acc =
+        match keyed with
+        | [] -> List.rev acc
+        | ((a, _, b, _), _, _, Some (consistent, witness)) :: rest ->
+            stitch rest computed
+              ({ party_a = a; party_b = b; consistent; witness } :: acc)
+        | (_, fp_a, fp_b, None) :: rest -> (
+            match computed with
+            | v :: more ->
+                Chorev_cache.Session.set_pair s ~fp_a ~fp_b
+                  (v.consistent, v.witness);
+                stitch rest more (v :: acc)
+            | [] -> assert false)
+      in
+      stitch keyed computed []
 
 (** The choreography is consistent iff all interacting pairs are. *)
-let consistent ?pool t =
+let consistent ?pool ?cache ?session t =
   Chorev_obs.Obs.span "consistency.check_all" @@ fun () ->
-  List.for_all (fun v -> v.consistent) (check_all ?pool t)
+  List.for_all (fun v -> v.consistent) (check_all ?pool ?cache ?session t)
 
 (** The protocol agreed between two parties — the paper's
     "A ∩ B ≠ ∅ … the protocol (choreography) between them" (Sec. 4.2):

@@ -19,15 +19,29 @@ val check_pair :
 val consistent_pair :
   Model.t -> string -> string -> (bool, [ `Unknown_party of string ]) result
 
-val check_all : ?pool:Chorev_parallel.Pool.t -> Model.t -> pair_verdict list
+val check_all :
+  ?pool:Chorev_parallel.Pool.t ->
+  ?cache:bool ->
+  ?session:Chorev_cache.Session.t ->
+  Model.t ->
+  pair_verdict list
 (** One verdict per interacting pair, in [Model.pairs] order. Total:
     broken member entries are skipped, never raised on. The per-pair
     checks fan out over the pool (default {!Chorev_parallel.Pool.default},
     which is sequential unless [--jobs]/[CHOREV_DOMAINS] say otherwise);
     the result is structurally equal to the sequential one for every
-    pool size. *)
+    pool size. [cache] (default [false]) memoizes views and verdicts
+    per domain; [session] additionally reuses verdicts of pairs whose
+    public-process fingerprints are unchanged since an earlier
+    [check_all] with the same session (dirty-region tracking) — only
+    dirty pairs are recomputed. Results are identical in all modes. *)
 
-val consistent : ?pool:Chorev_parallel.Pool.t -> Model.t -> bool
+val consistent :
+  ?pool:Chorev_parallel.Pool.t ->
+  ?cache:bool ->
+  ?session:Chorev_cache.Session.t ->
+  Model.t ->
+  bool
 
 val protocol :
   Model.t ->

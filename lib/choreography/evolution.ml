@@ -43,6 +43,7 @@ type config = Engine.config = {
   op_budget : Budget.spec;
   round_budget : Budget.spec;
   cancel : Budget.Cancel.t option;
+  cache : bool;
 }
 
 let default = Engine.default
@@ -68,18 +69,48 @@ type report = {
   consistent : bool;  (** all-pairs consistency afterwards *)
 }
 
+(* Cross-round incremental state, owned by the coordinator of one
+   [run] (or one journal replay): a session of bilateral consistency
+   verdicts keyed by public fingerprints, plus a cache of whole
+   per-partner pipeline steps keyed by everything the step reads. Both
+   are LRU-bounded and confined to the coordinator domain — pool tasks
+   never touch them. *)
+module Cache = struct
+  type step = partner_report * Process.t option
+  (** Everything a per-partner pipeline step produces. *)
+
+  type t = {
+    session : Chorev_cache.Session.t;
+    steps : (string, step) Chorev_cache.Lru.t;
+  }
+
+  let create ?(capacity = 4096) () =
+    {
+      session = Chorev_cache.Session.create ~capacity ();
+      steps = Chorev_cache.Lru.create ~capacity;
+    }
+
+  let stats c =
+    [
+      ("session", Chorev_cache.Session.stats c.session);
+      ("steps", Chorev_cache.Lru.stats c.steps);
+    ]
+end
+
 let c_rounds = Metrics.counter "evolution.rounds"
 let c_runs = Metrics.counter "evolution.runs"
 
 let str s = Chorev_obs.Sink.Str s
 let int i = Chorev_obs.Sink.Int i
 
-let classify_partner ~owner ~old_public ~new_public t partner =
+let classify_partner ?(cache = false) ~owner ~old_public ~new_public t partner
+    =
   let partner_view =
-    Chorev_afsa.View.tau ~observer:owner (Model.public t partner)
+    if cache then Chorev_cache.Memo.tau ~observer:owner (Model.public t partner)
+    else Chorev_afsa.View.tau ~observer:owner (Model.public t partner)
   in
-  Classify.classify ~owner ~partner ~old_public ~new_public
-    ~partner_public:partner_view
+  Classify.classify ~cache ~owner ~partner ~old_public ~new_public
+    ~partner_public:partner_view ()
 
 (* Per-partner step of a round: classification (which emits its own
    [classify] span) and, for variant partners, the propagation engine.
@@ -96,11 +127,16 @@ let run_partner_step (config : config) ~owner ~old_public ~new_public
   let class_budget = Budget.of_spec ?cancel:config.cancel config.op_budget in
   match
     Budget.run class_budget (fun () ->
+        (* [Memo] wrappers stand down by themselves when the ambient
+           budget is limited, so routing through them here never
+           perturbs fuel accounting. *)
         let partner_view =
-          Chorev_afsa.View.tau ~observer:owner partner_public
+          if config.cache then
+            Chorev_cache.Memo.tau ~observer:owner partner_public
+          else Chorev_afsa.View.tau ~observer:owner partner_public
         in
-        Classify.classify ~owner ~partner ~old_public ~new_public
-          ~partner_public:partner_view)
+        Classify.classify ~cache:config.cache ~owner ~partner ~old_public
+          ~new_public ~partner_public:partner_view ())
   with
   | `Exceeded info ->
       (* Unclassifiable within budget: conservatively leave the partner
@@ -160,17 +196,43 @@ let round_pool (config : config) =
    sequential in-partner-order fold applying the model updates, making
    the result structurally identical to the old sequential loop for
    every pool size. *)
-let run_round (config : config) t owner (changed : Process.t) =
+(* A whole per-partner step is reusable across rounds iff nothing it
+   reads changed and nothing non-deterministic could perturb it: the
+   key covers every input ([owner]'s old/new publics, the partner's
+   public and private processes, [auto_apply]), and caching is armed
+   only when both budget specs are unlimited and no cancellation token
+   exists — a limited budget could trip mid-step, and a cached report
+   would silently skip the trip. *)
+let step_cacheable (config : config) =
+  config.cache
+  && Budget.spec_is_unlimited config.op_budget
+  && Budget.spec_is_unlimited config.round_budget
+  && config.cancel = None
+
+let step_key (config : config) ~owner ~old_fp ~new_fp ~partner ~partner_public
+    ~partner_private =
+  String.concat "\x00"
+    [
+      owner;
+      old_fp;
+      new_fp;
+      partner;
+      Chorev_afsa.Fingerprint.digest partner_public;
+      Chorev_cache.Intern.process_digest partner_private;
+      (if config.auto_apply then "1" else "0");
+    ]
+
+let run_round ?cache (config : config) t owner (changed : Process.t) =
   Metrics.incr c_rounds;
   Obs.span "round" ~attrs:[ ("originator", str owner) ] @@ fun () ->
   let old_public = Model.public t owner in
   let t' =
     Obs.span "regenerate" ~attrs:[ ("party", str owner) ] @@ fun () ->
-    Model.update t changed
+    Model.update ~cache:config.cache t changed
   in
   let new_public = Model.public t' owner in
   let public_changed =
-    not (Classify.public_unchanged ~old_public ~new_public)
+    not (Classify.public_unchanged ~cache:config.cache ~old_public ~new_public ())
   in
   if not public_changed then
     ({ originator = owner; public_changed = false; partners = [] }, t', [])
@@ -181,7 +243,38 @@ let run_round (config : config) t owner (changed : Process.t) =
     let tasks =
       List.map (fun p -> (p, Model.public t' p, Model.private_ t' p)) partners
     in
-    let results =
+    (* Dirty-region tracking: with a coordinator cache, fingerprint the
+       step inputs here (the digests are cached on the shared automata,
+       so this is O(1) after the first round) and fan out only the
+       steps whose inputs changed. The stitch below preserves partner
+       order, so the round report is structurally identical to the
+       uncached one. *)
+    let steps =
+      match cache with
+      | Some c when step_cacheable config -> Some c.Cache.steps
+      | _ -> None
+    in
+    let keyed =
+      match steps with
+      | None -> List.map (fun task -> (task, None, None)) tasks
+      | Some lru ->
+          let old_fp = Chorev_afsa.Fingerprint.digest old_public
+          and new_fp = Chorev_afsa.Fingerprint.digest new_public in
+          List.map
+            (fun ((partner, partner_public, partner_private) as task) ->
+              let key =
+                step_key config ~owner ~old_fp ~new_fp ~partner
+                  ~partner_public ~partner_private
+              in
+              (task, Some key, Chorev_cache.Lru.find lru key))
+            tasks
+    in
+    let miss_tasks =
+      List.filter_map
+        (fun (task, _, hit) -> if Option.is_none hit then Some task else None)
+        keyed
+    in
+    let computed =
       Pool.map ~pool:(round_pool config)
         (fun (partner, partner_public, partner_private) ->
           run_partner_step config ~owner
@@ -189,15 +282,29 @@ let run_round (config : config) t owner (changed : Process.t) =
             ~new_public:(Afsa.copy new_public)
             ~partner_public:(Afsa.copy partner_public)
             ~partner_private partner)
-        tasks
+        miss_tasks
     in
+    let rec stitch keyed computed acc =
+      match keyed with
+      | [] -> List.rev acc
+      | (_, _, Some step) :: rest -> stitch rest computed (step :: acc)
+      | (_, key, None) :: rest -> (
+          match computed with
+          | step :: more ->
+              (match (steps, key) with
+              | Some lru, Some k -> Chorev_cache.Lru.add lru k step
+              | _ -> ());
+              stitch rest more (step :: acc)
+          | [] -> assert false)
+    in
+    let results = stitch keyed computed [] in
     let reports, t'', adapted =
       List.fold_left
         (fun (reports, t_acc, adapted) (report, adapted_proc) ->
           match adapted_proc with
           | Some p' ->
               ( report :: reports,
-                Model.update t_acc p',
+                Model.update ~cache:config.cache t_acc p',
                 (report.partner, p') :: adapted )
           | None -> (report :: reports, t_acc, adapted))
         ([], t', []) results
@@ -213,18 +320,20 @@ let with_config_sink (config : config) f =
    whose regenerated public differs from what the *pre-round* model [t]
    records for them. Shared with the journal's replay, which must
    reconstruct pending work exactly as the live loop computed it. *)
-let surviving_pending t adapted =
+let surviving_pending ?(cache = false) t adapted =
+  let public p =
+    if cache then Chorev_cache.Memo.public p
+    else Chorev_mapping.Public_gen.public p
+  in
   List.filter
     (fun (p, proc') ->
       not
-        (Chorev_afsa.Equiv.equal_annotated
-           (Chorev_mapping.Public_gen.public proc')
-           (Model.public t p)))
+        (Chorev_afsa.Equiv.equal_annotated (public proc') (Model.public t p)))
     adapted
 
 (** Evolve the choreography by replacing [owner]'s private process with
     [changed], under [config]. Total in [owner]. *)
-let run ?(config = default) t ~owner ~changed =
+let run ?(config = default) ?cache t ~owner ~changed =
   match Model.find_party t owner with
   | Error e -> Error e
   | Ok _ ->
@@ -238,11 +347,18 @@ let run ?(config = default) t ~owner ~changed =
                 ("max_rounds", int config.max_rounds);
               ]
           @@ fun () ->
+          (* The coordinator cache is only honoured when caching is on
+             in the config — [--no-cache] must behave as if no handle
+             was ever created. *)
+          let cache = if config.cache then cache else None in
+          let session = Option.map (fun c -> c.Cache.session) cache in
           let finish t rounds =
             {
               rounds = List.rev rounds;
               choreography = t;
-              consistent = Consistency.consistent ~pool:(round_pool config) t;
+              consistent =
+                Consistency.consistent ~pool:(round_pool config)
+                  ~cache:config.cache ?session t;
             }
           in
           let rec go t rounds remaining pending =
@@ -250,10 +366,12 @@ let run ?(config = default) t ~owner ~changed =
             | [] -> finish t rounds
             | _ when remaining = 0 -> finish t rounds
             | (owner, proc) :: rest ->
-                let round, t', adapted = run_round config t owner proc in
+                let round, t', adapted = run_round ?cache config t owner proc in
                 (* partners adapted in this round propagate onward,
                    except back to processes already equal in the model *)
-                let new_pending = surviving_pending t adapted in
+                let new_pending =
+                  surviving_pending ~cache:config.cache t adapted
+                in
                 go t' (round :: rounds) (remaining - 1) (rest @ new_pending)
           in
           go t [] config.max_rounds [ (owner, changed) ] )
@@ -270,8 +388,14 @@ let dry_run ?(config = default) t ~owner ~changed =
         ( with_config_sink config @@ fun () ->
           Obs.span "dry_run" ~attrs:[ ("owner", str owner) ] @@ fun () ->
           let old_public = m.Model.public_process in
-          let new_public = Chorev_mapping.Public_gen.public changed in
-          if Classify.public_unchanged ~old_public ~new_public then []
+          let new_public =
+            if config.cache then Chorev_cache.Memo.public changed
+            else Chorev_mapping.Public_gen.public changed
+          in
+          if
+            Classify.public_unchanged ~cache:config.cache ~old_public
+              ~new_public ()
+          then []
           else
             Model.parties t
             |> List.filter (fun p ->
@@ -280,7 +404,8 @@ let dry_run ?(config = default) t ~owner ~changed =
                    Obs.span "partner" ~attrs:[ ("partner", str partner) ]
                    @@ fun () ->
                    let verdict =
-                     classify_partner ~owner ~old_public ~new_public t partner
+                     classify_partner ~cache:config.cache ~owner ~old_public
+                       ~new_public t partner
                    in
                    let outcome =
                      if Classify.requires_propagation verdict then

@@ -28,13 +28,19 @@ type config = Chorev_propagate.Engine.config = {
   cancel : Chorev_guard.Budget.Cancel.t option;
       (** cooperative cancellation token shared by every budget minted
           from this config (default: [None]) *)
+  cache : bool;
+      (** route algebra operations through the fingerprint-keyed memo
+          tables of [Chorev_cache] and honour a coordinator {!Cache.t}
+          when one is passed to {!run} (default [true]; results are
+          identical either way — set [false] / [--no-cache] for A/B
+          runs) *)
 }
 (** Alias of {!Chorev_propagate.Engine.config}: one record configures
     both the per-partner engine and the whole-choreography pipeline. *)
 
 val default : config
 (** [auto_apply = true], [max_rounds = 8], no sink, [jobs = 0],
-    unlimited budgets, no cancellation token. *)
+    unlimited budgets, no cancellation token, [cache = true]. *)
 
 type partner_report = {
   partner : string;
@@ -59,16 +65,44 @@ type report = {
   consistent : bool;
 }
 
+(** Cross-round incremental state for {!run}: a session of bilateral
+    consistency verdicts plus a cache of whole per-partner pipeline
+    steps, both keyed by input fingerprints and LRU-bounded. Owned by
+    the coordinator — create one per logical evolution history and pass
+    it to successive {!run} calls to reuse the work of rounds whose
+    inputs did not change. Ignored when [config.cache = false], and the
+    step cache additionally stands down when a budget or cancellation
+    token is configured (a cached step could mask a budget trip). *)
+module Cache : sig
+  type step = partner_report * Chorev_bpel.Process.t option
+
+  type t = {
+    session : Chorev_cache.Session.t;
+    steps : (string, step) Chorev_cache.Lru.t;
+  }
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity 4096 entries per table. *)
+
+  val stats : t -> (string * Chorev_cache.Lru.stats) list
+end
+
 val run :
   ?config:config ->
+  ?cache:Cache.t ->
   Model.t ->
   owner:string ->
   changed:Chorev_bpel.Process.t ->
   (report, [ `Unknown_party of string ]) result
 (** Evolve the choreography by replacing [owner]'s private process with
-    [changed]. Total in [owner]. *)
+    [changed]. Total in [owner]. With [cache] (and [config.cache], the
+    default), per-partner steps and bilateral verdicts whose
+    fingerprinted inputs are unchanged since an earlier run with the
+    same handle are reused verbatim; the report is structurally
+    identical to a cache-less run. *)
 
 val run_round :
+  ?cache:Cache.t ->
   config ->
   Model.t ->
   string ->
@@ -81,6 +115,7 @@ val run_round :
     resumable driver; most callers want {!run}. *)
 
 val surviving_pending :
+  ?cache:bool ->
   Model.t ->
   (string * Chorev_bpel.Process.t) list ->
   (string * Chorev_bpel.Process.t) list

@@ -58,15 +58,39 @@ let private_ t party = (member_exn t party).private_process
 let table t party = (member_exn t party).table
 
 (** Replace one party's private process; its public process and table
-    are re-derived (the "recreate public view" step of Fig. 4). *)
-let update t (p : Process.t) =
-  let public_process, table = Chorev_mapping.Public_gen.generate p in
+    are re-derived (the "recreate public view" step of Fig. 4). With
+    [cache] the derivation goes through [Chorev_cache.Memo.generate],
+    so re-deriving a process already seen this session (e.g. a change
+    that reverts an earlier one) is a table lookup. *)
+let update ?(cache = false) t (p : Process.t) =
+  let public_process, table =
+    if cache then Chorev_cache.Memo.generate p
+    else Chorev_mapping.Public_gen.generate p
+  in
   {
     members =
       SMap.add (Process.party p)
         { private_process = p; public_process; table }
         t.members;
   }
+
+(** Canonical fingerprint of the whole choreography: an MD5 digest over
+    the party names, their public-process fingerprints and their
+    private-process digests, in party order. Two models have equal
+    fingerprints iff every member is structurally identical — the
+    identity scheme shared by the cache layer and the discovery
+    registry. Computing it fills the members' fingerprint caches, so
+    call it from the owning domain only. *)
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  SMap.iter
+    (fun party m ->
+      Buffer.add_string buf party;
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf (Chorev_afsa.Fingerprint.digest m.public_process);
+      Buffer.add_string buf (Chorev_cache.Intern.process_digest m.private_process))
+    t.members;
+  Digest.string (Buffer.contents buf)
 
 (** A structurally fresh model: every member's public process goes
     through {!Chorev_afsa.Afsa.copy}, so the copy can be handed to

@@ -29,8 +29,17 @@ val public : t -> string -> Afsa.t
 val private_ : t -> string -> Chorev_bpel.Process.t
 val table : t -> string -> Chorev_mapping.Table.t
 
-val update : t -> Chorev_bpel.Process.t -> t
-(** Replace one party's private process; public and table re-derived. *)
+val update : ?cache:bool -> t -> Chorev_bpel.Process.t -> t
+(** Replace one party's private process; public and table re-derived
+    (through [Chorev_cache.Memo.generate] when [cache], default
+    [false]). *)
+
+val fingerprint : t -> string
+(** Canonical MD5 digest of the whole choreography (party names,
+    public-process fingerprints, private-process digests, in party
+    order): the identity scheme shared with the cache layer and the
+    discovery registry. Fills member fingerprint caches — call from
+    the owning domain. *)
 
 val copy : t -> t
 (** Structurally fresh: public processes pass through

@@ -155,7 +155,7 @@ let handle ?(adapt = true) ?(config = Engine.default) n ~from_ payload :
                     ~old_public:
                       (Chorev_afsa.View.tau ~budget:fb ~observer:n.party
                          (Option.value ~default:public previous))
-                    ~new_public:their_view)
+                    ~new_public:their_view ())
             with
             | `Exceeded _ -> [ nack ]
             | `Done framework -> (

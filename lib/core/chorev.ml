@@ -34,6 +34,11 @@
       tests
     - {!Scenario} — the paper's procurement example (Figs. 1–18)
 
+    {2 Incremental re-checking}
+    - {!Fingerprint}, {!Cache} — structural fingerprints, hash-consed
+      interning and fingerprint-keyed memoization of the algebra
+      (DESIGN.md §10)
+
     {2 Robustness}
     - {!Guard} — fuel/deadline budgets, cooperative cancellation and
       graceful-degradation markers for the algebra hot loops
@@ -72,6 +77,7 @@ module Ablation = Chorev_afsa.Ablation
 module Consistency = Chorev_afsa.Consistency
 module View = Chorev_afsa.View
 module Trace = Chorev_afsa.Trace
+module Fingerprint = Chorev_afsa.Fingerprint
 module Equiv = Chorev_afsa.Equiv
 module Dot = Chorev_afsa.Dot
 module Serialize = Chorev_afsa.Serialize
@@ -148,6 +154,15 @@ module Migration = struct
 end
 
 module Discovery = Chorev_discovery.Registry
+
+(* Incremental re-checking: interning, memoization, dirty-region
+   sessions (DESIGN.md §10) *)
+module Cache = struct
+  module Lru = Chorev_cache.Lru
+  module Intern = Chorev_cache.Intern
+  module Memo = Chorev_cache.Memo
+  module Session = Chorev_cache.Session
+end
 
 module Workload = struct
   module Gen_afsa = Chorev_workload.Gen_afsa

@@ -23,29 +23,45 @@ type entry = {
   party : string;  (** the party name the service advertises *)
   public : Afsa.t;
   description : string;
+  fp : string;  (** structural fingerprint of [public] (interned) *)
 }
 
 type t = { mutable entries : entry list }
 
 let create () = { entries = [] }
 
+let fingerprint e = e.fp
+
 let advertise t ~name ~party ?(description = "") public =
   if List.exists (fun e -> String.equal e.name name) t.entries then
     invalid_arg ("Discovery.advertise: duplicate service name " ^ name);
-  t.entries <- { name; party; public; description } :: t.entries
+  (* Intern the advertised automaton: structurally equal publics share
+     one physical aFSA across the registry, and the entry carries the
+     fingerprint they are keyed by. *)
+  let public = Chorev_cache.Intern.canonical public in
+  let fp = Chorev_afsa.Fingerprint.digest public in
+  t.entries <- { name; party; public; description; fp } :: t.entries
 
 (** Advertise a private process: its public process is derived — the
     private implementation never enters the registry (the paper's
     privacy requirement). *)
 let advertise_process t ~name ?description (p : Chorev_bpel.Process.t) =
   advertise t ~name ~party:(Chorev_bpel.Process.party p) ?description
-    (Chorev_mapping.Public_gen.public p)
+    (Chorev_cache.Memo.public p)
 
 let remove t name =
   t.entries <- List.filter (fun e -> not (String.equal e.name name)) t.entries
 
 let size t = List.length t.entries
 let entries t = List.rev t.entries
+
+(** All services advertising a public process structurally equal to
+    [public] — a fingerprint lookup, no automata algebra. *)
+let find_by_structure t public =
+  let fp = Chorev_afsa.Fingerprint.digest public in
+  List.filter (fun e -> String.equal e.fp fp) (entries t)
+
+let mem_structure t public = find_by_structure t public <> []
 
 type match_result = {
   entry : entry;
@@ -77,9 +93,7 @@ let query_keyword t ~requester =
 let query ?(horizon = 8) t ~party ~requester =
   entries t
   |> List.filter_map (fun entry ->
-         let service_view =
-           Chorev_afsa.View.tau ~observer:party entry.public
-         in
+         let service_view = Chorev_cache.Memo.tau ~observer:party entry.public in
          let i = Chorev_afsa.Ops.intersect requester service_view in
          if Chorev_afsa.Emptiness.is_nonempty i then
            let conversations =

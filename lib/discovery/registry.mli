@@ -11,6 +11,7 @@ type entry = {
   party : string;
   public : Afsa.t;
   description : string;
+  fp : string;  (** structural fingerprint of [public] (interned) *)
 }
 
 type t
@@ -29,6 +30,17 @@ val advertise_process :
 val remove : t -> string -> unit
 val size : t -> int
 val entries : t -> entry list
+
+val fingerprint : entry -> string
+(** The key an entry is stored under: the structural fingerprint of its
+    (interned) public process. *)
+
+val find_by_structure : t -> Afsa.t -> entry list
+(** All services whose advertised public process is structurally equal
+    to the given automaton — an O(1)-per-entry fingerprint comparison,
+    no automata algebra. *)
+
+val mem_structure : t -> Afsa.t -> bool
 
 type match_result = {
   entry : entry;

@@ -71,6 +71,12 @@ type config = {
       (** bound on one whole partner pipeline; op budgets draw from it *)
   cancel : Budget.Cancel.t option;
       (** cooperative cancellation, shared by every budget minted *)
+  cache : bool;
+      (** route the algebra steps through [Chorev_cache.Memo]'s
+          fingerprint-keyed memo tables (default [true]; [--no-cache]
+          for A/B runs). Results are identical either way, and the memo
+          layer stands down by itself under a limited ambient budget so
+          fuel accounting never depends on cache history. *)
 }
 
 let default =
@@ -82,6 +88,7 @@ let default =
     op_budget = Budget.spec_unlimited;
     round_budget = Budget.spec_unlimited;
     cancel = None;
+    cache = true;
   }
 
 let c_runs = Metrics.counter "propagate.runs"
@@ -115,13 +122,22 @@ let empty_like alphabet =
     [public_b]/[table_b]) facing the originator's new public process
     [a']. The [direction] decides additive vs subtractive treatment. *)
 let analyze ?(round = Budget.unlimited) ?(op_budget = Budget.spec_unlimited)
-    ~direction ~a' ~partner_private ~public_b ~table_b () =
+    ?(cache = false) ~direction ~a' ~partner_private ~public_b ~table_b () =
   let op_spec = op_budget in
   let me = Process.party partner_private in
+  let tau ~observer a =
+    if cache then Chorev_cache.Memo.tau ~observer a
+    else Chorev_afsa.View.tau ~observer a
+  in
+  let diff a b =
+    if cache then Chorev_cache.Memo.difference a b
+    else Chorev_afsa.Ops.difference a b
+  and union a b =
+    if cache then Chorev_cache.Memo.union a b else Chorev_afsa.Ops.union a b
+  in
   let view_new, deg_view =
     Obs.span "view" ~attrs:[ ("observer", str me) ] @@ fun () ->
-    match op_run ~round ~op_spec (fun () -> Chorev_afsa.View.tau ~observer:me a')
-    with
+    match op_run ~round ~op_spec (fun () -> tau ~observer:me a') with
     | `Done v -> (v, [])
     | `Exceeded info -> (
         (* degrade: the un-minimized view is language-equal, just larger *)
@@ -144,12 +160,12 @@ let analyze ?(round = Budget.unlimited) ?(op_budget = Budget.spec_unlimited)
       op_run ~round ~op_spec (fun () ->
           match direction with
           | Additive ->
-              let d = Chorev_afsa.Ops.difference view_new public_b in
-              let t = Afsa.trim (Chorev_afsa.Ops.union d public_b) in
+              let d = diff view_new public_b in
+              let t = Afsa.trim (union d public_b) in
               (d, t)
           | Subtractive ->
-              let d = Chorev_afsa.Ops.difference public_b view_new in
-              let t = Afsa.trim (Chorev_afsa.Ops.difference public_b d) in
+              let d = diff public_b view_new in
+              let t = Afsa.trim (diff public_b d) in
               (d, t))
     with
     | `Done dt -> (dt, [])
@@ -222,13 +238,20 @@ let run_body config ~direction ~a' ~partner_private =
     ~attrs:
       [ ("partner", str me); ("direction", str (direction_name direction)) ]
   @@ fun () ->
-  let public_b, table_b = Chorev_mapping.Public_gen.generate partner_private in
+  let public_b, table_b =
+    if config.cache then Chorev_cache.Memo.generate partner_private
+    else Chorev_mapping.Public_gen.generate partner_private
+  in
   let round = Budget.of_spec ?cancel:config.cancel config.round_budget in
   let op_spec = config.op_budget in
+  let regen p =
+    if config.cache then Chorev_cache.Memo.public p
+    else Chorev_mapping.Public_gen.public p
+  in
   let pipeline () =
     let analysis =
-      analyze ~round ~op_budget:op_spec ~direction ~a' ~partner_private
-        ~public_b ~table_b ()
+      analyze ~round ~op_budget:op_spec ~cache:config.cache ~direction ~a'
+        ~partner_private ~public_b ~table_b ()
     in
     (* Re-check under an op budget: `Unknown is treated as inconsistent
        — a partner is never adapted on a verdict we could not afford. *)
@@ -236,6 +259,11 @@ let run_body config ~direction ~a' ~partner_private =
     let consistent_with p' =
       Obs.span "re-check" @@ fun () ->
       let b = Budget.sub round op_spec in
+      if config.cache && Budget.is_unlimited b then
+        (* no fuel/deadline in force: the memoized verdict is exact and
+           nothing needs charging back *)
+        Chorev_cache.Memo.consistent p' analysis.view_new
+      else
       let r = Chorev_afsa.Consistency.decide ~budget:b p' analysis.view_new in
       Budget.charge round (Budget.spent b);
       match r with
@@ -266,7 +294,7 @@ let run_body config ~direction ~a' ~partner_private =
         match apply_all set partner_private with
         | Error _ -> None
         | Ok p' ->
-            let pub' = Chorev_mapping.Public_gen.public p' in
+            let pub' = regen p' in
             if consistent_with pub' then Some (p', pub') else None
       in
       (* last resort: re-synthesize the whole private process from the
@@ -282,7 +310,7 @@ let run_body config ~direction ~a' ~partner_private =
         with
         | Error _ -> None
         | Ok p' ->
-            let pub' = Chorev_mapping.Public_gen.public p' in
+            let pub' = regen p' in
             if consistent_with pub' then begin
               Metrics.incr c_resynthesized;
               Some (p', pub')

@@ -62,17 +62,25 @@ type config = {
   cancel : Budget.Cancel.t option;
       (** cooperative cancellation token shared by every budget minted
           from this config (default: [None]) *)
+  cache : bool;
+      (** route algebra steps (views, differences, public regeneration,
+          re-checks) through [Chorev_cache.Memo]'s fingerprint-keyed
+          per-domain memo tables (default [true]). Results are
+          identical with and without; the memo layer is inert under a
+          limited ambient budget, so budgets tick on cache misses only
+          and fuel determinism across pool sizes is preserved. *)
 }
 (** The engine/evolution configuration record. [Evolution.config] is an
     alias of this type, so one value configures the whole pipeline. *)
 
 val default : config
 (** [auto_apply = true], [max_rounds = 8], no sink, [jobs = 0],
-    unlimited budgets, no cancellation token. *)
+    unlimited budgets, no cancellation token, [cache = true]. *)
 
 val analyze :
   ?round:Budget.t ->
   ?op_budget:Budget.spec ->
+  ?cache:bool ->
   direction:direction ->
   a':Afsa.t ->
   partner_private:Chorev_bpel.Process.t ->

@@ -156,7 +156,7 @@ let test_rename_block () =
   let op = Ops.Rename_block { path = []; name = "renamed" } in
   let p' = Ops.apply_exn op P.buyer_process in
   check_bool "publicly invisible" true
-    (Cl.public_unchanged ~old_public:(gen P.buyer_process) ~new_public:(gen p'));
+    (Cl.public_unchanged ~old_public:(gen P.buyer_process) ~new_public:(gen p') ());
   let _, tbl = C.Public_gen.generate p' in
   check_bool "table follows the rename" true
     (List.exists
@@ -170,7 +170,7 @@ let test_rename_block () =
 let test_framework_additive () =
   let old_public = C.View.tau ~observer:"B" (gen P.accounting_process) in
   let new_public = C.View.tau ~observer:"B" (gen P.accounting_cancel) in
-  let f = Cl.framework ~old_public ~new_public in
+  let f = Cl.framework ~old_public ~new_public () in
   check_bool "additive" true f.Cl.additive;
   check_bool "not subtractive" false f.Cl.subtractive;
   check_bool "added automaton nonempty" false
@@ -179,20 +179,20 @@ let test_framework_additive () =
 let test_framework_subtractive () =
   let old_public = C.View.tau ~observer:"B" (gen P.accounting_process) in
   let new_public = C.View.tau ~observer:"B" (gen P.accounting_once) in
-  let f = Cl.framework ~old_public ~new_public in
+  let f = Cl.framework ~old_public ~new_public () in
   check_bool "subtractive" true f.Cl.subtractive;
   check_bool "not additive" false f.Cl.additive
 
 let test_framework_neutral () =
   let pub = C.View.tau ~observer:"B" (gen P.accounting_process) in
-  let f = Cl.framework ~old_public:pub ~new_public:pub in
+  let f = Cl.framework ~old_public:pub ~new_public:pub () in
   check_bool "neither" true ((not f.Cl.additive) && not f.Cl.subtractive)
 
 let test_framework_both () =
   (* replace one message by another: adds and removes *)
   let a = A.of_strings ~start:0 ~finals:[ 1 ] ~edges:[ (0, "A#B#x", 1) ] () in
   let b = A.of_strings ~start:0 ~finals:[ 1 ] ~edges:[ (0, "A#B#y", 1) ] () in
-  let f = Cl.framework ~old_public:a ~new_public:b in
+  let f = Cl.framework ~old_public:a ~new_public:b () in
   check_bool "additive" true f.Cl.additive;
   check_bool "subtractive" true f.Cl.subtractive
 
@@ -204,6 +204,7 @@ let test_invariant_additive_fig10 () =
       ~old_public:(gen P.accounting_process)
       ~new_public:(gen P.accounting_order2)
       ~partner_public:(gen P.buyer_process)
+      ()
   in
   check_bool "additive" true v.Cl.framework.Cl.additive;
   check_bool "invariant" true (v.Cl.propagation = Cl.Invariant);
@@ -215,6 +216,7 @@ let test_variant_additive_fig12 () =
       ~old_public:(gen P.accounting_process)
       ~new_public:(gen P.accounting_cancel)
       ~partner_public:(gen P.buyer_process)
+      ()
   in
   check_bool "additive" true v.Cl.framework.Cl.additive;
   check_bool "variant" true (v.Cl.propagation = Cl.Variant);
@@ -226,6 +228,7 @@ let test_variant_subtractive_fig16 () =
       ~old_public:(gen P.accounting_process)
       ~new_public:(gen P.accounting_once)
       ~partner_public:(gen P.buyer_process)
+      ()
   in
   check_bool "subtractive" true v.Cl.framework.Cl.subtractive;
   check_bool "variant" true (v.Cl.propagation = Cl.Variant)
@@ -239,6 +242,7 @@ let test_logistics_invariant_for_both_changes () =
           ~old_public:(gen P.accounting_process)
           ~new_public:(gen changed)
           ~partner_public:(gen P.logistics_process)
+          ()
       in
       check_bool "invariant for L" true (v.Cl.propagation = Cl.Invariant))
     [ P.accounting_cancel; P.accounting_once ]
@@ -253,11 +257,11 @@ let test_public_unchanged_for_local_change () =
   check_bool "public unchanged" true
     (Cl.public_unchanged
        ~old_public:(gen P.accounting_process)
-       ~new_public:(gen changed));
+       ~new_public:(gen changed) ());
   check_bool "public changed for cancel" false
     (Cl.public_unchanged
        ~old_public:(gen P.accounting_process)
-       ~new_public:(gen P.accounting_cancel))
+       ~new_public:(gen P.accounting_cancel) ())
 
 let () =
   Alcotest.run "change"

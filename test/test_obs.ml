@@ -14,12 +14,15 @@ let check_int = Alcotest.(check int)
 
 let procurement () = M.of_processes (List.map snd P.parties)
 
+(* Span-coverage assertions document the *full* Fig. 4 trace, so run
+   uncached: a warm memo (per-domain, shared across tests) legitimately
+   elides steps and their spans. *)
 let evolve_traced () =
   let sink, events = Sink.memory () in
   let rep =
     match
       Ev.run
-        ~config:{ Ev.default with Ev.obs = Some sink }
+        ~config:{ Ev.default with Ev.obs = Some sink; cache = false }
         (procurement ()) ~owner:"A" ~changed:P.accounting_cancel
     with
     | Ok r -> r

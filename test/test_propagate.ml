@@ -217,12 +217,14 @@ let test_direction_of_framework () =
     C.Change.Classify.framework
       ~old_public:(C.View.tau ~observer:"B" (gen P.accounting_process))
       ~new_public:(C.View.tau ~observer:"B" (gen P.accounting_cancel))
+      ()
   in
   check_bool "additive dir" true (E.direction_of_framework f_add = E.Additive);
   let f_sub =
     C.Change.Classify.framework
       ~old_public:(C.View.tau ~observer:"B" (gen P.accounting_process))
       ~new_public:(C.View.tau ~observer:"B" (gen P.accounting_once))
+      ()
   in
   check_bool "subtractive dir" true
     (E.direction_of_framework f_sub = E.Subtractive)

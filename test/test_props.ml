@@ -82,7 +82,7 @@ let prop_additive_changes_are_additive =
           | Ok pa' ->
               let f =
                 C.Change.Classify.framework ~old_public:(gen pa)
-                  ~new_public:(gen pa')
+                  ~new_public:(gen pa') ()
               in
               (not f.C.Change.Classify.subtractive)
               || f.C.Change.Classify.additive))
