@@ -354,6 +354,40 @@ let migration_tests () =
           ignore (C.Migration.Compliance.partition new_pub instances)))
     [ 10; 100; 1000 ]
 
+(* The serving layer (DESIGN.md §11): the replay driver pushes a
+   deterministic mixed script (register / evolve across the request
+   classes / query / migrate-status) through the cycle scheduler and
+   records throughput, shed rate and per-op tail latency. The big row
+   is the scale claim: 10k mixed requests across 1k registered
+   choreographies. *)
+let serve_test ~name ~tenants ~requests ?(options = C.Serve.Server.default_options)
+    () =
+  let script =
+    lazy (C.Serve.Driver.gen_script ~tenants ~requests ~seed:42 ())
+  in
+  t name (fun () ->
+      let report = C.Serve.Driver.replay ~options (Lazy.force script) in
+      record_counters name (C.Serve.Driver.report_counters report))
+
+let serve_tests () =
+  [
+    serve_test ~name:"scale_serve_mixed_10k" ~tenants:1000 ~requests:10_000 ();
+    (* over-committed queue: sheds deterministically — the row records
+       the shed count next to the surviving throughput *)
+    serve_test ~name:"scale_serve_shed" ~tenants:100 ~requests:2000
+      ~options:
+        {
+          C.Serve.Server.default_options with
+          batch = 64;
+          queue_capacity = 16;
+          headroom = Some 8;
+        }
+      ();
+  ]
+
+let serve_tests_quick () =
+  [ serve_test ~name:"scale_serve_mixed_small" ~tenants:16 ~requests:128 () ]
+
 let global_tests () =
   let pub_acc = Lazy.force pub_acc in
   let procurement = Lazy.force procurement in
@@ -934,6 +968,7 @@ let () =
   let tests =
     if !quick then
       figure_tests () @ ladder_tests [ 10; 50 ] @ evolution_rounds_tests ()
+      @ serve_tests_quick ()
     else
       figure_tests ()
       @ ladder_tests [ 10; 50; 100; 200; 400 ]
@@ -942,6 +977,7 @@ let () =
       @ migration_tests () @ global_tests () @ ablation_tests ()
       @ guard_tests ()
       @ evolution_rounds_tests ()
+      @ serve_tests ()
   in
   let tests =
     match !only with

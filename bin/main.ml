@@ -279,7 +279,7 @@ let dot () dir =
       ("fig18_buyer_once_public", gen P.buyer_once);
     ]
   in
-  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  C.Journal.Dir.mkdir_p dir;
   List.iter
     (fun (name, a) ->
       let path = Filename.concat dir (name ^ ".dot") in
@@ -555,7 +555,11 @@ let evolve_run () scenario journal crash_after budgets =
               2)
     | Some dir -> (
         match
-          C.Journal.Evolve.run ~config ?crash_after ~dir t ~owner:"A" ~changed
+          match C.Journal.Dir.validate_root (Filename.dirname dir) with
+          | Error e -> Error e
+          | Ok () ->
+              C.Journal.Evolve.run ~config ?crash_after ~dir t ~owner:"A"
+                ~changed
         with
         | Ok o ->
             Fmt.pr "%a@." C.Journal.Evolve.pp_outcome o;
@@ -708,7 +712,7 @@ let consistent_cmd =
 (* chorev save — write the scenario processes as .sexp files, so the
    file-based commands have inputs to start from *)
 let save_cmd_run () dir =
-  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  C.Journal.Dir.mkdir_p dir;
   List.iter
     (fun p ->
       let path = Filename.concat dir (C.Bpel.Process.name p ^ ".sexp") in
@@ -733,6 +737,147 @@ let save_cmd =
           value & opt string "processes"
           & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory"))
 
+(* ------------------------------ serve ------------------------------ *)
+
+(* chorev serve — the multi-tenant evolution service (DESIGN.md §11).
+   Default is pipe mode: newline-delimited JSON requests on stdin, one
+   response line each on stdout. --gen-script / --oracle / --replay are
+   the deterministic workload tools behind the CI smoke diff and the
+   scale_serve bench rows. *)
+let serve_run () shards queue batch headroom journal_root mode tenants requests
+    seed =
+  let options =
+    {
+      C.Serve.Server.default_options with
+      shards;
+      queue_capacity = queue;
+      batch;
+      headroom;
+      journal_root;
+    }
+  in
+  match mode with
+  | `Gen_script ->
+      List.iter print_endline
+        (C.Serve.Driver.gen_script ~tenants ~requests ~seed ());
+      0
+  | `Oracle ->
+      let lines = In_channel.input_lines stdin in
+      List.iter print_endline (C.Serve.Driver.oracle lines);
+      0
+  | `Replay file ->
+      let lines = In_channel.with_open_text file In_channel.input_lines in
+      let report = C.Serve.Driver.replay ~options lines in
+      Fmt.pr "%a@." C.Serve.Driver.pp_report report;
+      if report.C.Serve.Driver.errors > 0 then 1 else 0
+  | `Pipe ->
+      let server = C.Serve.Server.create ~options () in
+      (match C.Serve.Server.recovered server with
+      | 0 -> ()
+      | n -> Fmt.epr "recovered %d tenant(s) from %s@." n
+               (Option.value ~default:"" journal_root));
+      let served = C.Serve.Server.run_pipe server stdin stdout in
+      Fmt.epr "served %d request(s)@." served;
+      0
+
+let serve_cmd =
+  let shards_arg =
+    Arg.(
+      value & opt int C.Serve.Server.default_options.C.Serve.Server.shards
+      & info [ "shards" ] ~docv:"N" ~doc:"Tenant-store hash shards")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int C.Serve.Server.default_options.C.Serve.Server.queue_capacity
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admissions per scheduler cycle; requests past it are shed \
+             with an $(i,overloaded) response")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int C.Serve.Server.default_options.C.Serve.Server.batch
+      & info [ "batch" ] ~docv:"N" ~doc:"Requests read per scheduler cycle")
+  in
+  let headroom_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "headroom" ] ~docv:"N"
+          ~doc:
+            "Admission bound for deadline-bearing request classes \
+             (default: the queue capacity — no early shedding)")
+  in
+  let journal_root_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal-root" ] ~docv:"DIR"
+          ~doc:
+            "Durable mode: per-tenant journal directories under \
+             $(docv); a restarted server recovers every tenant — \
+             including evolutions interrupted mid-run — byte-identically")
+  in
+  let mode_term =
+    let gen_script =
+      Arg.(
+        value & flag
+        & info [ "gen-script" ]
+            ~doc:"Print a deterministic request script and exit")
+    in
+    let oracle =
+      Arg.(
+        value & flag
+        & info [ "oracle" ]
+            ~doc:
+              "Read a script on stdin and print the expected response \
+               lines (computed without the server) — the golden side of \
+               the CI smoke diff")
+    in
+    let replay =
+      Arg.(
+        value & opt (some file) None
+        & info [ "replay" ] ~docv:"SCRIPT"
+            ~doc:"Push $(docv) through a fresh server and print the \
+                  latency/shed report")
+    in
+    Term.(
+      const (fun g o r ->
+          match (g, o, r) with
+          | true, _, _ -> `Gen_script
+          | _, true, _ -> `Oracle
+          | _, _, Some f -> `Replay f
+          | _ -> `Pipe)
+      $ gen_script $ oracle $ replay)
+  in
+  let tenants_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "tenants" ] ~docv:"N" ~doc:"Tenants in a generated script")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Mixed requests in a generated script (after registration)")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Script generation seed")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve many evolving choreographies at once: newline-delimited \
+          JSON requests (register/evolve/query/migrate-status/stats) on \
+          stdin, one response per line on stdout, scheduled in cycles \
+          over the domain pool with per-class budgets and deterministic \
+          load shedding")
+    Term.(
+      const serve_run $ obs_term $ shards_arg $ queue_arg $ batch_arg
+      $ headroom_arg $ journal_root_arg $ mode_term $ tenants_arg
+      $ requests_arg $ seed_arg)
+
 (* ------------------------------- main ------------------------------ *)
 
 let () =
@@ -748,5 +893,5 @@ let () =
           [
             demo_cmd; check_cmd; experiments_cmd; dot_cmd; xml_cmd; run_cmd;
             sim_cmd; global_cmd; synth_cmd; public_cmd; consistent_cmd;
-            save_cmd; evolve_cmd; resume_cmd;
+            save_cmd; evolve_cmd; resume_cmd; serve_cmd;
           ]))

@@ -435,31 +435,6 @@ let run_op ?config t ~owner op =
           | Ok r -> Ok r
           | Error (`Unknown_party _ as e) -> Error e))
 
-(* ------------------------------------------------------------------ *)
-(* Deprecated wrappers (one release): preserve the old raising
-   behaviour on unknown parties. *)
-
-let raise_unknown p =
-  invalid_arg ("Choreography.member_exn: unknown party " ^ p)
-
-let evolve ?(auto_apply = true) ?(max_rounds = 8) t ~owner ~changed =
-  match run ~config:{ default with auto_apply; max_rounds } t ~owner ~changed with
-  | Ok r -> r
-  | Error (`Unknown_party p) -> raise_unknown p
-
-let evolve_op ?auto_apply ?max_rounds t ~owner op =
-  let config =
-    {
-      default with
-      auto_apply = Option.value auto_apply ~default:default.auto_apply;
-      max_rounds = Option.value max_rounds ~default:default.max_rounds;
-    }
-  in
-  match run_op ~config t ~owner op with
-  | Ok r -> Ok r
-  | Error (`Op e) -> Error e
-  | Error (`Unknown_party p) -> raise_unknown p
-
 let pp_round ppf r =
   Fmt.pf ppf "@[<v>round by %s (public %s):@,%a@]" r.originator
     (if r.public_changed then "changed" else "unchanged")

@@ -35,8 +35,10 @@ type config = Chorev_propagate.Engine.config = {
           identical either way — set [false] / [--no-cache] for A/B
           runs) *)
 }
-(** Alias of {!Chorev_propagate.Engine.config}: one record configures
-    both the per-partner engine and the whole-choreography pipeline. *)
+(** Alias of {!Chorev_config.Config.t} (via
+    {!Chorev_propagate.Engine.config}): one record configures the
+    per-partner engine, the whole-choreography pipeline and the
+    serving layer's per-request overrides. *)
 
 val default : config
 (** [auto_apply = true], [max_rounds = 8], no sink, [jobs = 0],
@@ -142,26 +144,6 @@ val run_op :
   (report, [ `Unknown_party of string | `Op of string ]) result
 (** Apply a change operation to the owner's private process, then
     evolve. *)
-
-val evolve :
-  ?auto_apply:bool ->
-  ?max_rounds:int ->
-  Model.t ->
-  owner:string ->
-  changed:Chorev_bpel.Process.t ->
-  report
-  [@@deprecated "use Evolution.run with an Evolution.config instead"]
-(** Raising wrapper over {!run}, kept for one release. *)
-
-val evolve_op :
-  ?auto_apply:bool ->
-  ?max_rounds:int ->
-  Model.t ->
-  owner:string ->
-  Chorev_change.Ops.t ->
-  (report, string) result
-  [@@deprecated "use Evolution.run_op with an Evolution.config instead"]
-(** Raising wrapper over {!run_op}, kept for one release. *)
 
 val pp_round : Format.formatter -> round -> unit
 val pp_report : Format.formatter -> report -> unit

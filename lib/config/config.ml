@@ -1,0 +1,37 @@
+module Budget = Chorev_guard.Budget
+
+type t = {
+  auto_apply : bool;
+  max_rounds : int;
+  obs : Chorev_obs.Sink.t option;
+  jobs : int;
+  op_budget : Budget.spec;
+  round_budget : Budget.spec;
+  cancel : Budget.Cancel.t option;
+  cache : bool;
+}
+
+let default =
+  {
+    auto_apply = true;
+    max_rounds = 8;
+    obs = None;
+    jobs = 0;
+    op_budget = Budget.spec_unlimited;
+    round_budget = Budget.spec_unlimited;
+    cancel = None;
+    cache = true;
+  }
+
+let with_budgets ?op_budget ?round_budget ?cancel t =
+  {
+    t with
+    op_budget = Option.value op_budget ~default:t.op_budget;
+    round_budget = Option.value round_budget ~default:t.round_budget;
+    cancel = (match cancel with Some _ as c -> c | None -> t.cancel);
+  }
+
+let budgeted t =
+  (not (Budget.spec_is_unlimited t.op_budget))
+  || (not (Budget.spec_is_unlimited t.round_budget))
+  || t.cancel <> None

@@ -1,0 +1,62 @@
+(** The one configuration record of the evolution stack.
+
+    Historically [Propagate.Engine] owned this record and
+    [Choreography.Evolution] aliased it; the server layer needs to mint
+    per-request variants of it without depending on either, so the
+    record now lives here and both re-export it ([Engine.config] and
+    [Evolution.config] are aliases of {!t} — one value configures the
+    per-partner engine, the whole-choreography pipeline, the journaled
+    driver and the serving layer alike). *)
+
+type t = {
+  auto_apply : bool;
+      (** attempt the suggested private-process adaptations (default
+          [true]); with [false] outcomes carry analysis and suggestions
+          only *)
+  max_rounds : int;
+      (** transitive-propagation bound for the whole-choreography
+          pipeline (default 8) *)
+  obs : Chorev_obs.Sink.t option;
+      (** trace sink installed for the duration of a run; [None]
+          (default) inherits the ambient {!Chorev_obs.Obs} sink *)
+  jobs : int;
+      (** domain-pool size for per-partner fan-out and consistency
+          sweeps; [0] (default) defers to
+          [Chorev_parallel.Pool.default_size] ([--jobs] /
+          [CHOREV_DOMAINS]). Results are structurally identical for
+          every pool size. *)
+  op_budget : Chorev_guard.Budget.spec;
+      (** bound on each algebra step (classification, view, delta,
+          re-check); budgets are minted per step inside pool tasks, so
+          fuel-only budgets trip identically at every pool size
+          (default: unlimited) *)
+  round_budget : Chorev_guard.Budget.spec;
+      (** bound on one whole partner pipeline; op budgets draw from its
+          remaining fuel and the earlier deadline wins (default:
+          unlimited) *)
+  cancel : Chorev_guard.Budget.Cancel.t option;
+      (** cooperative cancellation token shared by every budget minted
+          from this config (default: [None]) *)
+  cache : bool;
+      (** route algebra operations through the fingerprint-keyed memo
+          tables of [Chorev_cache] (default [true]; results are
+          identical either way — [--no-cache] exists for A/B runs) *)
+}
+
+val default : t
+(** [auto_apply = true], [max_rounds = 8], no sink, [jobs = 0],
+    unlimited budgets, no cancellation token, [cache = true]. *)
+
+val with_budgets :
+  ?op_budget:Chorev_guard.Budget.spec ->
+  ?round_budget:Chorev_guard.Budget.spec ->
+  ?cancel:Chorev_guard.Budget.Cancel.t ->
+  t ->
+  t
+(** Per-request override helper (what the serving layer applies per
+    request class): replaces only the given budget fields. *)
+
+val budgeted : t -> bool
+(** Is any bound configured (finite budget spec or cancellation
+    token)? Layers that must not mask budget trips — the step cache,
+    the serving fast path — stand down when this holds. *)

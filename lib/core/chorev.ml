@@ -119,6 +119,10 @@ module Choreography = struct
   module Global = Chorev_choreography.Global
 end
 
+(* The one configuration record (engine, pipeline, journal driver and
+   per-request server overrides are all the same type) *)
+module Config = Chorev_config.Config
+
 (* Resource governance: budgets, cancellation, degrade markers *)
 module Guard = struct
   module Budget = Chorev_guard.Budget
@@ -129,6 +133,7 @@ end
 module Journal = struct
   include Chorev_journal.Journal
   module Evolve = Chorev_journal.Evolve
+  module Dir = Chorev_journal.Dir
 end
 
 (* Distributed simulation of the Sec. 6 protocol over faulty links *)
@@ -175,6 +180,14 @@ module Scenario = struct
   module Procurement = Chorev_scenario.Procurement
   module Fig5 = Chorev_scenario.Fig5
   module Report = Chorev_scenario.Report
+end
+
+(* The multi-tenant evolution service (chorev serve; DESIGN.md §11) *)
+module Serve = struct
+  module Wire = Chorev_serve.Wire
+  module Tenant = Chorev_serve.Tenant
+  module Server = Chorev_serve.Server
+  module Driver = Chorev_serve.Driver
 end
 
 (* Observability *)

@@ -13,34 +13,98 @@
     deadlock-free conversations (up to a bounded length) the pair
     supports — a keyword-style UDDI lookup would return every service
     sharing an operation name; consistency filtering is what the paper
-    calls improved precision. *)
+    calls improved precision.
+
+    Storage is hash-indexed both ways (by name and by structural
+    fingerprint) so the serving layer can register/re-register
+    thousands of tenant publics without list scans; see registry.mli
+    for the id/version contract. *)
 
 module Afsa = Chorev_afsa.Afsa
 module Label = Chorev_afsa.Label
 
 type entry = {
+  id : string;
   name : string;
-  party : string;  (** the party name the service advertises *)
+  party : string;
+  version : int;
   public : Afsa.t;
   description : string;
   fp : string;  (** structural fingerprint of [public] (interned) *)
 }
 
-type t = { mutable entries : entry list }
+(* [ids] outlives entries: a removed name keeps its stable id, its
+   first-registration slot (which orders [entries]) and its last
+   version, so re-registration resumes the sequence. [by_fp] maps a
+   fingerprint to the names advertising it (several services may
+   advertise structurally identical publics). *)
+type t = {
+  mutable minted : int;
+  by_name : (string, entry) Hashtbl.t;
+  by_fp : (string, string list) Hashtbl.t;
+  ids : (string, string * int * int) Hashtbl.t;
+      (** name -> (stable id, slot, last version) *)
+}
 
-let create () = { entries = [] }
+let create () =
+  {
+    minted = 0;
+    by_name = Hashtbl.create 64;
+    by_fp = Hashtbl.create 64;
+    ids = Hashtbl.create 64;
+  }
 
 let fingerprint e = e.fp
 
-let advertise t ~name ~party ?(description = "") public =
-  if List.exists (fun e -> String.equal e.name name) t.entries then
-    invalid_arg ("Discovery.advertise: duplicate service name " ^ name);
+let fp_add t fp name =
+  let names = Option.value ~default:[] (Hashtbl.find_opt t.by_fp fp) in
+  if not (List.mem name names) then Hashtbl.replace t.by_fp fp (name :: names)
+
+let fp_remove t fp name =
+  match Hashtbl.find_opt t.by_fp fp with
+  | None -> ()
+  | Some names -> (
+      match List.filter (fun n -> not (String.equal n name)) names with
+      | [] -> Hashtbl.remove t.by_fp fp
+      | names -> Hashtbl.replace t.by_fp fp names)
+
+let slot_of t name =
+  match Hashtbl.find_opt t.ids name with
+  | Some (_, slot, _) -> slot
+  | None -> max_int
+
+let register t ~name ~party ?(description = "") public =
   (* Intern the advertised automaton: structurally equal publics share
      one physical aFSA across the registry, and the entry carries the
      fingerprint they are keyed by. *)
   let public = Chorev_cache.Intern.canonical public in
   let fp = Chorev_afsa.Fingerprint.digest public in
-  t.entries <- { name; party; public; description; fp } :: t.entries
+  match Hashtbl.find_opt t.by_name name with
+  | Some e when String.equal e.fp fp ->
+      (* idempotent re-registration: same structure, no version bump *)
+      e
+  | existing ->
+      let id, slot, last_version =
+        match Hashtbl.find_opt t.ids name with
+        | Some v -> v
+        | None ->
+            let slot = t.minted in
+            t.minted <- t.minted + 1;
+            (Printf.sprintf "svc-%06d" slot, slot, 0)
+      in
+      let e =
+        { id; name; party; version = last_version + 1; public; description; fp }
+      in
+      (match existing with Some old -> fp_remove t old.fp name | None -> ());
+      Hashtbl.replace t.by_name name e;
+      Hashtbl.replace t.ids name (id, slot, e.version);
+      fp_add t fp name;
+      e
+
+let advertise t ~name ~party ?description public =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg ("Discovery.advertise: duplicate service name " ^ name);
+  ignore (register t ~name ~party ?description public)
 
 (** Advertise a private process: its public process is derived — the
     private implementation never enters the registry (the paper's
@@ -50,18 +114,30 @@ let advertise_process t ~name ?description (p : Chorev_bpel.Process.t) =
     (Chorev_cache.Memo.public p)
 
 let remove t name =
-  t.entries <- List.filter (fun e -> not (String.equal e.name name)) t.entries
+  match Hashtbl.find_opt t.by_name name with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.by_name name;
+      fp_remove t e.fp name
 
-let size t = List.length t.entries
-let entries t = List.rev t.entries
+let size t = Hashtbl.length t.by_name
+
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.by_name []
+  |> List.sort (fun a b -> compare (slot_of t a.name) (slot_of t b.name))
+
+let find_by_name t name = Hashtbl.find_opt t.by_name name
 
 (** All services advertising a public process structurally equal to
-    [public] — a fingerprint lookup, no automata algebra. *)
+    [public] — a fingerprint-index lookup, no automata algebra. *)
 let find_by_structure t public =
   let fp = Chorev_afsa.Fingerprint.digest public in
-  List.filter (fun e -> String.equal e.fp fp) (entries t)
+  Option.value ~default:[] (Hashtbl.find_opt t.by_fp fp)
+  |> List.filter_map (Hashtbl.find_opt t.by_name)
+  |> List.sort (fun a b -> compare (slot_of t a.name) (slot_of t b.name))
 
-let mem_structure t public = find_by_structure t public <> []
+let mem_structure t public =
+  Hashtbl.mem t.by_fp (Chorev_afsa.Fingerprint.digest public)
 
 type match_result = {
   entry : entry;

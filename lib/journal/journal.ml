@@ -324,38 +324,12 @@ let journal_file dir = Filename.concat dir "journal.jsonl"
 let snapshot_dir dir = Filename.concat dir "snapshot"
 let changed_file dir = Filename.concat dir "changed.sexp"
 
-let mkdir_p path =
-  if not (Sys.file_exists path) then (
-    let parent = Filename.dirname path in
-    if parent <> path && not (Sys.file_exists parent) then
-      (* one level of recursion is enough for DIR/snapshot *)
-      (try Unix.mkdir parent 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
-
-let fsync_dir path =
-  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
-  | fd ->
-      (try Unix.fsync fd with Unix.Unix_error _ -> ());
-      Unix.close fd
-  | exception Unix.Unix_error _ -> ()
-
-(* Atomic file write: tmp + fsync + rename + directory fsync. *)
-let write_atomic path contents =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc contents;
-  flush oc;
-  Unix.fsync (Unix.descr_of_out_channel oc);
-  close_out oc;
-  Unix.rename tmp path;
-  fsync_dir (Filename.dirname path)
-
-let read_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  s
+(* All filesystem invariants (atomic writes, mkdir -p, dir fsync) live
+   in [Dir], shared with the CLI and the serving layer. *)
+let mkdir_p = Dir.mkdir_p
+let fsync_dir = Dir.fsync_dir
+let write_atomic = Dir.write_atomic
+let read_file = Dir.read_file
 
 (* ------------------------------------------------------------------ *)
 (* Writer                                                              *)
@@ -458,17 +432,8 @@ let read ~dir =
 (* Snapshots                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* Party names become file names; escape anything outside [A-Za-z0-9_-]
-   (the party name itself is recovered from the process, not the file
-   name, so the escaping need not be invertible). *)
-let sanitize name =
-  String.concat ""
-    (List.map
-       (fun c ->
-         match c with
-         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> String.make 1 c
-         | c -> Printf.sprintf "%%%02x" (Char.code c))
-       (List.init (String.length name) (String.get name)))
+(* Party names become file names; see [Dir.sanitize]. *)
+let sanitize = Dir.sanitize
 
 let write_snapshot ~dir (t : Model.t) ~changed =
   mkdir_p dir;

@@ -56,40 +56,18 @@ type outcome = {
       (** everything in [analysis.degraded] plus re-check/round trips *)
 }
 
-type config = {
+type config = Chorev_config.Config.t = {
   auto_apply : bool;
   max_rounds : int;
   obs : Chorev_obs.Sink.t option;
   jobs : int;
-      (** domain-pool size for per-partner fan-out in [Evolution];
-          [0] (the default) defers to [Chorev_parallel.Pool.default_size]
-          (the [--jobs] flag / [CHOREV_DOMAINS]). *)
   op_budget : Budget.spec;
-      (** bound on each algebra step (view, delta, re-check, ...);
-          a fresh budget is minted per step *)
   round_budget : Budget.spec;
-      (** bound on one whole partner pipeline; op budgets draw from it *)
   cancel : Budget.Cancel.t option;
-      (** cooperative cancellation, shared by every budget minted *)
   cache : bool;
-      (** route the algebra steps through [Chorev_cache.Memo]'s
-          fingerprint-keyed memo tables (default [true]; [--no-cache]
-          for A/B runs). Results are identical either way, and the memo
-          layer stands down by itself under a limited ambient budget so
-          fuel accounting never depends on cache history. *)
 }
 
-let default =
-  {
-    auto_apply = true;
-    max_rounds = 8;
-    obs = None;
-    jobs = 0;
-    op_budget = Budget.spec_unlimited;
-    round_budget = Budget.spec_unlimited;
-    cancel = None;
-    cache = true;
-  }
+let default = Chorev_config.Config.default
 
 let c_runs = Metrics.counter "propagate.runs"
 let c_suggestions = Metrics.counter "propagate.suggestions.generated"
@@ -364,10 +342,6 @@ let run ?(config = default) ~direction ~a' ~partner_private () =
   | Some sink ->
       Obs.with_sink sink (fun () ->
           run_body config ~direction ~a' ~partner_private)
-
-(** Deprecated wrapper over {!run} (one release). *)
-let propagate ?(auto_apply = true) ~direction ~a' ~partner_private () =
-  run ~config:{ default with auto_apply } ~direction ~a' ~partner_private ()
 
 (** Decide the direction from the classification verdict: a purely
     subtractive change propagates subtractively, anything that adds

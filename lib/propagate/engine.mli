@@ -35,7 +35,7 @@ type outcome = {
           whole-round trips; empty = full-fidelity result *)
 }
 
-type config = {
+type config = Chorev_config.Config.t = {
   auto_apply : bool;
       (** attempt the suggested private-process adaptations (default
           [true]); with [false] the outcome carries analysis and
@@ -70,8 +70,10 @@ type config = {
           limited ambient budget, so budgets tick on cache misses only
           and fuel determinism across pool sizes is preserved. *)
 }
-(** The engine/evolution configuration record. [Evolution.config] is an
-    alias of this type, so one value configures the whole pipeline. *)
+(** Alias of {!Chorev_config.Config.t}, the one configuration record of
+    the stack: [Evolution.config] and the serving layer's per-request
+    configs are the same type, so one value configures the whole
+    pipeline. *)
 
 val default : config
 (** [auto_apply = true], [max_rounds = 8], no sink, [jobs = 0],
@@ -103,16 +105,6 @@ val run :
   outcome
 (** Run the full pipeline for one partner under [config]
     (default {!default}). *)
-
-val propagate :
-  ?auto_apply:bool ->
-  direction:direction ->
-  a':Afsa.t ->
-  partner_private:Chorev_bpel.Process.t ->
-  unit ->
-  outcome
-  [@@deprecated "use Engine.run with a Engine.config instead"]
-(** Thin wrapper over {!run}, kept for one release. *)
 
 val direction_of_framework : Chorev_change.Classify.framework -> direction
 val pp_outcome : Format.formatter -> outcome -> unit

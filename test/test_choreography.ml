@@ -208,30 +208,27 @@ let test_unknown_party_total () =
     | Error (`Unknown_party "X") -> true
     | _ -> false)
 
-(* The deprecated wrappers stay behaviourally identical for one
-   release: same results on valid input, Invalid_argument on unknown
-   parties (the pre-record behaviour). *)
-let test_deprecated_wrappers () =
+(* The config-record entry points are the only API: one shared
+   [Chorev.Config] record configures the engine and the pipeline, and
+   unknown parties come back as typed errors, never exceptions. *)
+let test_config_entry_points () =
   let t = procurement () in
-  let rep =
-    (Ev.evolve [@alert "-deprecated"]) t ~owner:"A"
-      ~changed:P.accounting_cancel
-  in
-  check_bool "evolve wrapper consistent" true rep.Ev.consistent;
-  check_bool "evolve wrapper raises on unknown party" true
-    (try
-       ignore
-         ((Ev.evolve [@alert "-deprecated"]) t ~owner:"X"
-            ~changed:P.accounting_cancel);
-       false
-     with Invalid_argument _ -> true);
+  let config = { C.Config.default with max_rounds = 4 } in
+  (match Ev.run ~config t ~owner:"A" ~changed:P.accounting_cancel with
+  | Ok rep -> check_bool "run with config consistent" true rep.Ev.consistent
+  | Error (`Unknown_party p) -> Alcotest.fail ("unknown party " ^ p));
+  check_bool "run rejects unknown party" true
+    (match Ev.run ~config t ~owner:"X" ~changed:P.accounting_cancel with
+    | Error (`Unknown_party "X") -> true
+    | _ -> false);
   let o =
-    (C.Propagate.Engine.propagate [@alert "-deprecated"])
+    C.Propagate.Engine.run
+      ~config:{ C.Config.default with auto_apply = true }
       ~direction:C.Propagate.Engine.Additive
       ~a':(C.Public_gen.public P.accounting_cancel)
       ~partner_private:P.buyer_process ()
   in
-  check_bool "propagate wrapper adapted" true
+  check_bool "engine run with shared config adapted" true
     (Option.is_some o.C.Propagate.Engine.adapted)
 
 (* ----------------------------- protocol ---------------------------- *)
@@ -332,8 +329,8 @@ let () =
           Alcotest.test_case "run_op" `Quick test_run_op;
           Alcotest.test_case "unknown party is total" `Quick
             test_unknown_party_total;
-          Alcotest.test_case "deprecated wrappers" `Quick
-            test_deprecated_wrappers;
+          Alcotest.test_case "config entry points" `Quick
+            test_config_entry_points;
           Alcotest.test_case "dry run" `Quick test_dry_run;
         ] );
       ( "protocol",

@@ -140,6 +140,47 @@ let test_precision_vs_keyword () =
   check_bool "strictly more precise" true
     (List.length precise < List.length keyword)
 
+(* The versioned-entry API the serving layer's tenant store keys on:
+   stable ids, version bumps on structural change only, and the
+   fingerprint index surviving re-registration and removal. *)
+let test_versioned_registration () =
+  let t = D.create () in
+  let acc = gen P.accounting_process in
+  let cancel = gen P.accounting_cancel in
+  let e1 = D.register t ~name:"acc" ~party:"A" acc in
+  check_int "first registration is v1" 1 e1.D.version;
+  (* idempotent: same structure, same entry, no bump *)
+  let e1' = D.register t ~name:"acc" ~party:"A" acc in
+  check_int "same-structure re-register keeps version" 1 e1'.D.version;
+  check_bool "same-structure re-register keeps id" true
+    (String.equal e1.D.id e1'.D.id);
+  (* structural change bumps the version under the same id *)
+  let e2 = D.register t ~name:"acc" ~party:"A" cancel in
+  check_int "structural re-register bumps version" 2 e2.D.version;
+  check_bool "stable id across versions" true (String.equal e1.D.id e2.D.id);
+  check_int "still one entry" 1 (D.size t);
+  (* the fingerprint index follows the current structure *)
+  check_bool "new structure found" true (D.mem_structure t cancel);
+  check_bool "old structure gone" false (D.mem_structure t acc);
+  (* a second service with the same structure shares the index bucket *)
+  let e3 = D.register t ~name:"acc-2" ~party:"A" cancel in
+  check_bool "distinct services, distinct ids" false
+    (String.equal e2.D.id e3.D.id);
+  check_int "find_by_structure sees both" 2
+    (List.length (D.find_by_structure t cancel));
+  (* interning: structurally equal publics share one physical aFSA *)
+  check_bool "equal publics interned" true (e2.D.public == e3.D.public);
+  (* remove retains the id/version lineage *)
+  D.remove t "acc";
+  check_int "removed" 1 (D.size t);
+  let e4 = D.register t ~name:"acc" ~party:"A" acc in
+  check_bool "id survives remove/re-register" true
+    (String.equal e1.D.id e4.D.id);
+  check_int "version sequence resumes" 3 e4.D.version;
+  (* entries come out in first-registration order *)
+  let names = List.map (fun e -> e.D.name) (D.entries t) in
+  check_bool "first-registration order" true (names = [ "acc"; "acc-2" ])
+
 let test_advertise_keeps_private_private () =
   (* advertising a process stores only the derived public aFSA *)
   let t = D.create () in
@@ -152,7 +193,11 @@ let () =
   Alcotest.run "discovery"
     [
       ( "registry",
-        [ Alcotest.test_case "basics" `Quick test_registry_basics ] );
+        [
+          Alcotest.test_case "basics" `Quick test_registry_basics;
+          Alcotest.test_case "versioned registration" `Quick
+            test_versioned_registration;
+        ] );
       ( "matchmaking",
         [
           Alcotest.test_case "consistency filter" `Quick

@@ -1,0 +1,402 @@
+(* The multi-tenant evolution service (lib/serve): wire round-trips,
+   golden equality against one-shot [Evolution.run], pool-size
+   invariance of whole response streams, deterministic load shedding
+   under a seeded arrival order, and kill-and-restart recovery of the
+   per-tenant journals. *)
+
+module C = Chorev
+module S = C.Serve
+module W = C.Serve.Wire
+module M = C.Choreography.Model
+module Ev = C.Choreography.Evolution
+module P = C.Scenario.Procurement
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let sexp = C.Bpel.Sexp.process_to_string
+let procurement_sexps () = List.map (fun (_, p) -> sexp p) P.parties
+
+(* fresh scratch directories under the system temp dir *)
+let dir_counter = ref 0
+let fresh_dir () =
+  incr dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "chorev-serve-test-%d-%d" (Unix.getpid ()) !dir_counter)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* run a script through a fresh server, one cycle per [batch] *)
+let run_server ?(options = S.Server.default_options) script =
+  let server = S.Server.create ~options () in
+  let rec batches acc = function
+    | [] -> List.concat (List.rev acc)
+    | lines ->
+        let rec split k taken = function
+          | rest when k = 0 -> (List.rev taken, rest)
+          | [] -> (List.rev taken, [])
+          | l :: rest -> split (k - 1) (l :: taken) rest
+        in
+        let chunk, rest = split options.S.Server.batch [] lines in
+        let reqs =
+          List.filter_map
+            (fun l -> Result.to_option (W.request_of_string l))
+            chunk
+        in
+        batches (List.map W.response_to_string (S.Server.cycle server reqs) :: acc) rest
+  in
+  batches [] script
+
+(* --------------------------- wire protocol ------------------------- *)
+
+let test_wire_roundtrip () =
+  let reqs =
+    [
+      { W.id = 1; op = W.Register { tenant = "t"; processes = procurement_sexps () } };
+      {
+        W.id = 2;
+        op =
+          W.Evolve
+            {
+              tenant = "t";
+              owner = "A";
+              changed = sexp P.accounting_cancel;
+              klass = W.Interactive;
+            };
+      };
+      { W.id = 3; op = W.Query { tenant = "t" } };
+      { W.id = 4; op = W.Migrate_status { tenant = "t" } };
+      { W.id = 5; op = W.Stats };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match W.request_of_string (W.request_to_string r) with
+      | Ok r' -> check_bool "request round-trips" true (r = r')
+      | Error (_, e) -> Alcotest.fail e)
+    reqs;
+  (* responses: every body the server emits round-trips *)
+  let resps =
+    [
+      {
+        W.id = 1;
+        result =
+          Ok
+            (W.Registered
+               { tenant = "t"; parties = [ "A"; "B" ]; versions = [ 1; 1 ]; digest = "d" });
+      };
+      {
+        W.id = 2;
+        result =
+          Ok (W.Evolved { consistent = true; rounds = 2; digest = "d"; degraded = false });
+      };
+      {
+        W.id = 3;
+        result =
+          Ok
+            (W.Queried
+               { parties = [ "A" ]; consistent = false; digest = "d"; evolutions = 3 });
+      };
+      {
+        W.id = 4;
+        result =
+          Ok (W.Migration [ { W.party = "A"; service = "svc-000000"; version = 2 } ]);
+      };
+      { W.id = 5; result = Error `Overloaded };
+      { W.id = 6; result = Error (`Unknown_tenant "nope") };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match W.response_of_string (W.response_to_string r) with
+      | Ok r' -> check_bool "response round-trips" true (r = r')
+      | Error e -> Alcotest.fail e)
+    resps;
+  (* malformed lines keep the id when one is recoverable *)
+  (match W.request_of_string {|{"v":1,"id":9,"op":"nope"}|} with
+  | Error (9, _) -> ()
+  | _ -> Alcotest.fail "expected an id-9 error");
+  match W.request_of_string {|{"v":2,"id":9,"op":"stats"}|} with
+  | Error (9, msg) ->
+      check_bool "version gate" true
+        (String.length msg > 0 && String.sub msg 0 11 = "unsupported")
+  | _ -> Alcotest.fail "expected a version error"
+
+(* ------------------------- golden vs Evolution.run ------------------ *)
+
+(* A single-tenant evolve through the server equals the one-shot
+   [Evolution.run] verdict — consistency, round count and final model
+   digest — at every pool size. *)
+let test_golden_single_tenant () =
+  let direct =
+    match
+      Ev.run (M.of_processes (List.map snd P.parties)) ~owner:"A"
+        ~changed:P.accounting_cancel
+    with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "direct run failed"
+  in
+  List.iter
+    (fun jobs ->
+      let options = { S.Server.default_options with jobs } in
+      let server = S.Server.create ~options () in
+      let resp op = S.Server.handle server { W.id = 1; op } in
+      (match
+         (resp (W.Register { tenant = "proc"; processes = procurement_sexps () }))
+           .result
+       with
+      | Ok (W.Registered { parties; versions; _ }) ->
+          check_bool "three parties" true (parties = [ "A"; "B"; "L" ]);
+          check_bool "all v1" true (versions = [ 1; 1; 1 ])
+      | _ -> Alcotest.fail "register failed");
+      match
+        (resp
+           (W.Evolve
+              {
+                tenant = "proc";
+                owner = "A";
+                changed = sexp P.accounting_cancel;
+                klass = W.Bulk;
+              }))
+          .result
+      with
+      | Ok (W.Evolved { consistent; rounds; digest; degraded }) ->
+          check_bool
+            (Printf.sprintf "consistent matches (jobs=%d)" jobs)
+            direct.Ev.consistent consistent;
+          check_int "rounds match" (List.length direct.Ev.rounds) rounds;
+          check_string "digest matches"
+            (C.Journal.model_digest direct.Ev.choreography)
+            digest;
+          check_bool "not degraded" false degraded
+      | _ -> Alcotest.fail "evolve failed")
+    [ 1; 2; 8 ]
+
+(* ------------------------ pool-size invariance ---------------------- *)
+
+(* N tenants, mixed script: the full response stream is byte-identical
+   at pool sizes 1, 2 and 8, and equals the scheduler-free oracle. *)
+let test_pool_invariance () =
+  let script = S.Driver.gen_script ~tenants:6 ~requests:40 ~seed:11 () in
+  let golden = S.Driver.oracle script in
+  check_int "one response per line" (List.length script) (List.length golden);
+  List.iter
+    (fun jobs ->
+      let got =
+        run_server ~options:{ S.Server.default_options with jobs } script
+      in
+      check_bool
+        (Printf.sprintf "stream identical to oracle (jobs=%d)" jobs)
+        true
+        (List.for_all2 String.equal golden got))
+    [ 1; 2; 8 ]
+
+(* --------------------------- load shedding -------------------------- *)
+
+let test_shed_determinism () =
+  let script = S.Driver.gen_script ~tenants:4 ~requests:60 ~seed:3 () in
+  (* over-commit: read 32 per cycle, admit 8, deadline classes only 4 *)
+  let options =
+    {
+      S.Server.default_options with
+      batch = 32;
+      queue_capacity = 8;
+      headroom = Some 4;
+      jobs = 2;
+    }
+  in
+  let shed_ids run =
+    List.filter_map
+      (fun line ->
+        match W.response_of_string line with
+        | Ok { W.id; result = Error `Overloaded } -> Some id
+        | _ -> None)
+      run
+  in
+  let a = run_server ~options script in
+  let b = run_server ~options script in
+  let c = run_server ~options:{ options with jobs = 8 } script in
+  check_bool "some requests shed" true (shed_ids a <> []);
+  check_bool "shed set reproducible" true (shed_ids a = shed_ids b);
+  check_bool "shed set pool-size-invariant" true (shed_ids a = shed_ids c);
+  check_bool "whole stream reproducible" true (List.for_all2 String.equal a b);
+  check_bool "whole stream pool-size-invariant" true
+    (List.for_all2 String.equal a c);
+  (* the surviving responses equal the oracle of the *effective*
+     script — the one with the shed requests removed (a shed evolve
+     mutates nothing, so the server's history is the effective one) *)
+  let shed = shed_ids a in
+  let effective =
+    List.filter
+      (fun line ->
+        match W.request_of_string line with
+        | Ok { W.id; _ } -> not (List.mem id shed)
+        | Error _ -> true)
+      script
+  in
+  let survivors =
+    List.filter
+      (fun line ->
+        match W.response_of_string line with
+        | Ok { W.result = Error `Overloaded; _ } -> false
+        | _ -> true)
+      a
+  in
+  List.iter2
+    (check_string "surviving response matches effective-script oracle")
+    (S.Driver.oracle effective) survivors
+
+(* ------------------------ journals and restart ---------------------- *)
+
+let test_restart_replays () =
+  with_dir @@ fun root ->
+  let options =
+    { S.Server.default_options with journal_root = Some root; jobs = 2 }
+  in
+  let server = S.Server.create ~options () in
+  let resp server op = S.Server.handle server { W.id = 1; op } in
+  (match
+     (resp server (W.Register { tenant = "proc"; processes = procurement_sexps () }))
+       .result
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "register failed");
+  let evolved =
+    resp server
+      (W.Evolve
+         {
+           tenant = "proc";
+           owner = "A";
+           changed = sexp P.accounting_cancel;
+           klass = W.Bulk;
+         })
+  in
+  let query1 = resp server (W.Query { tenant = "proc" }) in
+  let migrate1 = resp server (W.Migrate_status { tenant = "proc" }) in
+  (* restart: a second server over the same root replays the journals *)
+  let server2 = S.Server.create ~options () in
+  check_int "one tenant recovered" 1 (S.Server.recovered server2);
+  check_string "query byte-identical after restart"
+    (W.response_to_string query1)
+    (W.response_to_string (resp server2 (W.Query { tenant = "proc" })));
+  check_string "migrate-status byte-identical after restart"
+    (W.response_to_string migrate1)
+    (W.response_to_string (resp server2 (W.Migrate_status { tenant = "proc" })));
+  (* versions advanced for the parties whose publics changed *)
+  (match (evolved.result, migrate1.result) with
+  | Ok (W.Evolved { consistent; _ }), Ok (W.Migration ps) ->
+      check_bool "evolution consistent" true consistent;
+      check_bool "some party version advanced" true
+        (List.exists (fun p -> p.W.version > 1) ps)
+  | _ -> Alcotest.fail "evolve or migrate-status failed");
+  (* duplicate registration refused after recovery, too *)
+  match
+    (resp server2 (W.Register { tenant = "proc"; processes = procurement_sexps () }))
+      .result
+  with
+  | Error (`Duplicate_tenant _) -> ()
+  | _ -> Alcotest.fail "expected duplicate-tenant"
+
+(* A crash in the middle of a journaled evolution (after round 1's
+   commit) is finished by recovery: the recovered store answers
+   exactly like a server that never crashed. *)
+let test_crash_mid_evolve () =
+  with_dir @@ fun root1 ->
+  with_dir @@ fun root2 ->
+  let run_with root crash_after =
+    let store = S.Tenant.create ~journal_root:root () in
+    (match
+       S.Tenant.register store "proc"
+         ~processes:(List.map snd P.parties)
+     with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "register failed");
+    match
+      S.Tenant.evolve store ~config:C.Config.default ?crash_after "proc"
+        ~owner:"A" ~changed:P.accounting_cancel
+    with
+    | exception C.Journal.Evolve.Simulated_crash _ -> `Crashed
+    | Ok _ -> `Done
+    | Error _ -> Alcotest.fail "evolve failed"
+  in
+  check_bool "uninterrupted run completes" true (run_with root1 None = `Done);
+  check_bool "crashed run crashes" true (run_with root2 (Some 1) = `Crashed);
+  let q root =
+    let store, n = S.Tenant.recover ~journal_root:root () in
+    check_int "tenant recovered" 1 n;
+    match
+      (S.Tenant.query store "proc", S.Tenant.migrate_status store "proc")
+    with
+    | Ok q, Ok m ->
+        (W.response_to_string { W.id = 1; result = Ok q },
+         W.response_to_string { W.id = 2; result = Ok m })
+    | _ -> Alcotest.fail "query failed"
+  in
+  let q1, m1 = q root1 and q2, m2 = q root2 in
+  check_string "crashed+recovered query equals uninterrupted" q1 q2;
+  check_string "crashed+recovered migrate-status equals uninterrupted" m1 m2
+
+(* ----------------------------- pipe mode ---------------------------- *)
+
+let test_pipe_mode () =
+  let script = S.Driver.gen_script ~tenants:3 ~requests:12 ~seed:5 () in
+  let script = script @ [ "this is not json"; {|{"v":1,"id":99,"op":"stats"}|} ] in
+  let infile = fresh_dir () and outfile = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf infile; rm_rf outfile)
+  @@ fun () ->
+  Out_channel.with_open_text infile (fun oc ->
+      List.iter (fun l -> output_string oc (l ^ "\n")) script);
+  let server = S.Server.create () in
+  let served =
+    In_channel.with_open_text infile (fun ic ->
+        Out_channel.with_open_text outfile (fun oc ->
+            S.Server.run_pipe server ic oc))
+  in
+  check_int "every line answered" (List.length script) served;
+  let out =
+    In_channel.with_open_text outfile In_channel.input_lines
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  check_int "one response per line" (List.length script) (List.length out);
+  (* the bad line got a bad-request, the stats line got a snapshot *)
+  let nth n = W.response_of_string (List.nth out n) in
+  (match nth (List.length out - 2) with
+  | Ok { W.result = Error (`Bad_request _); _ } -> ()
+  | _ -> Alcotest.fail "expected bad-request");
+  match nth (List.length out - 1) with
+  | Ok { W.id = 99; result = Ok (W.Stats_snapshot fields); _ } ->
+      check_bool "stats has tenants field" true
+        (List.mem_assoc "tenants" fields)
+  | _ -> Alcotest.fail "expected stats snapshot"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ("wire", [ Alcotest.test_case "round-trips" `Quick test_wire_roundtrip ]);
+      ( "golden",
+        [
+          Alcotest.test_case "single tenant vs Evolution.run" `Quick
+            test_golden_single_tenant;
+          Alcotest.test_case "pool-size invariance" `Quick test_pool_invariance;
+        ] );
+      ( "shedding",
+        [ Alcotest.test_case "deterministic" `Quick test_shed_determinism ] );
+      ( "durability",
+        [
+          Alcotest.test_case "restart replays" `Quick test_restart_replays;
+          Alcotest.test_case "crash mid-evolve" `Quick test_crash_mid_evolve;
+        ] );
+      ("pipe", [ Alcotest.test_case "ndjson loop" `Quick test_pipe_mode ]);
+    ]
