@@ -129,6 +129,52 @@ let ladder_tests ns =
       ])
     ns
 
+(* Subset construction, benchmarked directly (it was only ever timed
+   inside difference/minimize rows before): a two-label suffix-matching
+   NFA over the ladder alphabet whose determinization walks Θ(n)
+   subsets of Θ(n) members each — the determinize-heavy axis the packed
+   kernels target. [Afsa.copy] inside the closure makes every run pay
+   its own index/pack build, so both kernel modes are timed cold. *)
+let determinize_tests ns =
+  List.map
+    (fun n ->
+      (* A subset-heavy NFA: every state steps to its successor on both
+         labels and the start state also self-loops, so the reachable
+         subsets are the saturating prefixes {0..k} — the construction
+         merges Θ(n²) member rows into a linear DFA, which is exactly
+         the row-merging work the packed kernel accelerates. *)
+      let ping = "A#B#pingOp" and pong = "B#A#pongOp" in
+      let chain =
+        List.concat_map
+          (fun i -> [ (i, ping, i + 1); (i, pong, i + 1) ])
+          (List.init n (fun i -> i))
+      in
+      let nfa =
+        C.Afsa.of_strings ~start:0 ~finals:[ n ]
+          ~edges:((0, ping, 0) :: (0, pong, 0) :: chain)
+          ()
+      in
+      t (Printf.sprintf "scale_determinize_ladder_%03d" n) (fun () ->
+          ignore (C.Determinize.determinize (C.Afsa.copy nfa))))
+    ns
+
+(* ε-elimination, benchmarked directly: a chain interleaving ε-runs of
+   length 7 with one proper step per run, so every closure spans a full
+   run and the eliminate sweep merges it per state. *)
+let eps_eliminate_tests ns =
+  List.map
+    (fun n ->
+      let edges =
+        List.init n (fun i ->
+            if i mod 8 = 7 then
+              (i, Printf.sprintf "A#B#step%dOp" (i / 8), i + 1)
+            else (i, "", i + 1))
+      in
+      let a = C.Afsa.of_strings ~start:0 ~finals:[ n ] ~edges () in
+      t (Printf.sprintf "scale_eps_eliminate_%03d" n) (fun () ->
+          ignore (C.Epsilon.eliminate (C.Afsa.copy a))))
+    ns
+
 (* Annotation width: the menu family, conjunctions of n variables. *)
 let menu_tests () =
   List.concat_map
@@ -810,7 +856,10 @@ let collect_counters ~trace_file tests =
     List.map
       (fun (name, f) ->
         C.Obs.Metrics.reset ();
-        C.Obs.with_sink sink f;
+        (* wrap the run in an allocation measurement so the gc.* words
+           and collection counts land next to the kernel counters *)
+        let (), d = C.Obs.Alloc.measure (fun () -> C.Obs.with_sink sink f) in
+        C.Obs.Alloc.record d;
         (name, C.Obs.Metrics.nonzero_counters ()))
       tests
   in
@@ -972,6 +1021,8 @@ let () =
     else
       figure_tests ()
       @ ladder_tests [ 10; 50; 100; 200; 400 ]
+      @ determinize_tests [ 50; 100; 200; 400 ]
+      @ eps_eliminate_tests [ 50; 100; 200; 400 ]
       @ menu_tests () @ service_tests () @ propagation_tests ()
       @ protocol_tests () @ runtime_tests () @ discovery_tests ()
       @ migration_tests () @ global_tests () @ ablation_tests ()

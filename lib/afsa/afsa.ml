@@ -12,6 +12,34 @@ module F = Chorev_formula.Syntax
 module ISet = Set.Make (Int)
 module IMap = Map.Make (Int)
 
+(* The packed (CSR) compilation of an automaton — flat int arrays the
+   hot kernels (determinize, ε-elimination, product, emptiness) run
+   over instead of the functional maps in [delta]. Defined before
+   [index] so the cache slot can hold one; the compiler itself
+   ([Packed.get]) lives below, after the automaton type. *)
+module Packed0 = struct
+  type t = {
+    n : int;  (* dense state count *)
+    state_ids : int array;  (* dense → original id, strictly ascending *)
+    start : int;  (* dense index of the start state *)
+    finals : Bitset.t;  (* over dense indexes *)
+    syms : Sym.t array;  (* proper symbols, ascending ([Sym.Map] order) *)
+    row_off : int array;  (* n+1: proper out-row extents per dense state *)
+    row_sym : int array;  (* per edge: symbol id; rows sorted by (sym, tgt) *)
+    row_tgt : int array;  (* per edge: dense target *)
+    eps_off : int array;  (* n+1: ε out-row extents *)
+    eps_tgt : int array;  (* per ε-edge: dense target, sorted within row *)
+    ann : F.t array;  (* per dense state; [True] when absent from [ann] *)
+    ann_nontrivial : Bitset.t;  (* states with a non-[True] annotation *)
+    mutable preds : (int array * int array) option;
+        (* distinct-predecessor CSR (off, src), built on first backward
+           traversal — same laziness as the map index's [preds_tbl] *)
+    mutable eps_cl_csr : (int array * int array) option;
+        (* per-state ε-closure CSR (off, tgt) over dense indexes, rows
+           sorted ascending; built on first ε-elimination *)
+  }
+end
+
 (* Derived indexes over [delta], built lazily on first use and cached
    in the automaton (see {!index}). Purely derived data: every
    constructor / modifier invalidates the cache, so the maps in [delta]
@@ -25,6 +53,11 @@ type index = {
       (* outgoing edges grouped by symbol, filled per state on demand *)
   mutable preds_tbl : (int, int list) Hashtbl.t option;
       (* distinct predecessor states (any symbol), whole-automaton *)
+  mutable packed : Packed0.t option;
+      (* CSR compilation, built once per automaton on first hot-kernel
+         entry; invalidated with the rest of the index *)
+  mutable eps_cl : (int, ISet.t) Hashtbl.t option;
+      (* all ε-closures (original ids), SCC-shared; computed once *)
 }
 
 type t = {
@@ -187,7 +220,10 @@ let index a =
   match a.idx with
   | Some i -> i
   | None ->
-      let i = { rows = Hashtbl.create 64; preds_tbl = None } in
+      let i =
+        { rows = Hashtbl.create 64; preds_tbl = None; packed = None;
+          eps_cl = None }
+      in
       a.idx <- Some i;
       i
 
@@ -335,6 +371,18 @@ let renumber ?(start_zero = true) a =
       a.start :: List.filter (fun q -> q <> a.start) (ISet.elements a.states)
     else ISet.elements a.states
   in
+  let identity =
+    (* already numbered 0..n-1 in [order]'s order: rebuilding would
+       produce a structurally identical automaton while throwing away
+       every cached index (including the pack) *)
+    (not start_zero || a.start = 0)
+    && (ISet.is_empty a.states
+       || (ISet.min_elt a.states = 0
+          && ISet.max_elt a.states = ISet.cardinal a.states - 1))
+  in
+  if identity then
+    (a, ISet.fold (fun q m -> IMap.add q q m) a.states IMap.empty)
+  else
   let map =
     List.fold_left
       (fun (i, m) q -> (i + 1, IMap.add q i m))
@@ -419,6 +467,467 @@ let widen_alphabet a labels =
     idx = None;
     fp = None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Packed (CSR) compilation                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Packed = struct
+  include Packed0
+
+  let c_builds = Chorev_obs.Metrics.counter "afsa.pack.builds"
+
+  (* The escape hatch: CHOREV_NO_PACK=1 (any value other than "" / "0")
+     keeps every kernel on the original map-shaped implementation, so
+     the map kernels stay available as a debug/oracle mode. Tests flip
+     the same switch programmatically for the differential suites. *)
+  let enabled_ref =
+    ref
+      (match Sys.getenv_opt "CHOREV_NO_PACK" with
+      | None | Some "" | Some "0" -> true
+      | Some _ -> false)
+
+  let enabled () = !enabled_ref
+  let set_enabled b = enabled_ref := b
+
+  let with_enabled b f =
+    let old = !enabled_ref in
+    enabled_ref := b;
+    Fun.protect ~finally:(fun () -> enabled_ref := old) f
+
+  (* Original state id → dense index, by binary search over the sorted
+     [state_ids]; -1 when the id is not a state of the automaton. *)
+  let dense_of p q =
+    let lo = ref 0 and hi = ref (p.n - 1) in
+    let res = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let v = Array.unsafe_get p.state_ids mid in
+      if v = q then begin
+        res := mid;
+        lo := !hi + 1
+      end
+      else if v < q then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !res
+
+  let build a =
+    Chorev_obs.Metrics.incr c_builds;
+    let state_ids = Array.of_list (ISet.elements a.states) in
+    let n = Array.length state_ids in
+    let dense_tbl = Hashtbl.create (2 * n) in
+    Array.iteri (fun i q -> Hashtbl.replace dense_tbl q i) state_ids;
+    let dense q = Hashtbl.find dense_tbl q in
+    (* proper symbol table, ascending in [Sym.Map]'s order *)
+    let symset =
+      IMap.fold
+        (fun _ row acc ->
+          Sym.Map.fold
+            (fun sym _ acc ->
+              match sym with Sym.Eps -> acc | Sym.L _ -> Sym.Set.add sym acc)
+            row acc)
+        a.delta Sym.Set.empty
+    in
+    let syms = Array.of_list (Sym.Set.elements symset) in
+    let sym_id = Hashtbl.create (2 * Array.length syms) in
+    Array.iteri (fun i s -> Hashtbl.replace sym_id s i) syms;
+    (* degree pass *)
+    let deg = Array.make (n + 1) 0 and edeg = Array.make (n + 1) 0 in
+    IMap.iter
+      (fun s row ->
+        let i = dense s in
+        Sym.Map.iter
+          (fun sym tgts ->
+            let c = ISet.cardinal tgts in
+            match sym with
+            | Sym.Eps -> edeg.(i) <- edeg.(i) + c
+            | Sym.L _ -> deg.(i) <- deg.(i) + c)
+          row)
+      a.delta;
+    let row_off = Array.make (n + 1) 0 and eps_off = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      row_off.(i + 1) <- row_off.(i) + deg.(i);
+      eps_off.(i + 1) <- eps_off.(i) + edeg.(i)
+    done;
+    let ne = row_off.(n) and neps = eps_off.(n) in
+    let row_sym = Array.make (max 1 ne) 0
+    and row_tgt = Array.make (max 1 ne) 0
+    and eps_tgt = Array.make (max 1 neps) 0 in
+    (* fill pass: [IMap] / [Sym.Map] / [ISet] iterate ascending, so each
+       proper row comes out sorted by (symbol id, dense target) and each
+       ε-row by dense target — the order every packed kernel (and the
+       fingerprint fast path) relies on *)
+    let rcur = Array.copy row_off and ecur = Array.copy eps_off in
+    IMap.iter
+      (fun s row ->
+        let i = dense s in
+        Sym.Map.iter
+          (fun sym tgts ->
+            match sym with
+            | Sym.Eps ->
+                ISet.iter
+                  (fun t ->
+                    eps_tgt.(ecur.(i)) <- dense t;
+                    ecur.(i) <- ecur.(i) + 1)
+                  tgts
+            | Sym.L _ ->
+                let sid = Hashtbl.find sym_id sym in
+                ISet.iter
+                  (fun t ->
+                    row_sym.(rcur.(i)) <- sid;
+                    row_tgt.(rcur.(i)) <- dense t;
+                    rcur.(i) <- rcur.(i) + 1)
+                  tgts)
+          row)
+      a.delta;
+    let finals = Bitset.create n in
+    ISet.iter (fun q -> Bitset.add finals (dense q)) a.finals;
+    let ann = Array.make (max 1 n) F.True in
+    let ann_nontrivial = Bitset.create n in
+    IMap.iter
+      (fun q f ->
+        let i = dense q in
+        ann.(i) <- f;
+        Bitset.add ann_nontrivial i)
+      a.ann;
+    {
+      n;
+      state_ids;
+      start = dense a.start;
+      finals;
+      syms;
+      row_off;
+      row_sym;
+      row_tgt;
+      eps_off;
+      eps_tgt;
+      ann;
+      ann_nontrivial;
+      preds = None;
+      eps_cl_csr = None;
+    }
+
+  (** The packed form of [a], compiled once and cached on the lazy
+      index slot — every structural modifier already invalidates it. *)
+  let get a =
+    let ix = index a in
+    match ix.packed with
+    | Some p -> p
+    | None ->
+        let p = build a in
+        ix.packed <- Some p;
+        p
+
+  let peek a = Option.bind a.idx (fun ix -> ix.packed)
+
+  (* Compiling a pack costs an O(E log E) edge sort plus a dozen array
+     allocations. For tiny automata built fresh and consumed once —
+     figure-sized scenarios, registry queries — the map kernels win
+     outright. Both kernel families are observationally identical
+     (same automata, same budget ticks), so dispatch is free to choose
+     per call: reuse a pack that already exists, otherwise only pay
+     for one past the size where the flat kernels repay the build. *)
+  let cutoff_ref = ref 32
+
+  let with_cutoff c f =
+    let old = !cutoff_ref in
+    cutoff_ref := c;
+    Fun.protect ~finally:(fun () -> cutoff_ref := old) f
+
+  let worth a =
+    match peek a with
+    | Some _ -> true
+    | None -> num_states a > !cutoff_ref
+
+  (** Distinct-predecessor CSR over any symbol (proper and ε), built on
+      first use: [(off, src)] with [src.(off.(q) .. off.(q+1)-1)] the
+      dense predecessors of [q]. *)
+  let preds_csr p =
+    match p.preds with
+    | Some c -> c
+    | None ->
+        let n = p.n in
+        let stamp = Array.make n (-1) in
+        let cnt = Array.make (n + 1) 0 in
+        let pass record =
+          Array.fill stamp 0 n (-1);
+          for s = 0 to n - 1 do
+            for e = p.row_off.(s) to p.row_off.(s + 1) - 1 do
+              let t = p.row_tgt.(e) in
+              if stamp.(t) <> s then begin
+                stamp.(t) <- s;
+                record s t
+              end
+            done;
+            for e = p.eps_off.(s) to p.eps_off.(s + 1) - 1 do
+              let t = p.eps_tgt.(e) in
+              if stamp.(t) <> s then begin
+                stamp.(t) <- s;
+                record s t
+              end
+            done
+          done
+        in
+        pass (fun _ t -> cnt.(t + 1) <- cnt.(t + 1) + 1);
+        for i = 0 to n - 1 do
+          cnt.(i + 1) <- cnt.(i + 1) + cnt.(i)
+        done;
+        let off = Array.copy cnt in
+        let src = Array.make (max 1 off.(n)) 0 in
+        let cur = Array.copy off in
+        pass (fun s t ->
+            src.(cur.(t)) <- s;
+            cur.(t) <- cur.(t) + 1);
+        let c = (off, src) in
+        p.preds <- Some c;
+        c
+
+  (** Per-state ε-closure CSR over dense indexes: row [q] of [(off,
+      tgt)] is the sorted ε-closure of [q] (including [q] itself).
+      Iterative Tarjan over the ε-CSR with int stacks only — SCCs pop
+      in reverse topological order, so each SCC's closure is its
+      members unioned (stamp-deduplicated) with the already-finished
+      closures of its successor SCCs. No per-state list or set is ever
+      allocated; cached on the packed form. *)
+  let eps_closure_csr p =
+    match p.eps_cl_csr with
+    | Some c -> c
+    | None ->
+        let n = p.n in
+        let idx = Array.make n (-1) and low = Array.make n 0 in
+        let on_st = Array.make (max 1 n) false in
+        let st = Array.make (max 1 n) 0 in
+        let sp = ref 0 in
+        let scc_of = Array.make (max 1 n) (-1) in
+        let nscc = ref 0 in
+        let counter = ref 0 in
+        (* explicit DFS frames: state + cursor into its ε-row *)
+        let fstate = Array.make (max 1 n) 0
+        and fedge = Array.make (max 1 n) 0 in
+        let fsp = ref 0 in
+        (* per-SCC closure slices in one growable int buffer *)
+        let scc_start = Array.make (max 1 n) 0
+        and scc_len = Array.make (max 1 n) 0 in
+        let stamp = Array.make (max 1 n) (-1) in
+        let cap = ref (max 16 n) in
+        let buf = ref (Array.make !cap 0) in
+        let len = ref 0 in
+        let push x =
+          if !len = !cap then begin
+            let nb = Array.make (2 * !cap) 0 in
+            Array.blit !buf 0 nb 0 !len;
+            buf := nb;
+            cap := 2 * !cap
+          end;
+          !buf.(!len) <- x;
+          incr len
+        in
+        let push_node q =
+          idx.(q) <- !counter;
+          low.(q) <- !counter;
+          incr counter;
+          st.(!sp) <- q;
+          incr sp;
+          on_st.(q) <- true;
+          fstate.(!fsp) <- q;
+          fedge.(!fsp) <- p.eps_off.(q);
+          incr fsp
+        in
+        for root = 0 to n - 1 do
+          if idx.(root) < 0 then begin
+            push_node root;
+            while !fsp > 0 do
+              let q = fstate.(!fsp - 1) in
+              let e = fedge.(!fsp - 1) in
+              if e < p.eps_off.(q + 1) then begin
+                fedge.(!fsp - 1) <- e + 1;
+                let t = p.eps_tgt.(e) in
+                if idx.(t) < 0 then push_node t
+                else if on_st.(t) && idx.(t) < low.(q) then low.(q) <- idx.(t)
+              end
+              else begin
+                decr fsp;
+                if !fsp > 0 then begin
+                  let parent = fstate.(!fsp - 1) in
+                  if low.(q) < low.(parent) then low.(parent) <- low.(q)
+                end;
+                if low.(q) = idx.(q) then begin
+                  (* pop the SCC rooted at [q]; members stay readable in
+                     [st.(!sp .. mhi-1)] after the pops *)
+                  let c = !nscc in
+                  incr nscc;
+                  let mhi = !sp in
+                  let continue_ = ref true in
+                  while !continue_ do
+                    decr sp;
+                    let m = st.(!sp) in
+                    on_st.(m) <- false;
+                    scc_of.(m) <- c;
+                    if m = q then continue_ := false
+                  done;
+                  let cstart = !len in
+                  for k = !sp to mhi - 1 do
+                    let m = st.(k) in
+                    if stamp.(m) <> c then begin
+                      stamp.(m) <- c;
+                      push m
+                    end
+                  done;
+                  for k = !sp to mhi - 1 do
+                    let m = st.(k) in
+                    for e = p.eps_off.(m) to p.eps_off.(m + 1) - 1 do
+                      let t = p.eps_tgt.(e) in
+                      let ct = scc_of.(t) in
+                      if ct <> c then
+                        (* [t]'s SCC is already finished (Tarjan pops in
+                           reverse topological order) *)
+                        for j = scc_start.(ct) to scc_start.(ct) + scc_len.(ct) - 1
+                        do
+                          let x = !buf.(j) in
+                          if stamp.(x) <> c then begin
+                            stamp.(x) <- c;
+                            push x
+                          end
+                        done
+                    done
+                  done;
+                  let sz = !len - cstart in
+                  let tmp = Array.sub !buf cstart sz in
+                  Array.sort (fun (a : int) b -> compare a b) tmp;
+                  Array.blit tmp 0 !buf cstart sz;
+                  scc_start.(c) <- cstart;
+                  scc_len.(c) <- sz
+                end
+              end
+            done
+          end
+        done;
+        let cl_off = Array.make (n + 1) 0 in
+        for q = 0 to n - 1 do
+          cl_off.(q + 1) <- cl_off.(q) + scc_len.(scc_of.(q))
+        done;
+        let cl_tgt = Array.make (max 1 cl_off.(n)) 0 in
+        for q = 0 to n - 1 do
+          let c = scc_of.(q) in
+          Array.blit !buf scc_start.(c) cl_tgt cl_off.(q) scc_len.(c)
+        done;
+        let res = (cl_off, cl_tgt) in
+        p.eps_cl_csr <- Some res;
+        res
+end
+
+(* ------------------------------------------------------------------ *)
+(* ε-closures, all at once, cached                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Tarjan's SCC algorithm with an explicit stack over a successor
+   function: states in the same ε-SCC share one closure set
+   (physically), and each SCC's closure is the union of its members
+   with the closures of its successor SCCs, computed in reverse
+   topological order — O(V + E) overall. Generic over the successor
+   view so the packed CSR and the map index feed the same pass. *)
+let closures_over ~succs states =
+  let index_t = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let scc_stack = ref [] in
+  let closures : (int, ISet.t) Hashtbl.t = Hashtbl.create 64 in
+  let counter = ref 0 in
+  let visit root =
+    if not (Hashtbl.mem index_t root) then begin
+      let enter q =
+        Hashtbl.replace index_t q !counter;
+        Hashtbl.replace lowlink q !counter;
+        incr counter;
+        scc_stack := q :: !scc_stack;
+        Hashtbl.replace on_stack q ();
+        (q, ref (succs q))
+      in
+      let frames = ref [ enter root ] in
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (q, sq) :: rest -> (
+            match !sq with
+            | t :: ts ->
+                sq := ts;
+                if not (Hashtbl.mem index_t t) then frames := enter t :: !frames
+                else if Hashtbl.mem on_stack t then
+                  Hashtbl.replace lowlink q
+                    (min (Hashtbl.find lowlink q) (Hashtbl.find index_t t))
+            | [] ->
+                if Hashtbl.find lowlink q = Hashtbl.find index_t q then begin
+                  let rec pop members = function
+                    | s :: tail ->
+                        Hashtbl.remove on_stack s;
+                        if s = q then (s :: members, tail)
+                        else pop (s :: members) tail
+                    | [] -> (members, [])
+                  in
+                  let members, tail = pop [] !scc_stack in
+                  scc_stack := tail;
+                  let cl =
+                    List.fold_left
+                      (fun acc s ->
+                        List.fold_left
+                          (fun acc t ->
+                            match Hashtbl.find_opt closures t with
+                            | Some c -> ISet.union c acc
+                            | None -> acc (* t inside this SCC *))
+                          (ISet.add s acc) (succs s))
+                      ISet.empty members
+                  in
+                  List.iter (fun s -> Hashtbl.replace closures s cl) members
+                end;
+                frames := rest;
+                (match rest with
+                | (p, _) :: _ ->
+                    Hashtbl.replace lowlink p
+                      (min (Hashtbl.find lowlink p) (Hashtbl.find lowlink q))
+                | [] -> ()))
+      done
+    end
+  in
+  List.iter visit states;
+  closures
+
+(** The table of all ε-closures of [a], keyed by original state id,
+    computed once per automaton (SCC-memoized) and cached on the index
+    slot. Every closure query routes through this — there is no
+    per-call quadratic walk left. *)
+let eps_closures a =
+  let ix = index a in
+  match ix.eps_cl with
+  | Some t -> t
+  | None ->
+      let t =
+        (* walk an existing pack's ε-CSR, but never *build* one here:
+           the closure pass is O(V+E) over either representation, so a
+           build would only pay off for kernels that come after — and
+           those trigger their own build through [worth]. *)
+        match if Packed.enabled () then Packed.peek a else None with
+        | Some p ->
+            begin
+          let succs q =
+            let i = Packed.dense_of p q in
+            if i < 0 then []
+            else
+              let rec go e acc =
+                if e < p.Packed.eps_off.(i) then acc
+                else go (e - 1) (p.Packed.state_ids.(p.Packed.eps_tgt.(e)) :: acc)
+              in
+              go (p.Packed.eps_off.(i + 1) - 1) []
+          in
+          closures_over ~succs (Array.to_list p.Packed.state_ids)
+            end
+        | None ->
+            closures_over
+              ~succs:(fun q -> eps_succs a q)
+              (ISet.elements a.states)
+      in
+      ix.eps_cl <- Some t;
+      t
 
 (* ------------------------------------------------------------------ *)
 (* Structural equality (same states/edges/finals/annotations)          *)

@@ -110,6 +110,82 @@ val preds : t -> int -> int list
 (** Distinct predecessor states over any symbol; the reverse table is
     built once per automaton on first call. *)
 
+(** {1 Packed (CSR) form}
+
+    The flat compilation of an automaton the hot kernels run over:
+    dense state numbering, proper out-edges as one CSR sorted by
+    (symbol id, target) per row, a separate ε-adjacency CSR, finals and
+    annotation-nontrivial flags as bitsets. Compiled once per automaton
+    and cached on the lazy index slot, so every structural modifier
+    already invalidates it. *)
+module Packed : sig
+  type afsa
+  (** := the automaton type [t] of the enclosing module. *)
+
+  type t = {
+    n : int;  (** dense state count *)
+    state_ids : int array;  (** dense → original id, strictly ascending *)
+    start : int;  (** dense index of the start state *)
+    finals : Bitset.t;  (** over dense indexes *)
+    syms : Sym.t array;  (** proper symbols, ascending ([Sym.Map] order) *)
+    row_off : int array;  (** n+1: proper out-row extents per dense state *)
+    row_sym : int array;  (** per edge: symbol id; rows sorted by (sym, tgt) *)
+    row_tgt : int array;  (** per edge: dense target *)
+    eps_off : int array;  (** n+1: ε out-row extents *)
+    eps_tgt : int array;  (** per ε-edge: dense target, sorted within row *)
+    ann : F.t array;  (** per dense state; [True] when absent *)
+    ann_nontrivial : Bitset.t;  (** states with a non-[True] annotation *)
+    mutable preds : (int array * int array) option;
+    mutable eps_cl_csr : (int array * int array) option;
+  }
+
+  val enabled : unit -> bool
+  (** Whether the packed kernels are in use. Defaults to [true]; the
+      [CHOREV_NO_PACK] environment variable (set to anything but [""] or
+      ["0"]) flips every kernel back to the original map-shaped
+      implementation as a debug/oracle mode. *)
+
+  val set_enabled : bool -> unit
+  val with_enabled : bool -> (unit -> 'a) -> 'a
+
+  val dense_of : t -> int -> int
+  (** Original state id → dense index; [-1] when not a state. *)
+
+  val get : afsa -> t
+  (** The packed form, compiled on first use and cached on the index. *)
+
+  val peek : afsa -> t option
+  (** The cached packed form, if any — never triggers a build. *)
+
+  val worth : afsa -> bool
+  (** Whether a packed kernel should run on [a]: true when a pack is
+      already cached, or when the automaton is large enough that the
+      flat kernels repay the O(E log E) build. Both kernel families
+      are observationally identical, so dispatch is per-call. *)
+
+  val with_cutoff : int -> (unit -> 'a) -> 'a
+  (** Run [f] with the small-automaton cutoff of {!worth} set to [c]
+      (default 32); [0] forces the packed kernels on every input —
+      the differential suite uses this to exercise them on automata
+      of every size. *)
+
+  val preds_csr : t -> int array * int array
+  (** Distinct-predecessor CSR [(off, src)] over proper and ε edges,
+      built once per packed form on first call. *)
+
+  val eps_closure_csr : t -> int array * int array
+  (** Per-state ε-closure CSR [(off, tgt)] over dense indexes — row [q]
+      is the sorted ε-closure of [q], including [q]. One int-only
+      SCC-collapsed Tarjan pass, built once per packed form. *)
+end
+with type afsa := t
+
+val eps_closures : t -> (int, ISet.t) Hashtbl.t
+(** All ε-closures at once, keyed by original state id; states in the
+    same ε-SCC share one physically-equal set. Computed once per
+    automaton (O(V+E), SCC-memoized) and cached on the index slot.
+    {!Epsilon.closure_of} routes through this. *)
+
 (** {1 Reachability and trimming} *)
 
 val reachable_from : t -> int -> ISet.t

@@ -80,6 +80,113 @@ let reach_final_through budget a sat =
   done;
   !acc
 
+(* Packed kernel: the greatest-fixpoint loop over bitsets and the
+   packed predecessor CSR — [sat]/[reach]/[seen] are flat bitsets over
+   dense indexes, the backward closure is an int-array stack, and an
+   iteration allocates nothing. Tick totals match the map kernel
+   exactly: one per fixpoint pass plus one per state popped in the
+   backward closure (a canonical set either way), so fuel-bounded
+   outcomes are identical. *)
+let analyze_packed ~budget ~warning a =
+  let module P = Afsa.Packed in
+  let p = P.get a in
+  let n = p.P.n in
+  (* per annotated state: variable → dense targets, computed once *)
+  let vt_of = Array.make (max 1 n) None in
+  Bitset.iter
+    (fun i ->
+      let vt : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+      let e = ref p.P.row_off.(i) in
+      let hi = p.P.row_off.(i + 1) in
+      while !e < hi do
+        let sid = p.P.row_sym.(!e) in
+        let g0 = !e in
+        while !e < hi && p.P.row_sym.(!e) = sid do
+          incr e
+        done;
+        let v =
+          match p.P.syms.(sid) with
+          | Sym.L l -> Label.to_string l
+          | Sym.Eps -> assert false
+        in
+        let ts = ref (Option.value ~default:[] (Hashtbl.find_opt vt v)) in
+        for f = g0 to !e - 1 do
+          ts := p.P.row_tgt.(f) :: !ts
+        done;
+        Hashtbl.replace vt v !ts
+      done;
+      vt_of.(i) <- Some vt)
+    p.P.ann_nontrivial;
+  let holds sat i =
+    match vt_of.(i) with
+    | None -> true (* default annotation [True] *)
+    | Some vt ->
+        let assign v =
+          match Hashtbl.find_opt vt v with
+          | None -> false
+          | Some ts -> List.exists (fun t -> Bitset.mem sat t) ts
+        in
+        Chorev_formula.Eval.eval ~assign p.P.ann.(i)
+  in
+  let poff, psrc = P.preds_csr p in
+  let stack = Array.make (max 1 n) 0 in
+  let seen = Bitset.create n in
+  let reach_final_through sat reach =
+    Bitset.clear reach;
+    Bitset.clear seen;
+    let sp = ref 0 in
+    Bitset.iter
+      (fun f ->
+        if Bitset.mem sat f then begin
+          Bitset.add seen f;
+          stack.(!sp) <- f;
+          incr sp
+        end)
+      p.P.finals;
+    while !sp > 0 do
+      Budget.tick budget;
+      decr sp;
+      let q = stack.(!sp) in
+      Bitset.add reach q;
+      for e = poff.(q) to poff.(q + 1) - 1 do
+        let pr = psrc.(e) in
+        if Bitset.mem sat pr && not (Bitset.mem seen pr) then begin
+          Bitset.add seen pr;
+          stack.(!sp) <- pr;
+          incr sp
+        end
+      done
+    done
+  in
+  let sat = Bitset.create n in
+  Bitset.fill sat;
+  let reach = Bitset.create n in
+  let sat' = Bitset.create n in
+  let iterations = ref 1 in
+  let converged = ref false in
+  while not !converged do
+    Budget.tick budget;
+    reach_final_through sat reach;
+    Bitset.clear sat';
+    Bitset.iter (fun q -> if holds sat q then Bitset.add sat' q) reach;
+    if Bitset.equal sat' sat then converged := true
+    else begin
+      Bitset.blit ~src:sat' ~dst:sat;
+      incr iterations
+    end
+  done;
+  Chorev_obs.Metrics.incr c_runs;
+  Chorev_obs.Metrics.add c_iterations !iterations;
+  let sat_set =
+    Bitset.fold (fun i acc -> ISet.add p.P.state_ids.(i) acc) sat ISet.empty
+  in
+  {
+    sat = sat_set;
+    nonempty = Bitset.mem sat p.P.start;
+    iterations = !iterations;
+    warning;
+  }
+
 let analyze ?budget a =
   let budget =
     match budget with Some b -> b | None -> Budget.ambient ()
@@ -92,6 +199,9 @@ let analyze ?budget a =
         "annotation contains negation: emptiness fixpoint is an \
          approximation only"
   in
+  if Afsa.Packed.enabled () && Afsa.Packed.worth a then
+    analyze_packed ~budget ~warning a
+  else
   (* For each annotated state, the targets of each variable's edges,
      computed once: σ_q(v) then costs one lookup + membership checks. *)
   let ann_tbl : (int, F.t * (string, int list) Hashtbl.t) Hashtbl.t =

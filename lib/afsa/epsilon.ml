@@ -4,150 +4,123 @@
     resulting automaton is then ε-eliminated before minimization.
     Annotations of states merged along ε-paths are combined by
     conjunction: every obligation of a state silently reachable from [q]
-    is already an obligation at [q]. *)
+    is already an obligation at [q].
+
+    All closure queries route through {!Afsa.eps_closures}: one
+    SCC-memoized O(V+E) pass per automaton, cached on the index slot,
+    shared with ε-elimination. There is no per-call list-append walk
+    left — the old [eps_succs a q @ rest] closure was O(V·E) per
+    query. *)
 
 module F = Chorev_formula.Syntax
 module Budget = Chorev_guard.Budget
 module ISet = Afsa.ISet
 
+(** ε-closure of a single state. States outside the automaton close to
+    themselves, matching the old walk's behavior. *)
+let closure_of a q =
+  match Hashtbl.find_opt (Afsa.eps_closures a) q with
+  | Some cl -> cl
+  | None -> ISet.singleton q
+
 (** ε-closure of a state set. *)
 let closure a set =
-  let rec go seen = function
-    | [] -> seen
-    | q :: rest ->
-        if ISet.mem q seen then go seen rest
-        else go (ISet.add q seen) (Afsa.eps_succs a q @ rest)
-  in
-  go ISet.empty (ISet.elements set)
-
-let closure_of a q = closure a (ISet.singleton q)
-
-(* All ε-closures at once, memoized across states: states in the same
-   ε-SCC share one closure set (physically), and each SCC's closure is
-   the union of its members with the closures of its successor SCCs —
-   computed once, in reverse topological order. Tarjan's algorithm with
-   an explicit stack (views of long protocols produce ε-chains of
-   unbounded depth, so no recursion), O(V + E) overall where the naive
-   per-state closure is O(V · E). *)
-let all_closures a states =
-  let index = Hashtbl.create 64 in (* state -> DFS index *)
-  let lowlink = Hashtbl.create 64 in
-  let on_stack = Hashtbl.create 64 in
-  let scc_stack = ref [] in
-  let closures : (int, ISet.t) Hashtbl.t = Hashtbl.create 64 in
-  let counter = ref 0 in
-  let visit root =
-    if not (Hashtbl.mem index root) then begin
-      (* call-stack frames: (state, remaining successors) *)
-      let enter q =
-        Hashtbl.replace index q !counter;
-        Hashtbl.replace lowlink q !counter;
-        incr counter;
-        scc_stack := q :: !scc_stack;
-        Hashtbl.replace on_stack q ();
-        (q, ref (Afsa.eps_succs a q))
-      in
-      let frames = ref [ enter root ] in
-      while !frames <> [] do
-        match !frames with
-        | [] -> ()
-        | (q, succs) :: rest -> (
-            match !succs with
-            | t :: ts ->
-                succs := ts;
-                if not (Hashtbl.mem index t) then frames := enter t :: !frames
-                else if Hashtbl.mem on_stack t then
-                  Hashtbl.replace lowlink q
-                    (min (Hashtbl.find lowlink q) (Hashtbl.find index t))
-            | [] ->
-                (* q finished: pop its SCC if it is a root, then fold its
-                   lowlink into the parent *)
-                if Hashtbl.find lowlink q = Hashtbl.find index q then begin
-                  (* collect the SCC *)
-                  let rec pop members = function
-                    | s :: tail ->
-                        Hashtbl.remove on_stack s;
-                        if s = q then (s :: members, tail)
-                        else pop (s :: members) tail
-                    | [] -> (members, [])
-                  in
-                  let members, tail = pop [] !scc_stack in
-                  scc_stack := tail;
-                  (* successors outside the SCC are already closed
-                     (Tarjan emits SCCs in reverse topological order) *)
-                  let cl =
-                    List.fold_left
-                      (fun acc s ->
-                        List.fold_left
-                          (fun acc t ->
-                            match Hashtbl.find_opt closures t with
-                            | Some c -> ISet.union c acc
-                            | None -> acc (* t inside this SCC *))
-                          (ISet.add s acc) (Afsa.eps_succs a s))
-                      ISet.empty members
-                  in
-                  List.iter (fun s -> Hashtbl.replace closures s cl) members
-                end;
-                frames := rest;
-                (match rest with
-                | (p, _) :: _ ->
-                    Hashtbl.replace lowlink p
-                      (min (Hashtbl.find lowlink p) (Hashtbl.find lowlink q))
-                | [] -> ()))
-      done
-    end
-  in
-  List.iter visit states;
-  closures
+  let tbl = Afsa.eps_closures a in
+  ISet.fold
+    (fun q acc ->
+      match Hashtbl.find_opt tbl q with
+      | Some cl -> ISet.union cl acc
+      | None -> ISet.add q acc)
+    set ISet.empty
 
 (** Remove all ε-transitions, preserving the language. For each state
     [q], the new outgoing edges are the proper edges of all states in
     the ε-closure of [q]; [q] is final if its closure meets a final
     state; its annotation is the conjunction of the closure's
     annotations. Unreachable states are dropped. ε-closures are
-    computed once per state per call (shared within ε-SCCs), not
-    re-explored per state. *)
+    computed once per automaton (shared within ε-SCCs), not re-explored
+    per state; when the packed form is enabled the proper out-edges are
+    swept from the CSR rows instead of materializing [out_rows]. *)
 let eliminate ?budget a =
   let budget =
     match budget with Some b -> b | None -> Budget.ambient ()
   in
   if not (Afsa.has_eps a) then a
   else
-    let states = Afsa.states a in
-    let cl_tbl = all_closures a states in
-    let closure_of q = Hashtbl.find cl_tbl q in
-    let edges =
-      List.concat_map
-        (fun q ->
+    let edges, finals, ann =
+      if Afsa.Packed.enabled () && Afsa.Packed.worth a then begin
+        (* One fused sweep per state over the dense ε-closure CSR: the
+           closure rows come out sorted ascending (dense ascending ==
+           original-id ascending), so the finals test, the F.and_ fold
+           and the budget tick all happen in exactly the order the map
+           branch below uses. *)
+        let module P = Afsa.Packed in
+        let p = P.get a in
+        let cl_off, cl_tgt = P.eps_closure_csr p in
+        let edges = ref [] and finals = ref [] and ann = ref [] in
+        for i = 0 to p.P.n - 1 do
           Budget.tick budget;
-          ISet.fold
-            (fun p acc ->
-              List.fold_left
-                (fun acc (sym, ts) ->
-                  match sym with
-                  | Sym.Eps -> acc
-                  | Sym.L _ ->
-                      List.fold_left (fun acc t -> (q, sym, t) :: acc) acc ts)
-                acc (Afsa.out_rows a p))
-            (closure_of q) [])
-        states
-    in
-    let finals =
-      List.filter
-        (fun q -> ISet.exists (Afsa.is_final a) (closure_of q))
-        states
-    in
-    let ann =
-      List.filter_map
-        (fun q ->
-          let f =
-            ISet.fold
-              (fun p acc -> F.and_ (Afsa.annotation a p) acc)
-              (closure_of q) F.True
-          in
-          let f = Chorev_formula.Simplify.simplify f in
-          if F.equal f F.True then None else Some (q, f))
-        states
+          let q = p.P.state_ids.(i) in
+          let fin = ref false and f = ref F.True in
+          for k = cl_off.(i) to cl_off.(i + 1) - 1 do
+            let m = cl_tgt.(k) in
+            if Bitset.mem p.P.finals m then fin := true;
+            f := F.and_ p.P.ann.(m) !f;
+            for e = p.P.row_off.(m) to p.P.row_off.(m + 1) - 1 do
+              edges :=
+                ( q,
+                  p.P.syms.(p.P.row_sym.(e)),
+                  p.P.state_ids.(p.P.row_tgt.(e)) )
+                :: !edges
+            done
+          done;
+          if !fin then finals := q :: !finals;
+          let f = Chorev_formula.Simplify.simplify !f in
+          if not (F.equal f F.True) then ann := (q, f) :: !ann
+        done;
+        (!edges, !finals, !ann)
+      end
+      else begin
+        let states = Afsa.states a in
+        let cl_tbl = Afsa.eps_closures a in
+        let closure_of q = Hashtbl.find cl_tbl q in
+        let edges =
+          List.concat_map
+            (fun q ->
+              Budget.tick budget;
+              ISet.fold
+                (fun p acc ->
+                  List.fold_left
+                    (fun acc (sym, ts) ->
+                      match sym with
+                      | Sym.Eps -> acc
+                      | Sym.L _ ->
+                          List.fold_left
+                            (fun acc t -> (q, sym, t) :: acc)
+                            acc ts)
+                    acc (Afsa.out_rows a p))
+                (closure_of q) [])
+            states
+        in
+        let finals =
+          List.filter
+            (fun q -> ISet.exists (Afsa.is_final a) (closure_of q))
+            states
+        in
+        let ann =
+          List.filter_map
+            (fun q ->
+              let f =
+                ISet.fold
+                  (fun p acc -> F.and_ (Afsa.annotation a p) acc)
+                  (closure_of q) F.True
+              in
+              let f = Chorev_formula.Simplify.simplify f in
+              if F.equal f F.True then None else Some (q, f))
+            states
+        in
+        (edges, finals, ann)
+      end
     in
     Afsa.make
       ~alphabet:(Afsa.alphabet a)

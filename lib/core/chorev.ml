@@ -196,6 +196,7 @@ module Obs = struct
   module Sink = Chorev_obs.Sink
   module Metrics = Chorev_obs.Metrics
   module Profile = Chorev_obs.Profile
+  module Alloc = Chorev_obs.Alloc
 end
 
 (* Multicore fan-out *)

@@ -1,52 +1,96 @@
 (** Per-phase profiling sink (see profile.mli). *)
 
-type row = { name : string; count : int; total_s : float; max_s : float }
+type row = {
+  name : string;
+  count : int;
+  total_s : float;
+  max_s : float;
+  minor_w : int;
+  major_w : int;
+}
 
-type cell = { mutable c : int; mutable total : float; mutable max : float }
+type cell = {
+  mutable c : int;
+  mutable total : float;
+  mutable max : float;
+  mutable minor_w : int;
+  mutable major_w : int;
+}
 
-type t = { cells : (string, cell) Hashtbl.t }
+type t = {
+  cells : (string, cell) Hashtbl.t;
+  open_snaps : (int, Alloc.snap) Hashtbl.t;
+      (* GC snapshot taken at each span's [Open], keyed by span id;
+         removed at [Close]. Nested spans double-count their children's
+         allocations, exactly like their elapsed time. *)
+}
 
-let create () = { cells = Hashtbl.create 32 }
+let create () = { cells = Hashtbl.create 32; open_snaps = Hashtbl.create 32 }
 
 let sink t =
   {
     Sink.emit =
       (fun ev ->
         match ev with
-        | Sink.Open _ -> ()
+        | Sink.Open (sp, _) ->
+            Hashtbl.replace t.open_snaps sp.Sink.id (Alloc.snap ())
         | Sink.Close (sp, _, elapsed) ->
             let cell =
               match Hashtbl.find_opt t.cells sp.Sink.name with
               | Some c -> c
               | None ->
-                  let c = { c = 0; total = 0.; max = 0. } in
+                  let c =
+                    { c = 0; total = 0.; max = 0.; minor_w = 0; major_w = 0 }
+                  in
                   Hashtbl.add t.cells sp.Sink.name c;
                   c
             in
             cell.c <- cell.c + 1;
             cell.total <- cell.total +. elapsed;
-            if elapsed > cell.max then cell.max <- elapsed);
+            if elapsed > cell.max then cell.max <- elapsed;
+            (match Hashtbl.find_opt t.open_snaps sp.Sink.id with
+            | None -> ()
+            | Some before ->
+                Hashtbl.remove t.open_snaps sp.Sink.id;
+                let d = Alloc.diff before (Alloc.snap ()) in
+                cell.minor_w <- cell.minor_w + d.Alloc.minor_w;
+                cell.major_w <-
+                  cell.major_w + d.Alloc.major_w + d.Alloc.promoted_w));
     flush = (fun () -> ());
   }
 
 let rows t =
   Hashtbl.fold
     (fun name cell acc ->
-      { name; count = cell.c; total_s = cell.total; max_s = cell.max } :: acc)
+      {
+        name;
+        count = cell.c;
+        total_s = cell.total;
+        max_s = cell.max;
+        minor_w = cell.minor_w;
+        major_w = cell.major_w;
+      }
+      :: acc)
     t.cells []
   |> List.sort (fun a b -> compare b.total_s a.total_s)
+
+let words w =
+  if w >= 10_000_000 then Printf.sprintf "%dMw" (w / 1_000_000)
+  else if w >= 10_000 then Printf.sprintf "%dkw" (w / 1_000)
+  else Printf.sprintf "%dw" w
 
 let pp ppf t =
   match rows t with
   | [] -> Fmt.pf ppf "(no spans recorded — is tracing enabled?)@."
   | rs ->
-      Fmt.pf ppf "%-28s %8s %12s %12s %12s@." "phase" "calls" "total ms"
-        "mean ms" "max ms";
-      Fmt.pf ppf "%s@." (String.make 76 '-');
+      Fmt.pf ppf "%-28s %8s %12s %12s %12s %10s %10s@." "phase" "calls"
+        "total ms" "mean ms" "max ms" "minor" "major";
+      Fmt.pf ppf "%s@." (String.make 98 '-');
       List.iter
         (fun r ->
-          Fmt.pf ppf "%-28s %8d %12.3f %12.3f %12.3f@." r.name r.count
+          Fmt.pf ppf "%-28s %8d %12.3f %12.3f %12.3f %10s %10s@." r.name
+            r.count
             (1000. *. r.total_s)
             (1000. *. r.total_s /. float_of_int r.count)
-            (1000. *. r.max_s))
+            (1000. *. r.max_s) (words r.minor_w) (words r.major_w))
         rs

@@ -2,24 +2,32 @@
 
     The CLI's [--profile] flag and the bench harness install
     [Profile.sink] (usually teed with a trace sink), run the workload,
-    then print {!pp} — a per-phase table of call counts and wall-clock
-    totals — alongside the {!Metrics} counters. *)
+    then print {!pp} — a per-phase table of call counts, wall-clock
+    totals and allocated words — alongside the {!Metrics} counters.
+
+    Allocation columns come from {!Alloc} snapshots taken at span open
+    and close; like elapsed time, a parent span's words include its
+    children's. *)
 
 type row = {
   name : string;
   count : int;
   total_s : float;  (** summed elapsed wall-clock seconds *)
   max_s : float;
+  minor_w : int;  (** summed minor-heap words allocated in the phase *)
+  major_w : int;  (** summed major-heap words (direct + promoted) *)
 }
 
 type t
 
 val create : unit -> t
 val sink : t -> Sink.t
-(** Aggregates every [Close] event into the table; [Open]s are free. *)
+(** Aggregates every [Close] event into the table; [Open]s snapshot the
+    GC counters for the allocation columns. *)
 
 val rows : t -> row list
 (** Rows sorted by total time, descending. *)
 
 val pp : Format.formatter -> t -> unit
-(** [phase / calls / total ms / mean ms / max ms] table. *)
+(** [phase / calls / total ms / mean ms / max ms / minor / major]
+    table. *)

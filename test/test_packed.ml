@@ -1,0 +1,373 @@
+(* Packed-vs-map differential suite (DESIGN.md §12): every kernel with
+   a packed (CSR) implementation — determinize, ε-elimination, the
+   product family behind intersect/difference/union, the emptiness
+   fixpoint, completion, fingerprinting — must produce results
+   STRUCTURALLY identical to the original map-shaped kernels, which
+   stay available behind [CHOREV_NO_PACK] as the oracle mode. On top of
+   the structural differentials, fuel-parity tests assert that both
+   kernels tick budgets identically: the same [`Exceeded] trip points
+   and the same [spent] at every fuel level, and identically across
+   pool sizes 1/2/8. *)
+
+module C = Chorev
+module A = C.Afsa
+module B = C.Guard.Budget
+module W = C.Workload.Gen_afsa
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let n_seeds = 80
+
+(* Cutoff 0 defeats the small-automaton dispatch heuristic: the suite's
+   inputs are deliberately tiny, and the packed side must actually run
+   the packed kernels for the differential to mean anything. *)
+let with_packed f = A.Packed.with_enabled true (fun () -> A.Packed.with_cutoff 0 f)
+let with_map f = A.Packed.with_enabled false f
+
+(* Relabel every third proper edge to ε — the random generators emit
+   proper edges only, and the ε CSR / closure paths need coverage. *)
+let sprinkle_eps a =
+  let edges =
+    List.mapi
+      (fun i (s, sym, t) -> if i mod 3 = 2 then (s, C.Sym.Eps, t) else (s, sym, t))
+      (A.edges a)
+  in
+  A.make ~alphabet:(A.alphabet a) ~start:(A.start a) ~finals:(A.finals a)
+    ~edges ~ann:(A.annotations a) ()
+
+let random_inputs =
+  lazy
+    (List.concat_map
+       (fun s ->
+         let x = W.random ~seed:s ~states:6 ~ann_p:0.3 () in
+         [ (s, x); (1000 + s, sprinkle_eps x) ])
+       (List.init n_seeds Fun.id))
+
+let protocol_inputs =
+  lazy
+    (List.map
+       (fun s -> (s, W.random_protocol ~seed:s ~states:8 ()))
+       (List.init n_seeds Fun.id))
+
+let edge_inputs =
+  let l n = C.Sym.L (C.Label.make ~sender:"A" ~receiver:"B" n) in
+  [
+    (0, A.make ~start:0 ~finals:[ 0 ] ~edges:[] ());
+    (1, A.make ~start:0 ~finals:[] ~edges:[ (0, l "x", 1) ] ());
+    (* ε-cycle through the start, ε into a final *)
+    ( 2,
+      A.make ~start:0 ~finals:[ 2 ]
+        ~edges:
+          [
+            (0, C.Sym.Eps, 1); (1, C.Sym.Eps, 0); (1, l "a", 2); (2, C.Sym.Eps, 0);
+          ]
+        () );
+    (* annotated diamond with a dead branch *)
+    ( 3,
+      A.make ~start:0 ~finals:[ 3 ]
+        ~edges:[ (0, l "a", 1); (0, l "b", 2); (1, l "c", 3); (2, l "d", 2) ]
+        ~ann:[ (1, C.Formula.var "A#B#cOp") ]
+        () );
+  ]
+
+let all_inputs () =
+  Lazy.force random_inputs @ Lazy.force protocol_inputs @ edge_inputs
+
+(* Both kernels, fresh copies (a private index per run, so neither mode
+   sees caches the other built), compared structurally. *)
+let differential name op =
+  List.iter
+    (fun (s, x) ->
+      let packed = with_packed (fun () -> op (A.copy x)) in
+      let map = with_map (fun () -> op (A.copy x)) in
+      check_bool
+        (Printf.sprintf "%s packed = map (input %d)" name s)
+        true
+        (A.structurally_equal packed map))
+    (all_inputs ())
+
+let test_determinize () = differential "determinize" C.Determinize.determinize
+let test_eliminate () = differential "eliminate" C.Epsilon.eliminate
+let test_minimize () = differential "minimize" C.Minimize.minimize
+
+let binop_differential name op =
+  List.iter
+    (fun s ->
+      let a = W.random ~seed:(2 * s) ~states:5 ~ann_p:0.3 () in
+      let b = W.random ~seed:((2 * s) + 1) ~states:5 ~ann_p:0.3 () in
+      let packed = with_packed (fun () -> op (A.copy a) (A.copy b)) in
+      let map = with_map (fun () -> op (A.copy a) (A.copy b)) in
+      check_bool
+        (Printf.sprintf "%s packed = map (seed %d)" name s)
+        true
+        (A.structurally_equal packed map))
+    (List.init n_seeds Fun.id)
+
+let test_intersect () = binop_differential "intersect" C.Ops.intersect
+let test_difference () = binop_differential "difference" C.Ops.difference
+let test_union () = binop_differential "union" C.Ops.union
+
+let test_emptiness () =
+  List.iter
+    (fun (s, x) ->
+      let rp = with_packed (fun () -> C.Emptiness.analyze (A.copy x)) in
+      let rm = with_map (fun () -> C.Emptiness.analyze (A.copy x)) in
+      check_bool
+        (Printf.sprintf "verdict (input %d)" s)
+        rm.C.Emptiness.nonempty rp.C.Emptiness.nonempty;
+      check_bool
+        (Printf.sprintf "sat set (input %d)" s)
+        true
+        (A.ISet.equal rm.C.Emptiness.sat rp.C.Emptiness.sat);
+      check_int
+        (Printf.sprintf "iterations (input %d)" s)
+        rm.C.Emptiness.iterations rp.C.Emptiness.iterations)
+    (all_inputs ())
+
+(* ε-closures against a naive reference walk, and through both closure
+   entry points. *)
+let naive_closure a set =
+  let rec go seen = function
+    | [] -> seen
+    | q :: rest ->
+        if A.ISet.mem q seen then go seen rest
+        else go (A.ISet.add q seen) (A.eps_succs a q @ rest)
+  in
+  go A.ISet.empty (A.ISet.elements set)
+
+let test_closures () =
+  List.iter
+    (fun (s, x) ->
+      List.iter
+        (fun q ->
+          let reference = naive_closure x (A.ISet.singleton q) in
+          let packed =
+            with_packed (fun () -> C.Epsilon.closure_of (A.copy x) q)
+          in
+          let map = with_map (fun () -> C.Epsilon.closure_of (A.copy x) q) in
+          check_bool
+            (Printf.sprintf "closure_of packed (input %d, state %d)" s q)
+            true
+            (A.ISet.equal reference packed);
+          check_bool
+            (Printf.sprintf "closure_of map (input %d, state %d)" s q)
+            true
+            (A.ISet.equal reference map))
+        (A.states x);
+      let all = A.ISet.of_list (A.states x) in
+      let reference = naive_closure x all in
+      let packed = with_packed (fun () -> C.Epsilon.closure (A.copy x) all) in
+      check_bool
+        (Printf.sprintf "closure of full state set (input %d)" s)
+        true
+        (A.ISet.equal reference packed))
+    (all_inputs ())
+
+let test_complete () =
+  let over = W.vocabulary 6 in
+  List.iter
+    (fun (s, x) ->
+      let x = C.Determinize.determinize x in
+      let packed = with_packed (fun () -> C.Complete.complete ~over (A.copy x)) in
+      let map = with_map (fun () -> C.Complete.complete ~over (A.copy x)) in
+      check_bool
+        (Printf.sprintf "complete packed = map (input %d)" s)
+        true
+        (A.structurally_equal packed map))
+    (all_inputs ())
+
+(* The packed serialize fast path must produce the same digest as the
+   ordered-map rendering — it only runs when the pack is already
+   cached, so force the cache first. *)
+let test_fingerprint () =
+  List.iter
+    (fun (s, x) ->
+      let packed =
+        with_packed (fun () ->
+            let x = A.copy x in
+            ignore (A.Packed.get x);
+            C.Fingerprint.compute x)
+      in
+      let map = with_map (fun () -> C.Fingerprint.compute (A.copy x)) in
+      check_bool (Printf.sprintf "digest (input %d)" s) true (packed = map))
+    (all_inputs ())
+
+(* ------------------------------------------------------------------ *)
+(* Fuel parity                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Run one op under a pure-fuel budget in both kernel modes: identical
+   [`Done] results, or identical [`Exceeded] trip points — same reason,
+   same [spent] — at every fuel level up to completion. *)
+let fuel_parity name op inputs =
+  List.iter
+    (fun (s, x) ->
+      let run mode fuel =
+        mode (fun () ->
+            let b = B.create ~fuel () in
+            let r = B.run b (fun () -> op (A.copy x)) in
+            (r, B.spent b))
+      in
+      (* fuel needed to finish, from an unbounded probe *)
+      let full =
+        with_packed (fun () ->
+            let b = B.create () in
+            ignore (B.run b (fun () -> op (A.copy x)));
+            B.spent b)
+      in
+      List.iter
+        (fun fuel ->
+          let rp, sp = run with_packed fuel in
+          let rm, sm = run with_map fuel in
+          check_int
+            (Printf.sprintf "%s: spent at fuel %d (input %d)" name fuel s)
+            sm sp;
+          match (rp, rm) with
+          | `Done dp, `Done dm ->
+              check_bool
+                (Printf.sprintf "%s: done at fuel %d (input %d)" name fuel s)
+                true
+                (A.structurally_equal dp dm)
+          | `Exceeded ip, `Exceeded im ->
+              check_bool
+                (Printf.sprintf "%s: reason at fuel %d (input %d)" name fuel s)
+                true
+                (ip.B.reason = im.B.reason);
+              check_int
+                (Printf.sprintf "%s: trip spent at fuel %d (input %d)" name
+                   fuel s)
+                im.B.spent ip.B.spent
+          | _ ->
+              Alcotest.failf "%s: kernels diverge at fuel %d (input %d)" name
+                fuel s)
+        (List.init (full + 1) (fun i -> i + 1)))
+    inputs
+
+let parity_inputs () =
+  List.filteri (fun i _ -> i mod 10 = 0) (all_inputs ())
+
+let test_fuel_determinize () =
+  fuel_parity "determinize" C.Determinize.determinize (parity_inputs ())
+
+let test_fuel_eliminate () =
+  fuel_parity "eliminate" C.Epsilon.eliminate (parity_inputs ())
+
+let test_fuel_binops () =
+  List.iter
+    (fun s ->
+      let a = W.random ~seed:(2 * s) ~states:5 ~ann_p:0.3 () in
+      let b = W.random ~seed:((2 * s) + 1) ~states:5 ~ann_p:0.3 () in
+      fuel_parity "difference"
+        (fun x -> C.Ops.difference x (A.copy b))
+        [ (s, a) ])
+    [ 0; 7; 23 ]
+
+let test_fuel_emptiness () =
+  List.iter
+    (fun (s, x) ->
+      let probe =
+        with_packed (fun () ->
+            let b = B.create () in
+            ignore (B.run b (fun () -> C.Emptiness.analyze (A.copy x)));
+            B.spent b)
+      in
+      List.iter
+        (fun fuel ->
+          let go mode =
+            mode (fun () ->
+                let b = B.create ~fuel () in
+                (B.run b (fun () -> C.Emptiness.analyze (A.copy x)), B.spent b))
+          in
+          let rp, sp = go with_packed in
+          let rm, sm = go with_map in
+          check_int (Printf.sprintf "spent at fuel %d (input %d)" fuel s) sm sp;
+          match (rp, rm) with
+          | `Done dp, `Done dm ->
+              check_bool
+                (Printf.sprintf "sat at fuel %d (input %d)" fuel s)
+                true
+                (A.ISet.equal dm.C.Emptiness.sat dp.C.Emptiness.sat)
+          | `Exceeded ip, `Exceeded im ->
+              check_int
+                (Printf.sprintf "trip at fuel %d (input %d)" fuel s)
+                im.B.spent ip.B.spent
+          | _ -> Alcotest.failf "diverge at fuel %d (input %d)" fuel s)
+        (List.init (probe + 1) (fun i -> i + 1)))
+    (parity_inputs ())
+
+(* Fuel trips must also be identical across pool sizes in both kernel
+   modes: the evolution pipeline mints op budgets inside pool tasks, so
+   a fueled run's degradations are a deterministic function of the
+   model — not of the schedule or of the kernel representation. *)
+let test_fuel_pool_parity () =
+  let model =
+    C.Choreography.Model.of_processes
+      (List.map snd C.Scenario.Procurement.parties)
+  in
+  let run mode jobs =
+    mode (fun () ->
+        let config =
+          {
+            C.Choreography.Evolution.default with
+            jobs;
+            op_budget = { B.spec_unlimited with fuel = Some 200 };
+          }
+        in
+        match
+          C.Choreography.Evolution.run ~config model ~owner:"A"
+            ~changed:C.Scenario.Procurement.accounting_cancel
+        with
+        | Ok r ->
+            ( r.C.Choreography.Evolution.consistent,
+              List.map
+                (fun (rd : C.Choreography.Evolution.round) ->
+                  ( rd.originator,
+                    rd.public_changed,
+                    List.map
+                      (fun (p : C.Choreography.Evolution.partner_report) ->
+                        ( p.partner,
+                          p.verdict,
+                          Option.is_some p.outcome,
+                          List.length p.degraded ))
+                      rd.partners ))
+                r.C.Choreography.Evolution.rounds )
+        | Error (`Unknown_party p) -> Alcotest.failf "unknown party %s" p)
+  in
+  let reference = run with_map 1 in
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "packed fueled run equal (jobs=%d)" jobs)
+        true
+        (run with_packed jobs = reference);
+      check_bool
+        (Printf.sprintf "map fueled run equal (jobs=%d)" jobs)
+        true
+        (run with_map jobs = reference))
+    [ 1; 2; 8 ]
+
+let () =
+  Alcotest.run "packed"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "determinize" `Quick test_determinize;
+          Alcotest.test_case "eliminate" `Quick test_eliminate;
+          Alcotest.test_case "minimize" `Quick test_minimize;
+          Alcotest.test_case "intersect" `Quick test_intersect;
+          Alcotest.test_case "difference" `Quick test_difference;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "emptiness" `Quick test_emptiness;
+          Alcotest.test_case "closures" `Quick test_closures;
+          Alcotest.test_case "complete" `Quick test_complete;
+          Alcotest.test_case "fingerprint" `Quick test_fingerprint;
+        ] );
+      ( "fuel parity",
+        [
+          Alcotest.test_case "determinize" `Quick test_fuel_determinize;
+          Alcotest.test_case "eliminate" `Quick test_fuel_eliminate;
+          Alcotest.test_case "binops" `Quick test_fuel_binops;
+          Alcotest.test_case "emptiness" `Quick test_fuel_emptiness;
+          Alcotest.test_case "pool sizes 1/2/8" `Quick test_fuel_pool_parity;
+        ] );
+    ]
