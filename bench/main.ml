@@ -434,6 +434,69 @@ let serve_tests () =
 let serve_tests_quick () =
   [ serve_test ~name:"scale_serve_mixed_small" ~tenants:16 ~requests:128 () ]
 
+(* The batched instance migrator (lib/migrate, DESIGN.md §13): each run
+   rebuilds the seeded two-version population from its plan and pushes
+   it through the tracking-shape schema change. The counters put the
+   verdict mix, memo behaviour and fuel spend next to the timing row. *)
+let migrate_scale_test ~name instances =
+  let plan =
+    {
+      C.Migrate.Engine.publics = [ gen P.buyer_process; gen P.buyer_with_cancel ];
+      target = gen P.buyer_once;
+      pops =
+        [
+          {
+            C.Migrate.Population.version = 1;
+            count = instances / 2;
+            seed = 17;
+            max_len = 12;
+            prefix = "a-";
+          };
+          {
+            C.Migrate.Population.version = 2;
+            count = instances - (instances / 2);
+            seed = 1_000_017;
+            max_len = 12;
+            prefix = "b-";
+          };
+        ];
+      batch_size = 1024;
+      batch_fuel = None;
+      memo_capacity = 65_536;
+    }
+  in
+  t name (fun () ->
+      let vs = C.Migrate.Engine.build_plan plan in
+      let rep =
+        C.Migrate.Engine.run
+          ~options:(C.Migrate.Engine.options_of_plan plan)
+          vs plan.C.Migrate.Engine.target
+      in
+      let migrated, finishing, stuck, fresh, hits, fuel =
+        C.Migrate.Engine.totals rep
+      in
+      record_counters name
+        [
+          ("migrate.instances", rep.C.Migrate.Engine.total);
+          ("migrate.migrated", migrated);
+          ("migrate.finishing", finishing);
+          ("migrate.stuck", stuck);
+          ("migrate.fresh", fresh);
+          ("migrate.hits", hits);
+          ("migrate.fuel", fuel);
+          ( "migrate.deferred",
+            List.length (C.Migrate.Engine.deferred_batches rep) );
+        ])
+
+let migrate_scale_tests () =
+  [
+    migrate_scale_test ~name:"scale_migrate_10k" 10_000;
+    migrate_scale_test ~name:"scale_migrate_100k" 100_000;
+  ]
+
+let migrate_scale_tests_quick () =
+  [ migrate_scale_test ~name:"scale_migrate_small" 2_000 ]
+
 let global_tests () =
   let pub_acc = Lazy.force pub_acc in
   let procurement = Lazy.force procurement in
@@ -1018,6 +1081,7 @@ let () =
     if !quick then
       figure_tests () @ ladder_tests [ 10; 50 ] @ evolution_rounds_tests ()
       @ serve_tests_quick ()
+      @ migrate_scale_tests_quick ()
     else
       figure_tests ()
       @ ladder_tests [ 10; 50; 100; 200; 400 ]
@@ -1029,6 +1093,7 @@ let () =
       @ guard_tests ()
       @ evolution_rounds_tests ()
       @ serve_tests ()
+      @ migrate_scale_tests ()
   in
   let tests =
     match !only with

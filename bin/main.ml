@@ -605,24 +605,38 @@ let evolve_cmd =
 (* ------------------------------ resume ----------------------------- *)
 
 let resume_run () dir budgets =
-  let config = budgets C.Choreography.Evolution.default in
-  match C.Journal.Evolve.resume ~config ~dir () with
-  | Ok o ->
-      Fmt.epr "replayed %d round(s) from %s@." o.C.Journal.Evolve.replayed dir;
-      Fmt.pr "%a@." C.Journal.Evolve.pp_outcome o;
-      if o.C.Journal.Evolve.consistent then 0 else 1
-  | Error e ->
-      Fmt.epr "%s@." e;
-      2
+  if C.Migrate.Engine.is_journal dir then
+    (* A migration journal (migrate-plan.json present) — finish the
+       batched migration instead of an evolution run. *)
+    match C.Migrate.Engine.resume ~dir () with
+    | Ok { C.Migrate.Engine.report; replayed } ->
+        Fmt.epr "replayed %d batch(es) from %s@." replayed dir;
+        Fmt.pr "%a@." C.Migrate.Engine.pp_report report;
+        0
+    | Error e ->
+        Fmt.epr "%s@." e;
+        2
+  else
+    let config = budgets C.Choreography.Evolution.default in
+    match C.Journal.Evolve.resume ~config ~dir () with
+    | Ok o ->
+        Fmt.epr "replayed %d round(s) from %s@." o.C.Journal.Evolve.replayed
+          dir;
+        Fmt.pr "%a@." C.Journal.Evolve.pp_outcome o;
+        if o.C.Journal.Evolve.consistent then 0 else 1
+    | Error e ->
+        Fmt.epr "%s@." e;
+        2
 
 let resume_cmd =
   Cmd.v
     (Cmd.info "resume"
        ~doc:
-         "Finish a journaled $(b,chorev evolve) run: replay the committed \
-          rounds from the journal, run the remaining rounds live, and \
-          print the same outcome the uninterrupted run would have \
-          printed (the replay note goes to stderr)")
+         "Finish a journaled $(b,chorev evolve) or $(b,chorev migrate) \
+          run: replay the committed rounds (or batches) from the \
+          journal, run the rest live, and print the same output the \
+          uninterrupted run would have printed (the replay note goes to \
+          stderr)")
     Term.(
       const resume_run $ obs_term
       $ Arg.(
@@ -630,6 +644,167 @@ let resume_cmd =
           & pos 0 (some string) None
           & info [] ~docv:"DIR" ~doc:"Journal directory")
       $ budget_term)
+
+(* ------------------------------ migrate ---------------------------- *)
+
+(* chorev migrate — push a large seeded instance population through a
+   schema change in budgeted batches (DESIGN.md §13). Stdout carries
+   only the deterministic report; timing goes to stderr. *)
+
+let migrate_plan scenario ~instances ~seed ~max_len ~batch ~batch_fuel ~memo =
+  let pop version count seed prefix =
+    { C.Migrate.Population.version; count; seed; max_len; prefix }
+  in
+  let publics, target, pops =
+    match scenario with
+    | `Cancel ->
+        (* v1 = the Fig. 6 buyer public; target adds the cancel branch
+           (Fig. 14) — every trace replays, the whole population
+           migrates. *)
+        ( [ gen P.buyer_process ],
+          gen P.buyer_with_cancel,
+          [ pop 1 instances seed "i-" ] )
+    | `Tracking ->
+        (* Two live versions (plain and with-cancel), migrating onto
+           the restricted buyer_once public — a mixed population of
+           migratable / finish-on-old instances. *)
+        let half = instances / 2 in
+        ( [ gen P.buyer_process; gen P.buyer_with_cancel ],
+          gen P.buyer_once,
+          [ pop 1 half seed "a-"; pop 2 (instances - half) (seed + 1_000_000) "b-" ] )
+  in
+  {
+    C.Migrate.Engine.publics;
+    target;
+    pops;
+    batch_size = batch;
+    batch_fuel;
+    memo_capacity = memo;
+  }
+
+let migrate_run () scenario instances batch seed max_len batch_fuel memo
+    journal crash_after =
+  let plan =
+    migrate_plan scenario ~instances ~seed ~max_len ~batch ~batch_fuel ~memo
+  in
+  let t0 = Unix.gettimeofday () in
+  let finish (rep : C.Migrate.Engine.report) =
+    let dt = Unix.gettimeofday () -. t0 in
+    Fmt.pr "%a@." C.Migrate.Engine.pp_report rep;
+    Fmt.epr "%d instances in %.2fs (%.0f instances/s)@." rep.total dt
+      (float_of_int rep.total /. Float.max dt 1e-9);
+    0
+  in
+  match journal with
+  | None ->
+      if crash_after <> None then begin
+        Fmt.epr "--crash-after requires --journal@.";
+        2
+      end
+      else
+        let vs = C.Migrate.Engine.build_plan plan in
+        let rep =
+          C.Migrate.Engine.run
+            ~options:(C.Migrate.Engine.options_of_plan plan)
+            vs plan.C.Migrate.Engine.target
+        in
+        finish rep
+  | Some dir -> (
+      match C.Journal.Dir.validate_root (Filename.dirname dir) with
+      | Error e ->
+          Fmt.epr "%s@." e;
+          2
+      | Ok () -> (
+          match C.Migrate.Engine.run_journaled ?crash_after ~dir plan with
+          | Ok rep -> finish rep
+          | Error e ->
+              Fmt.epr "%s@." e;
+              2
+          | exception C.Migrate.Engine.Simulated_crash k ->
+              Fmt.epr "simulated crash after batch %d@." k;
+              3))
+
+let migrate_cmd =
+  let scenario_arg =
+    let scen_conv =
+      Arg.enum [ ("tracking", `Tracking); ("cancel", `Cancel) ]
+    in
+    Arg.(
+      value & pos 0 scen_conv `Tracking
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "$(b,tracking) (two live versions onto the restricted \
+             buyer_once public — mixed verdicts) or $(b,cancel) (one \
+             version onto the with-cancel public — everything migrates)")
+  in
+  let instances_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "instances" ] ~docv:"N" ~doc:"Population size")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "batch" ] ~docv:"N" ~doc:"Instances per batch")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 17
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Population sampling seed")
+  in
+  let max_len_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "max-len" ] ~docv:"N" ~doc:"Maximum sampled trace length")
+  in
+  let batch_fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch-fuel" ] ~docv:"FUEL"
+          ~doc:
+            "Fuel bound per fresh verdict and per batch total; a batch \
+             that trips it is deferred whole (left in place), never \
+             half-migrated")
+  in
+  let memo_arg =
+    Arg.(
+      value & opt int 65_536
+      & info [ "memo-capacity" ] ~docv:"N"
+          ~doc:"Verdict memo (LRU) capacity")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Journal the migration into $(docv): persist the plan, then \
+             commit one checksummed record per batch, so a killed run \
+             finishes with $(b,chorev resume) $(docv) — with output \
+             byte-identical to the uninterrupted run")
+  in
+  let crash_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-after" ] ~docv:"K"
+          ~doc:
+            "Test hook: abort (exit 3) right after committing batch \
+             $(docv) to the journal, as a hard kill at that point would")
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:
+         "Migrate a large seeded instance population through a schema \
+          change in budgeted batches: compliance verdicts fan out over \
+          the domain pool, repeated traces hit a verdict memo, \
+          over-budget batches defer whole, and $(b,--journal) makes the \
+          run crash-safe ($(b,chorev resume))")
+    Term.(
+      const migrate_run $ obs_term $ scenario_arg $ instances_arg $ batch_arg
+      $ seed_arg $ max_len_arg $ batch_fuel_arg $ memo_arg $ journal_arg
+      $ crash_after_arg)
 
 (* ------------------------- file-based commands --------------------- *)
 
@@ -893,5 +1068,5 @@ let () =
           [
             demo_cmd; check_cmd; experiments_cmd; dot_cmd; xml_cmd; run_cmd;
             sim_cmd; global_cmd; synth_cmd; public_cmd; consistent_cmd;
-            save_cmd; evolve_cmd; resume_cmd; serve_cmd;
+            save_cmd; evolve_cmd; resume_cmd; migrate_cmd; serve_cmd;
           ]))

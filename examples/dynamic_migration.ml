@@ -72,8 +72,10 @@ let () =
   (match V.find_version mgr 1 with
   | Some v1 ->
       Fmt.pr "v1 still hosts %d instance(s); once they complete:@."
-        (List.length v1.V.instances);
-      v1.V.instances <- []
+        (V.version_count v1);
+      List.iter
+        (fun (i : I.t) -> ignore (V.remove mgr ~id:i.I.id))
+        (V.version_instances v1)
   | None -> ());
   ignore (V.retire_drained mgr);
   Fmt.pr "after draining: versions %a@."

@@ -182,6 +182,12 @@ module Scenario = struct
   module Report = Chorev_scenario.Report
 end
 
+(* Batched instance migration at scale (chorev migrate; DESIGN.md §13) *)
+module Migrate = struct
+  module Population = Chorev_migrate.Population
+  module Engine = Chorev_migrate.Migrate
+end
+
 (* The multi-tenant evolution service (chorev serve; DESIGN.md §11) *)
 module Serve = struct
   module Wire = Chorev_serve.Wire

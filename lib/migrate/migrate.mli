@@ -1,0 +1,135 @@
+(** Batched instance migration at scale (DESIGN.md §13).
+
+    Pushes every live instance of a {!Chorev_migration.Versions} store
+    through a schema change in fixed-size batches: compliance verdicts
+    fan out over the domain pool under per-verdict budgets, distinct
+    traces are classified once through a fingerprint-keyed LRU, and a
+    batch that exceeds its budget is {e deferred} — left entirely in
+    place — rather than half-migrated. The whole run is deterministic:
+    the same plan yields byte-identical reports at any pool size, and
+    a journaled run killed between batches resumes to the same bytes. *)
+
+module Afsa = Chorev_afsa.Afsa
+module Instance = Chorev_migration.Instance
+module Versions = Chorev_migration.Versions
+module Compliance = Chorev_migration.Compliance
+module Pool = Chorev_parallel.Pool
+
+(** {1 Options and reports} *)
+
+type options = {
+  batch_size : int;
+  batch_fuel : int option;
+      (** fuel bound minted per verdict task; also the cap on a batch's
+          summed fresh-verdict spend. Tripping either defers the batch.
+          [None] = unbudgeted, nothing defers. *)
+  memo_capacity : int;  (** verdict LRU capacity (clamped to >= 1) *)
+  pool : Pool.t option;  (** [None] = the process-default pool *)
+}
+
+val default_options : options
+(** batch 1024, no fuel bound, memo 65536, default pool. *)
+
+type batch = {
+  index : int;
+  size : int;
+  migrated : int;
+  finishing : int;
+  stuck : int;
+  fresh : int;  (** distinct verdicts computed by this batch *)
+  hits : int;  (** memo hits during the lookup pass *)
+  fuel : int;  (** fuel spent on this batch's fresh verdicts *)
+  deferred : bool;
+}
+
+type report = {
+  to_version : int;
+  total : int;
+  batch_size : int;
+  batches : batch list;  (** ascending by index *)
+  by_version : (int * int) list;  (** final live counts, newest first *)
+  digest : string;  (** over the final instance→version assignment *)
+}
+
+val totals : report -> int * int * int * int * int * int
+(** (migrated, finishing, stuck, fresh, hits, fuel) summed over
+    non-deferred and deferred batches alike. *)
+
+val deferred_batches : report -> batch list
+
+val pp_report : Format.formatter -> report -> unit
+(** Stable ASCII rendering — no wall-clock, no pool size; the
+    byte-identity anchor for pool-invariance and resume tests. *)
+
+val final_digest : Versions.t -> string
+(** Hex digest over every live instance's (version, id, trace) in
+    admission order. *)
+
+(** {1 In-memory runs} *)
+
+val run : ?options:options -> Versions.t -> Afsa.t -> report
+(** [run vs target] opens [target] as a new version of [vs] and
+    migrates every instance that complies with it; non-compliant
+    instances stay where they are ({!Compliance.Finish_on_old} /
+    {!Compliance.Stuck}), and deferred batches stay whole on their old
+    versions. Mutates [vs]. *)
+
+(** {1 Plans} *)
+
+type plan = {
+  publics : Afsa.t list;  (** version history, oldest first (v1..vk) *)
+  target : Afsa.t;
+  pops : Population.spec list;
+  batch_size : int;
+  batch_fuel : int option;
+  memo_capacity : int;
+}
+
+val build_plan : plan -> Versions.t
+(** Rebuild the populated version store a plan describes — pure in the
+    plan, which is what lets a journal persist specs instead of traces.
+    @raise Invalid_argument on an empty history or a bad spec. *)
+
+val options_of_plan : ?pool:Pool.t -> plan -> options
+val plan_digest : plan -> string
+
+(** {1 Journaled runs}
+
+    Layout of a migration journal directory:
+
+    {v
+    DIR/
+      migrate-plan.json       -- the plan (also the dispatch marker)
+      public-001.afsa ...     -- serialized version history
+      target.afsa
+      journal.jsonl           -- Wal: start, one record per batch, done
+    v} *)
+
+exception Simulated_crash of int
+(** Raised by the [crash_after] hook after that many batches have been
+    committed — the kill-and-resume test hook (the batch record is
+    durable before the raise). *)
+
+type journaled = { report : report; replayed : int }
+
+val is_journal : string -> bool
+(** Does [dir] hold a migration plan? (How [chorev resume] tells a
+    migration journal from an evolution journal.) *)
+
+val write_plan : dir:string -> plan -> unit
+val read_plan : dir:string -> (plan, string) result
+
+val run_journaled :
+  ?pool:Pool.t -> ?crash_after:int -> dir:string -> plan -> (report, string) result
+(** Write the plan, run every batch appending one durable record per
+    batch, seal with a done record. [Error] if [dir] already holds a
+    journal. [crash_after k] raises {!Simulated_crash} after batch [k]
+    (1-based) is committed. *)
+
+val resume : ?pool:Pool.t -> dir:string -> unit -> (journaled, string) result
+(** Replay the committed batches against the rebuilt plan state —
+    verifying the journaled verdict keys and counters match what the
+    plan dictates — then run the rest live. [replayed] is the number of
+    batches taken from the journal. A sealed journal replays fully and
+    verifies the final digest. The report is byte-identical to an
+    uninterrupted run's. *)

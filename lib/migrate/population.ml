@@ -1,0 +1,33 @@
+(** Seeded instance populations over a {!Chorev_migration.Versions}
+    history: the simulated "running instances" the batched migrator
+    pushes through a schema change. A spec is tiny and fully
+    deterministic — (version, count, seed, max_len, prefix) regenerate
+    the exact same instances in the exact same admission order — which
+    is what lets the migration journal persist the {e spec} instead of
+    serializing a million traces. *)
+
+module Instance = Chorev_migration.Instance
+module Versions = Chorev_migration.Versions
+
+type spec = {
+  version : int;  (** live version the instances start on *)
+  count : int;
+  seed : int;  (** instance [k] samples with [seed + k] *)
+  max_len : int;
+  prefix : string;  (** ids are [prefix ^ "%06d"] *)
+}
+
+let id spec k = Printf.sprintf "%s%06d" spec.prefix k
+
+let populate vs spec =
+  match Versions.find_version vs spec.version with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Population.populate: no live version %d" spec.version)
+  | Some v ->
+      let sampler = Instance.Sampler.create (Versions.version_public v) in
+      for k = 0 to spec.count - 1 do
+        Versions.start_on vs spec.version
+          (Instance.Sampler.sample sampler ~id:(id spec k) ~seed:(spec.seed + k)
+             ~max_len:spec.max_len)
+      done

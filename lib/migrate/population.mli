@@ -1,0 +1,20 @@
+(** Seeded, fully deterministic instance populations: a {!spec}
+    regenerates the same instances in the same admission order every
+    time, so journals persist specs instead of traces. *)
+
+module Versions = Chorev_migration.Versions
+
+type spec = {
+  version : int;  (** live version the instances start on *)
+  count : int;
+  seed : int;  (** instance [k] samples with [seed + k] *)
+  max_len : int;
+  prefix : string;  (** ids are [prefix ^ "%06d"] *)
+}
+
+val id : spec -> int -> string
+(** The id of the [k]-th instance of the spec. *)
+
+val populate : Versions.t -> spec -> unit
+(** Sample [count] instances onto the spec's version.
+    @raise Invalid_argument when the version is not live. *)

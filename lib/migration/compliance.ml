@@ -75,3 +75,84 @@ let dispose ~old_public ~new_public inst =
           let closure = Chorev_afsa.Epsilon.closure old_public set in
           if ISet.is_empty (ISet.inter closure sat) then Stuck
           else Finish_on_old)
+
+(* ------------------------------------------------------------------ *)
+(* Batch context                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** [check] pays the full emptiness fixpoint of the new public per
+    instance — fine for one verdict, ruinous for a million. A {!ctx}
+    precomputes everything a verdict needs (ε-closures, the annotated
+    emptiness [sat] set) once per public process. After [context]
+    returns the value is sealed: every later operation only reads
+    immutable maps and fully-built hash tables, so one ctx can be
+    shared by every pool domain without {!Afsa.copy}-per-task. *)
+type ctx = {
+  public : Afsa.t;
+      (** private copy; only its immutable fields are read after build *)
+  start_set : ISet.t;  (** ε-closed start states *)
+  closures : (int, ISet.t) Hashtbl.t;  (** sealed after [context] *)
+  sat : ISet.t;
+}
+
+let context public =
+  let a = Afsa.copy public in
+  let closures = Afsa.eps_closures a in
+  let { Chorev_afsa.Emptiness.sat; _ } = Chorev_afsa.Emptiness.analyze a in
+  let closure_of q =
+    match Hashtbl.find_opt closures q with
+    | Some s -> s
+    | None -> ISet.singleton q
+  in
+  { public = a; start_set = closure_of (Afsa.start a); closures; sat }
+
+let ctx_public ctx = ctx.public
+
+let close ctx set =
+  ISet.fold
+    (fun q acc ->
+      match Hashtbl.find_opt ctx.closures q with
+      | Some s -> ISet.union s acc
+      | None -> ISet.add q acc)
+    set ISet.empty
+
+(* One fuel tick per instance plus one per consumed message keeps the
+   cost of a verdict deterministic — independent of pool size and of
+   which domain runs it — which is what lets per-batch budgets defer
+   the same batches on every run. *)
+let replay_ctx ctx (inst : Instance.t) =
+  let b = Chorev_guard.Budget.ambient () in
+  Chorev_guard.Budget.tick b;
+  let rec go set i = function
+    | [] -> Ok set
+    | l :: rest ->
+        Chorev_guard.Budget.tick b;
+        let next =
+          ISet.fold
+            (fun q acc ->
+              ISet.union (Afsa.step ctx.public q (Chorev_afsa.Sym.L l)) acc)
+            set ISet.empty
+        in
+        if ISet.is_empty next then Error i else go (close ctx next) (i + 1) rest
+  in
+  go ctx.start_set 0 inst.Instance.trace
+
+let check_ctx ctx (inst : Instance.t) =
+  match replay_ctx ctx inst with
+  | Error at ->
+      let label = List.nth inst.Instance.trace at in
+      Not_compliant { at; label }
+  | Ok closed ->
+      let good = ISet.inter closed ctx.sat in
+      if ISet.is_empty good then Dead_end { resume_states = ISet.elements closed }
+      else Migratable { resume_states = ISet.elements good }
+
+let dispose_ctx ~old_ctx ~new_ctx inst =
+  match check_ctx new_ctx inst with
+  | Migratable _ -> Migrate
+  | Not_compliant _ | Dead_end _ -> (
+      match replay_ctx old_ctx inst with
+      | Error _ -> Stuck
+      | Ok closed ->
+          if ISet.is_empty (ISet.inter closed old_ctx.sat) then Stuck
+          else Finish_on_old)

@@ -29,3 +29,28 @@ val dispose :
   old_public:Afsa.t -> new_public:Afsa.t -> Instance.t -> disposition
 (** Delayed migration: non-compliant instances may finish on the old
     version when still able to. *)
+
+(** {2 Batch checking}
+
+    {!check} recomputes the emptiness fixpoint of the public process
+    per instance; a {!ctx} pays for ε-closures and the annotated
+    emptiness analysis once. A ctx is sealed after {!context} returns
+    (only immutable maps and fully-built tables are read afterwards),
+    so a single ctx is safe to share across pool domains. *)
+
+type ctx
+
+val context : Afsa.t -> ctx
+(** Build the shared verdict context for one public process (takes a
+    private {!Afsa.copy}; the argument is not retained). *)
+
+val ctx_public : ctx -> Afsa.t
+(** The context's private copy of the public process (read-only). *)
+
+val check_ctx : ctx -> Instance.t -> verdict
+(** Same verdict as [check (ctx's public)]. Ticks the ambient
+    {!Chorev_guard.Budget} once per instance plus once per consumed
+    message, so verdict fuel is deterministic. *)
+
+val dispose_ctx : old_ctx:ctx -> new_ctx:ctx -> Instance.t -> disposition
+(** Same disposition as {!dispose}; budget-ticked like {!check_ctx}. *)

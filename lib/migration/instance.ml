@@ -59,31 +59,63 @@ let completed (a : Afsa.t) (t : t) =
 (** Is the trace a valid (not necessarily accepting) run prefix? *)
 let valid (a : Afsa.t) (t : t) = Result.is_ok (replay a t)
 
+(** Seeded trace sampling. The sampler owns a per-state move table —
+    the labelled out-edges reachable through the ε-closure of one
+    state, flattened into an array once — so drawing a step is one
+    array index instead of the [List.length]/[List.nth] walk the
+    original sampler paid per message. A sampler is cheap to create
+    and pays for each state at most once across all the instances it
+    samples, which is what makes 100k–1M instance populations
+    affordable. Not thread-safe (the move table is filled lazily);
+    give each domain its own sampler. *)
+module Sampler = struct
+  type t = { a : Afsa.t; moves : (int, (Label.t * int) array) Hashtbl.t }
+
+  let create a = { a; moves = Hashtbl.create 64 }
+
+  (* Exactly the move enumeration of the original per-step rebuild —
+     the ε-closure folded in ascending state order, each state's
+     labelled out-edges prepended — so seeded traces are unchanged. *)
+  let moves_of s q =
+    match Hashtbl.find_opt s.moves q with
+    | Some arr -> arr
+    | None ->
+        let l =
+          ISet.fold
+            (fun q acc ->
+              List.filter_map
+                (fun (sym, t) ->
+                  match sym with
+                  | Chorev_afsa.Sym.Eps -> None
+                  | Chorev_afsa.Sym.L l -> Some (l, t))
+                (Afsa.out_edges s.a q)
+              @ acc)
+            (Chorev_afsa.Epsilon.closure s.a (ISet.singleton q))
+            []
+        in
+        let arr = Array.of_list l in
+        Hashtbl.replace s.moves q arr;
+        arr
+
+  let sample s ~id ~seed ~max_len =
+    let rng = Random.State.make [| seed |] in
+    let rec go q acc n =
+      if n = 0 then List.rev acc
+      else
+        let moves = moves_of s q in
+        let m = Array.length moves in
+        if m = 0 then List.rev acc
+        else
+          let l, t = moves.(Random.State.int rng m) in
+          go t (l :: acc) (n - 1)
+    in
+    let len = if max_len = 0 then 0 else Random.State.int rng (max_len + 1) in
+    { id; trace = go (Afsa.start s.a) [] len }
+end
+
 (** Sample an instance of [a]: a random valid prefix of length ≤
-    [max_len] (deterministic per seed). Useful for tests and benches. *)
+    [max_len] (deterministic per seed). Useful for tests and benches.
+    One-shot convenience over {!Sampler}; batch callers should keep a
+    sampler and reuse its move table. *)
 let sample (a : Afsa.t) ~id ~seed ~max_len =
-  let rng = Random.State.make [| seed |] in
-  let closure = Chorev_afsa.Epsilon.closure a in
-  let rec go set acc n =
-    if n = 0 then List.rev acc
-    else
-      let moves =
-        ISet.fold
-          (fun q acc ->
-            List.filter_map
-              (fun (sym, t) ->
-                match sym with
-                | Chorev_afsa.Sym.Eps -> None
-                | Chorev_afsa.Sym.L l -> Some (l, t))
-              (Afsa.out_edges a q)
-            @ acc)
-          (closure set) []
-      in
-      match moves with
-      | [] -> List.rev acc
-      | _ ->
-          let l, t = List.nth moves (Random.State.int rng (List.length moves)) in
-          go (ISet.singleton t) (l :: acc) (n - 1)
-  in
-  let len = if max_len = 0 then 0 else Random.State.int rng (max_len + 1) in
-  { id; trace = go (ISet.singleton (Afsa.start a)) [] len }
+  Sampler.sample (Sampler.create a) ~id ~seed ~max_len

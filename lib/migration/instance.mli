@@ -21,5 +21,19 @@ val replay : Afsa.t -> t -> (Afsa.ISet.t, int) result
 val completed : Afsa.t -> t -> bool
 val valid : Afsa.t -> t -> bool
 
+(** Reusable sampling state: labelled moves per state (through the
+    ε-closure) flattened into arrays, built lazily and kept across
+    samples. Not thread-safe — one sampler per domain. *)
+module Sampler : sig
+  type instance := t
+  type t
+
+  val create : Afsa.t -> t
+
+  val sample : t -> id:string -> seed:int -> max_len:int -> instance
+  (** Same distribution and seeding as {!val:sample} below. *)
+end
+
 val sample : Afsa.t -> id:string -> seed:int -> max_len:int -> t
-(** A random valid prefix, deterministic per seed. *)
+(** A random valid prefix, deterministic per seed. One-shot
+    convenience over {!Sampler.sample}. *)

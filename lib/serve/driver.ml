@@ -22,8 +22,11 @@ let gen_script ?(tenants = 16) ?(requests = 128) ?(seed = 42) () =
     incr id;
     lines := Wire.request_to_string { Wire.id = !id; op } :: !lines
   in
+  let party_names = Array.make tenants [||] in
   for i = 0 to tenants - 1 do
     let a, b = Gen_process.pair ~seed:(seed + i) () in
+    party_names.(i) <-
+      [| Chorev_bpel.Process.party a; Chorev_bpel.Process.party b |];
     push
       (Wire.Register
          {
@@ -32,7 +35,8 @@ let gen_script ?(tenants = 16) ?(requests = 128) ?(seed = 42) () =
          })
   done;
   for j = 0 to requests - 1 do
-    let tenant = tenant_name (Random.State.int rng tenants) in
+    let ti = Random.State.int rng tenants in
+    let tenant = tenant_name ti in
     match Random.State.int rng 10 with
     | 0 | 1 ->
         (* 20% evolutions, spread over the request classes *)
@@ -52,6 +56,13 @@ let gen_script ?(tenants = 16) ?(requests = 128) ?(seed = 42) () =
                klass;
              })
     | 2 | 3 -> push (Wire.Migrate_status { tenant })
+    | 4 ->
+        (* 10% publishes: seed a small population and migrate it *)
+        let names = party_names.(ti) in
+        let party = names.(Random.State.int rng (Array.length names)) in
+        push
+          (Wire.Publish
+             { tenant; party; instances = 1 + Random.State.int rng 50; seed = j })
     | _ -> push (Wire.Query { tenant })
   done;
   List.rev !lines
@@ -70,6 +81,10 @@ type otenant = {
   mutable model : Model.t;
   mutable evolutions : int;
   mutable consistent : bool;
+  migrate : Parties.t;
+      (* the same deterministic population engine the server uses —
+         the oracle stays independent in its *scheduling*, not by
+         re-implementing the migrator *)
 }
 
 let oracle lines =
@@ -87,7 +102,13 @@ let oracle lines =
       (fun party ->
         Option.map
           (fun (e : Registry.entry) ->
-            { Wire.party; service = e.Registry.id; version = e.Registry.version })
+            {
+              Wire.party;
+              service = e.Registry.id;
+              version = e.Registry.version;
+              running = Parties.running tn.migrate party;
+              schemas = Parties.schemas tn.migrate party;
+            })
           (Registry.find_by_name registry (name ^ "/" ^ party)))
       (Model.parties tn.model)
   in
@@ -130,6 +151,7 @@ let oracle lines =
                         model;
                         evolutions = 0;
                         consistent = Consistency.consistent ~cache:true model;
+                        migrate = Parties.create model;
                       }
                     in
                     Hashtbl.add tenants tenant tn;
@@ -179,6 +201,10 @@ let oracle lines =
         match Hashtbl.find_opt tenants tenant with
         | None -> Error (`Unknown_tenant tenant)
         | Some tn -> Ok (Wire.Migration (statuses tenant tn)))
+    | Wire.Publish { tenant; party; instances; seed } -> (
+        match Hashtbl.find_opt tenants tenant with
+        | None -> Error (`Unknown_tenant tenant)
+        | Some tn -> Parties.publish tn.migrate tn.model ~party ~instances ~seed)
     | Wire.Stats -> Ok (Wire.Stats_snapshot [])
   in
   List.map

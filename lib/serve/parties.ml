@@ -1,0 +1,87 @@
+(** Per-party instance populations behind the serve layer's
+    migrate-status and publish ops: one {!Chorev_migration.Versions}
+    store per party, created at registration with the party's initial
+    public as v1.
+
+    [publish] is the bridge into the batched migrator: it starts a
+    seeded population on the party's current schema version, then
+    pushes {e every} running instance of that party onto the model's
+    current public with {!Chorev_migrate.Migrate.run} and retires the
+    versions that drained. Everything is deterministic — seeded
+    sampling, sequential pool, no budgets — so the server and the
+    scheduler-free oracle produce byte-identical [Published] bodies,
+    and replaying the publish log after a restart rebuilds the exact
+    store. *)
+
+module Model = Chorev_choreography.Model
+module Versions = Chorev_migration.Versions
+module Population = Chorev_migrate.Population
+module Engine = Chorev_migrate.Migrate
+module Pool = Chorev_parallel.Pool
+
+type t = {
+  stores : (string, Versions.t) Hashtbl.t;
+  pubs : (string, int) Hashtbl.t;  (** per-party publish count, for ids *)
+}
+
+let create model =
+  let stores = Hashtbl.create 8 in
+  List.iter
+    (fun party ->
+      Hashtbl.replace stores party (Versions.create (Model.public model party)))
+    (Model.parties model);
+  { stores; pubs = Hashtbl.create 8 }
+
+let known t party = Hashtbl.mem t.stores party
+let find t party = Hashtbl.find_opt t.stores party
+
+let running t party =
+  match find t party with Some vs -> Versions.instance_count vs | None -> 0
+
+let schemas t party =
+  match find t party with
+  | Some vs -> List.length (Versions.version_numbers vs)
+  | None -> 0
+
+(* Publishes run on the sequential pool: they already execute inside a
+   per-tenant pool task on the server, and the oracle runs them on the
+   coordinator — the report is pool-invariant either way, but keeping
+   the fan-out depth at one makes the two executions structurally
+   identical. *)
+let options =
+  {
+    Engine.batch_size = 1024;
+    batch_fuel = None;
+    memo_capacity = 4096;
+    pool = Some Pool.sequential;
+  }
+
+let publish t model ~party ~instances ~seed =
+  match find t party with
+  | None -> Error (`Unknown_party party)
+  | Some vs ->
+      let k = Option.value ~default:0 (Hashtbl.find_opt t.pubs party) in
+      Hashtbl.replace t.pubs party (k + 1);
+      let spec =
+        {
+          Population.version = Versions.version_number (Versions.current vs);
+          count = max 0 instances;
+          seed;
+          max_len = 12;
+          prefix = Printf.sprintf "p%d-" k;
+        }
+      in
+      Population.populate vs spec;
+      let report = Engine.run ~options vs (Model.public model party) in
+      ignore (Versions.retire_drained vs);
+      let migrated, finishing, stuck, _, _, _ = Engine.totals report in
+      Ok
+        (Wire.Published
+           {
+             party;
+             to_version = report.Engine.to_version;
+             migrated;
+             finishing;
+             stuck;
+             total = report.Engine.total;
+           })

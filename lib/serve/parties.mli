@@ -1,0 +1,34 @@
+(** Per-party instance populations for the serve layer: one
+    {!Chorev_migration.Versions} store per party (v1 = the public at
+    registration), fed by the [publish] op and read back by
+    [migrate-status]. Fully deterministic — the server and the
+    scheduler-free oracle share this module and produce byte-identical
+    bodies. *)
+
+module Model = Chorev_choreography.Model
+
+type t
+
+val create : Model.t -> t
+(** One empty store per party of the model, v1 = its current public. *)
+
+val known : t -> string -> bool
+
+val running : t -> string -> int
+(** Live instances across the party's schema versions (0 if unknown). *)
+
+val schemas : t -> string -> int
+(** Live (un-retired) schema versions (0 if unknown). *)
+
+val publish :
+  t ->
+  Model.t ->
+  party:string ->
+  instances:int ->
+  seed:int ->
+  (Wire.body, [> `Unknown_party of string ]) result
+(** Start [instances] seeded instances on [party]'s current schema
+    version, batch-migrate every running instance onto the model's
+    current public, retire drained versions, and return the
+    {!Wire.Published} body. The [k]-th publish for a party mints ids
+    [pk-000000...], so repeated publishes never collide. *)

@@ -78,6 +78,7 @@ let op_kind : Wire.op -> string = function
   | Wire.Evolve _ -> "evolve"
   | Wire.Query _ -> "query"
   | Wire.Migrate_status _ -> "migrate-status"
+  | Wire.Publish _ -> "publish"
   | Wire.Stats -> "stats"
 
 let record_latency t kind us =
@@ -168,6 +169,8 @@ let exec t (r : Wire.request) : Wire.response =
             Tenant.evolve t.store ~config tenant ~owner ~changed)
     | Wire.Query { tenant } -> Tenant.query t.store tenant
     | Wire.Migrate_status { tenant } -> Tenant.migrate_status t.store tenant
+    | Wire.Publish { tenant; party; instances; seed } ->
+        Tenant.publish t.store tenant ~party ~instances ~seed
     | Wire.Stats -> Ok (Wire.Stats_snapshot (stats_fields t))
   in
   record_latency t (op_kind r.op) ((Unix.gettimeofday () -. t0) *. 1e6);

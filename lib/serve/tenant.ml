@@ -18,6 +18,7 @@ type tenant = {
   mutable evolutions : int;
   mutable consistent : bool;
   dir : string option;  (** journal directory (durable stores) *)
+  migrate : Parties.t;  (** per-party instance populations *)
 }
 
 type shard = { mu : Mutex.t; tenants : (string, tenant) Hashtbl.t }
@@ -102,6 +103,8 @@ let party_statuses t tn =
                   Wire.party;
                   service = e.Registry.id;
                   version = e.Registry.version;
+                  running = Parties.running tn.migrate party;
+                  schemas = Parties.schemas tn.migrate party;
                 }
           | None -> None)
         (Model.parties tn.model))
@@ -191,6 +194,7 @@ let admit t name model ~dir =
       evolutions = 0;
       consistent = Consistency.consistent ~cache:true model;
       dir;
+      migrate = Parties.create model;
     }
   in
   Hashtbl.replace (shard t name).tenants name tn;
@@ -281,6 +285,67 @@ let migrate_status t name =
   with_tenant t name (fun tn -> Ok (Wire.Migration (party_statuses t tn)))
 
 (* ------------------------------------------------------------------ *)
+(* Publish                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* <tenant dir>/publishes.jsonl — one Wal record per publish; [after]
+   is the tenant's evolution count at publish time, the cursor that
+   lets recovery interleave publish replays with evolve replays in the
+   original order. *)
+
+let publishes_file dir = Filename.concat dir "publishes.jsonl"
+
+let publish_record ~party ~instances ~seed ~after =
+  Journal.Json.Obj
+    [
+      ("rec", Journal.Json.Str "publish");
+      ("party", Journal.Json.Str party);
+      ("instances", Journal.Json.Int instances);
+      ("seed", Journal.Json.Int seed);
+      ("after", Journal.Json.Int after);
+    ]
+
+let publish_of_json j =
+  let int k =
+    match Journal.Json.member k j with
+    | Some (Journal.Json.Int i) -> Some i
+    | _ -> None
+  in
+  match
+    (Journal.Json.member "party" j, int "instances", int "seed", int "after")
+  with
+  | Some (Journal.Json.Str party), Some instances, Some seed, Some after ->
+      Ok (after, party, instances, seed)
+  | _ -> Error "publish: missing field"
+
+let read_publishes dir =
+  let path = publishes_file dir in
+  if not (Sys.file_exists path) then []
+  else
+    match Journal.Wal.read ~path ~decode:publish_of_json with
+    | Ok { Journal.Wal.records; _ } -> records
+    | Error e -> failwith (path ^ ": " ^ e)
+
+let publish t name ~party ~instances ~seed =
+  with_tenant t name (fun tn ->
+      if not (Parties.known tn.migrate party) then Error (`Unknown_party party)
+      else begin
+        (* durable intent first: a crash after the append replays the
+           publish on recovery; a crash before it never happened *)
+        (match tn.dir with
+        | Some tdir ->
+            let w = Journal.Wal.open_append ~path:(publishes_file tdir) in
+            Fun.protect
+              ~finally:(fun () -> Journal.Wal.close w)
+              (fun () ->
+                Journal.Wal.append w
+                  (publish_record ~party ~instances ~seed
+                     ~after:tn.evolutions))
+        | None -> ());
+        Parties.publish tn.migrate tn.model ~party ~instances ~seed
+      end)
+
+(* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -304,22 +369,40 @@ let recover ?shards ?(config = Config.default) ~journal_root () =
       let model = Model.of_processes (read_parties dir) in
       let tn = with_shard t name (fun () -> admit t name model ~dir:(Some dir)) in
       ignore (advertise_publics t tn);
-      (* Replay every journaled evolution in order; an interrupted one
-         is finished live by [resume], so the post-recovery state is
-         the state an uninterrupted server would have reached. *)
+      (* Replay every journaled evolution in order — an interrupted one
+         is finished live by [resume] — interleaved with the publish
+         log by its [after] cursor, so instance populations are rebuilt
+         against the same model each publish originally saw. *)
+      let pubs = ref (read_publishes dir) in
+      let apply_pubs () =
+        let rec go () =
+          match !pubs with
+          | (after, party, instances, seed) :: rest
+            when after <= tn.evolutions ->
+              pubs := rest;
+              ignore
+                (Parties.publish tn.migrate tn.model ~party ~instances ~seed);
+              go ()
+          | _ -> ()
+        in
+        go ()
+      in
       Dir.list_subdirs dir
       |> List.filter (fun d -> String.length d > 7 && String.sub d 0 7 = "evolve-")
       |> List.sort String.compare
       |> List.iter (fun ed ->
              let edir = Filename.concat dir ed in
-             if Dir.has_journal edir then
+             if Dir.has_journal edir then begin
+               apply_pubs ();
                match Evolve.resume ~config ~dir:edir () with
                | Ok o ->
                    tn.model <- o.Evolve.choreography;
                    tn.consistent <- o.Evolve.consistent;
                    tn.evolutions <- tn.evolutions + 1;
                    ignore (advertise_publics t tn)
-               | Error e -> failwith (edir ^ ": " ^ e)))
+               | Error e -> failwith (edir ^ ": " ^ e)
+             end);
+      apply_pubs ())
     dirs;
   (t, List.length dirs)
 

@@ -87,9 +87,24 @@ val query : t -> string -> (Wire.body, Wire.error) result
     count — no algebra, just a shard-locked read. *)
 
 val migrate_status : t -> string -> (Wire.body, Wire.error) result
-(** Per-party registry status: stable service id and public-process
+(** Per-party registry status: stable service id, public-process
     version (Sec. 8 version coexistence — the version a migrating
-    instance would be pinned to). *)
+    instance would be pinned to), plus the real population counters
+    ([running] instances, live [schemas]) from the {!Parties} stores. *)
+
+val publish :
+  t ->
+  string ->
+  party:string ->
+  instances:int ->
+  seed:int ->
+  (Wire.body, Wire.error) result
+(** Start a seeded instance population on [party]'s current schema
+    version and batch-migrate every running instance onto the model's
+    current public ({!Parties.publish}). Durable stores append the
+    publish to [publishes.jsonl] {e before} applying it, so recovery
+    replays it at the same point of the evolution history (the [after]
+    cursor) and rebuilds the identical population. *)
 
 val cache_totals : t -> (string * int) list
 (** Aggregated hit/miss counters of all tenant evolution caches,

@@ -53,6 +53,7 @@ type op =
     }
   | Query of { tenant : string }
   | Migrate_status of { tenant : string }
+  | Publish of { tenant : string; party : string; instances : int; seed : int }
   | Stats
 
 type request = { id : int; op : op }
@@ -61,7 +62,8 @@ let tenant_of = function
   | Register { tenant; _ }
   | Evolve { tenant; _ }
   | Query { tenant }
-  | Migrate_status { tenant } ->
+  | Migrate_status { tenant }
+  | Publish { tenant; _ } ->
       Some tenant
   | Stats -> None
 
@@ -87,6 +89,14 @@ let request_to_string { id; op } =
         [ ("op", Json.Str "query"); ("tenant", Json.Str tenant) ]
     | Migrate_status { tenant } ->
         [ ("op", Json.Str "migrate-status"); ("tenant", Json.Str tenant) ]
+    | Publish { tenant; party; instances; seed } ->
+        [
+          ("op", Json.Str "publish");
+          ("tenant", Json.Str tenant);
+          ("party", Json.Str party);
+          ("instances", Json.Int instances);
+          ("seed", Json.Int seed);
+        ]
     | Stats -> [ ("op", Json.Str "stats") ]
   in
   Json.to_string (Json.Obj (base @ fields))
@@ -95,6 +105,11 @@ let str_field name j =
   match Json.member name j with
   | Some (Json.Str s) -> Ok s
   | _ -> Error (Printf.sprintf "missing or non-string field %S" name)
+
+let int_field name j =
+  match Json.member name j with
+  | Some (Json.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "missing or non-integer field %S" name)
 
 let request_of_string line =
   match Json.of_string line with
@@ -140,6 +155,12 @@ let request_of_string line =
             | Some (Json.Str "migrate-status") ->
                 let* tenant = str_field "tenant" j in
                 Ok { id; op = Migrate_status { tenant } }
+            | Some (Json.Str "publish") ->
+                let* tenant = str_field "tenant" j in
+                let* party = str_field "party" j in
+                let* instances = int_field "instances" j in
+                let* seed = int_field "seed" j in
+                Ok { id; op = Publish { tenant; party; instances; seed } }
             | Some (Json.Str "stats") -> Ok { id; op = Stats }
             | Some (Json.Str op) -> fail (Printf.sprintf "unknown op %S" op)
             | _ -> fail "missing field \"op\"")
@@ -151,7 +172,13 @@ let request_of_string line =
 (* Responses                                                           *)
 (* ------------------------------------------------------------------ *)
 
-type party_status = { party : string; service : string; version : int }
+type party_status = {
+  party : string;
+  service : string;
+  version : int;
+  running : int;
+  schemas : int;
+}
 
 type body =
   | Registered of {
@@ -168,6 +195,14 @@ type body =
       evolutions : int;
     }
   | Migration of party_status list
+  | Published of {
+      party : string;
+      to_version : int;
+      migrated : int;
+      finishing : int;
+      stuck : int;
+      total : int;
+    }
   | Stats_snapshot of (string * Json.t) list
 
 type error =
@@ -229,14 +264,26 @@ let body_to_json = function
           ( "parties",
             Json.Arr
               (List.map
-                 (fun { party; service; version } ->
+                 (fun { party; service; version; running; schemas } ->
                    Json.Obj
                      [
                        ("party", Json.Str party);
                        ("service", Json.Str service);
                        ("version", Json.Int version);
+                       ("running", Json.Int running);
+                       ("schemas", Json.Int schemas);
                      ])
                  ps) );
+        ]
+  | Published { party; to_version; migrated; finishing; stuck; total } ->
+      Json.Obj
+        [
+          ("party", Json.Str party);
+          ("to_version", Json.Int to_version);
+          ("migrated", Json.Int migrated);
+          ("finishing", Json.Int finishing);
+          ("stuck", Json.Int stuck);
+          ("total", Json.Int total);
         ]
   | Stats_snapshot kvs -> Json.Obj kvs
 
@@ -268,10 +315,22 @@ let body_of_json j =
               (List.filter_map (function Json.Str s -> Some s | _ -> None) xs)
         | _ -> None
       in
+      let int name =
+        match field name j with Some (Json.Int i) -> Some i | _ -> None
+      in
       match
         (field "tenant" j, field "consistent" j, field "rounds" j,
          field "evolutions" j, field "parties" j)
       with
+      | _ when int "to_version" <> None -> (
+          match
+            (field "party" j, int "to_version", int "migrated",
+             int "finishing", int "stuck", int "total")
+          with
+          | Some (Json.Str party), Some to_version, Some migrated,
+            Some finishing, Some stuck, Some total ->
+              Published { party; to_version; migrated; finishing; stuck; total }
+          | _ -> Stats_snapshot kvs)
       | Some (Json.Str tenant), _, _, _, _ ->
           let versions =
             match field "versions" j with
@@ -313,13 +372,25 @@ let body_of_json j =
           Migration
             (List.filter_map
                (fun p ->
+                 let pint name =
+                   match Json.member name p with
+                   | Some (Json.Int i) -> Some i
+                   | _ -> None
+                 in
                  match
                    (Json.member "party" p, Json.member "service" p,
-                    Json.member "version" p)
+                    pint "version")
                  with
-                 | Some (Json.Str party), Some (Json.Str service),
-                   Some (Json.Int version) ->
-                     Some { party; service; version }
+                 | Some (Json.Str party), Some (Json.Str service), Some version
+                   ->
+                     Some
+                       {
+                         party;
+                         service;
+                         version;
+                         running = Option.value ~default:0 (pint "running");
+                         schemas = Option.value ~default:0 (pint "schemas");
+                       }
                  | _ -> None)
                ps)
       | _ -> Stats_snapshot kvs)

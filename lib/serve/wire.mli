@@ -53,6 +53,10 @@ type op =
     }
   | Query of { tenant : string }
   | Migrate_status of { tenant : string }
+  | Publish of { tenant : string; party : string; instances : int; seed : int }
+      (** start [instances] seeded instances on [party]'s current
+          schema version, then batch-migrate every running instance of
+          that party onto the model's current public *)
   | Stats
 
 type request = { id : int; op : op }
@@ -74,6 +78,8 @@ type party_status = {
   party : string;
   service : string;  (** stable {!Chorev_discovery.Registry} id *)
   version : int;  (** public-process version, bumped per evolution *)
+  running : int;  (** live instances across the party's schema versions *)
+  schemas : int;  (** live (un-retired) schema versions *)
 }
 
 type body =
@@ -97,6 +103,14 @@ type body =
       evolutions : int;
     }
   | Migration of party_status list
+  | Published of {
+      party : string;
+      to_version : int;
+      migrated : int;
+      finishing : int;
+      stuck : int;  (** left on their old version, unable to finish *)
+      total : int;
+    }
   | Stats_snapshot of (string * Json.t) list
 
 type error =

@@ -152,7 +152,7 @@ let test_partition () =
 
 let test_versions_lifecycle () =
   let v = V.create buyer_pub in
-  check_int "v1" 1 (V.current v).V.number;
+  check_int "v1" 1 (V.version_number (V.current v));
   V.start v (I.make ~id:"fresh" ());
   V.start v (I.make ~id:"active" ~trace:[ l "B#A#orderOp" ] ());
   V.start v
@@ -172,13 +172,8 @@ let test_versions_lifecycle () =
   check_int "no stuck" 0 (List.length rep.V.stuck);
   (* v1 still has its instance: not retirable *)
   check_int "nothing retired" 0 (List.length (V.retire_drained v));
-  (* drain it: complete the old instance and drop it manually by
-     observing its terminate and then clearing — here we simulate by
-     removing via a fresh publish of the same process after the
-     instance is gone *)
-  (match V.find_version v 1 with
-  | Some v1 -> v1.V.instances <- []
-  | None -> Alcotest.fail "v1 missing");
+  (* drain it: the remaining v1 instance completes and is removed *)
+  check_bool "drained" true (V.remove v ~id:"two-rounds");
   Alcotest.(check (list int)) "v1 retired" [ 1 ] (V.retire_drained v);
   Alcotest.(check (list int)) "only v2 remains" [ 2 ] (V.version_numbers v)
 
@@ -188,6 +183,70 @@ let test_versions_observe () =
   V.observe v ~id:"i" (l "B#A#orderOp");
   let _, i = List.hd (V.all_instances v) in
   check_int "observed" 1 (I.length i)
+
+(* A new process on which the trace replays but dead-ends (mandatory
+   continuation impossible): the disposition depends on the *old*
+   version — Finish_on_old when the old one can still complete, Stuck
+   when it dead-ends too. *)
+let test_dispose_dead_end () =
+  let dead =
+    C.Afsa.of_strings ~start:0 ~finals:[ 2 ]
+      ~edges:[ (0, "A#B#x", 1); (1, "A#B#y", 2) ]
+      ~ann:[ (1, C.Formula.var "A#B#z") ]
+      ()
+  in
+  let live =
+    C.Afsa.of_strings ~start:0 ~finals:[ 2 ]
+      ~edges:[ (0, "A#B#x", 1); (1, "A#B#y", 2) ]
+      ()
+  in
+  let i = I.make ~id:"d" ~trace:[ l "A#B#x" ] () in
+  (match Cp.check dead i with
+  | Cp.Dead_end _ -> ()
+  | v -> Alcotest.fail (Fmt.str "expected Dead_end, got %a" Cp.pp_verdict v));
+  check_bool "dead-end on new, live on old: finish there" true
+    (Cp.dispose ~old_public:live ~new_public:dead i = Cp.Finish_on_old);
+  check_bool "dead-end on both: stuck" true
+    (Cp.dispose ~old_public:dead ~new_public:dead i = Cp.Stuck)
+
+(* retire_drained must never retire the current version, even when it
+   hosts nothing. *)
+let test_retire_keeps_current () =
+  let v = V.create buyer_pub in
+  Alcotest.(check (list int)) "empty current kept" [] (V.retire_drained v);
+  Alcotest.(check (list int)) "v1 still live" [ 1 ] (V.version_numbers v);
+  ignore (V.publish v buyer_once_pub);
+  (* both versions empty: only the non-current one goes *)
+  Alcotest.(check (list int)) "v1 retired" [ 1 ] (V.retire_drained v);
+  Alcotest.(check (list int)) "empty v2 survives as current" [ 2 ]
+    (V.version_numbers v)
+
+let test_versions_store_ops () =
+  let v = V.create buyer_pub in
+  V.start v (I.make ~id:"a" ());
+  V.start v (I.make ~id:"b" ~trace:[ l "B#A#orderOp" ] ());
+  let v2 = V.add_version v buyer_cancel_pub in
+  check_int "v2 opened" 2 v2;
+  check_int "add_version classifies nothing" 0
+    (V.version_count (Option.get (V.find_version v v2)));
+  V.start_on v 1 (I.make ~id:"c" ());
+  Alcotest.(check (list (pair int int)))
+    "counts newest first"
+    [ (2, 0); (1, 3) ]
+    (V.counts v);
+  (match V.find_instance v "b" with
+  | Some (1, i) -> check_int "b trace" 1 (I.length i)
+  | _ -> Alcotest.fail "find_instance b");
+  V.move_instance v ~id:"b" ~to_version:2;
+  check_bool "b moved" true (V.find_instance v "b" = Some (2, I.make ~id:"b" ~trace:[ l "B#A#orderOp" ] ()));
+  Alcotest.(check (list string))
+    "admission order stable under moves"
+    [ "a"; "b"; "c" ]
+    (List.map (fun (_, i) -> i.I.id) (V.in_admission_order v));
+  check_int "instance_count" 3 (V.instance_count v);
+  check_bool "remove" true (V.remove v ~id:"a");
+  check_bool "remove again" false (V.remove v ~id:"a");
+  check_int "after remove" 2 (V.instance_count v)
 
 (* ---------------------- choreography-level story ------------------- *)
 
@@ -237,6 +296,11 @@ let () =
         [
           Alcotest.test_case "lifecycle" `Quick test_versions_lifecycle;
           Alcotest.test_case "observe" `Quick test_versions_observe;
+          Alcotest.test_case "dispose at a dead end" `Quick
+            test_dispose_dead_end;
+          Alcotest.test_case "retire keeps current" `Quick
+            test_retire_keeps_current;
+          Alcotest.test_case "store operations" `Quick test_versions_store_ops;
         ] );
       ( "end-to-end",
         [

@@ -78,7 +78,11 @@ let test_wire_roundtrip () =
       };
       { W.id = 3; op = W.Query { tenant = "t" } };
       { W.id = 4; op = W.Migrate_status { tenant = "t" } };
-      { W.id = 5; op = W.Stats };
+      {
+        W.id = 5;
+        op = W.Publish { tenant = "t"; party = "A"; instances = 500; seed = 7 };
+      };
+      { W.id = 6; op = W.Stats };
     ]
   in
   List.iter
@@ -112,10 +116,34 @@ let test_wire_roundtrip () =
       {
         W.id = 4;
         result =
-          Ok (W.Migration [ { W.party = "A"; service = "svc-000000"; version = 2 } ]);
+          Ok
+            (W.Migration
+               [
+                 {
+                   W.party = "A";
+                   service = "svc-000000";
+                   version = 2;
+                   running = 120;
+                   schemas = 2;
+                 };
+               ]);
       };
-      { W.id = 5; result = Error `Overloaded };
-      { W.id = 6; result = Error (`Unknown_tenant "nope") };
+      {
+        W.id = 5;
+        result =
+          Ok
+            (W.Published
+               {
+                 party = "A";
+                 to_version = 3;
+                 migrated = 400;
+                 finishing = 90;
+                 stuck = 10;
+                 total = 500;
+               });
+      };
+      { W.id = 6; result = Error `Overloaded };
+      { W.id = 7; result = Error (`Unknown_tenant "nope") };
     ]
   in
   List.iter
@@ -283,6 +311,15 @@ let test_restart_replays () =
            klass = W.Bulk;
          })
   in
+  (* a publish between the evolve and the restart: its population must
+     come back identically from the publish log *)
+  (match
+     (resp server
+        (W.Publish { tenant = "proc"; party = "A"; instances = 200; seed = 5 }))
+       .result
+   with
+  | Ok (W.Published { party = "A"; total = 200; _ }) -> ()
+  | _ -> Alcotest.fail "publish failed");
   let query1 = resp server (W.Query { tenant = "proc" }) in
   let migrate1 = resp server (W.Migrate_status { tenant = "proc" }) in
   (* restart: a second server over the same root replays the journals *)
@@ -299,7 +336,9 @@ let test_restart_replays () =
   | Ok (W.Evolved { consistent; _ }), Ok (W.Migration ps) ->
       check_bool "evolution consistent" true consistent;
       check_bool "some party version advanced" true
-        (List.exists (fun p -> p.W.version > 1) ps)
+        (List.exists (fun p -> p.W.version > 1) ps);
+      check_bool "published population is visible" true
+        (List.exists (fun p -> p.W.party = "A" && p.W.running > 0) ps)
   | _ -> Alcotest.fail "evolve or migrate-status failed");
   (* duplicate registration refused after recovery, too *)
   match
