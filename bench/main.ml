@@ -497,6 +497,153 @@ let migrate_scale_tests () =
 let migrate_scale_tests_quick () =
   [ migrate_scale_test ~name:"scale_migrate_small" 2_000 ]
 
+(* The self-healing repair loop (lib/repair, DESIGN.md §14): the
+   amendment search on its two canonical outcomes — a rogue insert it
+   heals, a deletion it must declare unrepairable — the causal-cone
+   computation on synthetic delivery histories, and the decentralized
+   protocol with the amendment fallback as the only healer. Each row
+   records the repair counters of its last run. *)
+let repair_failed_check changed =
+  let t = Lazy.force procurement in
+  let old_pub = C.Choreography.Model.public t "A" in
+  let new_pub = gen changed in
+  let fw =
+    C.Change.Classify.framework
+      ~old_public:(C.View.tau ~observer:"B" old_pub)
+      ~new_public:(C.View.tau ~observer:"B" new_pub)
+      ()
+  in
+  let direction = C.Propagate.Engine.direction_of_framework fw in
+  let config = { C.Config.default with C.Config.auto_apply = false } in
+  let outcome =
+    C.Propagate.Engine.run ~config ~direction ~a':new_pub
+      ~partner_private:(C.Choreography.Model.private_ t "B") ()
+  in
+  (direction, outcome)
+
+let repair_changes =
+  lazy
+    (let module A = C.Bpel.Activity in
+     let t = Lazy.force procurement in
+     let a = C.Choreography.Model.private_ t "A" in
+     let path, n =
+       C.Bpel.Activity.all_nodes (C.Bpel.Process.body a)
+       |> List.find_map (fun (path, act) ->
+              match act with
+              | A.Sequence (_, items) -> Some (path, List.length items)
+              | _ -> None)
+       |> Option.get
+     in
+     (* first rogue-insert position that breaks consistency; tail
+        appends can be benign under the annotated semantics *)
+     let act = A.invoke ~partner:"B" ~op:"rogueT" in
+     let rec breaking pos =
+       if pos > n then failwith "no breaking rogue position"
+       else
+         let a' =
+           C.Change.Ops.apply_exn
+             (C.Change.Ops.Insert_activity { path; pos; act })
+             a
+         in
+         if
+           C.Choreography.Consistency.consistent
+             (C.Choreography.Model.update t a')
+         then breaking (pos + 1)
+         else a'
+     in
+     let deleted =
+       C.Change.Ops.apply_exn
+         (C.Change.Ops.Delete_activity { path; index = 0 })
+         a
+     in
+     (breaking 0, deleted))
+
+let repair_amend_test ~name changed =
+  t name (fun () ->
+      let direction, outcome = repair_failed_check changed in
+      let policy = (C.Config.with_repair C.Config.default).C.Config.repair in
+      let t' = Lazy.force procurement in
+      let r =
+        C.Repair.Amend.search ~policy ~direction
+          ~partner_private:(C.Choreography.Model.private_ t' "B")
+          ~view_new:outcome.C.Propagate.Engine.analysis.C.Propagate.Engine.view_new
+          ~delta:outcome.C.Propagate.Engine.analysis.C.Propagate.Engine.delta ()
+      in
+      record_counters name
+        [
+          ("repair.attempts", r.C.Repair.Amend.attempts);
+          ("repair.fuel", r.C.Repair.Amend.fuel_spent);
+          ("repair.repaired", if r.C.Repair.Amend.repaired = None then 0 else 1);
+        ])
+
+let repair_cone_test n =
+  let name = Printf.sprintf "repair_rollback_cone_%d" n in
+  (* a delivery chain salted with unrelated and stale traffic: every
+     third edge is noise the BFS must skip *)
+  let party i = Printf.sprintf "p%d" i in
+  let edges =
+    List.concat
+      (List.init n (fun i ->
+           let hop =
+             { C.Repair.Rollback.at = (2 * i) + 2;
+               src = party i;
+               dst = party (i + 1);
+             }
+           in
+           let noise =
+             { C.Repair.Rollback.at = 1; src = party (i + 1); dst = party i }
+           in
+           [ noise; hop ]))
+  in
+  t name (fun () ->
+      let cone = C.Repair.Rollback.cone ~origin:(party 0) ~edges in
+      record_counters name [ ("repair.cone", List.length cone) ])
+
+let repair_tests () =
+  let rogue, deleted = Lazy.force repair_changes in
+  let selfheal_config =
+    { (C.Config.with_repair C.Config.default) with C.Config.auto_apply = false }
+  in
+  [
+    repair_amend_test ~name:"repair_amend_success" rogue;
+    repair_amend_test ~name:"repair_amend_exhausted" deleted;
+    repair_cone_test 100;
+    repair_cone_test 1_000;
+    repair_cone_test 10_000;
+    t "repair_protocol_selfheal" (fun () ->
+        let t' = Lazy.force procurement in
+        let r =
+          C.Choreography.Protocol.run ~engine_config:selfheal_config
+            (C.Choreography.Model.copy t')
+            ~owner:"A" ~changed:rogue
+        in
+        record_counters "repair_protocol_selfheal"
+          [
+            ( "protocol.repairs",
+              r.C.Choreography.Protocol.stats.C.Choreography.Protocol.repairs );
+            ( "protocol.agreed",
+              if r.C.Choreography.Protocol.agreed then 1 else 0 );
+          ]);
+    t "repair_protocol_withdraw" (fun () ->
+        let t' = Lazy.force procurement in
+        let r =
+          C.Choreography.Protocol.run ~adapt:false ~rollback:true
+            (C.Choreography.Model.copy t')
+            ~owner:"A" ~changed:rogue
+        in
+        record_counters "repair_protocol_withdraw"
+          [
+            ( "protocol.aborts",
+              r.C.Choreography.Protocol.stats.C.Choreography.Protocol.aborts );
+            ( "protocol.rolled_back",
+              if r.C.Choreography.Protocol.rolled_back then 1 else 0 );
+          ]);
+  ]
+
+let repair_tests_quick () =
+  let rogue, _ = Lazy.force repair_changes in
+  [ repair_amend_test ~name:"repair_amend_success" rogue; repair_cone_test 100 ]
+
 let global_tests () =
   let pub_acc = Lazy.force pub_acc in
   let procurement = Lazy.force procurement in
@@ -1082,6 +1229,7 @@ let () =
       figure_tests () @ ladder_tests [ 10; 50 ] @ evolution_rounds_tests ()
       @ serve_tests_quick ()
       @ migrate_scale_tests_quick ()
+      @ repair_tests_quick ()
     else
       figure_tests ()
       @ ladder_tests [ 10; 50; 100; 200; 400 ]
@@ -1094,6 +1242,7 @@ let () =
       @ evolution_rounds_tests ()
       @ serve_tests ()
       @ migrate_scale_tests ()
+      @ repair_tests ()
   in
   let tests =
     match !only with

@@ -138,16 +138,43 @@ let budget_term =
              reuse of DESIGN.md §10; results are identical either way, \
              so this exists for A/B timing and differential testing.")
   in
-  let make of_ ot rf rt nc (config : C.Choreography.Evolution.config) =
-    {
-      config with
-      op_budget = { C.Guard.Budget.fuel = of_; timeout_s = ot };
-      round_budget = { C.Guard.Budget.fuel = rf; timeout_s = rt };
-      cache = not nc;
-    }
+  let repair_flag =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Self-healing evolution: when a partner cannot be adapted and \
+             its bilateral check fails, search for a small amendment of \
+             the partner's process (guided by the shortest \
+             counterexample witness) that restores consistency, instead \
+             of reporting failure (DESIGN.md §14).")
+  in
+  let repair_fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "repair-fuel" ] ~docv:"N"
+          ~doc:
+            "Fuel budget for one amendment search (implies $(b,--repair)); \
+             an exhausted search degrades to unrepairable. Deterministic \
+             across $(b,--jobs) values.")
+  in
+  let make of_ ot rf rt nc rep rep_fuel
+      (config : C.Choreography.Evolution.config) =
+    let config =
+      {
+        config with
+        op_budget = { C.Guard.Budget.fuel = of_; timeout_s = ot };
+        round_budget = { C.Guard.Budget.fuel = rf; timeout_s = rt };
+        cache = not nc;
+      }
+    in
+    if rep || rep_fuel <> None then C.Config.with_repair ?fuel:rep_fuel config
+    else config
   in
   Term.(
-    const make $ op_fuel $ op_timeout $ round_fuel $ round_timeout $ no_cache)
+    const make $ op_fuel $ op_timeout $ round_fuel $ round_timeout $ no_cache
+    $ repair_flag $ repair_fuel)
 
 (* ---------------------------- validation ---------------------------- *)
 
@@ -347,7 +374,73 @@ let sim_scenario = function
   | `Cancel -> P.accounting_cancel
   | `Tracking -> P.accounting_once
 
-let sim () scenario fault party seed soak record max_ticks =
+(* The common tail of a healed (or reverted) run, printed identically
+   by the live path and by [chorev resume] after a kill-during-rollback
+   — the byte-identity contract of the repair journal. *)
+let print_heal_tail m =
+  Fmt.pr "agreed: %b@." (C.Choreography.Consistency.consistent m);
+  Fmt.pr "digest: %s@." (Digest.to_hex (C.Choreography.Model.fingerprint m))
+
+(* [chorev sim --inject-bad-changes]: a seeded rogue change instead of
+   a Sec. 5 scenario change. Soak mode checks the never-half-applied
+   invariant over many seeds; single-run mode can journal the rollback
+   and simulate a crash in the middle of it. *)
+let sim_inject t ~profile ~seed ~soak ~inject_at ~adapt ~rollback_journal
+    ~crash_during_rollback max_ticks =
+  match soak with
+  | Some runs ->
+      let checks =
+        C.Sim.Soak.run_inject ~runs ~inject_at ~profile t ~owner:"A"
+      in
+      let failures =
+        List.filter (fun c -> not (C.Sim.Soak.inject_ok c)) checks
+      in
+      let repaired =
+        List.length
+          (List.filter
+             (fun c -> c.C.Sim.Soak.i_repairs > 0 && c.C.Sim.Soak.i_cone = 0)
+             checks)
+      in
+      let rolled =
+        List.length (List.filter (fun c -> c.C.Sim.Soak.i_cone > 0) checks)
+      in
+      Fmt.pr "%d injected runs: %d repaired, %d rolled back, %d failures@."
+        (List.length checks) repaired rolled (List.length failures);
+      List.iter
+        (fun c -> Fmt.pr "  FAIL %a@." C.Sim.Soak.pp_inject_check c)
+        failures;
+      if failures = [] then 0 else 1
+  | None -> (
+      if crash_during_rollback <> None && rollback_journal = None then begin
+        Fmt.epr "--crash-during-rollback requires --rollback-journal@.";
+        2
+      end
+      else
+        let profile = C.Sim.Fault.with_inject ~at:inject_at ~seed profile in
+        let changed = C.Choreography.Model.private_ t "A" in
+        match
+          C.Sim.run ~adapt ~profile ~seed ?max_ticks ~trace:false
+            ~rollback:true ?rollback_journal
+            ?crash_during_rollback:crash_during_rollback t ~owner:"A" ~changed
+        with
+        | exception C.Repair.Rollback.Simulated_crash k ->
+            Fmt.epr "simulated crash after %d rollback restore(s)@." k;
+            3
+        | r ->
+            Fmt.epr "profile: %a@." C.Sim.Fault.pp profile;
+            Fmt.epr "%a@." C.Sim.pp_stats r.C.Sim.stats;
+            (match (r.C.Sim.injected_at, r.C.Sim.rolled_back) with
+            | Some at, (_ :: _ as cone) ->
+                Fmt.pr "%s" (C.Sim.rollback_prelude ~injected_at:at ~cone);
+                print_heal_tail r.C.Sim.final
+            | Some _, [] ->
+                Fmt.pr "repaired: %d amendment(s)@." r.C.Sim.repairs;
+                print_heal_tail r.C.Sim.final
+            | None, _ -> Fmt.pr "injection skipped (no insertion point)@.");
+            if r.C.Sim.agreed then 0 else 1)
+
+let sim () scenario fault party seed soak record max_ticks inject inject_at
+    no_adapt rollback_journal crash_during_rollback =
   let t = C.Choreography.Model.of_processes (List.map snd P.parties) in
   if not (validate_or_fail t) then 2
   else
@@ -356,6 +449,9 @@ let sim () scenario fault party seed soak record max_ticks =
   | Error e ->
       Fmt.epr "%s@." e;
       2
+  | Ok profile when inject ->
+      sim_inject t ~profile ~seed ~soak ~inject_at ~adapt:(not no_adapt)
+        ~rollback_journal ~crash_during_rollback max_ticks
   | Ok profile -> (
       match soak with
       | Some seeds ->
@@ -453,6 +549,52 @@ let sim_cmd =
       & info [ "max-ticks" ] ~docv:"T"
           ~doc:"Abort (converged: false) after virtual time $(docv).")
   in
+  let inject_arg =
+    Arg.(
+      value & flag
+      & info [ "inject-bad-changes" ]
+          ~doc:
+            "Instead of a Sec. 5 scenario change, have party A apply a \
+             seeded rogue change mid-run (a message type no partner \
+             knows) with rollback armed: the run must end repaired or \
+             causally reverted, never half-applied. With $(b,--soak N) \
+             this invariant is checked over N seeds (cycling \
+             no-adapt/repair/fuel-starved classes).")
+  in
+  let inject_at_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "inject-at" ] ~docv:"T"
+          ~doc:"Virtual tick of the bad-change injection (default 10).")
+  in
+  let no_adapt_arg =
+    Arg.(
+      value & flag
+      & info [ "no-adapt" ]
+          ~doc:
+            "Partners nack without adapting — with \
+             $(b,--inject-bad-changes) this forces the rollback exit.")
+  in
+  let rollback_journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rollback-journal" ] ~docv:"DIR"
+          ~doc:
+            "Journal the causal rollback into $(docv) (snapshots + one \
+             fsynced record per restored party), so a kill in the middle \
+             finishes with $(b,chorev resume) $(docv) — with stdout \
+             byte-identical to the uninterrupted run.")
+  in
+  let crash_during_rollback_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-during-rollback" ] ~docv:"K"
+          ~doc:
+            "Test hook: abort (exit 3) right after committing the \
+             $(docv)-th restore to the rollback journal.")
+  in
   Cmd.v
     (Cmd.info "sim"
        ~doc:
@@ -462,7 +604,9 @@ let sim_cmd =
           against the synchronous oracle")
     Term.(
       const sim $ obs_term $ scenario_sim_arg $ fault_arg $ party_arg
-      $ seed_arg $ soak_arg $ record_arg $ max_ticks_arg)
+      $ seed_arg $ soak_arg $ record_arg $ max_ticks_arg $ inject_arg
+      $ inject_at_arg $ no_adapt_arg $ rollback_journal_arg
+      $ crash_during_rollback_arg)
 
 (* ------------------------------- global ---------------------------- *)
 
@@ -605,7 +749,43 @@ let evolve_cmd =
 (* ------------------------------ resume ----------------------------- *)
 
 let resume_run () dir budgets =
-  if C.Migrate.Engine.is_journal dir then
+  if C.Repair.Rollback.journal_exists ~dir then begin
+    (* An interrupted causal rollback: finish the missing restores
+       (journalling them), rebuild the final model from the state
+       snapshots overlaid with the pre-change ones, and print exactly
+       what the uninterrupted run printed. *)
+    let module R = C.Repair.Rollback in
+    match R.resume ~dir ~restore:(fun ~party:_ ~pre:_ -> ()) with
+    | Error e ->
+        Fmt.epr "%s@." e;
+        2
+    | Ok l -> (
+        Fmt.epr "resumed rollback of %d part(ies) from %s@."
+          (List.length l.R.l_meta.R.parties)
+          dir;
+        match
+          List.map
+            (fun (party, sexp) ->
+              let sexp =
+                match List.assoc_opt party l.R.l_pre with
+                | Some s -> s
+                | None -> sexp
+              in
+              match C.Bpel.Sexp.process_of_string sexp with
+              | Ok p -> p
+              | Error e -> failwith (party ^ ": " ^ e))
+            l.R.l_state
+        with
+        | procs ->
+            let m = C.Choreography.Model.of_processes procs in
+            print_string l.R.l_meta.R.prelude;
+            print_heal_tail m;
+            0
+        | exception Failure e ->
+            Fmt.epr "corrupt rollback snapshot: %s@." e;
+            2)
+  end
+  else if C.Migrate.Engine.is_journal dir then
     (* A migration journal (migrate-plan.json present) — finish the
        batched migration instead of an evolution run. *)
     match C.Migrate.Engine.resume ~dir () with

@@ -44,6 +44,7 @@ type config = Engine.config = {
   round_budget : Budget.spec;
   cancel : Budget.Cancel.t option;
   cache : bool;
+  repair : Chorev_config.Config.repair;
 }
 
 let default = Engine.default
@@ -52,6 +53,10 @@ type partner_report = {
   partner : string;
   verdict : Classify.verdict;
   outcome : Engine.outcome option;  (** [None] for invariant changes *)
+  repair : Chorev_repair.Amend.result option;
+      (** the amendment search run when the engine left this partner
+          inconsistent and [config.repair.enabled] — [Some] with
+          [repaired = Some _] means the partner was self-healed *)
   degraded : Degrade.t list;
       (** classification-level budget trips; engine-level ones are on
           [outcome.degraded] *)
@@ -159,12 +164,13 @@ let run_partner_step (config : config) ~owner ~old_public ~new_public
           partner;
           verdict;
           outcome = None;
+          repair = None;
           degraded = [ Degrade.Aborted_step { step = "classify"; info } ];
         },
         None )
   | `Done verdict ->
       if not (Classify.requires_propagation verdict) then
-        ({ partner; verdict; outcome = None; degraded = [] }, None)
+        ({ partner; verdict; outcome = None; repair = None; degraded = [] }, None)
       else
         let direction =
           Engine.direction_of_framework verdict.Classify.framework
@@ -176,8 +182,33 @@ let run_partner_step (config : config) ~owner ~old_public ~new_public
             ~config:{ config with obs = None }
             ~direction ~a':new_public ~partner_private ()
         in
-        ( { partner; verdict; outcome = Some outcome; degraded = [] },
-          outcome.Engine.adapted )
+        (* Self-healing: when the engine's own retry loop could not
+           restore consistency, run the amendment search on the failure
+           counterexample. The repair budget is minted inside
+           [Amend.search], i.e. inside this pool task — fuel
+           determinism across pool sizes is preserved. *)
+        let repair =
+          if
+            config.auto_apply && config.repair.enabled
+            && Option.is_none outcome.Engine.adapted
+            && not outcome.Engine.consistent_after
+          then
+            Some
+              (Chorev_repair.Amend.search ~cache:config.cache
+                 ?cancel:config.cancel ~policy:config.repair ~direction
+                 ~partner_private
+                 ~view_new:outcome.Engine.analysis.Engine.view_new
+                 ~delta:outcome.Engine.analysis.Engine.delta ())
+          else None
+        in
+        let adapted =
+          match outcome.Engine.adapted with
+          | Some _ as a -> a
+          | None ->
+              Option.bind repair Chorev_repair.Amend.repaired_process
+        in
+        ({ partner; verdict; outcome = Some outcome; repair; degraded = [] },
+         adapted)
 
 (* The pool a round fans out over: [config.jobs] if positive, else the
    process default ([--jobs] / [CHOREV_DOMAINS], sequential when
@@ -208,6 +239,10 @@ let step_cacheable (config : config) =
   && Budget.spec_is_unlimited config.op_budget
   && Budget.spec_is_unlimited config.round_budget
   && config.cancel = None
+  (* a fuel-bounded repair search could trip mid-step; a cached report
+     would silently skip the trip *)
+  && ((not config.repair.enabled)
+     || Budget.spec_is_unlimited config.repair.repair_budget)
 
 let step_key (config : config) ~owner ~old_fp ~new_fp ~partner ~partner_public
     ~partner_private =
@@ -220,6 +255,9 @@ let step_key (config : config) ~owner ~old_fp ~new_fp ~partner ~partner_public
       Chorev_afsa.Fingerprint.digest partner_public;
       Chorev_cache.Intern.process_digest partner_private;
       (if config.auto_apply then "1" else "0");
+      (if config.repair.enabled then
+         Fmt.str "r%d/%d" config.repair.max_candidates config.repair.max_edits
+       else "r0");
     ]
 
 let run_round ?cache (config : config) t owner (changed : Process.t) =
@@ -421,7 +459,7 @@ let dry_run ?(config = default) t ~owner ~changed =
                             ())
                      else None
                    in
-                   { partner; verdict; outcome; degraded = [] }) )
+                   { partner; verdict; outcome; repair = None; degraded = [] }) )
 
 (** Apply a change operation to [owner]'s private process, then evolve. *)
 let run_op ?config t ~owner op =
@@ -439,10 +477,13 @@ let pp_round ppf r =
   Fmt.pf ppf "@[<v>round by %s (public %s):@,%a@]" r.originator
     (if r.public_changed then "changed" else "unchanged")
     (Fmt.list ~sep:Fmt.cut (fun ppf pr ->
-         Fmt.pf ppf "  %a%a%a" Classify.pp_verdict pr.verdict
+         Fmt.pf ppf "  %a%a%a%a" Classify.pp_verdict pr.verdict
            (Fmt.option (fun ppf o ->
                 Fmt.pf ppf " → %a" Engine.pp_outcome o))
            pr.outcome
+           (Fmt.option (fun ppf r ->
+                Fmt.pf ppf " → %a" Chorev_repair.Amend.pp_result r))
+           pr.repair
            (fun ppf -> function
              | [] -> ()
              | ds -> Fmt.pf ppf " [degraded: %a]" Degrade.pp_list ds)

@@ -34,6 +34,11 @@ type config = Chorev_propagate.Engine.config = {
           when one is passed to {!run} (default [true]; results are
           identical either way — set [false] / [--no-cache] for A/B
           runs) *)
+  repair : Chorev_config.Config.repair;
+      (** self-healing policy: when enabled, a failed propagation step
+          triggers an amendment search over the partner's private
+          process before the failure is reported (default:
+          [Chorev_config.Config.repair_off]) *)
 }
 (** Alias of {!Chorev_config.Config.t} (via
     {!Chorev_propagate.Engine.config}): one record configures the
@@ -49,6 +54,11 @@ type partner_report = {
   verdict : Chorev_change.Classify.verdict;
   outcome : Chorev_propagate.Engine.outcome option;
       (** [None] for invariant changes *)
+  repair : Chorev_repair.Amend.result option;
+      (** the amendment search run when the engine left this partner
+          inconsistent and [config.repair.enabled]; [Some] with
+          [repaired = Some _] means the partner was self-healed and
+          the amended process propagated like any auto-adaptation *)
   degraded : Chorev_guard.Degrade.t list;
       (** classification-level budget trips (the partner is then
           conservatively treated as invariant); engine-level trips are

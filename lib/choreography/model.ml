@@ -113,6 +113,7 @@ let copy t =
 type issue_kind =
   | Unknown_party_ref of { label : Label.t; missing : string }
   | Dangling_channel of { label : Label.t; counterparty : string }
+  | Unknown_message_type of { label : Label.t; counterparty : string }
   | Foreign_label of Label.t
   | No_final_state
   | Empty_language
@@ -120,7 +121,9 @@ type issue_kind =
 type issue = { party : string; kind : issue_kind }
 
 let issue_severity i =
-  match i.kind with Dangling_channel _ -> `Warning | _ -> `Error
+  match i.kind with
+  | Dangling_channel _ | Unknown_message_type _ -> `Warning
+  | _ -> `Error
 
 let pp_issue ppf i =
   match i.kind with
@@ -132,6 +135,11 @@ let pp_issue ppf i =
         "%s: message %a is never matched by %s's public process (dangling \
          channel)"
         i.party Label.pp label counterparty
+  | Unknown_message_type { label; counterparty } ->
+      Fmt.pf ppf
+        "%s: message type %a sent to %s is absent from %s's whole alphabet \
+         (likely a typo or a change that was never propagated)"
+        i.party Label.pp_short label counterparty counterparty
   | Foreign_label label ->
       Fmt.pf ppf "%s: public alphabet contains %a, which does not involve %s"
         i.party Label.pp label i.party
@@ -165,13 +173,26 @@ let validate t =
                 | None ->
                     add party (Unknown_party_ref { label = l; missing = other })
                 | Some peer ->
-                    if
-                      not
-                        (List.exists (Label.equal l)
-                           (Afsa.alphabet peer.public_process))
-                    then
-                      add party
-                        (Dangling_channel { label = l; counterparty = other })))
+                    let peer_alpha = Afsa.alphabet peer.public_process in
+                    if not (List.exists (Label.equal l) peer_alpha) then
+                      (* the exact channel is unmatched; if even the
+                         message *type* appears nowhere in the peer's
+                         alphabet, say so — that is the signature of a
+                         typo or an unpropagated change, and exactly
+                         what a rogue injection looks like *)
+                      if
+                        not
+                          (List.exists
+                             (fun (l' : Label.t) ->
+                               String.equal l'.Label.msg l.Label.msg)
+                             peer_alpha)
+                      then
+                        add party
+                          (Unknown_message_type
+                             { label = l; counterparty = other })
+                      else
+                        add party
+                          (Dangling_channel { label = l; counterparty = other })))
         (Afsa.alphabet a);
       if Afsa.finals a = [] then add party No_final_state
       else if Chorev_afsa.Emptiness.is_empty_plain a then add party Empty_language)

@@ -59,6 +59,14 @@ type issue_kind =
       label : Chorev_afsa.Label.t;
       counterparty : string;
     }  (** the counterparty's public alphabet never mentions the message *)
+  | Unknown_message_type of {
+      label : Chorev_afsa.Label.t;
+      counterparty : string;
+    }
+      (** the message {e type} is emitted by one party but absent from
+          the partner's whole alphabet — the signature of a typo or an
+          unpropagated change (stronger than {!Dangling_channel}, which
+          fires when the type exists but the exact channel does not) *)
   | Foreign_label of Chorev_afsa.Label.t
       (** a public alphabet contains a label not involving its party *)
   | No_final_state
@@ -67,8 +75,8 @@ type issue_kind =
 type issue = { party : string; kind : issue_kind }
 
 val issue_severity : issue -> [ `Error | `Warning ]
-(** Dangling channels are warnings (legal but suspicious); everything
-    else is an error. *)
+(** Dangling channels and unknown message types are warnings (legal but
+    suspicious); everything else is an error. *)
 
 val validate : t -> (unit, issue list) result
 (** Well-formedness pre-flight, run by every [chorev] subcommand before

@@ -25,6 +25,7 @@ module Afsa = Chorev_afsa.Afsa
 module Label = Chorev_afsa.Label
 module Budget = Chorev_guard.Budget
 module Engine = Chorev_propagate.Engine
+module RPolicy = Chorev_config.Config
 
 type payload =
   | Announce of { public : Afsa.t }
@@ -32,12 +33,27 @@ type payload =
           ever travels *)
   | Ack  (** the sender considers itself consistent with the receiver *)
   | Nack  (** the sender saw an inconsistency (it may adapt and re-ack) *)
+  | Abort
+      (** the sender is withdrawing the change it propagated: restore
+          your pre-change state if you adapted, and cascade *)
 
 type effect_ =
   | Send of { to_ : string; payload : payload }
   | Adapted of Chorev_bpel.Process.t
       (** this node replaced its own private process (the driver
           mirrors the update into its choreography model) *)
+  | Repaired of string
+      (** marker: the preceding [Adapted] came from the amendment
+          search, not the engine's own retry loop; carries the chosen
+          candidate's description (drivers count these) *)
+
+type snapshot = {
+  pre_private : Chorev_bpel.Process.t;
+  pre_public : Afsa.t;
+  announced_to : string list;
+      (** parties this node announced its adapted public to — the
+          abort cascade's fan-out *)
+}
 
 type t = {
   party : string;
@@ -46,9 +62,16 @@ type t = {
   mutable known_publics : (string * Afsa.t) list;
       (** last public process announced by each partner *)
   mutable acked : (string * bool) list;  (** partner -> agreed *)
+  mutable adapt_log : snapshot option;
+      (** state before this node's {e first} adaptation of the current
+          protocol run; what an [Abort] restores *)
 }
 
-let kind = function Announce _ -> `Announce | Ack -> `Ack | Nack -> `Nack
+let kind = function
+  | Announce _ -> `Announce
+  | Ack -> `Ack
+  | Nack -> `Nack
+  | Abort -> `Abort
 
 let find_known n p = List.assoc_opt p n.known_publics
 
@@ -74,6 +97,7 @@ let of_model ~(before : Model.t) ~(current : Model.t) party =
     public = Model.public current party;
     known_publics = known;
     acked = [];
+    adapt_log = None;
   }
 
 let shares_label a b =
@@ -101,6 +125,49 @@ let announce_all n =
 let settled n =
   List.for_all (fun q -> List.assoc_opt q n.acked = Some true) (partners n)
 
+(* Adopt [p'] as this node's private process, re-deriving the public
+   exactly as [Model.update] would so both drivers see the same
+   automaton. The first adoption of a protocol run snapshots the
+   pre-change state (what an [Abort] restores); later ones only widen
+   the recorded announce fan-out. *)
+let adopt n ~from_ p' =
+  let pre_private = n.private_process and pre_public = n.public in
+  n.private_process <- p';
+  n.public <- Chorev_mapping.Public_gen.public p';
+  set_acked n from_ true;
+  let announces = announce_all n in
+  let targets =
+    List.filter_map
+      (function Send { to_; payload = Announce _ } -> Some to_ | _ -> None)
+      announces
+  in
+  (match n.adapt_log with
+  | None ->
+      n.adapt_log <- Some { pre_private; pre_public; announced_to = targets }
+  | Some s ->
+      n.adapt_log <-
+        Some
+          {
+            s with
+            announced_to =
+              List.sort_uniq String.compare (targets @ s.announced_to);
+          });
+  Adapted p' :: Send { to_ = from_; payload = Ack } :: announces
+
+(** The change originator's own withdrawal: compute the abort fan-out
+    under the {e changed} public, restore [pre] as this node's state,
+    and re-announce the restored public. Invoked by a driver when
+    neither adaptation nor amendment restored consistency — the
+    protocol-level trigger of a causal rollback. *)
+let withdraw n ~pre =
+  let targets = partners n in
+  n.private_process <- pre;
+  n.public <- Chorev_mapping.Public_gen.public pre;
+  n.adapt_log <- None;
+  n.acked <- [];
+  List.map (fun q -> Send { to_ = q; payload = Abort }) targets
+  @ (Adapted pre :: announce_all n)
+
 (** One protocol step: what [n] does on receiving [payload] from
     [from_]. [adapt:false] disables the local propagation engine, so an
     inconsistency is only nacked. [config] supplies the budgets: the
@@ -117,6 +184,20 @@ let handle ?(adapt = true) ?(config = Engine.default) n ~from_ payload :
   | Nack ->
       set_acked n from_ false;
       []
+  | Abort -> (
+      (* Withdrawal of a change upstream of us: restore the pre-change
+         snapshot if (and only if) we adapted, cascade the abort along
+         our own announce fan-out, and re-announce the restored public.
+         Idempotent — a second abort finds no snapshot and does
+         nothing, so duplicated delivery is safe. *)
+      match n.adapt_log with
+      | None -> []
+      | Some s ->
+          n.adapt_log <- None;
+          n.private_process <- s.pre_private;
+          n.public <- s.pre_public;
+          List.map (fun q -> Send { to_ = q; payload = Abort }) s.announced_to
+          @ (Adapted s.pre_private :: announce_all n))
   | Announce { public } ->
       let previous = find_known n from_ in
       set_known n from_ public;
@@ -165,14 +246,26 @@ let handle ?(adapt = true) ?(config = Engine.default) n ~from_ payload :
                     ~partner_private:n.private_process ()
                 in
                 match outcome.Engine.adapted with
-                | Some p' ->
-                    n.private_process <- p';
-                    (* re-derive the public process exactly as
-                       [Model.update] would, so both drivers see the
-                       same automaton *)
-                    n.public <- Chorev_mapping.Public_gen.public p';
-                    set_acked n from_ true;
-                    (nack :: Adapted p'
-                     :: Send { to_ = from_; payload = Ack }
-                     :: announce_all n)
-                | None -> [ nack ]))
+                | Some p' -> nack :: adopt n ~from_ p'
+                | None ->
+                    (* self-healing fallback: the engine's retry loop is
+                       exhausted — search for a partner amendment on the
+                       failure counterexample *)
+                    let policy = config.Engine.repair in
+                    if not policy.RPolicy.enabled then [ nack ]
+                    else
+                      let r =
+                        Chorev_repair.Amend.search ~cache:config.Engine.cache
+                          ?cancel:config.Engine.cancel ~policy ~direction
+                          ~partner_private:n.private_process
+                          ~view_new:outcome.Engine.analysis.Engine.view_new
+                          ~delta:outcome.Engine.analysis.Engine.delta ()
+                      in
+                      (match r.Chorev_repair.Amend.repaired with
+                      | None -> [ nack ]
+                      | Some (p', _) ->
+                          let description =
+                            Option.value ~default:"amended"
+                              r.Chorev_repair.Amend.chosen
+                          in
+                          nack :: Repaired description :: adopt n ~from_ p')))

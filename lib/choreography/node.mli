@@ -13,12 +13,27 @@ type payload =
       (** only public processes ever travel *)
   | Ack
   | Nack
+  | Abort
+      (** the sender is withdrawing the change it propagated: restore
+          your pre-change state if you adapted, and cascade *)
 
 type effect_ =
   | Send of { to_ : string; payload : payload }
   | Adapted of Chorev_bpel.Process.t
       (** the node replaced its own private process; drivers mirror
           this into their choreography model *)
+  | Repaired of string
+      (** marker preceding an [Adapted] that came from the amendment
+          search rather than the engine's retry loop; carries the
+          chosen candidate's description (drivers count these) *)
+
+type snapshot = {
+  pre_private : Chorev_bpel.Process.t;
+  pre_public : Afsa.t;
+  announced_to : string list;
+      (** parties this node announced its adapted public to — the
+          abort cascade's fan-out *)
+}
 
 type t = {
   party : string;
@@ -26,9 +41,12 @@ type t = {
   mutable public : Afsa.t;
   mutable known_publics : (string * Afsa.t) list;
   mutable acked : (string * bool) list;
+  mutable adapt_log : snapshot option;
+      (** state before this node's first adaptation of the current
+          protocol run; what an [Abort] restores *)
 }
 
-val kind : payload -> [ `Ack | `Announce | `Nack ]
+val kind : payload -> [ `Abort | `Ack | `Announce | `Nack ]
 
 val of_model : before:Model.t -> current:Model.t -> string -> t
 (** Private/public process from [current], partner publics from
@@ -41,6 +59,13 @@ val partners : t -> string list
 
 val announce_all : t -> effect_ list
 (** Announce this node's current public process to every partner. *)
+
+val withdraw : t -> pre:Chorev_bpel.Process.t -> effect_ list
+(** The change originator's own withdrawal: abort messages to every
+    partner of the {e changed} public, then restore [pre] as this
+    node's private/public state and re-announce it. Driver-invoked
+    when neither adaptation nor amendment restored consistency — the
+    protocol-level trigger of a causal rollback. *)
 
 val handle :
   ?adapt:bool ->

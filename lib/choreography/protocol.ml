@@ -21,10 +21,15 @@ type stats = {
   announcements : int;
   acks : int;
   nacks : int;
+  aborts : int;
+  repairs : int;  (** adaptations produced by the amendment search *)
 }
 
 type result = {
   agreed : bool;  (** all pairs mutually acknowledged *)
+  rolled_back : bool;
+      (** the change was withdrawn: the originator aborted and every
+          causally affected party restored its pre-change state *)
   stats : stats;
   final : Model.t;  (** choreography after local adaptations *)
 }
@@ -33,9 +38,14 @@ type result = {
     [changed]. [adapt] controls whether nacking partners run the local
     propagation engine to adapt (default true); [engine_config]
     (default [Engine.default]) carries the per-op budgets each node
-    works under. *)
+    works under (its [repair] policy arms the nodes' amendment
+    fallback). [rollback] (default false) arms the causal rollback:
+    when the drained protocol still leaves some pair inconsistent, the
+    originator withdraws the change — abort cascade along the announce
+    edges, every causally affected party restores its pre-change
+    snapshot, unaffected parties are never touched. *)
 let run ?(adapt = true) ?(engine_config = Chorev_propagate.Engine.default)
-    ?(max_rounds = 16) (t : Model.t) ~owner ~changed =
+    ?(max_rounds = 16) ?(rollback = false) (t : Model.t) ~owner ~changed =
   let before = t in
   let t = ref (Model.update t changed) in
   let parties = Model.parties !t in
@@ -48,7 +58,9 @@ let run ?(adapt = true) ?(engine_config = Chorev_propagate.Engine.default)
   let messages = ref 0
   and announcements = ref 0
   and acks = ref 0
-  and nacks = ref 0 in
+  and nacks = ref 0
+  and aborts = ref 0
+  and repairs = ref 0 in
   let apply_effects p effects =
     List.iter
       (function
@@ -57,30 +69,51 @@ let run ?(adapt = true) ?(engine_config = Chorev_propagate.Engine.default)
             (match Node.kind payload with
             | `Announce -> incr announcements
             | `Ack -> incr acks
-            | `Nack -> incr nacks);
+            | `Nack -> incr nacks
+            | `Abort -> incr aborts);
             Queue.add (to_, p, payload) inbox
-        | Node.Adapted p' -> t := Model.update !t p')
+        | Node.Adapted p' -> t := Model.update !t p'
+        | Node.Repaired _ -> incr repairs)
       effects
+  in
+  let drain () =
+    let rounds = ref 0 in
+    let continue = ref true in
+    while !continue && !rounds < max_rounds do
+      incr rounds;
+      let batch = Queue.length inbox in
+      if batch = 0 then continue := false
+      else
+        for _ = 1 to batch do
+          let to_, from_, payload = Queue.pop inbox in
+          apply_effects to_
+            (Node.handle ~adapt ~config:engine_config (node to_) ~from_
+               payload)
+        done
+    done;
+    !rounds
   in
   (* originator announces its new public process *)
   apply_effects owner (Node.announce_all (node owner));
-  let rounds = ref 0 in
-  let continue = ref true in
-  while !continue && !rounds < max_rounds do
-    incr rounds;
-    let batch = Queue.length inbox in
-    if batch = 0 then continue := false
-    else
-      for _ = 1 to batch do
-        let to_, from_, payload = Queue.pop inbox in
-        apply_effects to_
-          (Node.handle ~adapt ~config:engine_config (node to_) ~from_ payload)
-      done
-  done;
+  let rounds = ref (drain ()) in
   (* agreement: every interacting pair is mutually consistent now *)
-  let agreed = Consistency.consistent !t in
+  let agreed = ref (Consistency.consistent !t) in
+  let rolled_back = ref false in
+  if (not !agreed) && rollback then begin
+    (* the change cannot be healed: withdraw it. The abort cascade
+       reaches exactly the parties that adapted because of it (the
+       causal cone along the announce edges); everyone else's state is
+       never touched. *)
+    rolled_back := true;
+    apply_effects owner
+      (Node.withdraw (node owner) ~pre:(Model.private_ before owner));
+    t := Model.update !t (Model.private_ before owner);
+    rounds := !rounds + drain ();
+    agreed := Consistency.consistent !t
+  end;
   {
-    agreed;
+    agreed = !agreed;
+    rolled_back = !rolled_back;
     stats =
       {
         rounds = !rounds;
@@ -88,10 +121,12 @@ let run ?(adapt = true) ?(engine_config = Chorev_propagate.Engine.default)
         announcements = !announcements;
         acks = !acks;
         nacks = !nacks;
+        aborts = !aborts;
+        repairs = !repairs;
       };
     final = !t;
   }
 
 let pp_stats ppf s =
-  Fmt.pf ppf "rounds=%d messages=%d (announce=%d ack=%d nack=%d)" s.rounds
-    s.messages s.announcements s.acks s.nacks
+  Fmt.pf ppf "rounds=%d messages=%d (announce=%d ack=%d nack=%d abort=%d) repairs=%d"
+    s.rounds s.messages s.announcements s.acks s.nacks s.aborts s.repairs

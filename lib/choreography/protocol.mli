@@ -12,10 +12,15 @@ type stats = {
   announcements : int;
   acks : int;
   nacks : int;
+  aborts : int;
+  repairs : int;  (** adaptations produced by the amendment search *)
 }
 
 type result = {
   agreed : bool;  (** all interacting pairs consistent afterwards *)
+  rolled_back : bool;
+      (** the change was withdrawn: the originator aborted and every
+          causally affected party restored its pre-change state *)
   stats : stats;
   final : Model.t;  (** choreography after local adaptations *)
 }
@@ -24,12 +29,18 @@ val run :
   ?adapt:bool ->
   ?engine_config:Chorev_propagate.Engine.config ->
   ?max_rounds:int ->
+  ?rollback:bool ->
   Model.t ->
   owner:string ->
   changed:Chorev_bpel.Process.t ->
   result
 (** [adapt:false] disables local adaptation by nacking partners.
     [engine_config] bounds each node's local work (see {!Node.handle});
-    default {!Chorev_propagate.Engine.default}, i.e. unlimited. *)
+    default {!Chorev_propagate.Engine.default}, i.e. unlimited — its
+    [repair] policy arms the nodes' amendment fallback. With
+    [rollback:true] a drained-but-inconsistent protocol triggers the
+    originator's withdrawal: an abort cascade along the announce edges
+    restores exactly the causally affected parties to their pre-change
+    state. *)
 
 val pp_stats : Format.formatter -> stats -> unit

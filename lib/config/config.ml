@@ -1,5 +1,20 @@
 module Budget = Chorev_guard.Budget
 
+type repair = {
+  enabled : bool;
+  max_candidates : int;
+  max_edits : int;
+  repair_budget : Budget.spec;
+}
+
+let repair_off =
+  {
+    enabled = false;
+    max_candidates = 64;
+    max_edits = 2;
+    repair_budget = Budget.spec_unlimited;
+  }
+
 type t = {
   auto_apply : bool;
   max_rounds : int;
@@ -9,6 +24,7 @@ type t = {
   round_budget : Budget.spec;
   cancel : Budget.Cancel.t option;
   cache : bool;
+  repair : repair;
 }
 
 let default =
@@ -21,6 +37,23 @@ let default =
     round_budget = Budget.spec_unlimited;
     cancel = None;
     cache = true;
+    repair = repair_off;
+  }
+
+let with_repair ?fuel ?max_candidates ?max_edits t =
+  {
+    t with
+    repair =
+      {
+        enabled = true;
+        max_candidates =
+          Option.value max_candidates ~default:t.repair.max_candidates;
+        max_edits = Option.value max_edits ~default:t.repair.max_edits;
+        repair_budget =
+          (match fuel with
+          | None -> t.repair.repair_budget
+          | Some f -> { Budget.fuel = Some f; timeout_s = None });
+      };
   }
 
 let with_budgets ?op_budget ?round_budget ?cancel t =

@@ -8,6 +8,27 @@
     per-partner engine, the whole-choreography pipeline, the journaled
     driver and the serving layer alike). *)
 
+type repair = {
+  enabled : bool;
+      (** attempt automatic partner amendment (and, in the simulator,
+          causal rollback) when a propagation step fails (default
+          [false]) *)
+  max_candidates : int;
+      (** bound on the amendment candidate queue per failed step
+          (default 64) *)
+  max_edits : int;
+      (** candidates combine at most this many primitive edits
+          (default 2; 1 disables pair candidates) *)
+  repair_budget : Chorev_guard.Budget.spec;
+      (** fuel/deadline for one whole amendment search; minted inside
+          the pool task, so fuel-only budgets trip identically at every
+          pool size (default: unlimited) *)
+}
+
+val repair_off : repair
+(** [enabled = false], [max_candidates = 64], [max_edits = 2],
+    unlimited budget — the {!default} policy. *)
+
 type t = {
   auto_apply : bool;
       (** attempt the suggested private-process adaptations (default
@@ -41,11 +62,21 @@ type t = {
       (** route algebra operations through the fingerprint-keyed memo
           tables of [Chorev_cache] (default [true]; results are
           identical either way — [--no-cache] exists for A/B runs) *)
+  repair : repair;
+      (** self-healing policy for failed propagations (default
+          {!repair_off}) *)
 }
 
 val default : t
 (** [auto_apply = true], [max_rounds = 8], no sink, [jobs = 0],
-    unlimited budgets, no cancellation token, [cache = true]. *)
+    unlimited budgets, no cancellation token, [cache = true],
+    [repair = repair_off]. *)
+
+val with_repair :
+  ?fuel:int -> ?max_candidates:int -> ?max_edits:int -> t -> t
+(** Enable repair, optionally bounding the amendment search: [fuel]
+    replaces the repair budget with a fuel-only spec; the other fields
+    default to the current policy's values. *)
 
 val with_budgets :
   ?op_budget:Chorev_guard.Budget.spec ->

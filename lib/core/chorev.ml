@@ -45,6 +45,9 @@
       (DESIGN.md §9)
     - {!Journal} — checksummed write-ahead journal and the resumable
       crash-safe evolution driver (DESIGN.md §9)
+    - {!Repair} — self-healing evolution: amendment search over
+      counterexample witnesses, and causal rollback of half-propagated
+      changes (DESIGN.md §14)
 
     {2 Observability}
     - {!Obs} — trace spans, metrics counters and profiling sinks for
@@ -134,6 +137,20 @@ module Journal = struct
   include Chorev_journal.Journal
   module Evolve = Chorev_journal.Evolve
   module Dir = Chorev_journal.Dir
+end
+
+(* The durable substrate the journals sit on (JSON, WAL, fsync'd dirs) *)
+module Wal = struct
+  module Json = Chorev_wal.Json
+  module Wal = Chorev_wal.Wal
+  module Dir = Chorev_wal.Dir
+end
+
+(* Self-healing repair: amendment search + causal rollback
+   (DESIGN.md §14) *)
+module Repair = struct
+  module Amend = Chorev_repair.Amend
+  module Rollback = Chorev_repair.Rollback
 end
 
 (* Distributed simulation of the Sec. 6 protocol over faulty links *)

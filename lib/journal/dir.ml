@@ -1,101 +1,5 @@
-(* Shared filesystem plumbing: see dir.mli for the invariants. *)
+(* Historical home of the shared filesystem plumbing; the
+   implementation moved to [Chorev_wal.Dir] (no choreography
+   dependency), this shim keeps [Chorev_journal.Dir] working. *)
 
-let sanitize name =
-  String.concat ""
-    (List.map
-       (fun c ->
-         match c with
-         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> String.make 1 c
-         | c -> Printf.sprintf "%%%02x" (Char.code c))
-       (List.init (String.length name) (String.get name)))
-
-let rec mkdir_p path =
-  if not (Sys.file_exists path) then (
-    let parent = Filename.dirname path in
-    if parent <> path && not (Sys.file_exists parent) then mkdir_p parent;
-    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
-
-let fsync_dir path =
-  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
-  | fd ->
-      (try Unix.fsync fd with Unix.Unix_error _ -> ());
-      Unix.close fd
-  | exception Unix.Unix_error _ -> ()
-
-let write_atomic path contents =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc contents;
-  flush oc;
-  Unix.fsync (Unix.descr_of_out_channel oc);
-  close_out oc;
-  Unix.rename tmp path;
-  fsync_dir (Filename.dirname path)
-
-let read_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  s
-
-let has_journal dir = Sys.file_exists (Filename.concat dir "journal.jsonl")
-
-let validate_root path =
-  if Sys.file_exists path then
-    if Sys.is_directory path then Ok ()
-    else Error (Printf.sprintf "%s exists and is not a directory" path)
-  else
-    match mkdir_p path with
-    | () when Sys.is_directory path -> Ok ()
-    | () -> Error (Printf.sprintf "cannot create directory %s" path)
-    | exception Unix.Unix_error (e, _, _) ->
-        Error (Printf.sprintf "cannot create %s: %s" path (Unix.error_message e))
-
-let tmp_prefix = ".tmp-"
-
-let create_fresh ?(populate = fun _ -> ()) ~root name =
-  let name = sanitize name in
-  let final = Filename.concat root name in
-  if Sys.file_exists final then Error (Printf.sprintf "%s already exists" final)
-  else
-    (* Build (and populate) under a tmp sibling, then rename: the final
-       name appears atomically, already complete. The pid suffix keeps
-       concurrent creators of the same name from colliding on the tmp
-       path; only one rename wins. *)
-    let tmp =
-      Filename.concat root
-        (Printf.sprintf "%s%s.%d" tmp_prefix name (Unix.getpid ()))
-    in
-    let rec rm_rf path =
-      if Sys.file_exists path then
-        if Sys.is_directory path then (
-          Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
-          try Unix.rmdir path with Unix.Unix_error _ -> ())
-        else try Sys.remove path with Sys_error _ -> ()
-    in
-    match
-      mkdir_p tmp;
-      populate tmp;
-      Unix.rename tmp final;
-      fsync_dir root
-    with
-    | () -> Ok final
-    | exception e ->
-        rm_rf tmp;
-        let msg =
-          match e with
-          | Unix.Unix_error (err, _, _) -> Unix.error_message err
-          | e -> Printexc.to_string e
-        in
-        Error (Printf.sprintf "cannot create %s: %s" final msg)
-
-let list_subdirs dir =
-  match Sys.readdir dir with
-  | exception Sys_error _ -> []
-  | names ->
-      Array.to_list names
-      |> List.filter (fun n ->
-             (not (String.starts_with ~prefix:tmp_prefix n))
-             && Sys.is_directory (Filename.concat dir n))
-      |> List.sort String.compare
+include Chorev_wal.Dir

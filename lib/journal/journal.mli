@@ -22,59 +22,13 @@
     run, one [Round] per completed evolution round is the commit point
     for that round, and [Done] seals the run. *)
 
-(** Minimal JSON — hand-rolled (the toolchain has no JSON library);
-    [to_string] emits no insignificant whitespace and [of_string]
-    accepts exactly the JSON grammar (strings with [\uXXXX] escapes,
-    integers, no floats). *)
-module Json : sig
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
+(** The generic layers live in [Chorev_wal] — shared with the
+    migration checkpoint log of [Chorev_migrate] and the repair
+    rollback journal of [Chorev_repair] — and are re-exported here
+    under their historical names. *)
 
-  val to_string : t -> string
-  val of_string : string -> (t, string) result
-  val member : string -> t -> t option
-end
-
-(** The checksummed-line machinery shared by every journal in the
-    system (the evolution journal below, the migration checkpoint log
-    of [Chorev_migrate]): one [{"crc":"<md5-hex-of-body>","body":j}]
-    line per record, fsync per append, torn-tail recovery on read.
-    Generic over what the body means — callers pass their own
-    decoder. *)
-module Wal : sig
-  type writer
-
-  val open_append : path:string -> writer
-  (** Open (creating if needed) for append. *)
-
-  val reopen : path:string -> valid_bytes:int -> writer
-  (** Truncate to [valid_bytes] (discarding a torn tail), fsync the
-      parent directory, and open for append. *)
-
-  val append : writer -> Json.t -> unit
-  (** Checksum, append one line and [fsync]; durable on return. *)
-
-  val close : writer -> unit
-
-  type 'a read_result = {
-    records : 'a list;
-    torn : bool;  (** a partial/corrupt final line was dropped *)
-    valid_bytes : int;
-        (** end offset of the last valid record — where a resuming
-            writer truncates *)
-  }
-
-  val read :
-    path:string -> decode:(Json.t -> ('a, string) result) -> ('a read_result, string) result
-  (** [Error] if the file is missing or a line {e before} the final one
-      fails its checksum, does not parse, or is refused by [decode]; a
-      broken final line only marks the result torn. *)
-end
+module Json = Chorev_wal.Json
+module Wal = Chorev_wal.Wal
 
 type record =
   | Start of { owner : string; parties : string list; digest : string }

@@ -42,6 +42,10 @@ type analysis = {
   target_public : Afsa.t;  (** computed B' *)
   divergences : Localize.divergence list;
   suggestions : Suggest.t list;
+  witness : Chorev_afsa.Label.t list option;
+      (** shortest distinguishing witness trace of [delta], filled in
+          when the pipeline ends inconsistent (a concrete message
+          sequence the partner cannot follow, not just a verdict) *)
   degraded : Degrade.t list;
       (** budget trips during steps 1–4 and the fallbacks taken *)
 }
@@ -65,6 +69,7 @@ type config = Chorev_config.Config.t = {
   round_budget : Budget.spec;
   cancel : Budget.Cancel.t option;
   cache : bool;
+  repair : Chorev_config.Config.repair;
 }
 
 let default = Chorev_config.Config.default
@@ -189,6 +194,7 @@ let analyze ?(round = Budget.unlimited) ?(op_budget = Budget.spec_unlimited)
     target_public = target;
     divergences;
     suggestions;
+    witness = None;
     degraded = deg_view @ deg_delta @ deg_local;
   }
 
@@ -254,6 +260,25 @@ let run_body config ~direction ~a' ~partner_private =
           false
     in
     let finish ~adapted ~adapted_public ~consistent_after =
+      (* On failure, extract the shortest distinguishing witness from
+         the delta so the report carries a concrete trace. The BFS does
+         not tick budgets, so fuel accounting is unchanged. *)
+      let analysis =
+        if consistent_after then analysis
+        else
+          let witness =
+            Obs.span "witness" @@ fun () ->
+            match Suggest.witness analysis.delta with
+            | None -> None
+            | Some w ->
+                (* structured copy of the trace for span consumers *)
+                Obs.span "witness.trace"
+                  ~attrs:[ ("trace", str (Suggest.witness_to_string w)) ]
+                  (fun () -> ());
+                Some w
+          in
+          { analysis with witness }
+      in
       {
         direction;
         analysis;
@@ -327,6 +352,7 @@ let run_body config ~direction ~a' ~partner_private =
             target_public = public_b;
             divergences = [];
             suggestions = [];
+            witness = None;
             degraded;
           };
         adapted = None;
@@ -354,12 +380,16 @@ let direction_of_framework (f : Chorev_change.Classify.framework) =
 let pp_outcome ppf o =
   Fmt.pf ppf
     "@[<v>%s propagation: %d divergence(s), %d suggestion(s), adapted=%b, \
-     consistent_after=%b%a@]"
+     consistent_after=%b%a%a@]"
     (direction_name o.direction)
     (List.length o.analysis.divergences)
     (List.length o.analysis.suggestions)
     (Option.is_some o.adapted)
     o.consistent_after
+    (fun ppf -> function
+      | None -> ()
+      | Some w -> Fmt.pf ppf ",@ witness: %a" Suggest.pp_witness w)
+    o.analysis.witness
     (fun ppf -> function
       | [] -> ()
       | ds -> Fmt.pf ppf ", degraded: %a" Degrade.pp_list ds)

@@ -15,6 +15,12 @@ type analysis = {
   target_public : Afsa.t;  (** computed B′ *)
   divergences : Localize.divergence list;
   suggestions : Suggest.t list;
+  witness : Chorev_afsa.Label.t list option;
+      (** shortest distinguishing witness trace of [delta] — a concrete
+          message sequence the partner cannot follow. Filled in by
+          {!run} when the pipeline ends inconsistent ([None] while it
+          succeeds, or when the delta is language-empty); {!analyze}
+          itself leaves it [None]. *)
   degraded : Degrade.t list;
       (** budget trips during steps 1–4 and the fallbacks taken:
           skipped minimization, abandoned delta (partner kept as-is) *)
@@ -69,6 +75,10 @@ type config = Chorev_config.Config.t = {
           identical with and without; the memo layer is inert under a
           limited ambient budget, so budgets tick on cache misses only
           and fuel determinism across pool sizes is preserved. *)
+  repair : Chorev_config.Config.repair;
+      (** self-healing policy for failed propagations, consumed by
+          [Evolution] and the simulator (default:
+          [Chorev_config.Config.repair_off]; ignored by {!run}) *)
 }
 (** Alias of {!Chorev_config.Config.t}, the one configuration record of
     the stack: [Evolution.config] and the serving layer's per-request

@@ -24,6 +24,26 @@ let describe = function
 
 let pp ppf s = Fmt.string ppf (describe s)
 
+(* ------------------------ witness traces -------------------------- *)
+
+(** Shortest distinguishing witness: a shortest word of the difference
+    automaton, i.e. a concrete message sequence the target public
+    process requires (additive) or forbids (subtractive) that the
+    partner's current public process does not. [None] when the delta is
+    language-empty. The repair loop anchors its candidate edits on
+    these labels; failure reports print them so the engineer sees a
+    trace, not a bare verdict. *)
+let witness (delta : Afsa.t) : Label.t list option =
+  Chorev_afsa.Trace.shortest delta
+
+let pp_witness ppf = function
+  | [] -> Fmt.string ppf "<empty word>"
+  | w ->
+      Fmt.(list ~sep:(any " . ") (fun ppf l -> string ppf (Label.to_string l)))
+        ppf w
+
+let witness_to_string w = Fmt.str "%a" pp_witness w
+
 (* --------------------------- helpers ------------------------------ *)
 
 (* The private communication activity that puts [l] on the wire first

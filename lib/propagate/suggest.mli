@@ -12,6 +12,19 @@ val describe : t -> string
 val pp : Format.formatter -> t -> unit
 val is_manual : t -> bool
 
+val witness : Chorev_afsa.Afsa.t -> Chorev_afsa.Label.t list option
+(** Shortest word of the difference automaton — a concrete message
+    sequence distinguishing the target public process from the
+    partner's current one ([None] when the delta is language-empty).
+    Surfaced in failure reports and reused as the anchor set of the
+    repair loop's amendment search. *)
+
+val pp_witness : Format.formatter -> Chorev_afsa.Label.t list -> unit
+(** [a->b:m . c->d:n] rendering; the empty word prints
+    [<empty word>]. *)
+
+val witness_to_string : Chorev_afsa.Label.t list -> string
+
 val additive :
   Chorev_bpel.Process.t ->
   old_public:Chorev_afsa.Afsa.t ->

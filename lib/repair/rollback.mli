@@ -1,0 +1,105 @@
+(** Causal rollback of a half-propagated change (DESIGN.md §14).
+
+    When amendment fails mid-protocol, every party the change causally
+    reached is restored to its pre-change snapshot and every other
+    party is left untouched. The cone is computed from the delivery
+    history; the restore is journal-backed (one fsynced record per
+    committed restore, torn-tail recovery), so a crash in the middle
+    resumes byte-identically via {!resume}.
+
+    Deliberately below the choreography layer: parties are names,
+    snapshots are sexp strings, the restore itself is a caller
+    callback. Layout of a rollback journal directory:
+
+    {v
+    DIR/
+      meta.json               -- {kind:"rollback", owner, parties, prelude}
+      pre/<party>.sexp        -- pre-change snapshots of the cone
+      state/<party>.sexp      -- post-run state of every party
+      journal.jsonl           -- start / restored{party} / sealed
+    v} *)
+
+type edge = {
+  at : int;  (** delivery tick *)
+  src : string;
+  dst : string;
+}
+
+val cone : origin:string -> edges:edge list -> string list
+(** Which parties the change reached: time-ordered BFS — a party joins
+    the cone when it processes a message from an already-contaminated
+    party. [origin] first, then discovery order; deterministic (edges
+    are sorted by [(at, src, dst)] first). *)
+
+type meta = {
+  owner : string;
+  parties : string list;  (** the cone, in restore order *)
+  prelude : string;
+      (** rendered output of the interrupted run, replayed verbatim on
+          resume for byte-identical output *)
+}
+
+exception Simulated_crash of int
+(** Raised by {!restore_all} after the [crash_after]-th committed
+    restore — the kill-during-rollback test hook (CLI exit code 3). *)
+
+type writer
+
+val start :
+  dir:string ->
+  owner:string ->
+  cone:string list ->
+  prelude:string ->
+  pre:(string * string) list ->
+  state:(string * string) list ->
+  writer
+(** Open a fresh rollback journal: [pre] maps each cone party to its
+    pre-change sexp, [state] every party to its current sexp. All
+    snapshot files, [meta.json] and the [start] record are durable
+    before this returns. *)
+
+val restore_all :
+  ?crash_after:int ->
+  ?already:string list ->
+  writer ->
+  restore:(party:string -> pre:string -> unit) ->
+  unit
+(** Restore the cone in order through [restore], appending one fsynced
+    journal record per committed restore (the [repair.rolled_back]
+    counter ticks with it), then seal. [already] (the resume path)
+    names parties to re-restore without re-journalling. Runs under an
+    [repair.rollback] span. *)
+
+val restore_inline :
+  owner:string ->
+  cone:(string * string) list ->
+  restore:(party:string -> pre:string -> unit) ->
+  unit
+(** Journal-less variant for embedded drivers: restore each
+    [(party, pre-sexp)] pair under the same span and counter, with no
+    durability. *)
+
+val close : writer -> unit
+
+val journal_exists : dir:string -> bool
+(** Is [dir] a rollback journal (vs an evolution one)? What
+    [chorev resume] dispatches on. *)
+
+type loaded = {
+  l_meta : meta;
+  l_pre : (string * string) list;  (** cone party → pre-change sexp *)
+  l_state : (string * string) list;  (** every party → post-run sexp *)
+  restored : string list;  (** committed restores, journal order *)
+  sealed : bool;
+  l_valid_bytes : int;
+}
+
+val load : dir:string -> (loaded, string) result
+
+val resume :
+  dir:string -> restore:(party:string -> pre:string -> unit) -> (loaded, string) result
+(** Finish an interrupted rollback: re-apply {e every} cone restore
+    (idempotent overwrite — pre-crash restores died with the process),
+    journal only the missing ones, seal. The caller rebuilds the full
+    model from [l_state] overlaid with the restores and re-prints
+    [l_meta.prelude] for byte-identical output. *)

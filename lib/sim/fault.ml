@@ -36,16 +36,33 @@ type crash = {
   restart_at : int;  (** the node comes back, re-announcing its state *)
 }
 
+type inject = {
+  inject_at : int;
+      (** virtual tick at which the owner applies a seeded bad change
+          to its own private process and announces it *)
+  inject_seed : int;
+      (** derives the rogue message name and its insertion point *)
+}
+
 type profile = {
   name : string;
   link : link;
   partitions : partition list;
   crashes : crash list;
+  injects : inject list;
+      (** seeded bad-change injections (the repair soak's fault class) *)
 }
 
 let perfect_link = { drop_p = 0.0; dup_p = 0.0; delay_min = 0; delay_max = 0 }
 
-let none = { name = "none"; link = perfect_link; partitions = []; crashes = [] }
+let none =
+  {
+    name = "none";
+    link = perfect_link;
+    partitions = [];
+    crashes = [];
+    injects = [];
+  }
 
 (** Fair-loss links with duplication and a small reordering window. *)
 let lossy ?(drop = 0.2) () =
@@ -54,6 +71,7 @@ let lossy ?(drop = 0.2) () =
     link = { drop_p = drop; dup_p = 0.1; delay_min = 1; delay_max = 6 };
     partitions = [];
     crashes = [];
+    injects = [];
   }
 
 (** Everything at once: loss near the acceptance bound, duplication,
@@ -68,6 +86,7 @@ let chaos ?(isolated = []) () =
       | [] -> []
       | ps -> [ { from_tick = 4; until_tick = 40; isolated = ps } ]);
     crashes = [];
+    injects = [];
   }
 
 (** Delay/reordering only — no loss, so no retransmission should ever
@@ -78,6 +97,7 @@ let jittery =
     link = { drop_p = 0.0; dup_p = 0.15; delay_min = 1; delay_max = 10 };
     partitions = [];
     crashes = [];
+    injects = [];
   }
 
 (** One transient partition isolating [party] during [[from_tick,
@@ -88,6 +108,7 @@ let partitioned ?(from_tick = 4) ?(until_tick = 60) party =
     link = { drop_p = 0.1; dup_p = 0.05; delay_min = 1; delay_max = 4 };
     partitions = [ { from_tick; until_tick; isolated = [ party ] } ];
     crashes = [];
+    injects = [];
   }
 
 (** [party] crashes at [at] and restarts at [restart_at] with its
@@ -98,6 +119,7 @@ let crashy ?(at = 3) ?(restart_at = 30) party =
     link = { drop_p = 0.1; dup_p = 0.05; delay_min = 1; delay_max = 4 };
     partitions = [];
     crashes = [ { party; at; restart_at } ];
+    injects = [];
   }
 
 (** Profiles by CLI name. [isolated]/[party] parameterize the
@@ -115,6 +137,15 @@ let of_name ?(party = "B") name =
 
 let names = [ "none"; "lossy"; "jittery"; "chaos"; "partitioned"; "crashy" ]
 
+(** [profile] plus one seeded bad-change injection at [at] — the
+    repair soak decorates any stock profile with this. *)
+let with_inject ?(at = 10) ~seed profile =
+  {
+    profile with
+    name = Printf.sprintf "%s+inject(%d@%d)" profile.name seed at;
+    injects = [ { inject_at = at; inject_seed = seed } ];
+  }
+
 (** Is the link between [a] and [b] cut at [tick]? *)
 let partitioned_at p ~tick a b =
   List.exists
@@ -125,7 +156,8 @@ let partitioned_at p ~tick a b =
 
 let pp ppf p =
   Fmt.pf ppf
-    "%s (drop=%.2f dup=%.2f delay=[%d,%d] partitions=%d crashes=%d)" p.name
-    p.link.drop_p p.link.dup_p p.link.delay_min p.link.delay_max
+    "%s (drop=%.2f dup=%.2f delay=[%d,%d] partitions=%d crashes=%d injects=%d)"
+    p.name p.link.drop_p p.link.dup_p p.link.delay_min p.link.delay_max
     (List.length p.partitions)
     (List.length p.crashes)
+    (List.length p.injects)

@@ -19,11 +19,21 @@ type partition = {
 
 type crash = { party : string; at : int; restart_at : int }
 
+type inject = {
+  inject_at : int;
+      (** virtual tick at which the owner applies a seeded bad change
+          to its own private process and announces it *)
+  inject_seed : int;
+      (** derives the rogue message name and its insertion point *)
+}
+
 type profile = {
   name : string;
   link : link;
   partitions : partition list;
   crashes : crash list;
+  injects : inject list;
+      (** seeded bad-change injections (the repair soak's fault class) *)
 }
 
 val perfect_link : link
@@ -41,6 +51,10 @@ val crashy : ?at:int -> ?restart_at:int -> string -> profile
 
 val of_name : ?party:string -> string -> (profile, string) result
 val names : string list
+
+val with_inject : ?at:int -> seed:int -> profile -> profile
+(** [profile] plus one seeded bad-change injection at [at] (default
+    10) — how the repair soak decorates any stock profile. *)
 
 val partitioned_at : profile -> tick:int -> string -> string -> bool
 val pp : Format.formatter -> profile -> unit

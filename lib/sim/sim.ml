@@ -44,6 +44,8 @@ module Model = Chorev_choreography.Model
 module Node = Chorev_choreography.Node
 module Consistency = Chorev_choreography.Consistency
 module Metrics = Chorev_obs.Metrics
+module Rollback = Chorev_repair.Rollback
+module Sexp = Chorev_bpel.Sexp
 
 (* Retransmission: first retry after [rto_base] ticks, doubling up to
    [rto_cap], at most [max_attempts] transmissions per (partner,
@@ -66,6 +68,7 @@ type stats = {
   announcements : int;  (** first-transmission counts, comparable with *)
   acks : int;  (** [Protocol.stats] under the zero-fault profile *)
   nacks : int;
+  aborts : int;  (** abort-cascade transmissions (node-level withdrawal) *)
 }
 
 type result = {
@@ -74,6 +77,14 @@ type result = {
   stats : stats;
   final : Model.t;
   trace : string;  (** deterministic JSON-lines event log ("" unless [trace]) *)
+  injected_at : int option;
+      (** the tick at which the seeded bad change was applied, if any *)
+  pre_change : Model.t option;
+      (** the model as it was just before the injection — the rollback
+          oracle the soak compares restored parties against *)
+  rolled_back : string list;
+      (** the causal cone that was restored (empty: no rollback ran) *)
+  repairs : int;  (** partner adaptations produced by the amendment search *)
 }
 
 type envelope = {
@@ -91,6 +102,8 @@ type event =
   | Retry of { party : string; to_ : string; epoch : int; attempt : int }
   | Crash of string
   | Restart of string
+  | Inject of Fault.inject
+      (** the owner applies a seeded bad change and announces it *)
 
 type pending = { p_to : string; p_epoch : int }
 
@@ -122,9 +135,64 @@ let kind_name = function
   | `Announce -> "announce"
   | `Ack -> "ack"
   | `Nack -> "nack"
+  | `Abort -> "abort"
+
+(* A seeded rogue change: insert an invoke of a fresh message type —
+   absent from every partner's alphabet, so the partner's bilateral
+   check is guaranteed to fail — at a seeded position of the first
+   sequence of [owner]'s private process. This is the repair soak's
+   fault class: the seed pins down partner, message name and insertion
+   point, so the same seed produces the same bad change at every pool
+   size. *)
+let rogue_change ~inject_seed (m : Model.t) owner =
+  let module A = Chorev_bpel.Activity in
+  let p = Model.private_ m owner in
+  let rng = Random.State.make [| inject_seed; 0xbad |] in
+  let partners =
+    List.filter
+      (fun q -> (not (String.equal q owner)) && Model.interact m owner q)
+      (Model.parties m)
+    |> List.sort String.compare
+  in
+  match partners with
+  | [] -> None
+  | _ :: _ -> (
+      let partner =
+        List.nth partners (Random.State.int rng (List.length partners))
+      in
+      let act =
+        A.invoke ~partner ~op:(Printf.sprintf "rogue%d" inject_seed)
+      in
+      let seq =
+        A.all_nodes (Chorev_bpel.Process.body p)
+        |> List.find_map (fun (path, a) ->
+               match a with
+               | A.Sequence (_, items) -> Some (path, List.length items)
+               | _ -> None)
+      in
+      match seq with
+      | None -> None
+      | Some (path, n) -> (
+          let pos = Random.State.int rng (n + 1) in
+          match
+            Chorev_change.Ops.apply
+              (Chorev_change.Ops.Insert_activity { path; pos; act })
+              p
+          with
+          | Ok p' -> Some p'
+          | Error _ -> None))
+
+(** The deterministic header a rollback-armed run prints before the
+    restore starts. It is also stored in the journal's [meta.prelude],
+    so a kill-during-rollback followed by [chorev resume] replays it
+    byte-identically to the uninterrupted run. *)
+let rollback_prelude ~injected_at ~cone =
+  Printf.sprintf "injected at tick %d\nrolled back: %s\n" injected_at
+    (String.concat "," cone)
 
 let run ?(adapt = true) ?(engine_config = Chorev_propagate.Engine.default)
-    ?(profile = Fault.none) ?(max_ticks = 10_000) ?(trace = true) ~seed
+    ?(profile = Fault.none) ?(max_ticks = 10_000) ?(trace = true)
+    ?(rollback = false) ?rollback_journal ?crash_during_rollback ~seed
     (model : Model.t) ~owner ~changed =
   Metrics.incr c_runs;
   Chorev_obs.Obs.span "sim.run"
@@ -182,8 +250,16 @@ let run ?(adapt = true) ?(engine_config = Chorev_propagate.Engine.default)
   and crashes = ref 0
   and announcements = ref 0
   and acks = ref 0
-  and nacks = ref 0 in
+  and nacks = ref 0
+  and aborts = ref 0
+  and repairs = ref 0 in
   let last_tick = ref 0 in
+  (* injection bookkeeping: the pre-change model snapshot, and the
+     delivery edges recorded after the injection — the raw material of
+     the causal cone should a rollback be needed *)
+  let injected_at = ref None in
+  let pre_change = ref None in
+  let edges : Rollback.edge list ref = ref [] in
   (* ---------------------------- transport --------------------------- *)
   let link = profile.Fault.link in
   let delay () =
@@ -200,7 +276,8 @@ let run ?(adapt = true) ?(engine_config = Chorev_propagate.Engine.default)
       match Node.kind payload with
       | `Announce -> incr announcements
       | `Ack -> incr acks
-      | `Nack -> incr nacks)
+      | `Nack -> incr nacks
+      | `Abort -> incr aborts)
     else incr retries;
     let mid = pn.next_mid in
     pn.next_mid <- mid + 1;
@@ -300,6 +377,35 @@ let run ?(adapt = true) ?(engine_config = Chorev_propagate.Engine.default)
               (Node.handle ~adapt ~config:engine_config pn.node
                  ~from_:env.env_from env.payload)
           end
+      | `Abort ->
+          (* epoch-free: an abort always applies (idempotent in the
+             node — a party with no adaptation on record ignores it) *)
+          let effects =
+            Node.handle ~adapt ~config:engine_config pn.node
+              ~from_:env.env_from env.payload
+          in
+          List.iter
+            (function
+              | Node.Adapted p' ->
+                  tr {|{"t":%d,"ev":"revert","party":"%s"}|} now env.env_to;
+                  m := Model.update !m p'
+              | Node.Repaired _ -> incr repairs
+              | Node.Send _ -> ())
+            effects;
+          List.iter
+            (function
+              | Node.Send { to_; payload } when Node.kind payload = `Abort ->
+                  transmit ~now ~fresh:true pn ~to_ ~epoch:pn.epoch payload
+              | _ -> ())
+            effects;
+          let announce_targets =
+            List.filter_map
+              (function
+                | Node.Send { to_; payload = Node.Announce _ } -> Some to_
+                | _ -> None)
+              effects
+          in
+          if announce_targets <> [] then start_announces ~now pn announce_targets
       | `Announce ->
           let last =
             Option.value ~default:0
@@ -321,6 +427,15 @@ let run ?(adapt = true) ?(engine_config = Chorev_propagate.Engine.default)
             resend_cached ~now pn ~to_:env.env_from ~epoch:env.epoch
           else begin
             Hashtbl.replace pn.last_epoch env.env_from env.epoch;
+            (* after an injection, processing an announcement is how the
+               bad change spreads — record the delivery edge for the
+               causal cone *)
+            (match !injected_at with
+            | Some t0 when now >= t0 ->
+                edges :=
+                  { Rollback.at = now; src = env.env_from; dst = env.env_to }
+                  :: !edges
+            | _ -> ());
             let effects =
               Node.handle ~adapt ~config:engine_config pn.node
                 ~from_:env.env_from env.payload
@@ -346,6 +461,10 @@ let run ?(adapt = true) ?(engine_config = Chorev_propagate.Engine.default)
                 | Node.Adapted p' ->
                     tr {|{"t":%d,"ev":"adapt","party":"%s"}|} now env.env_to;
                     m := Model.update !m p'
+                | Node.Repaired d ->
+                    incr repairs;
+                    tr {|{"t":%d,"ev":"repair","party":"%s","fix":"%s"}|} now
+                      env.env_to (String.escaped d)
                 | Node.Send _ -> ())
               effects;
             let announce_targets =
@@ -388,6 +507,10 @@ let run ?(adapt = true) ?(engine_config = Chorev_propagate.Engine.default)
       ignore (Eventq.add q ~at:c.Fault.at (Crash c.Fault.party));
       ignore (Eventq.add q ~at:c.Fault.restart_at (Restart c.Fault.party)))
     profile.Fault.crashes;
+  List.iter
+    (fun (i : Fault.inject) ->
+      ignore (Eventq.add q ~at:i.Fault.inject_at (Inject i)))
+    profile.Fault.injects;
   start_announces ~now:0 (pnode owner) (Node.partners (pnode owner).node);
   let converged = ref true in
   let running = ref true in
@@ -416,9 +539,76 @@ let run ?(adapt = true) ?(engine_config = Chorev_propagate.Engine.default)
             tr {|{"t":%d,"ev":"restart","party":"%s"}|} at p;
             (* durable state survived; re-announce the current public
                under a fresh epoch to re-establish agreement *)
-            start_announces ~now:at pn (Node.partners pn.node))
+            start_announces ~now:at pn (Node.partners pn.node)
+        | Inject i -> (
+            let pn = pnode owner in
+            if pn.up then
+              match rogue_change ~inject_seed:i.Fault.inject_seed !m owner with
+              | None ->
+                  tr {|{"t":%d,"ev":"inject-skip","party":"%s"}|} at owner
+              | Some p' ->
+                  (* snapshot the whole model *before* the mutation:
+                     this is what rolled-back parties are compared (and
+                     restored) against *)
+                  pre_change := Some !m;
+                  injected_at := Some at;
+                  last_tick := at;
+                  tr {|{"t":%d,"ev":"inject","party":"%s","seed":%d}|} at owner
+                    i.Fault.inject_seed;
+                  m := Model.update !m p';
+                  pn.node.Node.private_process <- p';
+                  pn.node.Node.public <- Chorev_mapping.Public_gen.public p';
+                  start_announces ~now:at pn (Node.partners pn.node)))
   done;
-  let agreed = Consistency.consistent !m in
+  let agreed = ref (Consistency.consistent !m) in
+  let rolled_back = ref [] in
+  (match (!injected_at, !pre_change) with
+  | Some t0, Some pre when rollback && not !agreed ->
+      (* the bad change could not be healed: restore exactly the parties
+         it causally reached to their pre-change snapshots *)
+      let cone = Rollback.cone ~origin:owner ~edges:(List.rev !edges) in
+      let pre_sexps =
+        List.map
+          (fun p -> (p, Sexp.process_to_string (Model.private_ pre p)))
+          cone
+      in
+      tr {|{"t":%d,"ev":"rollback","origin":"%s","cone":%d}|} !last_tick owner
+        (List.length cone);
+      let restore ~party ~pre =
+        match Sexp.process_of_string pre with
+        | Error e ->
+            invalid_arg ("rollback: corrupt snapshot for " ^ party ^ ": " ^ e)
+        | Ok p ->
+            (match List.assoc_opt party pnodes with
+            | Some pn ->
+                pn.node.Node.private_process <- p;
+                pn.node.Node.public <- Chorev_mapping.Public_gen.public p;
+                pn.node.Node.adapt_log <- None
+            | None -> ());
+            m := Model.update !m p
+      in
+      (match rollback_journal with
+      | None -> Rollback.restore_inline ~owner ~cone:pre_sexps ~restore
+      | Some dir ->
+          (* journal-backed: snapshots and the prelude go durable before
+             the first restore, each restore is fsynced before the next
+             — a kill anywhere in between resumes byte-identically *)
+          let state =
+            List.map
+              (fun p -> (p, Sexp.process_to_string (Model.private_ !m p)))
+              (Model.parties !m)
+          in
+          let w =
+            Rollback.start ~dir ~owner ~cone
+              ~prelude:(rollback_prelude ~injected_at:t0 ~cone)
+              ~pre:pre_sexps ~state
+          in
+          Rollback.restore_all ?crash_after:crash_during_rollback w ~restore;
+          Rollback.close w);
+      rolled_back := cone;
+      agreed := Consistency.consistent !m
+  | _ -> ());
+  let agreed = !agreed in
   tr {|{"ev":"end","t":%d,"agreed":%b,"converged":%b,"sent":%d,"dropped":%d,"retries":%d}|}
     !last_tick agreed !converged !sent !dropped !retries;
   Metrics.add c_sent !sent;
@@ -443,14 +633,19 @@ let run ?(adapt = true) ?(engine_config = Chorev_propagate.Engine.default)
         announcements = !announcements;
         acks = !acks;
         nacks = !nacks;
+        aborts = !aborts;
       };
     final = !m;
     trace = Buffer.contents buf;
+    injected_at = !injected_at;
+    pre_change = !pre_change;
+    rolled_back = !rolled_back;
+    repairs = !repairs;
   }
 
 let pp_stats ppf s =
   Fmt.pf ppf
     "ticks=%d sent=%d delivered=%d dropped=%d dup=%d dedup=%d retries=%d \
-     stale=%d crashes=%d (announce=%d ack=%d nack=%d)"
+     stale=%d crashes=%d (announce=%d ack=%d nack=%d abort=%d)"
     s.ticks s.sent s.delivered s.dropped s.duplicated s.deduplicated s.retries
-    s.stale s.crashes s.announcements s.acks s.nacks
+    s.stale s.crashes s.announcements s.acks s.nacks s.aborts

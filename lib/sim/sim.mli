@@ -28,6 +28,7 @@ type stats = {
           under the zero-fault profile *)
   acks : int;
   nacks : int;
+  aborts : int;  (** abort-cascade transmissions (node-level withdrawal) *)
 }
 
 type result = {
@@ -36,6 +37,14 @@ type result = {
   stats : stats;
   final : Model.t;
   trace : string;  (** deterministic JSON-lines log; [""] if disabled *)
+  injected_at : int option;
+      (** tick of the seeded bad change, if the profile carried one *)
+  pre_change : Model.t option;
+      (** model snapshot from just before the injection — what restored
+          parties are byte-compared against by the soak invariant *)
+  rolled_back : string list;
+      (** the causal cone that was restored ([[]]: no rollback ran) *)
+  repairs : int;  (** partner adaptations produced by the amendment search *)
 }
 
 val run :
@@ -44,6 +53,9 @@ val run :
   ?profile:Fault.profile ->
   ?max_ticks:int ->
   ?trace:bool ->
+  ?rollback:bool ->
+  ?rollback_journal:string ->
+  ?crash_during_rollback:int ->
   seed:int ->
   Model.t ->
   owner:string ->
@@ -53,7 +65,23 @@ val run :
     Defaults: [adapt:true], [profile:Fault.none], [max_ticks:10_000],
     [trace:true]. [engine_config] (default
     {!Chorev_propagate.Engine.default}, unlimited) bounds each node's
-    local algebra work — see {!Chorev_choreography.Node.handle}. Only
-    fuel budgets keep runs deterministic; wall-clock deadlines do not. *)
+    local algebra work — see {!Chorev_choreography.Node.handle}; its
+    [repair] policy arms the nodes' amendment fallback. Only fuel
+    budgets keep runs deterministic; wall-clock deadlines do not.
+
+    When the profile carries a {!Fault.inject} entry, the owner applies
+    a seeded rogue change at that tick and announces it. With
+    [rollback:true], a run that drains without restoring agreement then
+    rolls back exactly the causal cone of the injection to the
+    pre-change snapshots — in memory, or journal-backed when
+    [rollback_journal] names a directory (crash-safe; see
+    {!Chorev_repair.Rollback}). [crash_during_rollback:k] raises
+    {!Chorev_repair.Rollback.Simulated_crash} after the [k]-th
+    committed restore — the kill-during-rollback test hook. *)
+
+val rollback_prelude : injected_at:int -> cone:string list -> string
+(** The deterministic header printed (and journalled) before a
+    rollback's restores — shared by the live path and [chorev resume]
+    so interrupted and uninterrupted runs render byte-identically. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -106,6 +106,99 @@ let summarize checks =
 
 let all_ok checks = List.for_all ok checks
 
+(* ----------------------- bad-change injection ---------------------- *)
+
+type inject_check = {
+  i_seed : int;
+  i_class : string;  (** "no-adapt" | "repair" | "starved" *)
+  i_converged : bool;
+  i_agreed : bool;
+  i_repairs : int;
+  i_cone : int;  (** rolled-back cone size; 0 = no rollback ran *)
+  i_ok : bool;  (** repaired, or causally reverted — never half-applied *)
+}
+
+let inject_ok c = c.i_ok
+
+(** Byte-level equality against the pre-change snapshot: after a
+    rollback, cone parties were restored and everyone else was never
+    touched, so {e every} party must serialize identically. *)
+let reverted_exactly ~pre ~final =
+  let ps = Model.parties pre in
+  ps = Model.parties final
+  && List.for_all
+       (fun p ->
+         String.equal
+           (Chorev_bpel.Sexp.process_to_string (Model.private_ final p))
+           (Chorev_bpel.Sexp.process_to_string (Model.private_ pre p)))
+       ps
+
+(* Three seed classes bias the run toward the three repair outcomes:
+   no adaptation at all (rollback is the only exit), a generous
+   amendment search, and a fuel-starved one that degrades to
+   unrepairable. The repair classes disable the engine's own adaptation
+   ([auto_apply = false]) so the amendment search is the only healer —
+   otherwise ordinary propagation fixes the partner before the search
+   ever runs. The invariant below is the same for all three. *)
+let inject_class seed =
+  let no_engine_adapt c = { c with Chorev_config.Config.auto_apply = false } in
+  match seed mod 3 with
+  | 0 -> ("no-adapt", false, Chorev_config.Config.default)
+  | 1 ->
+      ("repair", true, no_engine_adapt Chorev_config.Config.(with_repair default))
+  | _ ->
+      ( "starved",
+        true,
+        no_engine_adapt Chorev_config.Config.(with_repair ~fuel:40 default) )
+
+(** Soak the self-healing loop: [runs] seeded bad-change injections
+    (each decorating [profile] via {!Fault.with_inject}), rollback
+    armed. A run passes iff it ends {e repaired} (agreed, converged, no
+    rollback) or {e causally reverted} (agreed, and every party
+    byte-identical to its pre-change snapshot) — never half-applied.
+    Results are in seed order regardless of pool size. *)
+let run_inject ?pool ?(runs = 60) ?(inject_at = 10)
+    ?(profile = Fault.lossy ()) (model : Model.t) ~owner =
+  Chorev_obs.Obs.span "sim.soak.inject"
+    ~attrs:[ ("runs", Chorev_obs.Sink.Int runs) ]
+  @@ fun () ->
+  let changed = Model.private_ model owner in
+  Pool.map ?pool
+    (fun seed ->
+      let m = Model.copy model in
+      let klass, adapt, config = inject_class seed in
+      let profile = Fault.with_inject ~at:inject_at ~seed profile in
+      let r =
+        Sim.run ~seed ~profile ~adapt ~engine_config:config ~rollback:true
+          ~trace:false m ~owner ~changed
+      in
+      let i_ok =
+        match r.Sim.rolled_back with
+        | _ :: _ -> (
+            r.Sim.agreed
+            &&
+            match r.Sim.pre_change with
+            | None -> false
+            | Some pre -> reverted_exactly ~pre ~final:r.Sim.final)
+        | [] -> r.Sim.agreed && r.Sim.converged
+      in
+      {
+        i_seed = seed;
+        i_class = klass;
+        i_converged = r.Sim.converged;
+        i_agreed = r.Sim.agreed;
+        i_repairs = r.Sim.repairs;
+        i_cone = List.length r.Sim.rolled_back;
+        i_ok;
+      })
+    (List.init runs Fun.id)
+
+let inject_all_ok checks = List.for_all inject_ok checks
+
+let pp_inject_check ppf c =
+  Fmt.pf ppf "seed=%d class=%s converged=%b agreed=%b repairs=%d cone=%d ok=%b"
+    c.i_seed c.i_class c.i_converged c.i_agreed c.i_repairs c.i_cone c.i_ok
+
 let pp_check ppf c =
   Fmt.pf ppf
     "seed=%d profile=%s converged=%b agreed_match=%b final_match=%b ticks=%d \

@@ -45,3 +45,38 @@ val all_ok : check list -> bool
 val models_match : Model.t -> Model.t -> bool
 val pp_check : Format.formatter -> check -> unit
 val pp_summary : Format.formatter -> summary -> unit
+
+(** {1 Bad-change injection soak}
+
+    The self-healing invariant: every seeded-bad-change run ends
+    {e repaired} (agreed, converged, no rollback) or {e causally
+    reverted} (agreed, and every party byte-identical to its
+    pre-change snapshot) — never half-applied. *)
+
+type inject_check = {
+  i_seed : int;
+  i_class : string;  (** "no-adapt" | "repair" | "starved" (seed mod 3) *)
+  i_converged : bool;
+  i_agreed : bool;
+  i_repairs : int;
+  i_cone : int;  (** rolled-back cone size; 0 = no rollback ran *)
+  i_ok : bool;
+}
+
+val inject_ok : inject_check -> bool
+
+val run_inject :
+  ?pool:Chorev_parallel.Pool.t ->
+  ?runs:int ->
+  ?inject_at:int ->
+  ?profile:Fault.profile ->
+  Model.t ->
+  owner:string ->
+  inject_check list
+(** [runs] (default 60) seeded injections decorating [profile] (default
+    lossy) via {!Fault.with_inject}, rollback armed; seed classes cycle
+    no-adapt / generous-repair / fuel-starved. Results are in seed
+    order — and identical — at every pool size. *)
+
+val inject_all_ok : inject_check list -> bool
+val pp_inject_check : Format.formatter -> inject_check -> unit

@@ -1,0 +1,16 @@
+(** Minimal JSON — hand-rolled (the toolchain has no JSON library);
+    [to_string] emits no insignificant whitespace and [of_string]
+    accepts exactly the JSON grammar (strings with [\uXXXX] escapes,
+    integers, no floats). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val member : string -> t -> t option

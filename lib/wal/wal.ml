@@ -1,0 +1,89 @@
+(** The checksummed-line WAL machinery shared by every journal in the
+    system; see wal.mli for the line format and durability
+    discipline. *)
+
+type writer = { oc : out_channel }
+
+let open_append ~path =
+  {
+    oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path;
+  }
+
+let reopen ~path ~valid_bytes =
+  Unix.truncate path valid_bytes;
+  Dir.fsync_dir (Filename.dirname path);
+  { oc = open_out_gen [ Open_append; Open_binary ] 0o644 path }
+
+let append w body_json =
+  let body = Json.to_string body_json in
+  let crc = Digest.to_hex (Digest.string body) in
+  output_string w.oc {|{"crc":"|};
+  output_string w.oc crc;
+  output_string w.oc {|","body":|};
+  output_string w.oc body;
+  output_string w.oc "}\n";
+  flush w.oc;
+  Unix.fsync (Unix.descr_of_out_channel w.oc)
+
+let close w = close_out w.oc
+
+type 'a read_result = { records : 'a list; torn : bool; valid_bytes : int }
+
+(* Writer lines have the exact shape {"crc":"<32 hex>","body":...}\n —
+   the prefix is fixed, so the body text the checksum covers is
+   recovered by stripping prefix and the final '}'. *)
+let parse_line ~decode line =
+  let prefix = {|{"crc":"|} in
+  let plen = String.length prefix in
+  let ll = String.length line in
+  if ll < plen + 32 + String.length {|","body":|} + 1 then Error "short line"
+  else if String.sub line 0 plen <> prefix then Error "bad line prefix"
+  else
+    let crc = String.sub line plen 32 in
+    let mid = String.sub line (plen + 32) (String.length {|","body":|}) in
+    if mid <> {|","body":|} then Error "bad line shape"
+    else if line.[ll - 1] <> '}' then Error "unterminated line"
+    else
+      let body_off = plen + 32 + String.length mid in
+      let body = String.sub line body_off (ll - 1 - body_off) in
+      if Digest.to_hex (Digest.string body) <> crc then
+        Error "checksum mismatch"
+      else
+        match Json.of_string body with
+        | Error e -> Error ("bad body: " ^ e)
+        | Ok j -> decode j
+
+let read ~path ~decode =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "no journal at %s" path)
+  else
+    let contents = Dir.read_file path in
+    (* split into (line, end-offset-including-newline) *)
+    let lines = ref [] in
+    let start = ref 0 in
+    String.iteri
+      (fun i c ->
+        if c = '\n' then (
+          lines := (String.sub contents !start (i - !start), i + 1) :: !lines;
+          start := i + 1))
+      contents;
+    (* a final chunk without '\n' is by construction torn *)
+    let tail_torn = !start < String.length contents in
+    let lines = List.rev !lines in
+    let total = List.length lines in
+    let rec go acc valid idx = function
+      | [] ->
+          Ok { records = List.rev acc; torn = tail_torn; valid_bytes = valid }
+      | (line, endoff) :: rest -> (
+          match parse_line ~decode line with
+          | Ok r -> go (r :: acc) endoff (idx + 1) rest
+          | Error e ->
+              if idx = total - 1 && rest = [] then
+                (* torn tail: the crashed writer's partial last line *)
+                Ok { records = List.rev acc; torn = true; valid_bytes = valid }
+              else
+                Error
+                  (Printf.sprintf "%s: corrupt record on line %d: %s" path
+                     (idx + 1) e))
+    in
+    go [] 0 0 lines

@@ -1,0 +1,34 @@
+(** The checksummed-line machinery shared by every journal in the
+    system (the evolution journal of [Chorev_journal], the migration
+    checkpoint log of [Chorev_migrate], the repair rollback journal of
+    [Chorev_repair]): one [{"crc":"<md5-hex-of-body>","body":j}] line
+    per record, fsync per append, torn-tail recovery on read. Generic
+    over what the body means — callers pass their own decoder. *)
+
+type writer
+
+val open_append : path:string -> writer
+(** Open (creating if needed) for append. *)
+
+val reopen : path:string -> valid_bytes:int -> writer
+(** Truncate to [valid_bytes] (discarding a torn tail), fsync the
+    parent directory, and open for append. *)
+
+val append : writer -> Json.t -> unit
+(** Checksum, append one line and [fsync]; durable on return. *)
+
+val close : writer -> unit
+
+type 'a read_result = {
+  records : 'a list;
+  torn : bool;  (** a partial/corrupt final line was dropped *)
+  valid_bytes : int;
+      (** end offset of the last valid record — where a resuming
+          writer truncates *)
+}
+
+val read :
+  path:string -> decode:(Json.t -> ('a, string) result) -> ('a read_result, string) result
+(** [Error] if the file is missing or a line {e before} the final one
+    fails its checksum, does not parse, or is refused by [decode]; a
+    broken final line only marks the result torn. *)

@@ -176,23 +176,29 @@ let test_validate_unknown_party () =
 
 let test_validate_dangling_channel () =
   (* buyer_with_cancel sends cancel messages the original accounting
-     process never mentions: dangling channels, flagged as warnings *)
+     process never mentions — and since the cancel *type* is absent
+     from accounting's whole alphabet, the stronger
+     Unknown_message_type warning fires (not just Dangling_channel) *)
   let t =
     M.of_processes [ P.buyer_with_cancel; P.accounting_process; P.logistics_process ]
   in
   match M.validate t with
   | Ok () -> Alcotest.fail "dangling cancel channel must be flagged"
   | Error issues ->
-      check_bool "dangling channel found" true
+      check_bool "unknown message type found" true
         (List.exists
            (fun (i : M.issue) ->
-             match i.M.kind with M.Dangling_channel _ -> true | _ -> false)
+             match i.M.kind with
+             | M.Unknown_message_type { label; _ } ->
+                 label.Chorev.Label.msg = "cancelOp"
+             | _ -> false)
            issues);
-      check_bool "dangling channels are warnings" true
+      check_bool "unmatched channels are warnings" true
         (List.for_all
            (fun (i : M.issue) ->
              match i.M.kind with
-             | M.Dangling_channel _ -> M.issue_severity i = `Warning
+             | M.Dangling_channel _ | M.Unknown_message_type _ ->
+                 M.issue_severity i = `Warning
              | _ -> true)
            issues)
 

@@ -147,6 +147,75 @@ let test_faulty_no_adapt () =
       check_bool (Printf.sprintf "seed %d agreed" seed) false r.Sim.agreed)
     [ 0; 1; 2 ]
 
+(* A partition opening while a crashed node is still recovering: the
+   two fault classes combined must still converge to the oracle's
+   outcome, and the run must replay byte-identically. *)
+let test_partition_during_crash_recovery () =
+  let t = procurement () in
+  let profile =
+    {
+      (Fault.crashy ~at:3 ~restart_at:40 "B") with
+      Fault.name = "crashy+partitioned(B)";
+      partitions =
+        [ { Fault.from_tick = 35; until_tick = 70; isolated = [ "B" ] } ];
+    }
+  in
+  let oracle = Pr.run t ~owner:"A" ~changed:P.accounting_cancel in
+  List.iter
+    (fun seed ->
+      let go () =
+        Sim.run ~seed ~profile t ~owner:"A" ~changed:P.accounting_cancel
+      in
+      let r = go () in
+      check_bool (Printf.sprintf "seed %d converged" seed) true r.Sim.converged;
+      check_bool
+        (Printf.sprintf "seed %d agreed" seed)
+        oracle.Pr.agreed r.Sim.agreed;
+      check_bool
+        (Printf.sprintf "seed %d final" seed)
+        true
+        (Soak.models_match r.Sim.final oracle.Pr.final);
+      check_string
+        (Printf.sprintf "seed %d replay" seed)
+        r.Sim.trace (go ()).Sim.trace)
+    [ 0; 1; 2; 3; 4 ]
+
+(* ------------------------ bad-change injection ----------------------- *)
+
+(* Seeded rogue-change injections with rollback armed: every run ends
+   repaired or causally reverted — never half-applied — and the check
+   list is identical at every pool size. *)
+let test_inject_soak_invariant () =
+  let t = procurement () in
+  let go pool_size =
+    Soak.run_inject
+      ~pool:(C.Parallel.Pool.sized pool_size)
+      ~runs:12 t ~owner:"A"
+  in
+  let p1 = go 1 and p2 = go 2 and p8 = go 8 in
+  check_int "12 runs" 12 (List.length p1);
+  List.iter
+    (fun c ->
+      if not (Soak.inject_ok c) then
+        Alcotest.failf "inject soak failure: %a" Soak.pp_inject_check c)
+    p1;
+  check_bool "pool 1 = pool 2" true (p1 = p2);
+  check_bool "pool 1 = pool 8" true (p1 = p8);
+  check_bool "some run rolled back" true
+    (List.exists (fun c -> c.Soak.i_cone > 0) p1)
+
+let test_inject_replay () =
+  let t = procurement () in
+  let profile = Fault.with_inject ~seed:7 (Fault.lossy ()) in
+  let go () =
+    Sim.run ~seed:7 ~profile ~rollback:true t ~owner:"A"
+      ~changed:(M.private_ t "A")
+  in
+  let a = go () in
+  check_string "byte-identical trace" a.Sim.trace (go ()).Sim.trace;
+  check_bool "injected" true (a.Sim.injected_at <> None);
+  check_bool "never half-applied" true (a.Sim.agreed || a.Sim.rolled_back <> [])
+
 (* ---------------------------- determinism --------------------------- *)
 
 let test_replay_determinism () =
@@ -236,6 +305,15 @@ let () =
           Alcotest.test_case "crash and restart" `Quick test_crash_restart;
           Alcotest.test_case "no-adapt disagreement" `Quick
             test_faulty_no_adapt;
+          Alcotest.test_case "partition during crash recovery" `Quick
+            test_partition_during_crash_recovery;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "soak invariant + pool invariance" `Quick
+            test_inject_soak_invariant;
+          Alcotest.test_case "inject replay determinism" `Quick
+            test_inject_replay;
         ] );
       ( "determinism",
         [
